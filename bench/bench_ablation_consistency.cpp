@@ -1,0 +1,118 @@
+// SS IX-B ablation: "Tuning the consistency-level?" — acknowledge updates
+// without waiting for backup acks (relaxed consistency) and compare
+// throughput, power and energy against the strongly-consistent default.
+//
+// The paper proposes this as a mitigation for Finding 3's replication
+// overhead; this bench quantifies what the trade buys.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+
+using namespace rc;
+
+namespace {
+
+core::YcsbExperimentResult run(int rf, bool waitForAcks,
+                               const bench::Options& opt) {
+  core::YcsbExperimentConfig cfg;
+  cfg.servers = 20;
+  cfg.clients = 60;
+  cfg.replicationFactor = rf;
+  cfg.workload = ycsb::WorkloadSpec::A();
+  cfg.seed = opt.seed;
+  cfg.timeScale = opt.timeScale();
+  // Reach through the cluster defaults: the experiment runner copies
+  // MasterParams from ClusterParams, so we run it manually here.
+  core::ClusterParams cp;
+  cp.servers = cfg.servers;
+  cp.clients = cfg.clients;
+  cp.seed = cfg.seed;
+  cp.replicationFactor = rf;
+  cp.master.replication.waitForAcks = waitForAcks;
+  core::Cluster cluster(cp);
+  const auto table = cluster.createTable("usertable");
+  cluster.bulkLoad(table, cfg.workload.recordCount, cfg.workload.valueBytes);
+
+  ycsb::YcsbClientParams ycp;
+  cluster.configureYcsb(table, cfg.workload, ycp);
+  cluster.startYcsb();
+  cluster.sim().runFor(static_cast<sim::Duration>(
+      static_cast<double>(sim::seconds(2)) * cfg.timeScale));
+  const auto t0 = cluster.sim().now();
+  const auto ops0 = cluster.totalOpsCompleted();
+  std::vector<node::CpuScheduler::Snapshot> snaps;
+  for (int i = 0; i < cluster.serverCount(); ++i) {
+    snaps.push_back(cluster.server(i).node->snapshotCpu());
+  }
+  cluster.sim().runFor(static_cast<sim::Duration>(
+      static_cast<double>(sim::seconds(8)) * cfg.timeScale));
+  const auto t1 = cluster.sim().now();
+
+  core::YcsbExperimentResult r;
+  r.measuredSeconds = sim::toSeconds(t1 - t0);
+  r.opsMeasured = cluster.totalOpsCompleted() - ops0;
+  r.throughputOpsPerSec = static_cast<double>(r.opsMeasured) /
+                          r.measuredSeconds;
+  double watts = 0;
+  for (int i = 0; i < cluster.serverCount(); ++i) {
+    watts += cp.serverNode.power.watts(
+        cluster.server(i).node->meanUtilisationSince(
+            snaps[static_cast<std::size_t>(i)], t1));
+  }
+  r.clusterPowerW = watts;
+  r.meanPowerPerServerW = watts / cluster.serverCount();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::banner("Ablation — relaxed vs strong replication consistency",
+                "Taleb et al., ICDCS'17, SS IX-B (consistency discussion)");
+
+  const std::uint64_t totalRequests = 6'000'000;
+  core::TableFormatter t({"rf", "mode", "throughput (Kop/s)",
+                          "power/node (W)", "run energy (KJ)"});
+  double syncThr[3], relaxThr[3];
+  double syncE[3], relaxE[3];
+  int i = 0;
+  for (int rf : {1, 2, 4}) {
+    const auto s = run(rf, true, opt);
+    const auto x = run(rf, false, opt);
+    syncThr[i] = s.throughputOpsPerSec;
+    relaxThr[i] = x.throughputOpsPerSec;
+    syncE[i] = s.energyForRequestsJ(totalRequests) / 1e3;
+    relaxE[i] = x.energyForRequestsJ(totalRequests) / 1e3;
+    t.addRow({std::to_string(rf), "strong (wait for acks)",
+              core::TableFormatter::kops(s.throughputOpsPerSec),
+              core::TableFormatter::num(s.meanPowerPerServerW, 1),
+              core::TableFormatter::num(syncE[i], 0)});
+    t.addRow({std::to_string(rf), "relaxed (fire-and-forget)",
+              core::TableFormatter::kops(x.throughputOpsPerSec),
+              core::TableFormatter::num(x.meanPowerPerServerW, 1),
+              core::TableFormatter::num(relaxE[i], 0)});
+    ++i;
+  }
+  t.print();
+
+  bench::Verdict v;
+  v.check(relaxThr[2] > 1.5 * syncThr[2],
+          "relaxed consistency recovers most of the rf=4 throughput loss");
+  v.check(relaxE[2] < 0.7 * syncE[2],
+          "and most of the energy overhead");
+  v.check(relaxThr[0] > syncThr[0] * 0.98,
+          "relaxation helps (or is neutral) even at rf=1");
+  // Relaxation removes the ack *wait* but not the replication *work*:
+  // backup writes still contend for server CPU, so some rf cost remains —
+  // a caveat the paper's SS IX-B proposal glosses over.
+  const double relaxDrop = 1 - relaxThr[2] / relaxThr[0];
+  const double syncDrop = 1 - syncThr[2] / syncThr[0];
+  v.check(relaxDrop < 0.9 * syncDrop && relaxDrop > 0.05,
+          "relaxed mode softens (but cannot erase) the rf penalty — "
+          "replication CPU contention remains");
+  return v.exitCode();
+}

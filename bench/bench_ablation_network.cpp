@@ -1,0 +1,100 @@
+// Network ablation: Infiniband vs Gigabit Ethernet transport.
+//
+// The paper uses RAMCloud's Infiniband transport exclusively and cites a
+// companion study (Taleb et al., hal-01376923) for the network's impact on
+// performance and energy efficiency. This bench quantifies that choice on
+// our substrate: kernel-TCP GigE multiplies small-RPC latency and caps
+// per-client closed-loop rates.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/cluster.hpp"
+#include "ycsb/ycsb_client.hpp"
+
+using namespace rc;
+
+namespace {
+
+struct Result {
+  double kops;
+  double readLatUs;
+  double opsPerJoule;
+};
+
+Result run(net::TransportParams transport, const bench::Options& opt) {
+  core::ClusterParams cp;
+  cp.servers = 5;
+  cp.clients = 10;
+  cp.seed = opt.seed;
+  cp.transport = transport;
+  core::Cluster cluster(cp);
+  const auto table = cluster.createTable("usertable");
+  cluster.bulkLoad(table, 100'000, 1000);
+  cluster.configureYcsb(table, ycsb::WorkloadSpec::C(),
+                        ycsb::YcsbClientParams{});
+  cluster.startYcsb();
+
+  const auto warmup = static_cast<sim::Duration>(
+      static_cast<double>(sim::seconds(1)) * opt.timeScale() / 0.4);
+  const auto measure = static_cast<sim::Duration>(
+      static_cast<double>(sim::seconds(4)) * opt.timeScale() / 0.4);
+  cluster.sim().runFor(warmup);
+  const auto t0 = cluster.sim().now();
+  const auto ops0 = cluster.totalOpsCompleted();
+  std::vector<node::CpuScheduler::Snapshot> snaps;
+  for (int i = 0; i < cluster.serverCount(); ++i) {
+    snaps.push_back(cluster.server(i).node->snapshotCpu());
+  }
+  cluster.sim().runFor(measure);
+  const auto t1 = cluster.sim().now();
+  cluster.stopYcsb();
+
+  Result r;
+  r.kops = static_cast<double>(cluster.totalOpsCompleted() - ops0) /
+           sim::toSeconds(t1 - t0) / 1e3;
+  sim::Histogram reads;
+  for (int i = 0; i < cluster.clientCount(); ++i) {
+    reads.merge(cluster.clientHost(i).ycsb->stats().readLatency);
+  }
+  r.readLatUs = reads.mean() / 1e3;
+  double watts = 0;
+  for (int i = 0; i < cluster.serverCount(); ++i) {
+    watts += cp.serverNode.power.watts(
+        cluster.server(i).node->meanUtilisationSince(
+            snaps[static_cast<std::size_t>(i)], t1));
+  }
+  r.opsPerJoule = r.kops * 1e3 / watts;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::banner("Ablation — Infiniband vs Gigabit Ethernet transport",
+                "Taleb et al., ICDCS'17, SS III-B (transport choice) & [24]");
+
+  const Result ib = run(net::TransportParams::infiniband(), opt);
+  const Result eth = run(net::TransportParams::gigabitEthernet(), opt);
+
+  core::TableFormatter t({"transport", "throughput (Kop/s)",
+                          "read latency (us)", "op/J"});
+  t.addRow({"Infiniband-20G", core::TableFormatter::num(ib.kops, 0) + "K",
+            core::TableFormatter::num(ib.readLatUs, 1),
+            core::TableFormatter::num(ib.opsPerJoule, 0)});
+  t.addRow({"Gigabit Ethernet", core::TableFormatter::num(eth.kops, 0) + "K",
+            core::TableFormatter::num(eth.readLatUs, 1),
+            core::TableFormatter::num(eth.opsPerJoule, 0)});
+  t.print();
+
+  bench::Verdict v;
+  v.check(ib.readLatUs < 30, "IB keeps small reads in the ~15 us regime");
+  v.check(eth.readLatUs > 3 * ib.readLatUs,
+          "kernel-TCP GigE multiplies small-RPC latency");
+  v.check(eth.kops < 0.5 * ib.kops,
+          "closed-loop throughput collapses accordingly");
+  v.check(eth.opsPerJoule < ib.opsPerJoule,
+          "and energy efficiency with it (the companion study's point)");
+  return v.exitCode();
+}

@@ -1,0 +1,89 @@
+#pragma once
+
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Every binary accepts:
+//   --quick      smaller windows / data (CI smoke)
+//   --full       paper-scale data volumes (slow; closest to the paper)
+//   --seed N     experiment seed (default 42)
+//   --csv        additionally dump any timeline series as CSV
+//
+// Output format: the paper-style table, then one "shape-check:" line per
+// qualitative claim. The process exits non-zero if any shape check fails.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/table_format.hpp"
+
+namespace rc::bench {
+
+struct Options {
+  enum class Scale { kQuick, kDefault, kFull };
+  Scale scale = Scale::kDefault;
+  std::uint64_t seed = 42;
+  bool csv = false;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) o.scale = Scale::kQuick;
+      if (std::strcmp(argv[i], "--full") == 0) o.scale = Scale::kFull;
+      if (std::strcmp(argv[i], "--csv") == 0) o.csv = true;
+      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        o.seed = std::strtoull(argv[++i], nullptr, 10);
+      }
+    }
+    return o;
+  }
+
+  /// Multiplier for measurement windows.
+  double timeScale() const {
+    switch (scale) {
+      case Scale::kQuick:
+        return 0.15;
+      case Scale::kFull:
+        return 1.0;
+      case Scale::kDefault:
+        return 0.4;
+    }
+    return 0.4;
+  }
+
+  /// Records for the big crash-recovery experiments (paper: 10 M).
+  std::uint64_t recoveryRecords(std::uint64_t paperValue = 10'000'000) const {
+    switch (scale) {
+      case Scale::kQuick:
+        return paperValue / 50;
+      case Scale::kFull:
+        return paperValue;
+      case Scale::kDefault:
+        return paperValue / 5;
+    }
+    return paperValue / 5;
+  }
+};
+
+/// Collects shape-check verdicts and renders the exit code.
+class Verdict {
+ public:
+  void check(bool ok, const std::string& what) {
+    all_ &= core::shapeCheck(ok, what);
+  }
+  int exitCode() const { return all_ ? 0 : 1; }
+
+ private:
+  bool all_ = true;
+};
+
+inline void banner(const std::string& title, const std::string& paperRef) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paperRef.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace rc::bench

@@ -1,0 +1,140 @@
+// Extension bench: energy-proportional cluster sizing (SS IX).
+//
+// The paper's Finding 1 shows RAMCloud wastes energy when over-provisioned
+// and proposes coordinator-level resizing (a la Sierra / Rabbit). This
+// bench drives a diurnal load against (a) a static 8-server cluster and
+// (b) the same cluster managed by the Autoscaler (drain -> suspend on low
+// load, resume -> rebalance on high load, tablet migration underneath),
+// and compares delivered operations and consumed energy.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/autoscaler.hpp"
+#include "core/cluster.hpp"
+#include "ycsb/ycsb_client.hpp"
+
+using namespace rc;
+
+namespace {
+
+struct Outcome {
+  double energyKJ = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t failures = 0;
+  double meanActive = 0;
+  int downs = 0;
+  int ups = 0;
+};
+
+Outcome run(bool autoscale, const bench::Options& opt, double phaseScale) {
+  core::ClusterParams cp;
+  cp.servers = 8;
+  cp.clients = 16;
+  cp.seed = opt.seed;
+  cp.replicationFactor = 1;
+  core::Cluster c(cp);
+  const auto table = c.createTable("t");
+  c.bulkLoad(table, 50'000, 1000);
+  c.configureYcsb(table, ycsb::WorkloadSpec::C(50'000),
+                  ycsb::YcsbClientParams{});
+
+  core::AutoscalerParams ap;
+  ap.interval = sim::seconds(1);
+  ap.minActive = 3;
+  ap.highWaterCpu = 0.65;
+  ap.lowWaterCpu = 0.42;
+  core::Autoscaler scaler(c, ap);
+  if (autoscale) scaler.start();
+
+  std::vector<node::Node::PowerSnapshot> snaps;
+  for (int i = 0; i < c.serverCount(); ++i) {
+    snaps.push_back(c.server(i).node->snapshotPower());
+  }
+
+  auto setActiveClients = [&c](int n) {
+    for (int i = 0; i < c.clientCount(); ++i) {
+      auto* y = c.clientHost(i).ycsb.get();
+      if (i < n) {
+        y->start();
+      } else {
+        y->stop();
+      }
+    }
+  };
+
+  const auto phase = [&](double s) {
+    return static_cast<sim::Duration>(sim::secondsF(s * phaseScale));
+  };
+  // Diurnal pattern: peak -> trough -> peak.
+  setActiveClients(16);
+  c.sim().runFor(phase(25));
+  setActiveClients(2);
+  c.sim().runFor(phase(60));
+  setActiveClients(16);
+  c.sim().runFor(phase(25));
+  c.stopYcsb();
+  scaler.stop();
+
+  Outcome o;
+  const sim::SimTime end = c.sim().now();
+  for (int i = 0; i < c.serverCount(); ++i) {
+    o.energyKJ += c.server(i).node->energyJoulesSince(
+                      snaps[static_cast<std::size_t>(i)], end) /
+                  1e3;
+  }
+  o.ops = c.totalOpsCompleted();
+  o.failures = c.totalOpFailures();
+  o.meanActive =
+      autoscale ? scaler.activeTrace().meanValue() : c.serverCount();
+  o.downs = scaler.scaleDowns();
+  o.ups = scaler.scaleUps();
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::banner("Extension — energy-proportional autoscaling (SS IX)",
+                "Taleb et al., ICDCS'17, SS IX 'how to choose the right "
+                "cluster size' + Finding 1");
+
+  const double phaseScale = opt.scale == bench::Options::Scale::kQuick
+                                ? 0.4
+                                : (opt.scale == bench::Options::Scale::kFull
+                                       ? 2.0
+                                       : 1.0);
+  const Outcome fixed = run(false, opt, phaseScale);
+  const Outcome scaled = run(true, opt, phaseScale);
+
+  core::TableFormatter t({"cluster", "energy (KJ)", "ops served (M)",
+                          "failed ops", "mean active servers",
+                          "resize events"});
+  t.addRow({"static 8 servers", core::TableFormatter::num(fixed.energyKJ, 1),
+            core::TableFormatter::num(fixed.ops / 1e6, 2),
+            std::to_string(fixed.failures),
+            core::TableFormatter::num(fixed.meanActive, 1), "-"});
+  t.addRow({"autoscaled", core::TableFormatter::num(scaled.energyKJ, 1),
+            core::TableFormatter::num(scaled.ops / 1e6, 2),
+            std::to_string(scaled.failures),
+            core::TableFormatter::num(scaled.meanActive, 1),
+            std::to_string(scaled.downs) + " down / " +
+                std::to_string(scaled.ups) + " up"});
+  t.print();
+  const double savings = 100.0 * (1.0 - scaled.energyKJ / fixed.energyKJ);
+  std::printf("\nenergy saved: %.1f%%   ops delivered: %.1f%% of static\n\n",
+              savings,
+              100.0 * static_cast<double>(scaled.ops) /
+                  static_cast<double>(fixed.ops));
+
+  bench::Verdict v;
+  v.check(scaled.downs >= 1 && scaled.ups >= 1,
+          "the autoscaler resized in both directions");
+  v.check(savings > 12.0, "double-digit energy savings on a diurnal load");
+  v.check(scaled.failures == 0, "no client-visible failures while resizing");
+  v.check(static_cast<double>(scaled.ops) >
+              0.85 * static_cast<double>(fixed.ops),
+          "delivered throughput within 15% of the static cluster");
+  return v.exitCode();
+}

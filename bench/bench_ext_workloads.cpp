@@ -1,0 +1,90 @@
+// Extension bench: the paper's SS X future work — "consider more workloads"
+// (YCSB D: read-latest with inserts; F: read-modify-write) and "evaluate
+// the system with different request distributions" (uniform vs zipfian).
+//
+// Run on the Table II configuration (10 servers) for comparability.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+
+using namespace rc;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::banner("Extension — workloads D/F and request distributions",
+                "Taleb et al., ICDCS'17, SS X future work");
+
+  auto run = [&opt](ycsb::WorkloadSpec spec, int clients) {
+    core::YcsbExperimentConfig cfg;
+    cfg.servers = 10;
+    cfg.clients = clients;
+    cfg.workload = std::move(spec);
+    cfg.seed = opt.seed;
+    cfg.timeScale = opt.timeScale();
+    return core::runYcsbExperiment(cfg);
+  };
+
+  // --- more workloads at 30 clients
+  core::TableFormatter t({"workload", "mix", "throughput (Kop/s)",
+                          "W/node", "op/J"});
+  struct Row {
+    const char* mix;
+    ycsb::WorkloadSpec spec;
+  };
+  const Row rows[] = {
+      {"50r/50u", ycsb::WorkloadSpec::A()},
+      {"95r/5u", ycsb::WorkloadSpec::B()},
+      {"100r", ycsb::WorkloadSpec::C()},
+      {"95r/5i latest", ycsb::WorkloadSpec::D()},
+      {"50r/50rmw", ycsb::WorkloadSpec::F()},
+  };
+  double thr[5];
+  int i = 0;
+  for (const Row& row : rows) {
+    const auto r = run(row.spec, 30);
+    thr[i++] = r.throughputOpsPerSec;
+    t.addRow({row.spec.name, row.mix,
+              core::TableFormatter::kops(r.throughputOpsPerSec),
+              core::TableFormatter::num(r.meanPowerPerServerW, 1),
+              core::TableFormatter::num(r.opsPerJoule, 0)});
+  }
+  t.print();
+
+  // --- request distributions on the update-heavy mix
+  std::printf("\nrequest-distribution sweep (workload A, 30 clients)\n");
+  core::TableFormatter td({"distribution", "throughput (Kop/s)",
+                           "CPU spread min-max (%)"});
+  double dthr[2];
+  double spread[2];
+  int di = 0;
+  for (auto dist : {ycsb::WorkloadSpec::Distribution::kUniform,
+                    ycsb::WorkloadSpec::Distribution::kZipfian}) {
+    ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::A();
+    spec.distribution = dist;
+    const auto r = run(spec, 30);
+    dthr[di] = r.throughputOpsPerSec;
+    spread[di] = r.maxCpuPct - r.minCpuPct;
+    td.addRow({dist == ycsb::WorkloadSpec::Distribution::kUniform
+                   ? "uniform (paper)"
+                   : "zipfian 0.99",
+               core::TableFormatter::kops(r.throughputOpsPerSec),
+               core::TableFormatter::num(r.minCpuPct, 1) + " - " +
+                   core::TableFormatter::num(r.maxCpuPct, 1)});
+    ++di;
+  }
+  td.print();
+
+  bench::Verdict v;
+  v.check(thr[3] > thr[0] && thr[3] < thr[2] * 1.05,
+          "D (read-mostly) lands between A and C, near B");
+  v.check(thr[4] < thr[1],
+          "F pays for its write half: well below read-heavy B");
+  v.check(thr[4] < 0.8 * thr[2], "F far below read-only C");
+  v.check(dthr[1] < dthr[0],
+          "zipfian skew costs update throughput (hot-spot contention)");
+  v.check(spread[1] > spread[0] + 2.0,
+          "zipfian widens the per-node CPU imbalance (hot tablet)");
+  return v.exitCode();
+}

@@ -1,0 +1,58 @@
+// Figure 5: total aggregated throughput of 20 servers running the
+// update-heavy workload as a function of the replication factor.
+//
+// Paper: at 10 clients, rf 1 -> 4 drops 78 K -> 43 K (-45 %); at 30/60
+// clients rf=4 lands around 41-50 K — replication is a first-order
+// performance cost (Finding 3).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+
+using namespace rc;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::banner("Fig. 5 — replication factor vs throughput, 20 servers",
+                "Taleb et al., ICDCS'17, Fig. 5, Finding 3");
+
+  const int clientCounts[] = {10, 30, 60};
+  double thr[3][4];
+  for (int ci = 0; ci < 3; ++ci) {
+    for (int rf = 1; rf <= 4; ++rf) {
+      core::YcsbExperimentConfig cfg;
+      cfg.servers = 20;
+      cfg.clients = clientCounts[ci];
+      cfg.replicationFactor = rf;
+      cfg.workload = ycsb::WorkloadSpec::A();
+      cfg.seed = opt.seed;
+      cfg.timeScale = opt.timeScale();
+      thr[ci][rf - 1] = core::runYcsbExperiment(cfg).throughputOpsPerSec;
+    }
+  }
+
+  core::TableFormatter t({"replication factor", "10 clients", "30 clients",
+                          "60 clients", "(Kop/s)"});
+  for (int rf = 1; rf <= 4; ++rf) {
+    t.addRow({std::to_string(rf), core::TableFormatter::kops(thr[0][rf - 1]),
+              core::TableFormatter::kops(thr[1][rf - 1]),
+              core::TableFormatter::kops(thr[2][rf - 1]), ""});
+  }
+  t.print();
+  std::printf("paper: 10 clients 78->43K (rf1->4); 30cl rf4 ~41K; "
+              "60cl rf4 ~50K\n\n");
+
+  bench::Verdict v;
+  const double drop10 = 1.0 - thr[0][3] / thr[0][0];
+  v.check(core::within(drop10, 0.30, 0.65),
+          "rf 1->4 costs ~45% throughput at 10 clients (measured " +
+              core::TableFormatter::num(100 * drop10, 0) + "%)");
+  for (int ci = 0; ci < 3; ++ci) {
+    bool monotone = true;
+    for (int rf = 1; rf < 4; ++rf) monotone &= thr[ci][rf] < thr[ci][rf - 1];
+    v.check(monotone, std::string("throughput falls monotonically with rf (") +
+                          std::to_string(clientCounts[ci]) + " clients)");
+  }
+  return v.exitCode();
+}

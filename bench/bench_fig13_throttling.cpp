@@ -1,0 +1,60 @@
+// Figure 13: aggregated throughput with client-side request throttling
+// (update-heavy, 10 servers, rf=2, client rate capped at 200 or 500
+// req/s).
+//
+// Paper §IX: throttling lets the overload-prone 10-server configuration
+// scale linearly with clients instead of collapsing/crashing.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+
+using namespace rc;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::banner("Fig. 13 — client-side request throttling",
+                "Taleb et al., ICDCS'17, Fig. 13, SS IX");
+
+  const int clientCounts[] = {10, 30, 60};
+  const double rates[] = {200, 500};
+  double thr[2][3];
+  for (int ri = 0; ri < 2; ++ri) {
+    for (int ci = 0; ci < 3; ++ci) {
+      core::YcsbExperimentConfig cfg;
+      cfg.servers = 10;
+      cfg.clients = clientCounts[ci];
+      cfg.replicationFactor = 2;
+      cfg.workload = ycsb::WorkloadSpec::A();
+      cfg.throttleOpsPerSec = rates[ri];
+      cfg.seed = opt.seed;
+      cfg.timeScale = opt.timeScale();
+      thr[ri][ci] = core::runYcsbExperiment(cfg).throughputOpsPerSec;
+    }
+  }
+
+  core::TableFormatter t({"clients", "rate 200 R/S (op/s)",
+                          "rate 500 R/S (op/s)"});
+  for (int ci = 0; ci < 3; ++ci) {
+    t.addRow({std::to_string(clientCounts[ci]),
+              core::TableFormatter::num(thr[0][ci], 0),
+              core::TableFormatter::num(thr[1][ci], 0)});
+  }
+  t.print();
+  std::printf("paper: linear growth up to 60 clients; 500 R/S x 60 = 30K\n\n");
+
+  bench::Verdict v;
+  v.check(core::within(thr[0][2], 10'800, 13'200),
+          "200 R/S x 60 clients -> ~12 Kop/s delivered");
+  v.check(core::within(thr[1][2], 27'000, 33'000),
+          "500 R/S x 60 clients -> ~30 Kop/s delivered");
+  for (int ri = 0; ri < 2; ++ri) {
+    const double perClient10 = thr[ri][0] / 10;
+    const double perClient60 = thr[ri][2] / 60;
+    v.check(std::abs(perClient60 - perClient10) < 0.12 * perClient10,
+            "linear scaling under throttling (rate " +
+                core::TableFormatter::num(rates[ri], 0) + ")");
+  }
+  return v.exitCode();
+}

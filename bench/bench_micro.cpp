@@ -1,0 +1,149 @@
+// Micro-benchmarks of the substrate data structures (google-benchmark):
+// hash-table ops, log appends, cleaner passes, DES event throughput,
+// zipfian key generation, end-to-end simulated RPCs.
+
+#include <benchmark/benchmark.h>
+
+#include "hash/object_map.hpp"
+#include "log/cleaner.hpp"
+#include "log/log.hpp"
+#include "net/rpc.hpp"
+#include "sim/simulation.hpp"
+#include "ycsb/workload.hpp"
+
+namespace {
+
+using namespace rc;
+
+void BM_ObjectMapPut(benchmark::State& state) {
+  hash::ObjectMap m;
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    m.put({1, k++ % 100000}, hash::ObjectLocation{{1, 0}, k, 1000});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObjectMapPut);
+
+void BM_ObjectMapGet(benchmark::State& state) {
+  hash::ObjectMap m;
+  for (std::uint64_t k = 0; k < 100000; ++k) {
+    m.put({1, k}, hash::ObjectLocation{{1, 0}, k, 1000});
+  }
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.get({1, k++ % 100000}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObjectMapGet);
+
+void BM_LogAppend(benchmark::State& state) {
+  log::LogParams p;
+  p.segmentBytes = 8 * 1024 * 1024;
+  p.capacityBytes = 1ULL << 40;  // never clean
+  log::Log lg(p);
+  log::LogEntry e;
+  e.tableId = 1;
+  e.sizeBytes = 1100;
+  for (auto _ : state) {
+    e.keyId = static_cast<std::uint64_t>(state.iterations());
+    e.version = e.keyId + 1;
+    benchmark::DoNotOptimize(lg.append(e, 0));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1100);
+}
+BENCHMARK(BM_LogAppend);
+
+void BM_CleanerPass(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    log::LogParams p;
+    p.segmentBytes = 64 * 1024;
+    p.capacityBytes = 1ULL << 30;
+    log::Log lg(p);
+    std::vector<log::LogRef> refs;
+    log::LogEntry e;
+    e.tableId = 1;
+    e.sizeBytes = 1000;
+    for (int i = 0; i < 128; ++i) {
+      e.keyId = static_cast<std::uint64_t>(i);
+      e.version = static_cast<std::uint64_t>(i) + 1;
+      refs.push_back(lg.append(e, 0));
+    }
+    lg.sealHead();
+    for (std::size_t i = 0; i < refs.size(); i += 2) lg.markDead(refs[i]);
+    log::LogCleaner cleaner(lg, nullptr);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cleaner.cleanOnce(sim::seconds(1)));
+  }
+}
+BENCHMARK(BM_CleanerPass);
+
+void BM_SimEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sim.schedule(100, tick);
+    };
+    sim.schedule(100, tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimEventThroughput);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ycsb::WorkloadSpec s = ycsb::WorkloadSpec::C(1'000'000);
+  s.distribution = ycsb::WorkloadSpec::Distribution::kZipfian;
+  ycsb::KeyChooser kc(s, sim::Rng(1));
+  for (auto _ : state) benchmark::DoNotOptimize(kc.next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_UniformNext(benchmark::State& state) {
+  ycsb::KeyChooser kc(ycsb::WorkloadSpec::C(1'000'000), sim::Rng(1));
+  for (auto _ : state) benchmark::DoNotOptimize(kc.next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UniformNext);
+
+class NopService : public net::RpcService {
+ public:
+  void handleRpc(const net::RpcRequest&, node::NodeId,
+                 Responder respond) override {
+    respond(net::RpcResponse{});
+  }
+};
+
+void BM_SimulatedRpcRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    net::Network network(sim, net::TransportParams::infiniband());
+    net::RpcSystem rpc(sim, network);
+    NopService svc;
+    rpc.bind(2, net::kMasterPort, &svc);
+    int done = 0;
+    std::function<void()> next = [&] {
+      if (done >= 1000) return;
+      rpc.call(1, 2, net::kMasterPort, net::RpcRequest{}, sim::seconds(1),
+               [&](const net::RpcResponse&) {
+                 ++done;
+                 next();
+               });
+    };
+    next();
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatedRpcRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,296 @@
+#include "client/ramcloud_client.hpp"
+
+#include <utility>
+
+namespace rc::client {
+
+RamCloudClient::RamCloudClient(
+    sim::Simulation& sim, net::RpcSystem& rpc, node::NodeId self,
+    node::NodeId coordinatorNode,
+    std::function<const coordinator::TabletMap*()> mapAccess,
+    ClientParams params)
+    : sim_(sim),
+      rpc_(rpc),
+      self_(self),
+      coordinator_(coordinatorNode),
+      mapAccess_(std::move(mapAccess)),
+      params_(params) {}
+
+void RamCloudClient::read(std::uint64_t tableId, std::uint64_t keyId,
+                          OpCallback cb) {
+  ++stats_.opsIssued;
+  issue(OpState{net::Opcode::kRead, tableId, keyId, 0, sim_.now(),
+                params_.maxRetries, std::move(cb)});
+}
+
+void RamCloudClient::write(std::uint64_t tableId, std::uint64_t keyId,
+                           std::uint32_t valueBytes, OpCallback cb) {
+  ++stats_.opsIssued;
+  issue(OpState{net::Opcode::kWrite, tableId, keyId, valueBytes, sim_.now(),
+                params_.maxRetries, std::move(cb)});
+}
+
+void RamCloudClient::remove(std::uint64_t tableId, std::uint64_t keyId,
+                            OpCallback cb) {
+  ++stats_.opsIssued;
+  issue(OpState{net::Opcode::kRemove, tableId, keyId, 0, sim_.now(),
+                params_.maxRetries, std::move(cb)});
+}
+
+void RamCloudClient::scanTable(std::uint64_t tableId, ScanCallback cb) {
+  refreshMapThen([this, tableId, cb = std::move(cb)]() mutable {
+    struct Agg {
+      std::uint64_t count = 0;
+      std::uint64_t bytes = 0;
+      int pending = 0;
+      bool anyError = false;
+      ScanCallback cb;
+    };
+    auto agg = std::make_shared<Agg>();
+    agg->cb = std::move(cb);
+
+    std::vector<coordinator::TabletMap::Entry> tablets;
+    for (const auto& e : cachedMap_.entries()) {
+      if (e.tablet.tableId == tableId) tablets.push_back(e);
+    }
+    if (tablets.empty()) {
+      agg->cb(net::Status::kUnknownTablet, 0, 0);
+      return;
+    }
+    agg->pending = static_cast<int>(tablets.size());
+    for (const auto& e : tablets) {
+      net::RpcRequest req;
+      req.op = net::Opcode::kScan;
+      req.a = tableId;
+      req.b = e.tablet.startHash;
+      req.c = e.tablet.endHash;
+      rpc_.call(self_, e.tablet.owner, net::kMasterPort, req,
+                sim::seconds(30), [agg](const net::RpcResponse& resp) {
+                  if (resp.status == net::Status::kOk) {
+                    agg->count += resp.a;
+                    agg->bytes += resp.payloadBytes;
+                  } else {
+                    agg->anyError = true;
+                  }
+                  if (--agg->pending == 0) {
+                    agg->cb(agg->anyError ? net::Status::kError
+                                          : net::Status::kOk,
+                            agg->count, agg->bytes);
+                  }
+                });
+    }
+  });
+}
+
+void RamCloudClient::multiRead(std::uint64_t tableId,
+                               std::vector<std::uint64_t> keys,
+                               MultiOpCallback cb) {
+  issueMulti(net::Opcode::kMultiRead, tableId, std::move(keys), 0,
+             std::move(cb), params_.maxRetries);
+}
+
+void RamCloudClient::multiWrite(std::uint64_t tableId,
+                                std::vector<std::uint64_t> keys,
+                                std::uint32_t valueBytes,
+                                MultiOpCallback cb) {
+  issueMulti(net::Opcode::kMultiWrite, tableId, std::move(keys), valueBytes,
+             std::move(cb), params_.maxRetries);
+}
+
+void RamCloudClient::issueMulti(net::Opcode op, std::uint64_t tableId,
+                                std::vector<std::uint64_t> keys,
+                                std::uint32_t valueBytes, MultiOpCallback cb,
+                                int retriesLeft) {
+  refreshMapThen([this, op, tableId, keys = std::move(keys), valueBytes,
+                  cb = std::move(cb), retriesLeft]() mutable {
+    // Group keys by owning master (per the cached map).
+    std::unordered_map<node::NodeId, std::vector<std::uint64_t>> groups;
+    bool anyUnknown = false;
+    for (const std::uint64_t k : keys) {
+      node::NodeId target = node::kInvalidNode;
+      if (routeFor(tableId, k, &target) != Route::kOk) {
+        anyUnknown = true;
+        continue;
+      }
+      groups[target].push_back(k);
+    }
+    if (groups.empty() || anyUnknown) {
+      if (retriesLeft > 0) {
+        // Routing incomplete (recovering/unknown): back off and retry the
+        // whole batch.
+        sim_.schedule(params_.recoveringBackoff,
+                      [this, op, tableId, keys = std::move(keys), valueBytes,
+                       cb = std::move(cb), retriesLeft]() mutable {
+                        issueMulti(op, tableId, std::move(keys), valueBytes,
+                                   std::move(cb), retriesLeft - 1);
+                      });
+      } else {
+        cb(net::Status::kError, 0, 0);
+      }
+      return;
+    }
+
+    struct Agg {
+      std::uint64_t served = 0;
+      std::uint64_t missing = 0;
+      int pending = 0;
+      bool anyError = false;
+      MultiOpCallback cb;
+    };
+    auto agg = std::make_shared<Agg>();
+    agg->cb = std::move(cb);
+    agg->pending = static_cast<int>(groups.size());
+
+    constexpr std::uint64_t kPerKeyWireBytes = 30;
+    for (auto& [target, groupKeys] : groups) {
+      net::RpcRequest req;
+      req.op = op;
+      req.a = tableId;
+      req.b = valueBytes;
+      req.c = groupKeys.size();
+      req.payloadBytes =
+          groupKeys.size() * kPerKeyWireBytes +
+          (op == net::Opcode::kMultiWrite
+               ? groupKeys.size() * static_cast<std::uint64_t>(valueBytes)
+               : 0);
+      req.keys = std::make_shared<const std::vector<std::uint64_t>>(
+          std::move(groupKeys));
+      ++stats_.opsIssued;
+      rpc_.call(self_, target, net::kMasterPort, req, params_.opTimeout,
+                [this, agg](const net::RpcResponse& resp) {
+                  if (resp.status == net::Status::kOk) {
+                    ++stats_.opsSucceeded;
+                    agg->served += resp.a;
+                    agg->missing += resp.b;
+                  } else {
+                    ++stats_.opsFailed;
+                    agg->anyError = true;
+                  }
+                  if (--agg->pending == 0) {
+                    agg->cb(agg->anyError ? net::Status::kError
+                                          : net::Status::kOk,
+                            agg->served, agg->missing);
+                  }
+                });
+    }
+  });
+}
+
+void RamCloudClient::finish(OpState& st, net::Status status) {
+  if (status == net::Status::kOk) {
+    ++stats_.opsSucceeded;
+  } else {
+    ++stats_.opsFailed;
+  }
+  st.cb(status, sim_.now() - st.startedAt);
+}
+
+RamCloudClient::Route RamCloudClient::routeFor(std::uint64_t tableId,
+                                               std::uint64_t keyId,
+                                               node::NodeId* target) const {
+  if (!haveMap_) return Route::kUnknown;
+  const std::uint64_t h = hash::keyHash(hash::Key{tableId, keyId});
+  const auto* e = cachedMap_.lookup(tableId, h);
+  if (e == nullptr) return Route::kUnknown;
+  if (e->state == coordinator::TabletMap::TabletState::kRecovering) {
+    return Route::kRecovering;
+  }
+  *target = e->tablet.owner;
+  return Route::kOk;
+}
+
+void RamCloudClient::refreshMapThen(std::function<void()> then) {
+  refreshWaiters_.push_back(std::move(then));
+  if (refreshing_) return;
+  refreshing_ = true;
+  ++stats_.mapRefreshes;
+  net::RpcRequest req;
+  req.op = net::Opcode::kGetTabletMap;
+  rpc_.call(self_, coordinator_, net::kCoordinatorPort, req,
+            server::timeouts::kControl, [this](const net::RpcResponse& resp) {
+              if (resp.status == net::Status::kOk && mapAccess_) {
+                if (const auto* m = mapAccess_()) {
+                  cachedMap_ = *m;
+                  haveMap_ = true;
+                }
+              }
+              refreshing_ = false;
+              auto waiters = std::move(refreshWaiters_);
+              refreshWaiters_.clear();
+              for (auto& w : waiters) w();
+            });
+}
+
+void RamCloudClient::issue(OpState st) {
+  node::NodeId target = node::kInvalidNode;
+  const Route route = routeFor(st.tableId, st.keyId, &target);
+
+  if (route == Route::kUnknown) {
+    if (st.retriesLeft-- <= 0) {
+      finish(st, net::Status::kError);
+      return;
+    }
+    refreshMapThen([this, st = std::move(st)]() mutable { issue(std::move(st)); });
+    return;
+  }
+
+  if (route == Route::kRecovering) {
+    ++stats_.recoveryWaits;
+    if (sim_.now() - st.startedAt > params_.recoveringDeadline) {
+      finish(st, net::Status::kTimeout);
+      return;
+    }
+    sim_.schedule(params_.recoveringBackoff, [this, st = std::move(st)]() mutable {
+      refreshMapThen(
+          [this, st = std::move(st)]() mutable { issue(std::move(st)); });
+    });
+    return;
+  }
+
+  net::RpcRequest req;
+  req.op = st.op;
+  req.a = st.tableId;
+  req.b = st.keyId;
+  if (st.op == net::Opcode::kWrite) req.payloadBytes = st.valueBytes;
+
+  rpc_.call(self_, target, net::kMasterPort, req, params_.opTimeout,
+            [this, st = std::move(st)](const net::RpcResponse& resp) mutable {
+    switch (resp.status) {
+      case net::Status::kOk:
+        finish(st, net::Status::kOk);
+        return;
+      case net::Status::kUnknownTablet:
+        ++stats_.staleRoutes;
+        break;
+      case net::Status::kTimeout:
+        ++stats_.rpcTimeouts;
+        break;
+      case net::Status::kRecovering: {
+        // Back off and re-route (no budget consumed: the data will come
+        // back once recovery finishes).
+        ++stats_.recoveryWaits;
+        if (sim_.now() - st.startedAt > params_.recoveringDeadline) {
+          finish(st, net::Status::kTimeout);
+          return;
+        }
+        sim_.schedule(params_.recoveringBackoff,
+                      [this, st = std::move(st)]() mutable {
+          refreshMapThen(
+              [this, st = std::move(st)]() mutable { issue(std::move(st)); });
+        });
+        return;
+      }
+      default:
+        finish(st, resp.status);
+        return;
+    }
+    if (st.retriesLeft-- <= 0) {
+      finish(st, net::Status::kTimeout);
+      return;
+    }
+    refreshMapThen(
+        [this, st = std::move(st)]() mutable { issue(std::move(st)); });
+  });
+}
+
+}  // namespace rc::client

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "coordinator/tablet_map.hpp"
+#include "net/rpc.hpp"
+#include "node/node.hpp"
+#include "server/common.hpp"
+#include "sim/simulation.hpp"
+
+namespace rc::client {
+
+struct ClientParams {
+  sim::Duration opTimeout = server::timeouts::kClientOp;
+  /// Hard-failure retry budget (timeouts, stale routing).
+  int maxRetries = 5;
+  /// Wait between retries while the target tablet is being recovered
+  /// (these waits do not consume the retry budget: the op blocks until the
+  /// data is available again — paper Fig. 10's "client 1").
+  sim::Duration recoveringBackoff = sim::msec(20);
+  /// How long an op may block on recovery before giving up entirely.
+  sim::Duration recoveringDeadline = sim::seconds(180);
+};
+
+struct ClientStats {
+  std::uint64_t opsIssued = 0;
+  std::uint64_t opsSucceeded = 0;
+  std::uint64_t opsFailed = 0;
+  std::uint64_t rpcTimeouts = 0;
+  std::uint64_t staleRoutes = 0;
+  std::uint64_t mapRefreshes = 0;
+  std::uint64_t recoveryWaits = 0;
+};
+
+/// RAMCloud client library: tablet-map caching, request routing, retry and
+/// recovery back-off.
+class RamCloudClient {
+ public:
+  /// status + end-to-end latency (first issue to final completion,
+  /// including every retry and recovery wait — the paper's Fig. 10 metric).
+  using OpCallback = std::function<void(net::Status, sim::Duration)>;
+
+  RamCloudClient(sim::Simulation& sim, net::RpcSystem& rpc,
+                 node::NodeId self, node::NodeId coordinatorNode,
+                 std::function<const coordinator::TabletMap*()> mapAccess,
+                 ClientParams params);
+
+  void read(std::uint64_t tableId, std::uint64_t keyId, OpCallback cb);
+  void write(std::uint64_t tableId, std::uint64_t keyId,
+             std::uint32_t valueBytes, OpCallback cb);
+  void remove(std::uint64_t tableId, std::uint64_t keyId, OpCallback cb);
+
+  /// Table scan (paper SS X future work): fans one kScan RPC out per
+  /// tablet and aggregates. cb(status, objectCount, totalBytes).
+  using ScanCallback =
+      std::function<void(net::Status, std::uint64_t, std::uint64_t)>;
+  void scanTable(std::uint64_t tableId, ScanCallback cb);
+
+  /// Batched operations (RAMCloud's multiRead/multiWrite): keys are
+  /// grouped by owning master, one RPC per master, results aggregated.
+  /// cb(status, keysServed, keysMissing). status is kOk when every group
+  /// succeeded.
+  using MultiOpCallback =
+      std::function<void(net::Status, std::uint64_t, std::uint64_t)>;
+  void multiRead(std::uint64_t tableId, std::vector<std::uint64_t> keys,
+                 MultiOpCallback cb);
+  void multiWrite(std::uint64_t tableId, std::vector<std::uint64_t> keys,
+                  std::uint32_t valueBytes, MultiOpCallback cb);
+
+  const ClientStats& stats() const { return stats_; }
+  node::NodeId nodeId() const { return self_; }
+
+ private:
+  struct OpState {
+    net::Opcode op;
+    std::uint64_t tableId;
+    std::uint64_t keyId;
+    std::uint32_t valueBytes;
+    sim::SimTime startedAt;
+    int retriesLeft;
+    OpCallback cb;
+  };
+
+  void issue(OpState st);
+  void refreshMapThen(std::function<void()> then);
+  void finish(OpState& st, net::Status status);
+  void issueMulti(net::Opcode op, std::uint64_t tableId,
+                  std::vector<std::uint64_t> keys, std::uint32_t valueBytes,
+                  MultiOpCallback cb, int retriesLeft);
+
+  /// Routing decision against the *cached* map.
+  enum class Route { kOk, kRecovering, kUnknown };
+  Route routeFor(std::uint64_t tableId, std::uint64_t keyId,
+                 node::NodeId* target) const;
+
+  sim::Simulation& sim_;
+  net::RpcSystem& rpc_;
+  node::NodeId self_;
+  node::NodeId coordinator_;
+  std::function<const coordinator::TabletMap*()> mapAccess_;
+  ClientParams params_;
+
+  coordinator::TabletMap cachedMap_;
+  bool haveMap_ = false;
+  bool refreshing_ = false;
+  std::vector<std::function<void()>> refreshWaiters_;
+
+  ClientStats stats_;
+};
+
+}  // namespace rc::client

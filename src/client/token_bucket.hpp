@@ -1,0 +1,49 @@
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace rc::client {
+
+/// Client-side request throttle (the paper's §IX "request throttling"
+/// mitigation, Fig. 13 — e.g. Facebook's memcached back-off clients).
+class TokenBucket {
+ public:
+  /// ratePerSec <= 0 disables throttling. burst is the bucket depth.
+  TokenBucket(double ratePerSec, double burst = 1.0)
+      : rate_(ratePerSec), burst_(std::max(burst, 1.0)), tokens_(burst_) {}
+
+  bool enabled() const { return rate_ > 0; }
+
+  /// Consume one token; returns how long the caller must wait before the
+  /// operation may be issued (0 if a token was available).
+  sim::Duration reserve(sim::SimTime now) {
+    if (!enabled()) return 0;
+    refill(now);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return 0;
+    }
+    const double deficit = 1.0 - tokens_;
+    tokens_ -= 1.0;  // token is committed; balance goes negative
+    return sim::secondsF(deficit / rate_);
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  void refill(sim::SimTime now) {
+    if (now <= last_) return;
+    tokens_ = std::min(burst_,
+                       tokens_ + rate_ * sim::toSeconds(now - last_));
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim::SimTime last_ = 0;
+};
+
+}  // namespace rc::client

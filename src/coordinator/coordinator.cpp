@@ -1,0 +1,468 @@
+#include "coordinator/coordinator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "server/backup_service.hpp"
+#include "server/master_service.hpp"
+
+namespace rc::coordinator {
+
+using server::RecoveryPlan;
+using server::RecoveryPlanPtr;
+using server::ServerId;
+using server::Tablet;
+
+Coordinator::Coordinator(node::Node& node, net::RpcSystem& rpc,
+                         const server::ServiceDirectory& directory,
+                         CoordinatorParams params, sim::Rng rng)
+    : node_(node),
+      rpc_(rpc),
+      directory_(directory),
+      params_(params),
+      rng_(rng) {}
+
+void Coordinator::handleRpc(const net::RpcRequest& req, node::NodeId /*from*/,
+                            Responder respond) {
+  switch (req.op) {
+    case net::Opcode::kPing: {
+      respond(net::RpcResponse{});
+      break;
+    }
+    case net::Opcode::kGetTabletMap: {
+      net::RpcResponse r;
+      r.a = map_.version();
+      r.payloadBytes = 64 * map_.entries().size();
+      respond(std::move(r));
+      break;
+    }
+    case net::Opcode::kRecoveryDone: {
+      const std::uint64_t planId = req.a;
+      const int partition = static_cast<int>(req.b);
+      const bool failed = req.c != 0;
+      respond(net::RpcResponse{});
+      onRecoveryDone(planId, partition, failed);
+      break;
+    }
+    case net::Opcode::kEnlist: {
+      enlistServer(static_cast<ServerId>(req.a));
+      respond(net::RpcResponse{});
+      break;
+    }
+    case net::Opcode::kMigrationDone: {
+      respond(net::RpcResponse{});
+      onMigrationDone(req);
+      break;
+    }
+    default: {
+      net::RpcResponse r;
+      r.status = net::Status::kError;
+      respond(std::move(r));
+    }
+  }
+}
+
+void Coordinator::enlistServer(ServerId id) {
+  if (std::find(up_.begin(), up_.end(), id) == up_.end()) up_.push_back(id);
+}
+
+std::uint64_t Coordinator::createTable(const std::string& name,
+                                       int serverSpan) {
+  if (auto it = tablesByName_.find(name); it != tablesByName_.end()) {
+    return it->second;
+  }
+  const std::uint64_t tableId = nextTableId_++;
+  tablesByName_[name] = tableId;
+
+  const int span =
+      std::max(1, std::min<int>(serverSpan, static_cast<int>(up_.size())));
+  const std::uint64_t step = (~0ULL) / static_cast<std::uint64_t>(span);
+  for (int i = 0; i < span; ++i) {
+    Tablet t;
+    t.tableId = tableId;
+    t.startHash = static_cast<std::uint64_t>(i) * step;
+    t.endHash = (i == span - 1)
+                    ? ~0ULL
+                    : static_cast<std::uint64_t>(i + 1) * step - 1;
+    t.owner = up_[static_cast<std::size_t>(i) % up_.size()];
+    map_.addTablet(t);
+    if (auto* m = directory_.masterOn(t.owner)) m->addTablet(t);
+  }
+  return tableId;
+}
+
+void Coordinator::migrateTablet(const server::Tablet& tablet, ServerId dest,
+                                std::function<void(bool)> done) {
+  // Validate: the tablet must exist as-is and the destination must be up.
+  const auto* entry = map_.lookup(tablet.tableId, tablet.startHash);
+  const bool valid =
+      entry != nullptr && entry->tablet.startHash == tablet.startHash &&
+      entry->tablet.endHash == tablet.endHash &&
+      entry->state == TabletMap::TabletState::kUp &&
+      std::find(up_.begin(), up_.end(), dest) != up_.end() &&
+      entry->tablet.owner != dest;
+  if (!valid) {
+    if (done) done(false);
+    return;
+  }
+  ActiveMigration am;
+  am.tablet = entry->tablet;
+  am.from = entry->tablet.owner;
+  am.to = dest;
+  am.done = std::move(done);
+  activeMigrations_.push_back(std::move(am));
+
+  net::RpcRequest req;
+  req.op = net::Opcode::kMigrateTablet;
+  req.a = tablet.tableId;
+  req.b = tablet.startHash;
+  req.c = tablet.endHash;
+  req.d = static_cast<std::uint64_t>(dest);
+  rpc_.call(node_.id(), entry->tablet.owner, net::kMasterPort, req,
+            server::timeouts::kControl, [this, t = tablet](
+                                            const net::RpcResponse& resp) {
+              if (resp.status == net::Status::kOk) return;  // in progress
+              // Source refused or died: fail the migration record.
+              net::RpcRequest fake;
+              fake.a = t.tableId;
+              fake.b = t.startHash;
+              fake.c = t.endHash;
+              fake.d = static_cast<std::uint64_t>(node::kInvalidNode);
+              onMigrationDone(fake);
+            });
+}
+
+void Coordinator::onMigrationDone(const net::RpcRequest& req) {
+  const std::uint64_t tableId = req.a;
+  const std::uint64_t start = req.b;
+  const std::uint64_t end = req.c;
+  const auto dest = static_cast<ServerId>(req.d);
+  const bool ok = dest != node::kInvalidNode;
+
+  auto it = std::find_if(activeMigrations_.begin(), activeMigrations_.end(),
+                         [&](const ActiveMigration& am) {
+                           return am.tablet.tableId == tableId &&
+                                  am.tablet.startHash == start &&
+                                  am.tablet.endHash == end;
+                         });
+  if (it == activeMigrations_.end()) return;
+  ActiveMigration am = std::move(*it);
+  activeMigrations_.erase(it);
+  if (ok) {
+    map_.reassign(tableId, start, end, am.from, am.to);
+    if (auto* m = directory_.masterOn(am.to)) {
+      server::Tablet t = am.tablet;
+      t.owner = am.to;
+      m->addTablet(t);
+    }
+    ++migrationsCompleted_;
+  }
+  if (am.done) am.done(ok);
+}
+
+bool Coordinator::decommissionServer(ServerId id) {
+  if (!map_.tabletsOwnedBy(id).empty()) return false;
+  auto it = std::find(up_.begin(), up_.end(), id);
+  if (it == up_.end()) return true;
+  up_.erase(it);
+  pingMisses_.erase(id);
+  return true;
+}
+
+void Coordinator::startFailureDetector() {
+  if (detector_) return;
+  detector_ = std::make_unique<sim::PeriodicTask>(
+      node_.sim(), params_.pingInterval, [this](sim::SimTime) { pingAll(); });
+}
+
+void Coordinator::stopFailureDetector() { detector_.reset(); }
+
+void Coordinator::pingAll() {
+  for (ServerId id : up_) {
+    net::RpcRequest req;
+    req.op = net::Opcode::kPing;
+    rpc_.call(node_.id(), id, net::kMasterPort, req, server::timeouts::kPing,
+              [this, id](const net::RpcResponse& resp) {
+                if (resp.status == net::Status::kOk) {
+                  pingMisses_[id] = 0;
+                } else {
+                  onPingMiss(id);
+                }
+              });
+  }
+}
+
+void Coordinator::onPingMiss(ServerId id) {
+  if (std::find(up_.begin(), up_.end(), id) == up_.end()) return;
+  if (++pingMisses_[id] >= params_.missesBeforeDead) {
+    onServerDead(id);
+  }
+}
+
+void Coordinator::onServerDead(ServerId id) {
+  auto it = std::find(up_.begin(), up_.end(), id);
+  if (it == up_.end()) return;  // already handled
+  up_.erase(it);
+  pingMisses_.erase(id);
+  if (onCrashDetected) onCrashDetected(id);
+
+  // If the dead server was acting as a recovery master, re-run its
+  // unfinished partitions elsewhere. (Collect first: retries can finish —
+  // and erase — a recovery, invalidating iterators.)
+  std::vector<std::pair<std::uint64_t, int>> toRetry;
+  for (const auto& [rid, rec] : activeRecoveries_) {
+    for (std::size_t p = 0; p < rec.partitionOwner.size(); ++p) {
+      if (rec.partitionOwner[p] == id && !rec.partitionDone[p]) {
+        toRetry.emplace_back(rid, static_cast<int>(p));
+      }
+    }
+  }
+  for (const auto& [rid, p] : toRetry) {
+    auto it2 = activeRecoveries_.find(rid);
+    if (it2 != activeRecoveries_.end()) retryPartition(it2->second, p);
+  }
+
+  beginRecovery(id);
+}
+
+void Coordinator::beginRecovery(ServerId id) {
+  if (map_.tabletsOwnedBy(id).empty()) return;  // nothing to recover
+  for (const auto& [rid, rec] : activeRecoveries_) {
+    if (rec.crashed == id) return;  // already recovering this master
+  }
+  map_.markRecovering(id);
+
+  const std::uint64_t recoveryId = nextRecoveryId_++;
+  ActiveRecovery rec;
+  rec.recoveryId = recoveryId;
+  rec.crashed = id;
+  rec.detectedAt = node_.sim().now();
+  activeRecoveries_[recoveryId] = std::move(rec);
+
+  // Verify the crash and schedule (paper: the coordinator double-checks,
+  // confirms backup availability, selects recovery masters a-priori).
+  node_.sim().schedule(params_.recoverySetupDelay, [this, recoveryId] {
+    auto it = activeRecoveries_.find(recoveryId);
+    if (it == activeRecoveries_.end()) return;
+    // Gather segment lists from every live backup (timing via RPC; the
+    // frame contents are read through the directory).
+    auto pendingReplies = std::make_shared<int>(0);
+    const std::vector<ServerId> backups =
+        directory_.liveBackups ? directory_.liveBackups()
+                               : std::vector<ServerId>{};
+    if (backups.empty()) {
+      auto& rec = activeRecoveries_[recoveryId];
+      finishRecovery(rec, false);
+      return;
+    }
+    *pendingReplies = static_cast<int>(backups.size());
+    for (ServerId b : backups) {
+      net::RpcRequest req;
+      req.op = net::Opcode::kGetSegmentList;
+      req.a = static_cast<std::uint64_t>(activeRecoveries_[recoveryId].crashed);
+      rpc_.call(node_.id(), b, net::kBackupPort, req,
+                server::timeouts::kControl,
+                [this, recoveryId, pendingReplies](const net::RpcResponse&) {
+                  if (--*pendingReplies > 0) return;
+                  auto it2 = activeRecoveries_.find(recoveryId);
+                  if (it2 == activeRecoveries_.end()) return;
+                  buildAndStartPlan(it2->second);
+                });
+    }
+  });
+}
+
+void Coordinator::buildAndStartPlan(ActiveRecovery& rec) {
+  std::vector<ServerId> masters = up_;
+  if (masters.empty()) {
+    finishRecovery(rec, false);
+    return;
+  }
+  const int p = static_cast<int>(masters.size());
+  rec.partitionDone.assign(static_cast<std::size_t>(p), false);
+  rec.partitionOwner = masters;
+  rec.remaining = p;
+
+  std::vector<int> all(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) all[static_cast<std::size_t>(i)] = i;
+  RecoveryPlanPtr plan = buildPlan(rec, all, masters);
+  if (!plan || plan->segments.empty()) {
+    // No backup holds a single replica of this master (e.g. replication
+    // disabled, or every replica holder also died): the data is lost.
+    finishRecovery(rec, false);
+    return;
+  }
+  for (int i = 0; i < p; ++i) {
+    net::RpcRequest req;
+    req.op = net::Opcode::kStartRecovery;
+    req.a = plan->planId;
+    req.b = static_cast<std::uint64_t>(i);
+    rpc_.call(node_.id(), masters[static_cast<std::size_t>(i)],
+              net::kMasterPort, req, server::timeouts::kControl,
+              [](const net::RpcResponse&) {});
+  }
+}
+
+server::RecoveryPlanPtr Coordinator::buildPlan(
+    ActiveRecovery& rec, const std::vector<int>& partitionsToRun,
+    const std::vector<ServerId>& masters) {
+  const int totalPartitions = static_cast<int>(rec.partitionDone.size());
+  auto plan = std::make_shared<RecoveryPlan>();
+  plan->planId = nextPlanId_++;
+  plan->crashedMaster = rec.crashed;
+
+  // Partition specs: split each of the dead master's tablets into
+  // `totalPartitions` equal hash subranges (the "will").
+  const std::vector<Tablet> tablets = map_.tabletsOwnedBy(rec.crashed);
+  if (tablets.empty()) return nullptr;
+
+  std::vector<server::PartitionSpec> allParts(
+      static_cast<std::size_t>(totalPartitions));
+  for (const Tablet& t : tablets) {
+    const std::uint64_t width = t.endHash - t.startHash;
+    const std::uint64_t step =
+        width / static_cast<std::uint64_t>(totalPartitions);
+    for (int i = 0; i < totalPartitions; ++i) {
+      Tablet sub = t;
+      sub.startHash = t.startHash + static_cast<std::uint64_t>(i) * step;
+      sub.endHash = (i == totalPartitions - 1)
+                        ? t.endHash
+                        : sub.startHash + step - 1;
+      allParts[static_cast<std::size_t>(i)].ranges.push_back(sub);
+    }
+  }
+
+  // The plan carries only the partitions to run now (retries are
+  // single-partition plans); owners index into `masters`.
+  for (std::size_t i = 0; i < partitionsToRun.size(); ++i) {
+    const int global = partitionsToRun[i];
+    plan->partitions.push_back(allParts[static_cast<std::size_t>(global)]);
+    plan->recoveryMasters.push_back(masters[i % masters.size()]);
+    rec.planPartitionBase[plan->planId] = partitionsToRun.front();
+  }
+  rec.partitions = allParts;
+
+  // Segment sources: union of all live backups' frames for the crashed
+  // master, replicas ordered by watermark (they agree unless a write was
+  // in flight at the crash).
+  std::unordered_map<log::SegmentId, RecoveryPlan::SegmentSource> sources;
+  if (directory_.liveBackups && directory_.backupOn) {
+    for (ServerId b : directory_.liveBackups()) {
+      server::BackupService* bs = directory_.backupOn(b);
+      if (bs == nullptr) continue;
+      for (const auto& fi : bs->framesForMaster(rec.crashed)) {
+        auto& src = sources[fi.segment];
+        src.segment = fi.segment;
+        src.bytes = std::max(src.bytes, fi.bytes);
+        src.backups.push_back(b);
+      }
+    }
+  }
+  for (auto& [segId, src] : sources) plan->segments.push_back(std::move(src));
+  std::sort(plan->segments.begin(), plan->segments.end(),
+            [](const auto& a, const auto& b) { return a.segment < b.segment; });
+
+  plans_[plan->planId] = plan;
+  planRecovery_[plan->planId] = rec.recoveryId;
+  return plan;
+}
+
+server::RecoveryPlanPtr Coordinator::planById(std::uint64_t id) const {
+  auto it = plans_.find(id);
+  return it == plans_.end() ? nullptr : it->second;
+}
+
+void Coordinator::onRecoveryDone(std::uint64_t planId, int planPartition,
+                                 bool failed) {
+  auto pr = planRecovery_.find(planId);
+  if (pr == planRecovery_.end()) return;
+  auto ar = activeRecoveries_.find(pr->second);
+  if (ar == activeRecoveries_.end()) return;
+  ActiveRecovery& rec = ar->second;
+
+  auto baseIt = rec.planPartitionBase.find(planId);
+  const int base = baseIt == rec.planPartitionBase.end() ? 0 : baseIt->second;
+  const int global = base + planPartition;
+  if (global < 0 || global >= static_cast<int>(rec.partitionDone.size()) ||
+      rec.partitionDone[static_cast<std::size_t>(global)]) {
+    return;
+  }
+
+  if (failed) {
+    retryPartition(rec, global);
+    return;
+  }
+
+  rec.partitionDone[static_cast<std::size_t>(global)] = true;
+  if (--rec.remaining == 0) finishRecovery(rec, true);
+}
+
+void Coordinator::retryPartition(ActiveRecovery& rec, int globalPartition) {
+  if (++rec.retries > 8) {
+    finishRecovery(rec, false);
+    return;
+  }
+  // Pick a fresh owner, preferring someone other than the failed one.
+  const ServerId old =
+      rec.partitionOwner[static_cast<std::size_t>(globalPartition)];
+  std::vector<ServerId> candidates = up_;
+  std::erase(candidates, old);
+  if (candidates.empty()) candidates = up_;
+  if (candidates.empty()) {
+    finishRecovery(rec, false);
+    return;
+  }
+  const ServerId fresh = candidates[rng_.uniformInt(candidates.size())];
+  rec.partitionOwner[static_cast<std::size_t>(globalPartition)] = fresh;
+
+  RecoveryPlanPtr plan = buildPlan(rec, {globalPartition}, {fresh});
+  if (!plan) {
+    finishRecovery(rec, false);
+    return;
+  }
+  net::RpcRequest req;
+  req.op = net::Opcode::kStartRecovery;
+  req.a = plan->planId;
+  req.b = 0;
+  rpc_.call(node_.id(), fresh, net::kMasterPort, req,
+            server::timeouts::kControl, [](const net::RpcResponse&) {});
+}
+
+void Coordinator::finishRecovery(ActiveRecovery& rec, bool success) {
+  if (success) {
+    // Flip ownership in the tablet map partition by partition.
+    for (std::size_t p = 0; p < rec.partitions.size(); ++p) {
+      const ServerId owner = rec.partitionOwner[p];
+      for (const Tablet& sub : rec.partitions[p].ranges) {
+        map_.reassign(sub.tableId, sub.startHash, sub.endHash, rec.crashed,
+                      owner);
+      }
+    }
+    // Old replicas are no longer needed: free the dead master's frames.
+    if (directory_.liveBackups) {
+      for (ServerId b : directory_.liveBackups()) {
+        net::RpcRequest req;
+        req.op = net::Opcode::kBackupFree;
+        req.a = static_cast<std::uint64_t>(rec.crashed);
+        req.c = 1;  // all frames of this master
+        rpc_.call(node_.id(), b, net::kBackupPort, req,
+                  server::timeouts::kControl, [](const net::RpcResponse&) {});
+      }
+    }
+  }
+
+  RecoveryRecord out;
+  out.crashed = rec.crashed;
+  out.detectedAt = rec.detectedAt;
+  out.finishedAt = node_.sim().now();
+  out.partitions = static_cast<int>(rec.partitionDone.size());
+  out.partitionRetries = rec.retries;
+  out.succeeded = success;
+  recoveryLog_.push_back(out);
+
+  const std::uint64_t rid = rec.recoveryId;
+  if (onRecoveryFinished) onRecoveryFinished(out);
+  activeRecoveries_.erase(rid);
+}
+
+}  // namespace rc::coordinator

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coordinator/tablet_map.hpp"
+#include "net/rpc.hpp"
+#include "node/node.hpp"
+#include "server/common.hpp"
+#include "server/recovery_plan.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace rc::coordinator {
+
+struct CoordinatorParams {
+  sim::Duration pingInterval = sim::msec(100);
+  int missesBeforeDead = 3;
+  /// Coordinator-side verification + scheduling latency before a recovery
+  /// actually starts (the paper's "check whether that server truly
+  /// crashed ... schedule a recovery").
+  sim::Duration recoverySetupDelay = sim::msec(50);
+};
+
+/// Record of one completed (or failed) master recovery.
+struct RecoveryRecord {
+  server::ServerId crashed = node::kInvalidNode;
+  sim::SimTime detectedAt = 0;
+  sim::SimTime finishedAt = 0;
+  int partitions = 0;
+  int partitionRetries = 0;
+  bool succeeded = false;
+
+  sim::Duration duration() const { return finishedAt - detectedAt; }
+};
+
+/// The RAMCloud coordinator: server list, tablet map, failure detection and
+/// crash-recovery orchestration.
+class Coordinator : public net::RpcService {
+ public:
+  Coordinator(node::Node& node, net::RpcSystem& rpc,
+              const server::ServiceDirectory& directory,
+              CoordinatorParams params, sim::Rng rng);
+
+  void handleRpc(const net::RpcRequest& req, node::NodeId from,
+                 Responder respond) override;
+
+  // ----- cluster setup
+
+  void enlistServer(server::ServerId id);
+
+  /// Create a table spanning `serverSpan` masters (the paper's ServerSpan
+  /// option: uniform manual distribution). Returns the table id.
+  std::uint64_t createTable(const std::string& name, int serverSpan);
+
+  const TabletMap& tabletMap() const { return map_; }
+  const std::vector<server::ServerId>& upServers() const { return up_; }
+
+  // ----- failure handling
+
+  void startFailureDetector();
+  void stopFailureDetector();
+
+  // ----- cluster resizing (SS IX: tablet migration + node add/remove)
+
+  /// Move `tablet` (must match an existing map entry exactly) to `dest`.
+  /// `done(ok)` fires after the map has been flipped.
+  void migrateTablet(const server::Tablet& tablet, server::ServerId dest,
+                     std::function<void(bool)> done);
+
+  /// Gracefully remove an *empty* server from the cluster (no recovery is
+  /// triggered). Returns false while the server still owns tablets.
+  bool decommissionServer(server::ServerId id);
+
+  bool migrationInProgress() const { return !activeMigrations_.empty(); }
+  std::uint64_t migrationsCompleted() const { return migrationsCompleted_; }
+
+  /// Declare a server dead (the detector calls this; tests/harness may
+  /// call it directly to skip detection latency).
+  void onServerDead(server::ServerId id);
+
+  server::RecoveryPlanPtr planById(std::uint64_t id) const;
+
+  bool recoveryInProgress() const { return !activeRecoveries_.empty(); }
+  const std::vector<RecoveryRecord>& recoveryLog() const {
+    return recoveryLog_;
+  }
+
+  /// Harness hooks.
+  std::function<void(server::ServerId)> onCrashDetected;
+  std::function<void(const RecoveryRecord&)> onRecoveryFinished;
+
+ private:
+  struct ActiveRecovery {
+    std::uint64_t recoveryId = 0;
+    server::ServerId crashed = node::kInvalidNode;
+    sim::SimTime detectedAt = 0;
+    std::vector<bool> partitionDone;
+    std::vector<server::PartitionSpec> partitions;  ///< global partition specs
+    std::unordered_map<std::uint64_t, int>
+        planPartitionBase;  ///< planId -> partition-index offset (0 for the
+                            ///< initial plan; retries get 1-partition plans)
+    std::vector<server::ServerId> partitionOwner;
+    int remaining = 0;
+    int retries = 0;
+  };
+
+  struct ActiveMigration {
+    server::Tablet tablet;
+    server::ServerId from = node::kInvalidNode;
+    server::ServerId to = node::kInvalidNode;
+    std::function<void(bool)> done;
+  };
+  void onMigrationDone(const net::RpcRequest& req);
+
+  void pingAll();
+  void onPingMiss(server::ServerId id);
+  void beginRecovery(server::ServerId id);
+  void buildAndStartPlan(ActiveRecovery& rec);
+  server::RecoveryPlanPtr buildPlan(
+      ActiveRecovery& rec, const std::vector<int>& partitionsToRun,
+      const std::vector<server::ServerId>& masters);
+  void onRecoveryDone(std::uint64_t planId, int planPartition, bool failed);
+  void retryPartition(ActiveRecovery& rec, int globalPartition);
+  void finishRecovery(ActiveRecovery& rec, bool success);
+
+  node::Node& node_;
+  net::RpcSystem& rpc_;
+  const server::ServiceDirectory& directory_;
+  CoordinatorParams params_;
+  sim::Rng rng_;
+
+  std::vector<server::ServerId> up_;
+  std::unordered_map<server::ServerId, int> pingMisses_;
+  TabletMap map_;
+  std::uint64_t nextTableId_ = 1;
+  std::uint64_t nextPlanId_ = 1;
+  std::uint64_t nextRecoveryId_ = 1;
+  std::map<std::string, std::uint64_t> tablesByName_;
+
+  std::unordered_map<std::uint64_t, server::RecoveryPlanPtr> plans_;
+  /// planId -> recoveryId
+  std::unordered_map<std::uint64_t, std::uint64_t> planRecovery_;
+  std::unordered_map<std::uint64_t, ActiveRecovery> activeRecoveries_;
+  std::vector<RecoveryRecord> recoveryLog_;
+  std::vector<ActiveMigration> activeMigrations_;
+  std::uint64_t migrationsCompleted_ = 0;
+
+  std::unique_ptr<sim::PeriodicTask> detector_;
+};
+
+}  // namespace rc::coordinator

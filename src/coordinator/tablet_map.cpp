@@ -1,0 +1,80 @@
+#include "coordinator/tablet_map.hpp"
+
+namespace rc::coordinator {
+
+const TabletMap::Entry* TabletMap::lookup(std::uint64_t tableId,
+                                          std::uint64_t hash) const {
+  for (const Entry& e : entries_) {
+    if (e.tablet.covers(tableId, hash)) return &e;
+  }
+  return nullptr;
+}
+
+void TabletMap::addTablet(const server::Tablet& t) {
+  entries_.push_back(Entry{t, TabletState::kUp});
+  ++version_;
+}
+
+void TabletMap::markRecovering(server::ServerId master) {
+  bool changed = false;
+  for (Entry& e : entries_) {
+    if (e.tablet.owner == master && e.state == TabletState::kUp) {
+      e.state = TabletState::kRecovering;
+      changed = true;
+    }
+  }
+  if (changed) ++version_;
+}
+
+void TabletMap::reassign(std::uint64_t tableId, std::uint64_t start,
+                         std::uint64_t end, server::ServerId from,
+                         server::ServerId to) {
+  // Split out the subrange from any overlapping tablet owned by `from`.
+  std::vector<Entry> result;
+  result.reserve(entries_.size() + 2);
+  for (const Entry& e : entries_) {
+    const server::Tablet& t = e.tablet;
+    const bool overlaps = t.tableId == tableId && t.owner == from &&
+                          t.startHash <= end && start <= t.endHash;
+    if (!overlaps) {
+      result.push_back(e);
+      continue;
+    }
+    if (t.startHash < start) {
+      Entry left = e;
+      left.tablet.endHash = start - 1;
+      result.push_back(left);
+    }
+    if (t.endHash > end) {
+      Entry right = e;
+      right.tablet.startHash = end + 1;
+      result.push_back(right);
+    }
+  }
+  server::Tablet fresh;
+  fresh.tableId = tableId;
+  fresh.startHash = start;
+  fresh.endHash = end;
+  fresh.owner = to;
+  result.push_back(Entry{fresh, TabletState::kUp});
+  entries_ = std::move(result);
+  ++version_;
+}
+
+std::vector<server::Tablet> TabletMap::tabletsOwnedBy(
+    server::ServerId master) const {
+  std::vector<server::Tablet> out;
+  for (const Entry& e : entries_) {
+    if (e.tablet.owner == master) out.push_back(e.tablet);
+  }
+  return out;
+}
+
+bool TabletMap::anyRecovering() const {
+  for (const Entry& e : entries_) {
+    if (e.state == TabletState::kRecovering) return true;
+  }
+  return false;
+}
+
+}  // namespace rc::coordinator

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/common.hpp"
+
+namespace rc::coordinator {
+
+/// Global table/tablet metadata, owned by the coordinator and cached by
+/// clients (version-stamped so stale caches are detectable).
+class TabletMap {
+ public:
+  enum class TabletState { kUp, kRecovering };
+
+  struct Entry {
+    server::Tablet tablet;
+    TabletState state = TabletState::kUp;
+  };
+
+  std::uint64_t version() const { return version_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The entry covering (tableId, hash), or nullptr.
+  const Entry* lookup(std::uint64_t tableId, std::uint64_t hash) const;
+
+  void addTablet(const server::Tablet& t);
+
+  /// Mark every tablet owned by `master` as recovering.
+  void markRecovering(server::ServerId master);
+
+  /// Replace the (recovering) subrange [start,end] of `tableId` previously
+  /// owned by `from` with an up tablet owned by `to`.
+  void reassign(std::uint64_t tableId, std::uint64_t start, std::uint64_t end,
+                server::ServerId from, server::ServerId to);
+
+  std::vector<server::Tablet> tabletsOwnedBy(server::ServerId master) const;
+
+  bool anyRecovering() const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace rc::coordinator

@@ -1,0 +1,286 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rc::core {
+
+Cluster::Cluster(ClusterParams params)
+    : params_(params),
+      sim_(params.seed),
+      net_(sim_, params.transport),
+      rpc_(sim_, net_) {
+  params_.master.replication.factor = params_.replicationFactor;
+  params_.clientNode.metered = false;
+
+  directory_.masterOn = [this](node::NodeId n) -> server::MasterService* {
+    const int idx = n - 1;
+    if (idx < 0 || idx >= serverCount()) return nullptr;
+    Server& s = servers_[static_cast<std::size_t>(idx)];
+    return s.node->processRunning() ? s.master.get() : nullptr;
+  };
+  directory_.backupOn = [this](node::NodeId n) -> server::BackupService* {
+    const int idx = n - 1;
+    if (idx < 0 || idx >= serverCount()) return nullptr;
+    Server& s = servers_[static_cast<std::size_t>(idx)];
+    return s.node->processRunning() ? s.backup.get() : nullptr;
+  };
+  directory_.liveBackups = [this] {
+    std::vector<node::NodeId> out;
+    for (int i = 0; i < serverCount(); ++i) {
+      if (serverAlive(i)) out.push_back(serverNodeId(i));
+    }
+    return out;
+  };
+
+  // Node 0: coordinator (its own machine, not metered — the paper reports
+  // power for the 40 PDU-equipped RAMCloud server nodes only).
+  node::NodeParams coordNodeParams = params_.serverNode;
+  coordNodeParams.metered = false;
+  coordNode_ = std::make_unique<node::Node>(sim_, 0, coordNodeParams);
+  coordNode_->startProcess();
+  coord_ = std::make_unique<coordinator::Coordinator>(
+      *coordNode_, rpc_, directory_, params_.coordinator,
+      sim_.rng().fork(0xc0));
+  rpc_.bind(0, net::kCoordinatorPort, coord_.get());
+
+  auto planLookup = [this](std::uint64_t id) { return coord_->planById(id); };
+
+  servers_.reserve(static_cast<std::size_t>(params_.servers));
+  for (int i = 0; i < params_.servers; ++i) {
+    const node::NodeId nid = serverNodeId(i);
+    Server s;
+    s.node = std::make_unique<node::Node>(sim_, nid, params_.serverNode);
+    s.node->startProcess();
+    s.dispatch = std::make_unique<server::Dispatch>(sim_, params_.dispatch);
+    s.master = std::make_unique<server::MasterService>(
+        *s.node, *s.dispatch, rpc_, directory_, params_.master, planLookup,
+        /*coordinatorNode=*/0, sim_.rng().fork(0x1000 + nid));
+    s.backup = std::make_unique<server::BackupService>(
+        *s.node, *s.dispatch, rpc_, directory_, params_.backup, planLookup);
+    rpc_.bind(nid, net::kMasterPort, s.master.get());
+    rpc_.bind(nid, net::kBackupPort, s.backup.get());
+    coord_->enlistServer(nid);
+    servers_.push_back(std::move(s));
+  }
+
+  clients_.reserve(static_cast<std::size_t>(params_.clients));
+  for (int i = 0; i < params_.clients; ++i) {
+    const node::NodeId nid = clientNodeId(i);
+    ClientHost c;
+    c.node = std::make_unique<node::Node>(sim_, nid, params_.clientNode);
+    c.node->startProcess();
+    c.rc = std::make_unique<client::RamCloudClient>(
+        sim_, rpc_, nid, /*coordinator=*/0,
+        [this]() -> const coordinator::TabletMap* {
+          return &coord_->tabletMap();
+        },
+        params_.client);
+    clients_.push_back(std::move(c));
+  }
+
+  coord_->startFailureDetector();
+}
+
+Cluster::~Cluster() = default;
+
+int Cluster::aliveServerCount() const {
+  int n = 0;
+  for (int i = 0; i < serverCount(); ++i) {
+    if (serverAlive(i)) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Cluster::createTable(const std::string& name, int serverSpan) {
+  // The paper sets ServerSpan = number of servers: uniform distribution.
+  const int span = serverSpan < 0 ? params_.servers : serverSpan;
+  return coord_->createTable(name, span);
+}
+
+void Cluster::bulkLoad(std::uint64_t tableId, std::uint64_t records,
+                       std::uint32_t valueBytes) {
+  for (std::uint64_t key = 0; key < records; ++key) {
+    const server::ServerId owner = ownerOfKey(tableId, key);
+    if (owner == node::kInvalidNode) continue;
+    if (auto* m = directory_.masterOn(owner)) {
+      m->bulkInsert(tableId, key, valueBytes, sim_.now());
+    }
+  }
+  for (auto& s : servers_) {
+    if (s.node->processRunning()) s.master->installReplicasAfterBulkLoad();
+  }
+}
+
+void Cluster::startPduSampling() {
+  for (auto& s : servers_) s.node->startPduSampling();
+}
+
+void Cluster::configureYcsb(std::uint64_t tableId,
+                            const ycsb::WorkloadSpec& spec,
+                            const ycsb::YcsbClientParams& clientParams) {
+  for (int i = 0; i < clientCount(); ++i) {
+    ClientHost& c = clients_[static_cast<std::size_t>(i)];
+    ycsb::YcsbClientParams perClient = clientParams;
+    // Disjoint insert key ranges per client machine (workload D).
+    perClient.insertKeyBase =
+        spec.recordCount + static_cast<std::uint64_t>(i + 1) * (1ULL << 32);
+    c.ycsb = std::make_unique<ycsb::YcsbClient>(
+        sim_, *c.rc, tableId, spec, perClient,
+        sim_.rng().fork(0x9c5b + static_cast<std::uint64_t>(i)));
+  }
+}
+
+void Cluster::startYcsb() {
+  for (auto& c : clients_) {
+    if (c.ycsb) c.ycsb->start();
+  }
+}
+
+void Cluster::stopYcsb() {
+  for (auto& c : clients_) {
+    if (c.ycsb) c.ycsb->stop();
+  }
+}
+
+bool Cluster::allYcsbDone() const {
+  for (const auto& c : clients_) {
+    if (c.ycsb && !c.ycsb->done()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Cluster::totalOpsCompleted() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    if (c.ycsb) n += c.ycsb->stats().opsCompleted;
+  }
+  return n;
+}
+
+std::uint64_t Cluster::totalOpFailures() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    if (c.ycsb) n += c.ycsb->stats().failures;
+  }
+  return n;
+}
+
+std::uint64_t Cluster::totalRpcTimeouts() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    if (c.rc) n += c.rc->stats().rpcTimeouts;
+  }
+  return n;
+}
+
+void Cluster::crashServer(int idx) {
+  Server& s = servers_[static_cast<std::size_t>(idx)];
+  if (!s.node->processRunning()) return;
+  const node::NodeId nid = serverNodeId(idx);
+  s.master->crash();
+  s.backup->crash();
+  s.dispatch->crash();
+  s.node->crashProcess();
+  rpc_.unbind(nid, net::kMasterPort);
+  rpc_.unbind(nid, net::kBackupPort);
+}
+
+int Cluster::pickRandomServerIndex() {
+  return static_cast<int>(
+      sim_.rng().uniformInt(static_cast<std::uint64_t>(serverCount())));
+}
+
+void Cluster::migrateTablet(const server::Tablet& tablet, int destIdx,
+                            std::function<void(bool)> done) {
+  coord_->migrateTablet(tablet, serverNodeId(destIdx), std::move(done));
+}
+
+void Cluster::drainServer(int idx, std::function<void(bool)> done) {
+  const node::NodeId src = serverNodeId(idx);
+  const auto tablets = coord_->tabletMap().tabletsOwnedBy(src);
+  if (tablets.empty()) {
+    if (done) done(true);
+    return;
+  }
+  // Round-robin destinations over the other active servers.
+  std::vector<int> dests;
+  for (int i = 0; i < serverCount(); ++i) {
+    if (i != idx && serverAlive(i)) dests.push_back(i);
+  }
+  if (dests.empty()) {
+    if (done) done(false);
+    return;
+  }
+  struct State {
+    int pending = 0;
+    bool ok = true;
+    std::function<void(bool)> done;
+  };
+  auto st = std::make_shared<State>();
+  st->pending = static_cast<int>(tablets.size());
+  st->done = std::move(done);
+  for (std::size_t i = 0; i < tablets.size(); ++i) {
+    migrateTablet(tablets[i], dests[i % dests.size()], [st](bool ok) {
+      st->ok &= ok;
+      if (--st->pending == 0 && st->done) st->done(st->ok);
+    });
+  }
+}
+
+bool Cluster::suspendServer(int idx) {
+  const node::NodeId nid = serverNodeId(idx);
+  if (!coord_->decommissionServer(nid)) return false;
+  Server& s = servers_[static_cast<std::size_t>(idx)];
+  s.master->crash();
+  s.backup->crash();
+  s.dispatch->crash();
+  rpc_.unbind(nid, net::kMasterPort);
+  rpc_.unbind(nid, net::kBackupPort);
+  s.node->suspendMachine();
+  return true;
+}
+
+void Cluster::resumeServer(int idx) {
+  Server& s = servers_[static_cast<std::size_t>(idx)];
+  if (!s.node->suspended()) return;
+  const node::NodeId nid = serverNodeId(idx);
+  s.node->resumeMachine();
+  s.dispatch->restart();
+  rpc_.bind(nid, net::kMasterPort, s.master.get());
+  rpc_.bind(nid, net::kBackupPort, s.backup.get());
+  coord_->enlistServer(nid);
+}
+
+int Cluster::activeServerCount() const {
+  int n = 0;
+  for (int i = 0; i < serverCount(); ++i) {
+    if (serverAlive(i)) ++n;
+  }
+  return n;
+}
+
+server::ServerId Cluster::ownerOfKey(std::uint64_t tableId,
+                                     std::uint64_t keyId) const {
+  const std::uint64_t h = hash::keyHash(hash::Key{tableId, keyId});
+  const auto* e = coord_->tabletMap().lookup(tableId, h);
+  return e == nullptr ? node::kInvalidNode : e->tablet.owner;
+}
+
+bool Cluster::verifyAllKeysPresent(std::uint64_t tableId,
+                                   std::uint64_t records,
+                                   std::uint64_t* firstMissing) const {
+  for (std::uint64_t key = 0; key < records; ++key) {
+    const server::ServerId owner = ownerOfKey(tableId, key);
+    server::MasterService* m =
+        owner == node::kInvalidNode ? nullptr : directory_.masterOn(owner);
+    if (m == nullptr ||
+        m->objectMap().get(hash::Key{tableId, key}) == nullptr) {
+      if (firstMissing != nullptr) *firstMissing = key;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rc::core

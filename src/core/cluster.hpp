@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/ramcloud_client.hpp"
+#include "coordinator/coordinator.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "node/node.hpp"
+#include "server/backup_service.hpp"
+#include "server/dispatch.hpp"
+#include "server/master_service.hpp"
+#include "sim/simulation.hpp"
+#include "ycsb/ycsb_client.hpp"
+
+namespace rc::core {
+
+/// Everything needed to stand up a simulated Grid'5000 deployment:
+/// coordinator + N collocated master/backup servers + M client machines.
+struct ClusterParams {
+  int servers = 10;
+  int clients = 10;
+  std::uint64_t seed = 42;
+
+  /// Convenience: copied into master.replication.factor at build time.
+  int replicationFactor = 0;
+
+  net::TransportParams transport = net::TransportParams::infiniband();
+  node::NodeParams serverNode{};  ///< metered (the 40 PDU nodes)
+  node::NodeParams clientNode{};  ///< unmetered, plain machines
+  server::MasterParams master{};
+  server::BackupParams backup{};
+  server::DispatchParams dispatch{};
+  coordinator::CoordinatorParams coordinator{};
+  client::ClientParams client{};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterParams params);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  struct Server {
+    std::unique_ptr<node::Node> node;
+    std::unique_ptr<server::Dispatch> dispatch;
+    std::unique_ptr<server::MasterService> master;
+    std::unique_ptr<server::BackupService> backup;
+  };
+  struct ClientHost {
+    std::unique_ptr<node::Node> node;
+    std::unique_ptr<client::RamCloudClient> rc;
+    std::unique_ptr<ycsb::YcsbClient> ycsb;
+  };
+
+  sim::Simulation& sim() { return sim_; }
+  net::RpcSystem& rpc() { return rpc_; }
+  coordinator::Coordinator& coord() { return *coord_; }
+  const ClusterParams& params() const { return params_; }
+  const server::ServiceDirectory& directory() const { return directory_; }
+
+  int serverCount() const { return static_cast<int>(servers_.size()); }
+  int clientCount() const { return static_cast<int>(clients_.size()); }
+  Server& server(int idx) { return servers_[static_cast<std::size_t>(idx)]; }
+  ClientHost& clientHost(int idx) {
+    return clients_[static_cast<std::size_t>(idx)];
+  }
+  node::NodeId serverNodeId(int idx) const { return 1 + idx; }
+  node::NodeId clientNodeId(int idx) const {
+    return 1 + params_.servers + idx;
+  }
+  bool serverAlive(int idx) const {
+    return servers_[static_cast<std::size_t>(idx)].node->processRunning();
+  }
+  int aliveServerCount() const;
+
+  // ----- setup
+
+  std::uint64_t createTable(const std::string& name, int serverSpan = -1);
+
+  /// Event-free load phase: `records` keys [0, records) of `valueBytes`
+  /// each, routed by the tablet map, replicas installed per placement.
+  void bulkLoad(std::uint64_t tableId, std::uint64_t records,
+                std::uint32_t valueBytes);
+
+  void startPduSampling();
+
+  // ----- YCSB run phase
+
+  void configureYcsb(std::uint64_t tableId, const ycsb::WorkloadSpec& spec,
+                     const ycsb::YcsbClientParams& clientParams);
+  void startYcsb();
+  void stopYcsb();
+  bool allYcsbDone() const;
+
+  std::uint64_t totalOpsCompleted() const;
+  std::uint64_t totalOpFailures() const;
+  std::uint64_t totalRpcTimeouts() const;
+
+  // ----- failure injection
+
+  void crashServer(int idx);
+  int pickRandomServerIndex();
+
+  // ----- cluster resizing (SS IX)
+
+  /// Migrate one tablet to another server (by index). `done(ok)` fires
+  /// once the coordinator flipped the map.
+  void migrateTablet(const server::Tablet& tablet, int destIdx,
+                     std::function<void(bool)> done);
+
+  /// Move every tablet off server `idx`, spreading them round-robin over
+  /// the other active servers; `done(ok)` when the server is empty.
+  void drainServer(int idx, std::function<void(bool)> done);
+
+  /// Standby a *drained* server: deregister, unbind, suspend the machine.
+  /// Returns false if it still owns tablets.
+  bool suspendServer(int idx);
+
+  /// Wake a suspended server and re-enlist it (empty; the caller
+  /// rebalances tablets onto it, e.g. via the Autoscaler).
+  void resumeServer(int idx);
+
+  bool serverSuspended(int idx) const {
+    return servers_[static_cast<std::size_t>(idx)].node->suspended();
+  }
+  int activeServerCount() const;
+
+  // ----- verification helpers (tests)
+
+  /// Every key in [0, records) readable from its current owner's index?
+  bool verifyAllKeysPresent(std::uint64_t tableId, std::uint64_t records,
+                            std::uint64_t* firstMissing = nullptr) const;
+
+  /// The server currently owning a key per the coordinator's map.
+  server::ServerId ownerOfKey(std::uint64_t tableId,
+                              std::uint64_t keyId) const;
+
+ private:
+  ClusterParams params_;
+  sim::Simulation sim_;
+  net::Network net_;
+  net::RpcSystem rpc_;
+  server::ServiceDirectory directory_;
+
+  std::unique_ptr<node::Node> coordNode_;
+  std::unique_ptr<coordinator::Coordinator> coord_;
+  std::vector<Server> servers_;
+  std::vector<ClientHost> clients_;
+};
+
+}  // namespace rc::core

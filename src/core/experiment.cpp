@@ -1,0 +1,100 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rc::core {
+
+YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
+  ClusterParams cp;
+  cp.servers = cfg.servers;
+  cp.clients = cfg.clients;
+  cp.seed = cfg.seed;
+  cp.replicationFactor = cfg.replicationFactor;
+
+  Cluster cluster(cp);
+  const std::uint64_t table = cluster.createTable("usertable");
+  cluster.bulkLoad(table, cfg.workload.recordCount, cfg.workload.valueBytes);
+  cluster.startPduSampling();
+
+  ycsb::YcsbClientParams ycp;
+  ycp.opsTarget = 0;  // run until stopped; we measure a window
+  ycp.clientOverheadPerOp = cfg.clientOverheadPerOp;
+  ycp.throttleOpsPerSec = cfg.throttleOpsPerSec;
+  cluster.configureYcsb(table, cfg.workload, ycp);
+  cluster.startYcsb();
+
+  const sim::Duration warmup = static_cast<sim::Duration>(
+      static_cast<double>(cfg.warmup) * cfg.timeScale);
+  const sim::Duration measure = std::max<sim::Duration>(
+      sim::msec(500), static_cast<sim::Duration>(
+                          static_cast<double>(cfg.measure) * cfg.timeScale));
+
+  cluster.sim().runFor(warmup);
+
+  // Window-start snapshots.
+  const sim::SimTime t0 = cluster.sim().now();
+  const std::uint64_t ops0 = cluster.totalOpsCompleted();
+  std::vector<node::CpuScheduler::Snapshot> snaps;
+  snaps.reserve(static_cast<std::size_t>(cluster.serverCount()));
+  for (int i = 0; i < cluster.serverCount(); ++i) {
+    snaps.push_back(cluster.server(i).node->snapshotCpu());
+  }
+
+  cluster.sim().runFor(measure);
+
+  const sim::SimTime t1 = cluster.sim().now();
+  const std::uint64_t ops1 = cluster.totalOpsCompleted();
+  cluster.stopYcsb();
+
+  YcsbExperimentResult r;
+  r.measuredSeconds = sim::toSeconds(t1 - t0);
+  r.opsMeasured = ops1 - ops0;
+  r.throughputOpsPerSec =
+      static_cast<double>(r.opsMeasured) / r.measuredSeconds;
+
+  const power::PowerModel& pm = cp.serverNode.power;
+  double cpuSum = 0;
+  double cpuMin = 1.0;
+  double cpuMax = 0.0;
+  double powerSum = 0;
+  for (int i = 0; i < cluster.serverCount(); ++i) {
+    const double u = cluster.server(i).node->meanUtilisationSince(
+        snaps[static_cast<std::size_t>(i)], t1);
+    cpuSum += u;
+    cpuMin = std::min(cpuMin, u);
+    cpuMax = std::max(cpuMax, u);
+    powerSum += pm.watts(u);
+  }
+  const double n = static_cast<double>(cluster.serverCount());
+  r.meanCpuPct = 100.0 * cpuSum / n;
+  r.minCpuPct = 100.0 * cpuMin;
+  r.maxCpuPct = 100.0 * cpuMax;
+  r.clusterPowerW = powerSum;
+  r.meanPowerPerServerW = powerSum / n;
+  r.opsPerJoule =
+      power::efficiency::opsPerJoule(r.throughputOpsPerSec, r.clusterPowerW);
+  r.opsPerJoulePerNode = power::efficiency::opsPerJoulePerNode(
+      r.throughputOpsPerSec, r.meanPowerPerServerW);
+
+  // Latency stats aggregated across clients (whole run; steady state).
+  sim::Histogram reads;
+  sim::Histogram updates;
+  for (int i = 0; i < cluster.clientCount(); ++i) {
+    const auto* y = cluster.clientHost(i).ycsb.get();
+    if (y == nullptr) continue;
+    reads.merge(y->stats().readLatency);
+    updates.merge(y->stats().updateLatency);
+  }
+  r.readMeanLatencyUs = reads.mean() / 1e3;
+  r.updateMeanLatencyUs = updates.mean() / 1e3;
+  r.readP99Us = sim::toMicros(reads.percentile(0.99));
+  r.updateP99Us = sim::toMicros(updates.percentile(0.99));
+
+  r.opFailures = cluster.totalOpFailures();
+  r.rpcTimeouts = cluster.totalRpcTimeouts();
+  r.crashed = r.opFailures > 0;
+  return r;
+}
+
+}  // namespace rc::core

@@ -1,0 +1,243 @@
+#include "core/recovery_experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace rc::core {
+
+namespace {
+
+/// Per-second aggregate sampler over the cluster's server nodes.
+class ClusterSampler {
+ public:
+  ClusterSampler(Cluster& cluster, RecoveryExperimentResult& out)
+      : cluster_(cluster), out_(out) {
+    const int n = cluster_.serverCount();
+    snaps_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      snaps_.push_back(cluster_.server(i).node->snapshotCpu());
+      diskRead_.push_back(cluster_.server(i).node->disk().bytesRead());
+      diskWrite_.push_back(cluster_.server(i).node->disk().bytesWritten());
+    }
+    task_ = std::make_unique<sim::PeriodicTask>(
+        cluster_.sim(), sim::seconds(1),
+        [this](sim::SimTime now) { sample(now); });
+  }
+
+  void stop() { task_.reset(); }
+
+ private:
+  void sample(sim::SimTime now) {
+    const auto& pm = cluster_.params().serverNode.power;
+    double cpuSum = 0;
+    double wattSum = 0;
+    int alive = 0;
+    std::uint64_t dr = 0;
+    std::uint64_t dw = 0;
+    for (int i = 0; i < cluster_.serverCount(); ++i) {
+      auto& nd = *cluster_.server(i).node;
+      const std::size_t idx = static_cast<std::size_t>(i);
+      dr += nd.disk().bytesRead() - diskRead_[idx];
+      dw += nd.disk().bytesWritten() - diskWrite_[idx];
+      diskRead_[idx] = nd.disk().bytesRead();
+      diskWrite_[idx] = nd.disk().bytesWritten();
+      if (!cluster_.serverAlive(i)) {
+        snaps_[idx] = nd.snapshotCpu();
+        continue;
+      }
+      const double u = nd.meanUtilisationSince(snaps_[idx], now);
+      snaps_[idx] = nd.snapshotCpu();
+      cpuSum += u;
+      wattSum += pm.watts(u);
+      ++alive;
+    }
+    if (alive > 0) {
+      out_.cpuMeanPct.add(now, 100.0 * cpuSum / alive);
+      out_.powerMeanW.add(now, wattSum / alive);
+    }
+    out_.diskReadMBps.add(now, static_cast<double>(dr) / 1e6);
+    out_.diskWriteMBps.add(now, static_cast<double>(dw) / 1e6);
+  }
+
+  Cluster& cluster_;
+  RecoveryExperimentResult& out_;
+  std::vector<node::CpuScheduler::Snapshot> snaps_;
+  std::vector<std::uint64_t> diskRead_;
+  std::vector<std::uint64_t> diskWrite_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+/// Accumulates per-second mean latency for one probe client.
+struct LatencyTimeline {
+  sim::TimeSeries series;
+  sim::SimTime bucketStart = 0;
+  double sumUs = 0;
+  double worstUs = 0;
+  std::uint64_t n = 0;
+
+  void record(sim::SimTime now, sim::Duration latency) {
+    while (now >= bucketStart + sim::seconds(1)) {
+      flush();
+      bucketStart += sim::seconds(1);
+    }
+    sumUs += sim::toMicros(latency);
+    worstUs = std::max(worstUs, sim::toMicros(latency));
+    ++n;
+  }
+  void flush() {
+    if (n > 0) {
+      series.add(bucketStart + sim::seconds(1), sumUs / static_cast<double>(n));
+    }
+    sumUs = 0;
+    n = 0;
+  }
+};
+
+}  // namespace
+
+RecoveryExperimentResult runRecoveryExperiment(
+    const RecoveryExperimentConfig& cfg) {
+  ClusterParams cp;
+  cp.servers = cfg.servers;
+  cp.clients = cfg.probeClients ? 2 : 0;
+  cp.seed = cfg.seed;
+  cp.replicationFactor = cfg.replicationFactor;
+  if (cfg.segmentBytes > 0) cp.master.log.segmentBytes = cfg.segmentBytes;
+
+  Cluster cluster(cp);
+  RecoveryExperimentResult r;
+
+  const std::uint64_t table = cluster.createTable("usertable");
+  cluster.bulkLoad(table, cfg.records, cfg.valueBytes);
+  cluster.startPduSampling();
+
+  // Kill target (seeded random, as in the paper's "randomly picked").
+  const int victim = cfg.killIndex >= 0 ? cfg.killIndex
+                                        : cluster.pickRandomServerIndex();
+  const node::NodeId victimNode = cluster.serverNodeId(victim);
+
+  // Fig. 10 probe clients.
+  LatencyTimeline lat1;
+  LatencyTimeline lat2;
+  if (cfg.probeClients) {
+    ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::C(cfg.records);
+    ycsb::YcsbClientParams ycp;
+    ycp.clientOverheadPerOp = sim::usec(18);
+    // Probe gently (the paper charts per-op latency, not load).
+    ycp.throttleOpsPerSec = 2000;
+    cluster.configureYcsb(table, spec, ycp);
+
+    auto& c1 = cluster.clientHost(0);
+    auto& c2 = cluster.clientHost(1);
+    // Key predicates bound to the victim's *pre-crash* tablets (client 1
+    // keeps requesting the same lost key set throughout, as in Fig. 10).
+    const std::vector<server::Tablet> victimTablets =
+        cluster.coord().tabletMap().tabletsOwnedBy(victimNode);
+    auto inVictim = [victimTablets, table](std::uint64_t k) {
+      const std::uint64_t h = hash::keyHash(hash::Key{table, k});
+      for (const auto& t : victimTablets) {
+        if (t.covers(table, h)) return true;
+      }
+      return false;
+    };
+    ycsb::YcsbClientParams p1 = ycp;
+    p1.keyPredicate = inVictim;
+    c1.ycsb = std::make_unique<ycsb::YcsbClient>(
+        cluster.sim(), *c1.rc, table, spec, p1, cluster.sim().rng().fork(71));
+    ycsb::YcsbClientParams p2 = ycp;
+    p2.keyPredicate = [inVictim](std::uint64_t k) { return !inVictim(k); };
+    c2.ycsb = std::make_unique<ycsb::YcsbClient>(
+        cluster.sim(), *c2.rc, table, spec, p2, cluster.sim().rng().fork(72));
+
+    c1.ycsb->onOpComplete = [&lat1](sim::SimTime t, sim::Duration l, bool) {
+      lat1.record(t, l);
+    };
+    c2.ycsb->onOpComplete = [&lat2](sim::SimTime t, sim::Duration l, bool) {
+      lat2.record(t, l);
+    };
+    cluster.startYcsb();
+  }
+
+  ClusterSampler sampler(cluster, r);
+
+  // Victim's data volume (for the result record).
+  r.dataRecoveredGB =
+      static_cast<double>(
+          cluster.server(victim).master->log().liveBytes()) /
+      (1024.0 * 1024.0 * 1024.0);
+
+  // Hooks: coordinator tells us when detection and recovery happen.
+  sim::SimTime detectedAt = 0;
+  bool finished = false;
+  coordinator::RecoveryRecord record;
+  cluster.coord().onCrashDetected = [&detectedAt, &cluster](server::ServerId) {
+    detectedAt = cluster.sim().now();
+  };
+  cluster.coord().onRecoveryFinished =
+      [&finished, &record](const coordinator::RecoveryRecord& rec) {
+        finished = true;
+        record = rec;
+      };
+
+  cluster.sim().runFor(cfg.killAt);
+  r.killTime = cluster.sim().now();
+
+  // Snapshot CPU at kill time for the per-node recovery energy metric.
+  std::vector<node::CpuScheduler::Snapshot> killSnaps;
+  for (int i = 0; i < cluster.serverCount(); ++i) {
+    killSnaps.push_back(cluster.server(i).node->snapshotCpu());
+  }
+
+  cluster.crashServer(victim);
+
+  // Run until the coordinator reports recovery finished (or give up).
+  const sim::SimTime deadline = cluster.sim().now() + cfg.maxRecoveryWait;
+  while (!finished && cluster.sim().now() < deadline) {
+    cluster.sim().runFor(sim::msec(250));
+  }
+  r.recovered = finished && record.succeeded;
+  if (finished) {
+    r.detectionDelay = record.detectedAt - r.killTime;
+    r.recoveryDuration = record.duration();
+  }
+  const sim::SimTime recoveryEnd = cluster.sim().now();
+
+  // Energy per alive node across the recovery window [detection, end].
+  if (finished) {
+    double joules = 0;
+    double watts = 0;
+    int alive = 0;
+    for (int i = 0; i < cluster.serverCount(); ++i) {
+      if (!cluster.serverAlive(i)) continue;
+      auto& nd = *cluster.server(i).node;
+      const auto& snap = killSnaps[static_cast<std::size_t>(i)];
+      const double j = nd.energyJoulesSince(snap, recoveryEnd);
+      joules += j;
+      watts += j / sim::toSeconds(recoveryEnd - snap.time);
+      ++alive;
+    }
+    if (alive > 0) {
+      r.energyPerNodeDuringRecoveryJ = joules / alive;
+      r.meanPowerDuringRecoveryW = watts / alive;
+    }
+  }
+
+  // Post-recovery tail so the timelines show the return to idle.
+  cluster.sim().runFor(cfg.settleAfter);
+  cluster.stopYcsb();
+  sampler.stop();
+  lat1.flush();
+  lat2.flush();
+  r.client1LatencyUs = std::move(lat1.series);
+  r.client2LatencyUs = std::move(lat2.series);
+  r.client1WorstOpUs = lat1.worstUs;
+  r.client2WorstOpUs = lat2.worstUs;
+
+  r.peakCpuPct = r.cpuMeanPct.maxValue();
+  r.allKeysRecovered =
+      r.recovered && cluster.verifyAllKeysPresent(table, cfg.records);
+  return r;
+}
+
+}  // namespace rc::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/cluster.hpp"
+#include "sim/stats.hpp"
+
+namespace rc::core {
+
+/// Crash-recovery experiment (paper §VII): load a cluster, kill a server at
+/// a fixed time, observe recovery time, CPU/power/disk timelines and the
+/// latency seen by live clients.
+struct RecoveryExperimentConfig {
+  int servers = 10;
+  int replicationFactor = 4;
+  std::uint64_t records = 10'000'000;  ///< paper: 10 M x 1 KB = ~9.7 GB
+  std::uint32_t valueBytes = 1000;
+  sim::Duration killAt = sim::seconds(60);
+  int killIndex = -1;  ///< -1 = seeded-random pick (the paper's protocol)
+  std::uint64_t seed = 42;
+
+  /// Fig. 10's two probing clients: client 1 only requests the killed
+  /// server's keys, client 2 the rest.
+  bool probeClients = false;
+
+  sim::Duration maxRecoveryWait = sim::seconds(600);
+  sim::Duration settleAfter = sim::seconds(10);  ///< post-recovery tail
+
+  /// Optional smaller log-segment size (the §IX segment-size ablation);
+  /// 0 keeps the 8 MB default.
+  std::uint64_t segmentBytes = 0;
+};
+
+struct RecoveryExperimentResult {
+  bool recovered = false;
+  sim::Duration detectionDelay = 0;    ///< kill -> coordinator declares dead
+  sim::Duration recoveryDuration = 0;  ///< declare-dead -> all partitions up
+  double dataRecoveredGB = 0;
+
+  double meanPowerDuringRecoveryW = 0;  ///< per alive node
+  double peakCpuPct = 0;
+  double energyPerNodeDuringRecoveryJ = 0;
+
+  bool allKeysRecovered = false;
+
+  // 1 Hz timelines across the whole run (aggregate over alive servers).
+  sim::TimeSeries cpuMeanPct;     ///< mean CPU % of alive servers
+  sim::TimeSeries powerMeanW;     ///< mean watts of alive servers
+  sim::TimeSeries diskReadMBps;   ///< aggregated
+  sim::TimeSeries diskWriteMBps;  ///< aggregated
+
+  // Fig. 10 probe-client latency timelines (per-second mean, us).
+  sim::TimeSeries client1LatencyUs;
+  sim::TimeSeries client2LatencyUs;
+  /// Worst single operation per probe client (client 1's is the
+  /// availability gap: ~detection + recovery time).
+  double client1WorstOpUs = 0;
+  double client2WorstOpUs = 0;
+
+  sim::SimTime killTime = 0;
+};
+
+RecoveryExperimentResult runRecoveryExperiment(
+    const RecoveryExperimentConfig& cfg);
+
+}  // namespace rc::core

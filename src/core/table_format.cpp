@@ -1,0 +1,61 @@
+#include "core/table_format.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace rc::core {
+
+TableFormatter::TableFormatter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableFormatter::addRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableFormatter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](char fill) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, fill);
+    }
+    os << "+\n";
+  };
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(width[c])) << row[c] << ' ';
+    }
+    os << "|\n";
+  };
+  line('-');
+  printRow(headers_);
+  line('=');
+  for (const auto& row : rows_) printRow(row);
+  line('-');
+}
+
+std::string TableFormatter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TableFormatter::kops(double opsPerSec, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << opsPerSec / 1e3 << "K";
+  return os.str();
+}
+
+bool shapeCheck(bool ok, const std::string& what, std::ostream& os) {
+  os << "shape-check: " << (ok ? "PASS" : "FAIL") << " — " << what << "\n";
+  return ok;
+}
+
+}  // namespace rc::core

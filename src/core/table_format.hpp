@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace rc::core {
+
+/// Fixed-width ASCII table printer for the benchmark binaries' paper-style
+/// output, plus shape-check verdict helpers.
+class TableFormatter {
+ public:
+  explicit TableFormatter(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  void print(std::ostream& os = std::cout) const;
+
+  static std::string num(double v, int precision = 1);
+  static std::string kops(double opsPerSec, int precision = 0);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints "shape-check: PASS/FAIL — <what>" and returns ok (bench binaries
+/// aggregate these into their exit status).
+bool shapeCheck(bool ok, const std::string& what,
+                std::ostream& os = std::cout);
+
+/// True when `value` lies within [lo, hi].
+inline bool within(double value, double lo, double hi) {
+  return value >= lo && value <= hi;
+}
+
+}  // namespace rc::core

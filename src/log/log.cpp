@@ -1,0 +1,99 @@
+#include "log/log.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rc::log {
+
+Log::Log(LogParams params)
+    : params_(params), nextSegmentId_(params.segmentIdBase) {}
+
+Segment& Log::openNewHead(sim::SimTime now) {
+  const SegmentId id = nextSegmentId_++;
+  auto seg = std::make_shared<Segment>(id, params_.segmentBytes, now);
+  Segment& ref = *seg;
+  segments_.emplace(id, std::move(seg));
+  head_ = &ref;
+  if (onSegmentOpened) onSegmentOpened(ref);
+  return ref;
+}
+
+std::shared_ptr<const Segment> Log::sharedSegment(SegmentId id) const {
+  auto it = segments_.find(id);
+  return it == segments_.end() ? nullptr : it->second;
+}
+
+void Log::adopt(std::shared_ptr<Segment> seg) {
+  if (!seg) return;
+  const SegmentId id = seg->id();
+  if (head_ == seg.get()) head_ = nullptr;
+  appendedBytes_ += seg->appendedBytes();
+  liveBytes_ += seg->liveBytes();
+  segments_.emplace(id, std::move(seg));
+}
+
+LogRef Log::append(const LogEntry& e, sim::SimTime now) {
+  if (e.sizeBytes > params_.segmentBytes) {
+    throw std::invalid_argument("log entry larger than a segment");
+  }
+  if (head_ == nullptr) {
+    openNewHead(now);
+  } else if (!head_->hasRoom(e.sizeBytes)) {
+    head_->seal();
+    Segment* sealed = head_;
+    head_ = nullptr;
+    if (onSegmentSealed) onSegmentSealed(*sealed);
+    openNewHead(now);
+  }
+  const std::uint32_t idx = head_->append(e);
+  appendedBytes_ += e.sizeBytes;
+  if (e.live) liveBytes_ += e.sizeBytes;
+  return LogRef{head_->id(), idx};
+}
+
+void Log::markDead(LogRef ref) {
+  Segment* seg = segment(ref.segment);
+  if (seg == nullptr) return;  // segment already cleaned
+  const LogEntry& e = seg->entry(ref.index);
+  if (e.live) {
+    assert(liveBytes_ >= e.sizeBytes);
+    liveBytes_ -= e.sizeBytes;
+  }
+  seg->markDead(ref.index);
+}
+
+const LogEntry& Log::entryAt(LogRef ref) const {
+  const Segment* seg = segment(ref.segment);
+  if (seg == nullptr) throw std::out_of_range("entryAt: freed segment");
+  return seg->entry(ref.index);
+}
+
+const Segment* Log::segment(SegmentId id) const {
+  auto it = segments_.find(id);
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+Segment* Log::segment(SegmentId id) {
+  auto it = segments_.find(id);
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+void Log::freeSegment(SegmentId id) {
+  auto it = segments_.find(id);
+  if (it == segments_.end()) return;
+  Segment& seg = *it->second;
+  assert(seg.liveBytes() == 0 && "freeing a segment with live data");
+  appendedBytes_ -= seg.appendedBytes();
+  if (head_ == it->second.get()) head_ = nullptr;
+  segments_.erase(it);
+}
+
+void Log::sealHead() {
+  if (head_ == nullptr) return;
+  head_->seal();
+  Segment* sealed = head_;
+  head_ = nullptr;
+  if (onSegmentSealed) onSegmentSealed(*sealed);
+}
+
+}  // namespace rc::log

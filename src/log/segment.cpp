@@ -1,0 +1,28 @@
+#include "log/segment.hpp"
+
+#include <cassert>
+
+namespace rc::log {
+
+Segment::Segment(SegmentId id, std::uint64_t capacityBytes,
+                 sim::SimTime createdAt)
+    : id_(id), capacity_(capacityBytes), createdAt_(createdAt) {}
+
+std::uint32_t Segment::append(const LogEntry& e) {
+  assert(hasRoom(e.sizeBytes));
+  appended_ += e.sizeBytes;
+  if (e.live) live_ += e.sizeBytes;
+  entries_.push_back(e);
+  return static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+void Segment::markDead(std::uint32_t index) {
+  assert(index < entries_.size());
+  LogEntry& e = entries_[index];
+  if (!e.live) return;
+  e.live = false;
+  assert(live_ >= e.sizeBytes);
+  live_ -= e.sizeBytes;
+}
+
+}  // namespace rc::log

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rc::log {
+
+using SegmentId = std::uint32_t;
+constexpr SegmentId kInvalidSegment = 0xffffffffu;
+
+enum class EntryType : std::uint8_t {
+  kObject,
+  kTombstone,  ///< records a deletion so replay does not resurrect the key
+};
+
+/// One record in the log. Object *contents* are not materialised — the
+/// simulator tracks sizes, versions and liveness, which is everything the
+/// storage-management and recovery logic operates on.
+struct LogEntry {
+  std::uint64_t tableId = 0;
+  std::uint64_t keyId = 0;
+  std::uint32_t sizeBytes = 0;  ///< total in-log footprint incl. metadata
+  std::uint64_t version = 0;
+  EntryType type = EntryType::kObject;
+  bool live = true;
+  /// For tombstones: the segment that held the deleted object. The
+  /// tombstone may be dropped once that segment has been cleaned.
+  SegmentId refSegment = kInvalidSegment;
+};
+
+/// Reference to an entry in a specific segment.
+struct LogRef {
+  SegmentId segment = kInvalidSegment;
+  std::uint32_t index = 0;
+
+  bool valid() const { return segment != kInvalidSegment; }
+  bool operator==(const LogRef&) const = default;
+};
+
+/// An append-only 8 MB (by default) unit of the log. Segments are the
+/// granularity of replication, disk I/O and cleaning.
+class Segment {
+ public:
+  Segment(SegmentId id, std::uint64_t capacityBytes, sim::SimTime createdAt);
+
+  SegmentId id() const { return id_; }
+  std::uint64_t capacityBytes() const { return capacity_; }
+  std::uint64_t appendedBytes() const { return appended_; }
+  std::uint64_t liveBytes() const { return live_; }
+  sim::SimTime createdAt() const { return createdAt_; }
+  bool sealed() const { return sealed_; }
+  std::size_t entryCount() const { return entries_.size(); }
+
+  bool hasRoom(std::uint32_t bytes) const {
+    return !sealed_ && appended_ + bytes <= capacity_;
+  }
+
+  /// Appends and returns the entry index. Caller must check hasRoom().
+  std::uint32_t append(const LogEntry& e);
+
+  /// Mark an entry dead (overwritten or deleted object).
+  void markDead(std::uint32_t index);
+
+  /// Seal: no further appends (head rolled over or crash replay finished).
+  void seal() { sealed_ = true; }
+
+  const LogEntry& entry(std::uint32_t index) const { return entries_[index]; }
+  const std::vector<LogEntry>& entries() const { return entries_; }
+
+  /// Fraction of appended bytes still live; 0 for an empty segment.
+  double utilisation() const {
+    return appended_ ? static_cast<double>(live_) /
+                           static_cast<double>(appended_)
+                     : 0.0;
+  }
+
+ private:
+  SegmentId id_;
+  std::uint64_t capacity_;
+  std::uint64_t appended_ = 0;
+  std::uint64_t live_ = 0;
+  sim::SimTime createdAt_;
+  bool sealed_ = false;
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace rc::log

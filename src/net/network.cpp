@@ -1,0 +1,30 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rc::net {
+
+Network::Network(sim::Simulation& sim, TransportParams params)
+    : sim_(sim), params_(params) {}
+
+sim::SimTime Network::send(node::NodeId from, node::NodeId to,
+                           std::uint64_t bytes, DeliverFn deliver) {
+  ++messagesSent_;
+  bytesSent_ += bytes;
+
+  const sim::Duration wire = sim::secondsF(
+      static_cast<double>(bytes) / (params_.bandwidthMBps * 1e6));
+
+  sim::SimTime& txFree = txFree_[from];
+  const sim::SimTime txStart = std::max(sim_.now(), txFree);
+  const sim::SimTime txEnd = txStart + params_.perMessageOverhead + wire;
+  txFree = txEnd;
+
+  const sim::SimTime arrival =
+      (to == from) ? txEnd : txEnd + params_.oneWayLatency;
+  sim_.scheduleAt(arrival, std::move(deliver));
+  return arrival;
+}
+
+}  // namespace rc::net

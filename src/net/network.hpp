@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "node/node.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace rc::net {
+
+/// Point-to-point transport characteristics.
+struct TransportParams {
+  sim::Duration oneWayLatency = sim::usec(2);
+  double bandwidthMBps = 2000.0;          ///< per-NIC serialisation rate
+  sim::Duration perMessageOverhead = sim::nsec(300);
+
+  /// Mellanox Infiniband-20G as on the Nancy nodes (the paper uses the
+  /// Infiniband transport exclusively; kernel-bypass polling gives ~4-5 us
+  /// RTTs for small RPCs).
+  static TransportParams infiniband() {
+    return TransportParams{sim::usec(2), 2000.0, sim::nsec(300)};
+  }
+
+  /// The nodes' Gigabit Ethernet card (kernel TCP): included for the
+  /// companion study's comparisons and for tests.
+  static TransportParams gigabitEthernet() {
+    return TransportParams{sim::usec(30), 117.0, sim::usec(2)};
+  }
+};
+
+/// Message-passing fabric between nodes.
+///
+/// Delivery time = sender-NIC serialisation (per-sender FIFO at
+/// bandwidthMBps) + one-way latency. Receive-side CPU costs are modelled by
+/// the services themselves (dispatch thread), not here.
+class Network {
+ public:
+  using DeliverFn = std::function<void()>;
+
+  Network(sim::Simulation& sim, TransportParams params);
+
+  /// Sends `bytes` from `from` to `to`; `deliver` runs at the receiver's
+  /// arrival time. Returns the scheduled arrival time.
+  sim::SimTime send(node::NodeId from, node::NodeId to, std::uint64_t bytes,
+                    DeliverFn deliver);
+
+  const TransportParams& params() const { return params_; }
+
+  std::uint64_t messagesSent() const { return messagesSent_; }
+  std::uint64_t bytesSent() const { return bytesSent_; }
+
+ private:
+  sim::Simulation& sim_;
+  TransportParams params_;
+  std::unordered_map<node::NodeId, sim::SimTime> txFree_;
+  std::uint64_t messagesSent_ = 0;
+  std::uint64_t bytesSent_ = 0;
+};
+
+}  // namespace rc::net

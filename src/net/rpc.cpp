@@ -1,0 +1,58 @@
+#include "net/rpc.hpp"
+
+#include <utility>
+
+namespace rc::net {
+
+RpcSystem::RpcSystem(sim::Simulation& sim, Network& net)
+    : sim_(sim), net_(net) {}
+
+void RpcSystem::bind(node::NodeId node, int port, RpcService* service) {
+  services_[addrKey(node, port)] = service;
+}
+
+void RpcSystem::unbind(node::NodeId node, int port) {
+  services_.erase(addrKey(node, port));
+}
+
+bool RpcSystem::isBound(node::NodeId node, int port) const {
+  return services_.count(addrKey(node, port)) > 0;
+}
+
+void RpcSystem::call(node::NodeId from, node::NodeId to, int port,
+                     RpcRequest req, sim::Duration timeout, ResponseFn cb) {
+  const std::uint64_t rpcId = nextRpcId_++;
+
+  const sim::EventId timeoutEvent = sim_.schedule(timeout, [this, rpcId] {
+    auto it = outstanding_.find(rpcId);
+    if (it == outstanding_.end()) return;
+    ResponseFn cb = std::move(it->second.cb);
+    outstanding_.erase(it);
+    ++timeouts_;
+    RpcResponse resp;
+    resp.status = Status::kTimeout;
+    cb(resp);
+  });
+  outstanding_[rpcId] = Pending{std::move(cb), timeoutEvent};
+
+  net_.send(from, to, kRpcHeaderBytes + req.payloadBytes,
+            [this, rpcId, from, to, port, req] {
+    auto it = services_.find(addrKey(to, port));
+    if (it == services_.end()) return;  // dead service: caller times out
+    RpcService* service = it->second;
+    auto respond = [this, rpcId, from, to](RpcResponse resp) {
+      net_.send(to, from, kRpcHeaderBytes + resp.payloadBytes,
+                [this, rpcId, resp] {
+        auto p = outstanding_.find(rpcId);
+        if (p == outstanding_.end()) return;  // already timed out
+        sim_.cancel(p->second.timeoutEvent);
+        ResponseFn cb = std::move(p->second.cb);
+        outstanding_.erase(p);
+        cb(resp);
+      });
+    };
+    service->handleRpc(req, from, std::move(respond));
+  });
+}
+
+}  // namespace rc::net

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "node/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace rc::net {
+
+/// RPC operations understood by the cluster's services.
+enum class Opcode : std::uint8_t {
+  kPing,
+  kRead,
+  kWrite,
+  kRemove,
+  kScan,       ///< enumerate a tablet's objects (paper SS X future work)
+  kMultiRead,  ///< batched reads (RAMCloud's multiRead API)
+  kMultiWrite, ///< batched writes
+  kBackupWrite,        ///< master -> backup: replicate segment data
+  kBackupFree,         ///< coordinator -> backup: drop dead master's frames
+  kGetSegmentList,     ///< coordinator -> backup: frames held for a master
+  kGetRecoveryData,    ///< recovery master -> backup: filtered segment data
+  kStartRecovery,      ///< coordinator -> recovery master
+  kRecoveryDone,       ///< recovery master -> coordinator
+  kGetTabletMap,       ///< client -> coordinator
+  kEnlist,             ///< server -> coordinator (registration)
+  kMigrateTablet,      ///< coordinator -> source master: start migration
+  kMigrationData,      ///< source master -> destination master: batch
+  kMigrationDone,      ///< source master -> coordinator
+};
+
+enum class Status : std::uint8_t {
+  kOk,
+  kTimeout,        ///< synthesised client-side when no reply arrives
+  kUnknownTablet,  ///< wrong/stale routing: refresh the tablet map
+  kRecovering,     ///< tablet currently being recovered: back off and retry
+  kError,
+  kOverloaded,
+};
+
+/// Compact wire format: an opcode plus a few op-specific integer fields and
+/// a payload size (bytes actually occupy simulated wire/CPU time; contents
+/// are carried out-of-band through the simulator's shared memory).
+struct RpcRequest {
+  Opcode op = Opcode::kPing;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint64_t d = 0;
+  std::uint64_t payloadBytes = 0;
+  /// Batched-op key list (kMultiRead/kMultiWrite). Shared so the copy in
+  /// flight costs nothing; the wire bytes are charged via payloadBytes.
+  std::shared_ptr<const std::vector<std::uint64_t>> keys;
+};
+
+struct RpcResponse {
+  Status status = Status::kOk;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint64_t payloadBytes = 0;
+};
+
+constexpr std::uint64_t kRpcHeaderBytes = 96;
+
+/// Well-known service ports.
+constexpr int kMasterPort = 1;
+constexpr int kBackupPort = 2;
+constexpr int kCoordinatorPort = 3;
+
+/// A service bound to (node, port). `respond` must be invoked at most once;
+/// never invoking it (e.g. because the process died) surfaces as a client
+/// timeout, exactly like the real system.
+class RpcService {
+ public:
+  virtual ~RpcService() = default;
+  using Responder = std::function<void(RpcResponse)>;
+  virtual void handleRpc(const RpcRequest& req, node::NodeId from,
+                         Responder respond) = 0;
+};
+
+/// Cluster-wide RPC fabric with timeouts.
+class RpcSystem {
+ public:
+  using ResponseFn = std::function<void(const RpcResponse&)>;
+
+  RpcSystem(sim::Simulation& sim, Network& net);
+
+  void bind(node::NodeId node, int port, RpcService* service);
+  void unbind(node::NodeId node, int port);
+  bool isBound(node::NodeId node, int port) const;
+
+  /// Issue an RPC. `cb` is invoked exactly once: with the response, or with
+  /// Status::kTimeout after `timeout` elapses without one.
+  void call(node::NodeId from, node::NodeId to, int port, RpcRequest req,
+            sim::Duration timeout, ResponseFn cb);
+
+  std::uint64_t timeoutsObserved() const { return timeouts_; }
+
+ private:
+  struct Pending {
+    ResponseFn cb;
+    sim::EventId timeoutEvent;
+  };
+  static std::uint64_t addrKey(node::NodeId n, int port) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(n)) << 16) |
+           static_cast<std::uint64_t>(port);
+  }
+
+  sim::Simulation& sim_;
+  Network& net_;
+  std::unordered_map<std::uint64_t, RpcService*> services_;
+  std::unordered_map<std::uint64_t, Pending> outstanding_;
+  std::uint64_t nextRpcId_ = 1;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace rc::net

@@ -1,0 +1,155 @@
+#include "node/cpu_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rc::node {
+
+CpuScheduler::CpuScheduler(sim::Simulation& sim, CpuParams params)
+    : sim_(sim), params_(params) {
+  params_.workerThreads =
+      std::max(1, std::min(params_.workerThreads,
+                           params_.cores - params_.pollingCores));
+  state_.assign(static_cast<std::size_t>(params_.workerThreads),
+                WorkerState::Sleeping);
+  spinEnd_.assign(state_.size(), sim::kInvalidEvent);
+  for (int w = params_.workerThreads - 1; w >= 0; --w) {
+    sleepingStack_.push_back(w);
+  }
+  busy_.set(sim_.now(), 0);
+}
+
+void CpuScheduler::setBusyCores() {
+  const double cores = (on_ ? params_.pollingCores : 0) + busyCount_ +
+                       spinningCount_;
+  busy_.set(sim_.now(), cores);
+}
+
+void CpuScheduler::powerOn() {
+  if (on_) return;
+  on_ = true;
+  ++epoch_;
+  setBusyCores();
+}
+
+void CpuScheduler::powerOff() {
+  if (!on_) return;
+  on_ = false;
+  ++epoch_;
+  queue_.clear();
+  for (std::size_t w = 0; w < state_.size(); ++w) {
+    if (spinEnd_[w] != sim::kInvalidEvent) {
+      sim_.cancel(spinEnd_[w]);
+      spinEnd_[w] = sim::kInvalidEvent;
+    }
+    state_[w] = WorkerState::Sleeping;
+  }
+  spinningStack_.clear();
+  sleepingStack_.clear();
+  for (int w = params_.workerThreads - 1; w >= 0; --w) {
+    sleepingStack_.push_back(w);
+  }
+  busyCount_ = 0;
+  spinningCount_ = 0;
+  setBusyCores();
+}
+
+void CpuScheduler::assign(WorkerId w, AcquireFn fn, bool fromSleep) {
+  state_[static_cast<std::size_t>(w)] = WorkerState::Busy;
+  ++busyCount_;
+  ++tasksStarted_;
+  setBusyCores();
+  if (fromSleep && params_.wakeupLatency > 0) {
+    const std::uint64_t epoch = epoch_;
+    sim_.schedule(params_.wakeupLatency, [this, epoch, w, fn = std::move(fn)] {
+      if (epoch_ != epoch) return;
+      fn(w);
+    });
+  } else {
+    fn(w);
+  }
+}
+
+void CpuScheduler::acquireWorker(AcquireFn fn) {
+  if (!on_) return;  // crashed process: request silently dropped (times out)
+  if (!spinningStack_.empty()) {
+    const WorkerId w = spinningStack_.back();
+    spinningStack_.pop_back();
+    --spinningCount_;
+    sim_.cancel(spinEnd_[static_cast<std::size_t>(w)]);
+    spinEnd_[static_cast<std::size_t>(w)] = sim::kInvalidEvent;
+    assign(w, std::move(fn), /*fromSleep=*/false);
+    return;
+  }
+  if (!sleepingStack_.empty()) {
+    const WorkerId w = sleepingStack_.back();
+    sleepingStack_.pop_back();
+    assign(w, std::move(fn), /*fromSleep=*/true);
+    return;
+  }
+  queue_.push_back(std::move(fn));
+  maxQueue_ = std::max(maxQueue_, queue_.size());
+}
+
+void CpuScheduler::releaseWorker(WorkerId w) {
+  if (!on_) return;  // release from an operation that straddled a crash
+  assert(state_[static_cast<std::size_t>(w)] == WorkerState::Busy);
+  if (!queue_.empty()) {
+    AcquireFn next = std::move(queue_.front());
+    queue_.pop_front();
+    ++tasksStarted_;
+    next(w);  // worker stays Busy; accounting unchanged
+    return;
+  }
+  --busyCount_;
+  startSpin(w);
+}
+
+void CpuScheduler::startSpin(WorkerId w) {
+  state_[static_cast<std::size_t>(w)] = WorkerState::Spinning;
+  ++spinningCount_;
+  spinningStack_.push_back(w);
+  setBusyCores();
+  const std::uint64_t epoch = epoch_;
+  spinEnd_[static_cast<std::size_t>(w)] =
+      sim_.schedule(params_.workerSpinBeforeSleep, [this, epoch, w] {
+        if (epoch_ != epoch) return;
+        if (state_[static_cast<std::size_t>(w)] != WorkerState::Spinning)
+          return;
+        spinEnd_[static_cast<std::size_t>(w)] = sim::kInvalidEvent;
+        state_[static_cast<std::size_t>(w)] = WorkerState::Sleeping;
+        --spinningCount_;
+        auto it = std::find(spinningStack_.begin(), spinningStack_.end(), w);
+        if (it != spinningStack_.end()) spinningStack_.erase(it);
+        sleepingStack_.push_back(w);
+        setBusyCores();
+      });
+}
+
+void CpuScheduler::run(sim::Duration cpuTime, std::function<void()> done) {
+  const std::uint64_t epoch = epoch_;
+  acquireWorker([this, epoch, cpuTime, done = std::move(done)](WorkerId w) {
+    sim_.schedule(cpuTime, [this, epoch, w, done = std::move(done)] {
+      if (epoch_ != epoch) return;  // node crashed meanwhile
+      releaseWorker(w);
+      done();
+    });
+  });
+}
+
+CpuScheduler::Snapshot CpuScheduler::snapshot() const {
+  return Snapshot{sim_.now(), busy_.integralTo(sim_.now()),
+                  auxBusyCoreSeconds_};
+}
+
+double CpuScheduler::utilisationSince(const Snapshot& s,
+                                      sim::SimTime t) const {
+  if (t <= s.time) return 0;
+  const double coreSeconds = busy_.integralTo(t) - s.busyCoreSeconds +
+                             (auxBusyCoreSeconds_ - s.auxBusyCoreSeconds);
+  const double wall = sim::toSeconds(t - s.time);
+  return std::clamp(coreSeconds / (wall * params_.cores), 0.0, 1.0);
+}
+
+}  // namespace rc::node

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace rc::node {
+
+/// CPU configuration of one simulated server (defaults model the paper's
+/// Grid'5000 Nancy nodes: 1x Xeon X3440, 4 cores).
+struct CpuParams {
+  int cores = 4;
+
+  /// RAMCloud's dispatch thread busy-polls the NIC and is pinned to its own
+  /// core — the paper measures a 25 % CPU floor on 4-core nodes even with
+  /// zero clients (Table I row 0, Fig. 9a).
+  int pollingCores = 1;
+
+  /// Worker threads servicing requests (RAMCloud runs roughly one per
+  /// remaining core).
+  int workerThreads = 3;
+
+  /// After finishing work a worker busy-polls this long before sleeping;
+  /// this produces Table I's staircase (one hot worker per active client
+  /// stream) and the near-100 % CPU at load levels well below peak
+  /// throughput — the paper's "non-proportional power" effect.
+  sim::Duration workerSpinBeforeSleep = sim::usec(32);
+
+  /// Context-switch cost to wake a sleeping worker.
+  sim::Duration wakeupLatency = sim::usec(2);
+};
+
+/// Worker-slot scheduler with busy-core accounting.
+///
+/// A "worker" here is a RAMCloud worker thread. Request handlers acquire a
+/// worker, drive an arbitrary multi-stage operation while occupying it
+/// (service CPU, lock spin-waits, synchronous replication waits — RAMCloud
+/// workers spin, so occupancy == CPU-busy), then release it. Utilisation is
+/// integrated continuously and drives the power model.
+class CpuScheduler {
+ public:
+  using WorkerId = int;
+  using AcquireFn = std::function<void(WorkerId)>;
+
+  CpuScheduler(sim::Simulation& sim, CpuParams params);
+
+  CpuScheduler(const CpuScheduler&) = delete;
+  CpuScheduler& operator=(const CpuScheduler&) = delete;
+
+  /// Start the process: polling core(s) go busy.
+  void powerOn();
+
+  /// Kill the process: pending queue dropped, all workers idle, polling
+  /// stops. In-flight operations holding workers are orphaned; their
+  /// releases become no-ops (guarded by an epoch check).
+  void powerOff();
+
+  bool poweredOn() const { return on_; }
+
+  /// Acquire a worker slot. `fn` runs as soon as a worker is available —
+  /// synchronously if one is spinning, after wakeupLatency if one must be
+  /// woken, or later if all are busy (FIFO request queue).
+  void acquireWorker(AcquireFn fn);
+
+  /// Release a worker previously granted to this operation. If requests are
+  /// queued the worker immediately starts the next one; otherwise it spins
+  /// for workerSpinBeforeSleep and then sleeps.
+  void releaseWorker(WorkerId id);
+
+  /// Convenience: occupy a worker for `cpuTime`, then call `done`.
+  void run(sim::Duration cpuTime, std::function<void()> done);
+
+  /// Epoch increments on every powerOff/powerOn; continuations captured
+  /// before a crash must check it before touching the scheduler.
+  std::uint64_t epoch() const { return epoch_; }
+
+  std::size_t queuedRequests() const { return queue_.size(); }
+  int busyWorkers() const { return busyCount_; }
+  int workerThreads() const { return params_.workerThreads; }
+  const CpuParams& params() const { return params_; }
+
+  /// Continuous busy-core integral (core-seconds) up to time t >= now-ish.
+  double busyCoreSeconds(sim::SimTime t) const { return busy_.integralTo(t); }
+
+  /// Charge CPU work that is not a worker occupancy — e.g. replication
+  /// requests serviced at dispatch priority, whose cycles would otherwise
+  /// hide inside the already-pinned polling core. Accumulated into the
+  /// utilisation (clamped at the core count), so it shows up in power.
+  void chargeAuxiliaryWork(sim::Duration d) {
+    if (on_) auxBusyCoreSeconds_ += sim::toSeconds(d);
+  }
+
+  /// Mean utilisation in [0,1] between a snapshot and time `t`.
+  struct Snapshot {
+    sim::SimTime time = 0;
+    double busyCoreSeconds = 0;
+    double auxBusyCoreSeconds = 0;
+  };
+  Snapshot snapshot() const;
+  double utilisationSince(const Snapshot& s, sim::SimTime t) const;
+
+  /// Lifetime stats.
+  std::uint64_t tasksStarted() const { return tasksStarted_; }
+  std::size_t maxQueueDepth() const { return maxQueue_; }
+
+ private:
+  enum class WorkerState { Sleeping, Spinning, Busy };
+
+  void setBusyCores();
+  void assign(WorkerId w, AcquireFn fn, bool fromSleep);
+  void startSpin(WorkerId w);
+
+  sim::Simulation& sim_;
+  CpuParams params_;
+  bool on_ = false;
+  std::uint64_t epoch_ = 0;
+
+  std::vector<WorkerState> state_;
+  std::vector<sim::EventId> spinEnd_;     // pending spin-end per worker
+  std::vector<WorkerId> spinningStack_;   // LIFO: hottest worker on top
+  std::vector<WorkerId> sleepingStack_;
+  std::deque<AcquireFn> queue_;
+  int busyCount_ = 0;
+  int spinningCount_ = 0;
+
+  sim::TimeWeightedValue busy_;
+  double auxBusyCoreSeconds_ = 0;
+  std::uint64_t tasksStarted_ = 0;
+  std::size_t maxQueue_ = 0;
+};
+
+}  // namespace rc::node

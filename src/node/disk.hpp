@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace rc::node {
+
+/// Mechanical-disk parameters (defaults model the Nancy nodes' 298 GB HDD).
+struct DiskParams {
+  double readMBps = 110.0;   ///< sequential read bandwidth
+  double writeMBps = 105.0;  ///< sequential write bandwidth
+
+  /// Head-movement penalty paid whenever the disk switches between
+  /// concurrent streams (e.g. recovery-segment reads interleaving with
+  /// re-replication flushes — the contention of paper Fig. 12 / Finding 6).
+  sim::Duration seekTime = sim::msec(8);
+
+  /// Transfer granularity at which concurrent operations interleave.
+  std::uint64_t chunkBytes = 256 * 1024;
+};
+
+/// FIFO + round-robin disk model.
+///
+/// Each read()/write() is one stream. Streams are serviced one chunk at a
+/// time, round-robin; every switch between distinct streams pays seekTime.
+/// A single sequential stream therefore gets full bandwidth, while mixed
+/// read/write activity degrades sharply — the emergent behaviour behind the
+/// paper's recovery-time findings.
+class Disk {
+ public:
+  using Callback = std::function<void()>;
+
+  Disk(sim::Simulation& sim, DiskParams params);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  void read(std::uint64_t bytes, Callback done);
+  void write(std::uint64_t bytes, Callback done);
+
+  /// Crash: drop queued operations (their callbacks never run).
+  void powerOff();
+  void powerOn();
+
+  std::size_t queueDepth() const { return queue_.size() + (active_ ? 1 : 0); }
+  std::uint64_t bytesRead() const { return bytesRead_; }
+  std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+  /// Busy-time integral in seconds (for utilisation stats).
+  double busySeconds(sim::SimTime t) const { return busy_.integralTo(t); }
+
+  const DiskParams& params() const { return params_; }
+
+ private:
+  struct Op {
+    std::uint64_t id;
+    bool isWrite;
+    std::uint64_t remaining;
+    Callback done;
+  };
+
+  void serviceNext();
+
+  sim::Simulation& sim_;
+  DiskParams params_;
+  bool on_ = true;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t nextOpId_ = 1;
+  std::uint64_t lastServedOp_ = 0;
+  std::deque<Op> queue_;
+  bool active_ = false;
+  std::uint64_t bytesRead_ = 0;
+  std::uint64_t bytesWritten_ = 0;
+  sim::TimeWeightedValue busy_;
+};
+
+}  // namespace rc::node

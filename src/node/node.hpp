@@ -1,0 +1,107 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "node/cpu_scheduler.hpp"
+#include "node/disk.hpp"
+#include "power/pdu.hpp"
+#include "power/power_model.hpp"
+#include "sim/simulation.hpp"
+
+namespace rc::node {
+
+/// Cluster-wide node identifier.
+using NodeId = int;
+
+constexpr NodeId kInvalidNode = -1;
+
+struct NodeParams {
+  CpuParams cpu;
+  DiskParams disk;
+  power::PowerModel power;
+  /// Wall power of a machine put in standby (suspend-to-RAM) by the
+  /// autoscaler — the knob behind Sierra/Rabbit-style power
+  /// proportionality the paper's SS IX points to.
+  double suspendedWatts = 9.0;
+  /// Grid'5000 Nancy: only the 40 PDU-equipped machines are metered; client
+  /// nodes are not. Unmetered nodes skip PDU sampling (cheaper, and matches
+  /// the paper's methodology: reported watts cover servers only).
+  bool metered = true;
+};
+
+/// One physical machine: CPU, disk, NIC-attachment point, power meter.
+///
+/// The RAMCloud *process* on a node can crash (crashProcess()) — the machine
+/// stays powered (idle watts), exactly like killing the ramcloud-server
+/// binary in the paper's crash-recovery experiments.
+class Node {
+ public:
+  Node(sim::Simulation& sim, NodeId id, NodeParams params);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  sim::Simulation& sim() { return sim_; }
+  CpuScheduler& cpu() { return cpu_; }
+  const CpuScheduler& cpu() const { return cpu_; }
+  Disk& disk() { return disk_; }
+  const Disk& disk() const { return disk_; }
+  const NodeParams& params() const { return params_; }
+
+  /// Start the RAMCloud process (polling core goes busy).
+  void startProcess();
+
+  /// Kill the RAMCloud process: CPU queue dropped, disk queue dropped.
+  void crashProcess();
+
+  bool processRunning() const { return cpu_.poweredOn(); }
+
+  /// Put the whole machine in standby (process stopped first): it draws
+  /// suspendedWatts until resume().
+  void suspendMachine();
+  void resumeMachine();
+  bool suspended() const { return suspended_; }
+
+  /// Suspension-aware power accounting window.
+  struct PowerSnapshot {
+    CpuScheduler::Snapshot cpu;
+    double suspendedSeconds = 0;
+  };
+  PowerSnapshot snapshotPower() const;
+  double energyJoulesSince(const PowerSnapshot& s, sim::SimTime t) const;
+  double meanWattsSince(const PowerSnapshot& s, sim::SimTime t) const;
+
+  /// Begin 1 Hz PDU sampling (no-op for unmetered nodes).
+  void startPduSampling();
+  void stopPduSampling();
+  const power::PduSampler* pdu() const { return pdu_.get(); }
+
+  /// CPU accounting for metrics windows.
+  CpuScheduler::Snapshot snapshotCpu() const { return cpu_.snapshot(); }
+  double meanUtilisationSince(const CpuScheduler::Snapshot& s,
+                              sim::SimTime t) const {
+    return cpu_.utilisationSince(s, t);
+  }
+
+  /// Exact energy (J) between a snapshot and `t`, via the linear model.
+  double energyJoulesSince(const CpuScheduler::Snapshot& s,
+                           sim::SimTime t) const;
+
+  /// Instantaneous wattage estimate over the trailing PDU window (for
+  /// logging); falls back to the model at current utilisation.
+  double currentWatts() const;
+
+ private:
+  sim::Simulation& sim_;
+  NodeId id_;
+  NodeParams params_;
+  CpuScheduler cpu_;
+  Disk disk_;
+  bool suspended_ = false;
+  sim::TimeWeightedValue suspendedTime_;  ///< 1 while suspended
+  std::unique_ptr<power::PduSampler> pdu_;
+};
+
+}  // namespace rc::node

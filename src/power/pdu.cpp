@@ -1,0 +1,42 @@
+#include "power/pdu.hpp"
+
+#include <utility>
+
+namespace rc::power {
+
+PduSampler::PduSampler(sim::Simulation& sim, PowerModel model,
+                       UtilisationFn utilisation, sim::Duration interval)
+    : sim_(sim),
+      model_(model),
+      utilisation_(std::move(utilisation)),
+      interval_(interval),
+      lastSample_(sim.now()) {
+  task_ = std::make_unique<sim::PeriodicTask>(
+      sim, interval, [this](sim::SimTime now) { takeSample(now); });
+}
+
+void PduSampler::stop() {
+  if (task_) task_->cancel();
+}
+
+void PduSampler::takeSample(sim::SimTime now) {
+  const double u = utilisation_(lastSample_, now);
+  trace_.add(now, model_.watts(u));
+  lastSample_ = now;
+}
+
+double PduSampler::sampledEnergyJoules(sim::SimTime from,
+                                       sim::SimTime to) const {
+  if (to <= from) return 0;
+  double joules = 0;
+  for (const auto& p : trace_.points()) {
+    // A sample at time t covers [t - interval, t).
+    const sim::SimTime cover = p.time - interval_;
+    if (cover >= from && p.time <= to) {
+      joules += p.value * sim::toSeconds(interval_);
+    }
+  }
+  return joules;
+}
+
+}  // namespace rc::power

@@ -1,0 +1,724 @@
+#include "server/master_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <atomic>
+#include <utility>
+
+#include "server/backup_service.hpp"
+#include "server/recovery_task.hpp"
+
+namespace rc::server {
+
+MasterService::MasterService(
+    node::Node& node, Dispatch& dispatch, net::RpcSystem& rpc,
+    const ServiceDirectory& directory, MasterParams params,
+    std::function<RecoveryPlanPtr(std::uint64_t)> planLookup,
+    node::NodeId coordinatorNode, sim::Rng rng)
+    : node_(node),
+      dispatch_(dispatch),
+      rpc_(rpc),
+      directory_(directory),
+      params_(params),
+      planLookup_(std::move(planLookup)),
+      coordinator_(coordinatorNode),
+      rng_(rng),
+      log_(params_.log),
+      cleaner_(
+          log_,
+          [this](const log::LogEntry& e, log::LogRef newRef) {
+            if (e.type != log::EntryType::kObject) return;
+            const hash::Key k{e.tableId, e.keyId};
+            if (auto* loc = map_.getMutable(k);
+                loc != nullptr && loc->version == e.version) {
+              loc->ref = newRef;
+            }
+          },
+          params.cleanerPolicy),
+      replicaMgr_(
+          node.sim(), rpc, node.id(), params_.replication,
+          [this] { return backupCandidates(); },
+          [this](log::SegmentId id) -> const log::Segment* {
+            auto s = findSegment(id);
+            return s.get();
+          },
+          rng_.fork(0xbac)) {
+  replicaMgr_.stillAlive = [this] { return node_.cpu().poweredOn(); };
+  log_.onSegmentOpened = [this](log::Segment& seg) {
+    replicaMgr_.onSegmentOpened(seg);
+  };
+  log_.onSegmentSealed = [this](log::Segment& seg) {
+    if (!bulkMode_) replicaMgr_.sealSegment(seg);
+  };
+}
+
+MasterService::~MasterService() = default;
+
+std::vector<node::NodeId> MasterService::backupCandidates() const {
+  std::vector<node::NodeId> out;
+  if (directory_.liveBackups) {
+    out = directory_.liveBackups();
+    std::erase(out, node_.id());
+  }
+  return out;
+}
+
+int MasterService::concurrentStreams() const {
+  const sim::SimTime cutoff = node_.sim().now() - params_.concurrencyWindow;
+  int n = 0;
+  for (auto it = recentStreams_.begin(); it != recentStreams_.end();) {
+    if (it->second < cutoff) {
+      it = recentStreams_.erase(it);
+    } else {
+      ++n;
+      ++it;
+    }
+  }
+  return n;
+}
+
+void MasterService::noteStream(node::NodeId from) {
+  recentStreams_[from] = node_.sim().now();
+}
+
+void MasterService::handleRpc(const net::RpcRequest& req, node::NodeId from,
+                              Responder respond) {
+  if (req.op == net::Opcode::kRead || req.op == net::Opcode::kWrite ||
+      req.op == net::Opcode::kRemove) {
+    noteStream(from);
+  }
+  switch (req.op) {
+    case net::Opcode::kPing: {
+      // Pings are answered by the dispatch thread itself.
+      dispatch_.enqueue([respond = std::move(respond)]() mutable {
+        respond(net::RpcResponse{});
+      });
+      break;
+    }
+    case net::Opcode::kRead:
+      onRead(req, std::move(respond));
+      break;
+    case net::Opcode::kWrite:
+      onWrite(req, std::move(respond));
+      break;
+    case net::Opcode::kRemove:
+      onRemove(req, std::move(respond));
+      break;
+    case net::Opcode::kScan:
+      onScan(req, std::move(respond));
+      break;
+    case net::Opcode::kMultiRead:
+    case net::Opcode::kMultiWrite:
+      onMultiOp(req, std::move(respond));
+      break;
+    case net::Opcode::kStartRecovery:
+      onStartRecovery(req, std::move(respond));
+      break;
+    case net::Opcode::kMigrateTablet:
+      onMigrateTablet(req, std::move(respond));
+      break;
+    case net::Opcode::kMigrationData:
+      onMigrationData(req, from, std::move(respond));
+      break;
+    default: {
+      net::RpcResponse r;
+      r.status = net::Status::kError;
+      respond(std::move(r));
+    }
+  }
+}
+
+void MasterService::crash() {
+  for (auto& rt : recoveries_) rt->abort();
+  recoveries_.clear();
+  for (auto& mt : migrations_) mt->abort();
+  migrations_.clear();
+  logLock_.reset();
+  cleanerActive_ = false;
+}
+
+void MasterService::addTablet(const Tablet& t) {
+  Tablet owned = t;
+  owned.owner = node_.id();
+  tablets_.push_back(owned);
+}
+
+bool MasterService::ownsKey(std::uint64_t tableId, std::uint64_t keyId) const {
+  const std::uint64_t h = hash::keyHash(hash::Key{tableId, keyId});
+  for (const Tablet& t : tablets_) {
+    if (t.covers(tableId, h)) return true;
+  }
+  return false;
+}
+
+MasterService::ApplyResult MasterService::applyWrite(std::uint64_t tableId,
+                                                     std::uint64_t keyId,
+                                                     std::uint32_t valueBytes) {
+  log::LogEntry e;
+  e.tableId = tableId;
+  e.keyId = keyId;
+  e.sizeBytes = valueBytes + params_.objectOverheadBytes;
+  e.version = log_.nextVersion();
+  e.type = log::EntryType::kObject;
+  const log::LogRef ref = log_.append(e, node_.sim().now());
+
+  const hash::Key k{tableId, keyId};
+  if (const auto* old = map_.get(k)) log_.markDead(old->ref);
+  map_.put(k, hash::ObjectLocation{ref, e.version, e.sizeBytes});
+  return ApplyResult{ref, e.version, e.sizeBytes};
+}
+
+void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
+  const std::uint64_t tableId = req.a;
+  const std::uint64_t keyId = req.b;
+  const sim::SimTime arrival = node_.sim().now();
+
+  dispatch_.enqueue(guard([this, tableId, keyId, arrival,
+                           respond = std::move(respond)]() mutable {
+    if (!ownsKey(tableId, keyId)) {
+      ++stats_.unknownTablet;
+      net::RpcResponse r;
+      r.status = net::Status::kUnknownTablet;
+      respond(std::move(r));
+      return;
+    }
+    node_.cpu().acquireWorker(guard([this, tableId, keyId, arrival,
+                                     respond =
+                                         std::move(respond)](int w) mutable {
+      node_.sim().schedule(
+          params_.readServiceTime,
+          guard([this, tableId, keyId, arrival, w,
+                 respond = std::move(respond)]() mutable {
+            node_.cpu().releaseWorker(w);
+            const auto* loc = map_.get(hash::Key{tableId, keyId});
+            net::RpcResponse r;
+            if (loc != nullptr) {
+              r.a = 1;
+              r.b = loc->version;
+              r.payloadBytes = loc->sizeBytes;
+            } else {
+              r.a = 0;
+              ++stats_.missingKeys;
+            }
+            ++stats_.reads;
+            stats_.readServiceLatency.add(node_.sim().now() - arrival);
+            respond(std::move(r));
+          }));
+    }));
+  }));
+}
+
+void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
+  const std::uint64_t tableId = req.a;
+  const std::uint64_t keyId = req.b;
+  const auto valueBytes = static_cast<std::uint32_t>(req.payloadBytes);
+  const sim::SimTime arrival = node_.sim().now();
+
+  dispatch_.enqueue(guard([this, tableId, keyId, valueBytes, arrival,
+                           respond = std::move(respond)]() mutable {
+    if (!ownsKey(tableId, keyId)) {
+      ++stats_.unknownTablet;
+      net::RpcResponse r;
+      r.status = net::Status::kUnknownTablet;
+      respond(std::move(r));
+      return;
+    }
+    if (isMigratingRange(tableId, hash::keyHash(hash::Key{tableId, keyId}))) {
+      // The range is being shipped elsewhere; the client backs off and
+      // re-routes once the coordinator flips the tablet map.
+      net::RpcResponse r;
+      r.status = net::Status::kRecovering;
+      respond(std::move(r));
+      return;
+    }
+    node_.cpu().acquireWorker(guard([this, tableId, keyId, valueBytes, arrival,
+                                     respond =
+                                         std::move(respond)](int w) mutable {
+      logLock_.acquire(guard([this, tableId, keyId, valueBytes, arrival, w,
+                              respond = std::move(respond)]() mutable {
+        // Thread-handling cost under concurrency (Finding 2's root cause):
+        // the more distinct streams hammer this server, the more futile
+        // context switches each synced update eats. sqrt keeps the penalty
+        // sublinear, as fitted to Table II.
+        const int streams = concurrentStreams();
+        const sim::Duration penalty = sim::usecF(
+            params_.convoyPenaltyUs * std::sqrt(static_cast<double>(streams)));
+        node_.sim().schedule(
+            params_.writeAppendCpu + penalty,
+            guard([this, tableId, keyId, valueBytes, arrival, w,
+                   respond = std::move(respond)]() mutable {
+              const ApplyResult res = applyWrite(tableId, keyId, valueBytes);
+              auto finish = guard([this, arrival, w,
+                                   respond = std::move(respond)](
+                                      bool ok) mutable {
+                logLock_.release();
+                net::RpcResponse r;
+                if (!ok) {
+                  r.status = net::Status::kError;
+                  ++stats_.replicationFailures;
+                }
+                ++stats_.writes;
+                stats_.writeServiceLatency.add(node_.sim().now() - arrival);
+                respond(std::move(r));
+                node_.cpu().releaseWorker(w);
+                maybeStartCleaner();
+              });
+              if (params_.replication.factor <= 0) {
+                // Log sync without backups still pays RAMCloud's
+                // thread-handling overhead (see MasterParams).
+                node_.sim().schedule(
+                    params_.unreplicatedSyncTime,
+                    guard([finish = std::move(finish)]() mutable {
+                      finish(true);
+                    }));
+              } else {
+                replicaMgr_.replicateAppend(res.ref.segment, res.entryBytes,
+                                            std::move(finish));
+              }
+            }));
+      }));
+    }));
+  }));
+}
+
+void MasterService::onRemove(const net::RpcRequest& req, Responder respond) {
+  const std::uint64_t tableId = req.a;
+  const std::uint64_t keyId = req.b;
+
+  dispatch_.enqueue(guard([this, tableId, keyId,
+                           respond = std::move(respond)]() mutable {
+    if (!ownsKey(tableId, keyId)) {
+      ++stats_.unknownTablet;
+      net::RpcResponse r;
+      r.status = net::Status::kUnknownTablet;
+      respond(std::move(r));
+      return;
+    }
+    if (isMigratingRange(tableId, hash::keyHash(hash::Key{tableId, keyId}))) {
+      net::RpcResponse r;
+      r.status = net::Status::kRecovering;
+      respond(std::move(r));
+      return;
+    }
+    node_.cpu().acquireWorker(guard([this, tableId, keyId,
+                                     respond =
+                                         std::move(respond)](int w) mutable {
+      logLock_.acquire(guard([this, tableId, keyId, w,
+                              respond = std::move(respond)]() mutable {
+        node_.sim().schedule(
+            params_.removeServiceTime,
+            guard([this, tableId, keyId, w,
+                   respond = std::move(respond)]() mutable {
+              const hash::Key k{tableId, keyId};
+              const auto* loc = map_.get(k);
+              net::RpcResponse r;
+              std::uint32_t entryBytes = 0;
+              log::LogRef tombRef;
+              if (loc == nullptr) {
+                r.a = 0;
+              } else {
+                log::LogEntry t;
+                t.tableId = tableId;
+                t.keyId = keyId;
+                t.sizeBytes = params_.tombstoneBytes;
+                t.version = log_.nextVersion();
+                t.type = log::EntryType::kTombstone;
+                t.refSegment = loc->ref.segment;
+                tombRef = log_.append(t, node_.sim().now());
+                entryBytes = t.sizeBytes;
+                log_.markDead(loc->ref);
+                map_.erase(k);
+                r.a = 1;
+              }
+              auto finish = guard([this, w,
+                                   respond = std::move(respond),
+                                   r](bool ok) mutable {
+                logLock_.release();
+                if (!ok) r.status = net::Status::kError;
+                ++stats_.removes;
+                respond(std::move(r));
+                node_.cpu().releaseWorker(w);
+              });
+              if (entryBytes == 0 || params_.replication.factor <= 0) {
+                finish(true);
+              } else {
+                replicaMgr_.replicateAppend(tombRef.segment, entryBytes,
+                                            std::move(finish));
+              }
+            }));
+      }));
+    }));
+  }));
+}
+
+void MasterService::onScan(const net::RpcRequest& req, Responder respond) {
+  const std::uint64_t tableId = req.a;
+  const std::uint64_t startHash = req.b;
+  const std::uint64_t endHash = req.c;
+
+  dispatch_.enqueue(guard([this, tableId, startHash, endHash,
+                           respond = std::move(respond)]() mutable {
+    node_.cpu().acquireWorker(guard([this, tableId, startHash, endHash,
+                                     respond =
+                                         std::move(respond)](int w) mutable {
+      // Walk the index; objects outside [startHash, endHash] or the table
+      // are skipped (they still cost a probe, folded into perEntry).
+      std::uint64_t count = 0;
+      std::uint64_t bytes = 0;
+      map_.forEach([&](const hash::Key& k, const hash::ObjectLocation& loc) {
+        if (k.tableId != tableId) return;
+        const std::uint64_t h = hash::keyHash(k);
+        if (h < startHash || h > endHash) return;
+        ++count;
+        bytes += loc.sizeBytes;
+      });
+      const sim::Duration cpu =
+          params_.scanSetupCpu +
+          params_.scanPerEntryCpu *
+              static_cast<sim::Duration>(map_.size());
+      node_.sim().schedule(cpu, guard([this, w, count, bytes,
+                                       respond =
+                                           std::move(respond)]() mutable {
+        node_.cpu().releaseWorker(w);
+        net::RpcResponse r;
+        r.a = count;
+        r.payloadBytes = bytes;
+        respond(std::move(r));
+      }));
+    }));
+  }));
+}
+
+bool MasterService::isMigratingRange(std::uint64_t tableId,
+                                     std::uint64_t hash) const {
+  for (const auto& m : migrations_) {
+    if (m->tablet().covers(tableId, hash)) return true;
+  }
+  return false;
+}
+
+void MasterService::startMigration(const Tablet& tablet,
+                                   node::NodeId destination) {
+  auto task = std::make_unique<MigrationTask>(*this, tablet, destination);
+  MigrationTask* raw = task.get();
+  migrations_.push_back(std::move(task));
+  raw->start();
+}
+
+std::vector<log::LogEntry> MasterService::takeMigrationBatch(
+    std::uint64_t batchId) {
+  for (auto& m : migrations_) {
+    auto batch = m->takeBatch(batchId);
+    if (!batch.empty()) return batch;
+  }
+  return {};
+}
+
+void MasterService::dropObjectForMigration(const hash::Key& k) {
+  if (const auto* loc = map_.get(k)) {
+    log_.markDead(loc->ref);
+    map_.erase(k);
+  }
+}
+
+void MasterService::removeTablet(const Tablet& t) {
+  std::erase_if(tablets_, [&t](const Tablet& mine) {
+    return mine.tableId == t.tableId && mine.startHash == t.startHash &&
+           mine.endHash == t.endHash;
+  });
+}
+
+void MasterService::onMigrationTaskFinished(MigrationTask* task) {
+  node_.sim().schedule(0, guard([this, task] {
+    std::erase_if(migrations_, [task](const std::unique_ptr<MigrationTask>& p) {
+      return p.get() == task;
+    });
+  }));
+}
+
+void MasterService::onMultiOp(const net::RpcRequest& req,
+                              Responder respond) {
+  const std::uint64_t tableId = req.a;
+  const auto valueBytes = static_cast<std::uint32_t>(req.b);
+  const bool isWrite = req.op == net::Opcode::kMultiWrite;
+  auto keys = req.keys;
+
+  dispatch_.enqueue(guard([this, tableId, valueBytes, isWrite, keys,
+                           respond = std::move(respond)]() mutable {
+    if (!keys || keys->empty()) {
+      net::RpcResponse r;
+      r.status = net::Status::kError;
+      respond(std::move(r));
+      return;
+    }
+    node_.cpu().acquireWorker(guard([this, tableId, valueBytes, isWrite,
+                                     keys,
+                                     respond =
+                                         std::move(respond)](int w) mutable {
+      const auto n = static_cast<sim::Duration>(keys->size());
+      const sim::Duration cpu =
+          params_.multiOpBaseCpu +
+          (isWrite ? params_.multiWritePerKeyCpu
+                   : params_.multiReadPerKeyCpu) *
+              n;
+      // Batched writes still serialise on the log head; model the batch
+      // as one lock acquisition.
+      auto work = guard([this, tableId, valueBytes, isWrite, keys, w,
+                         respond = std::move(respond)]() mutable {
+        net::RpcResponse r;
+        std::uint64_t found = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t wrongTablet = 0;
+        for (const std::uint64_t key : *keys) {
+          if (!ownsKey(tableId, key)) {
+            ++wrongTablet;
+            continue;
+          }
+          if (isWrite) {
+            applyWrite(tableId, key, valueBytes);
+            ++found;
+            bytes += valueBytes;
+            ++stats_.writes;
+          } else {
+            if (const auto* loc = map_.get(hash::Key{tableId, key})) {
+              ++found;
+              bytes += loc->sizeBytes;
+            }
+            ++stats_.reads;
+          }
+        }
+        (void)wrongTablet;
+        r.a = found;
+        r.b = static_cast<std::uint64_t>(keys->size()) - found;  // missing
+        r.payloadBytes = isWrite ? 0 : bytes;
+        auto finish = guard([this, w, isWrite, r,
+                             respond = std::move(respond)](bool ok) mutable {
+          if (isWrite) logLock_.release();
+          if (!ok) r.status = net::Status::kError;
+          respond(std::move(r));
+          node_.cpu().releaseWorker(w);
+          maybeStartCleaner();
+        });
+        if (!isWrite || params_.replication.factor <= 0 ||
+            log_.head() == nullptr) {
+          finish(true);
+        } else {
+          // One batched sync for the whole append run.
+          replicaMgr_.replicateAppend(
+              log_.head()->id(),
+              static_cast<std::uint64_t>(found) *
+                  (valueBytes + params_.objectOverheadBytes),
+              std::move(finish));
+        }
+      });
+      if (isWrite) {
+        logLock_.acquire(guard([this, cpu, work = std::move(work)]() mutable {
+          node_.sim().schedule(cpu, std::move(work));
+        }));
+      } else {
+        node_.sim().schedule(cpu, std::move(work));
+      }
+    }));
+  }));
+}
+
+void MasterService::onMigrateTablet(const net::RpcRequest& req,
+                                    Responder respond) {
+  const std::uint64_t tableId = req.a;
+  const std::uint64_t start = req.b;
+  const std::uint64_t end = req.c;
+  const auto dest = static_cast<node::NodeId>(req.d);
+  dispatch_.enqueue(guard([this, tableId, start, end, dest,
+                           respond = std::move(respond)]() mutable {
+    // Must own exactly this tablet.
+    const Tablet* mine = nullptr;
+    for (const Tablet& t : tablets_) {
+      if (t.tableId == tableId && t.startHash == start && t.endHash == end) {
+        mine = &t;
+        break;
+      }
+    }
+    net::RpcResponse r;
+    if (mine == nullptr || directory_.masterOn(dest) == nullptr) {
+      r.status = net::Status::kError;
+      respond(std::move(r));
+      return;
+    }
+    respond(std::move(r));  // ack; completion via kMigrationDone
+    startMigration(*mine, dest);
+  }));
+}
+
+void MasterService::onMigrationData(const net::RpcRequest& req,
+                                    node::NodeId from, Responder respond) {
+  const auto source = static_cast<node::NodeId>(req.a);
+  const std::uint64_t batchId = req.b;
+  const std::uint64_t count = req.c;
+  (void)from;
+
+  dispatch_.enqueue(guard([this, source, batchId, count,
+                           respond = std::move(respond)]() mutable {
+    node_.cpu().acquireWorker(guard([this, source, batchId, count,
+                                     respond =
+                                         std::move(respond)](int w) mutable {
+      const sim::Duration cpu =
+          params_.migration.destPerObjectCpu *
+          static_cast<sim::Duration>(count);
+      node_.sim().schedule(cpu, guard([this, source, batchId, w,
+                                       respond =
+                                           std::move(respond)]() mutable {
+        MasterService* src = directory_.masterOn(source);
+        std::vector<log::LogEntry> batch =
+            src != nullptr ? src->takeMigrationBatch(batchId)
+                           : std::vector<log::LogEntry>{};
+        net::RpcResponse r;
+        if (src == nullptr) {
+          r.status = net::Status::kError;
+          respond(std::move(r));
+          node_.cpu().releaseWorker(w);
+          return;
+        }
+        std::uint64_t bytes = 0;
+        log::SegmentId lastSeg = log::kInvalidSegment;
+        for (const log::LogEntry& e : batch) {
+          log::LogEntry copy = e;
+          copy.live = true;
+          const log::LogRef ref = log_.append(copy, node_.sim().now());
+          map_.put(hash::Key{e.tableId, e.keyId},
+                   hash::ObjectLocation{ref, e.version, e.sizeBytes});
+          bytes += e.sizeBytes;
+          lastSeg = ref.segment;
+        }
+        r.a = batch.size();
+        auto finish = guard([this, w, r,
+                             respond = std::move(respond)](bool ok) mutable {
+          if (!ok) r.status = net::Status::kError;
+          respond(std::move(r));
+          node_.cpu().releaseWorker(w);
+          maybeStartCleaner();
+        });
+        if (params_.replication.factor <= 0 ||
+            lastSeg == log::kInvalidSegment) {
+          finish(true);
+        } else {
+          // Durability before ack: the batch is synced like a write (seal
+          // hooks true up any bytes that landed in earlier segments).
+          replicaMgr_.replicateAppend(lastSeg, bytes, std::move(finish));
+        }
+      }));
+    }));
+  }));
+}
+
+void MasterService::onStartRecovery(const net::RpcRequest& req,
+                                    Responder respond) {
+  const std::uint64_t planId = req.a;
+  const int partition = static_cast<int>(req.b);
+  dispatch_.enqueue(guard([this, planId, partition,
+                           respond = std::move(respond)]() mutable {
+    RecoveryPlanPtr plan = planLookup_ ? planLookup_(planId) : nullptr;
+    net::RpcResponse r;
+    if (!plan || partition < 0 ||
+        partition >= static_cast<int>(plan->partitions.size())) {
+      r.status = net::Status::kError;
+      respond(std::move(r));
+      return;
+    }
+    respond(std::move(r));  // ack start; completion arrives via
+                            // kRecoveryDone
+    startRecovery(std::move(plan), partition);
+  }));
+}
+
+void MasterService::startRecovery(RecoveryPlanPtr plan, int partitionIndex) {
+  auto task = std::make_unique<RecoveryTask>(*this, std::move(plan),
+                                             partitionIndex);
+  RecoveryTask* raw = task.get();
+  recoveries_.push_back(std::move(task));
+  raw->start();
+}
+
+void MasterService::onRecoveryTaskFinished(RecoveryTask* task) {
+  // Deferred erase: the task may still be on the call stack.
+  node_.sim().schedule(0, guard([this, task] {
+    std::erase_if(recoveries_, [task](const std::unique_ptr<RecoveryTask>& p) {
+      return p.get() == task;
+    });
+  }));
+}
+
+void MasterService::bulkInsert(std::uint64_t tableId, std::uint64_t keyId,
+                               std::uint32_t valueBytes, sim::SimTime now) {
+  bulkMode_ = true;
+  log::LogEntry e;
+  e.tableId = tableId;
+  e.keyId = keyId;
+  e.sizeBytes = valueBytes + params_.objectOverheadBytes;
+  e.version = log_.nextVersion();
+  const log::LogRef ref = log_.append(e, now);
+  const hash::Key k{tableId, keyId};
+  if (const auto* old = map_.get(k)) log_.markDead(old->ref);
+  map_.put(k, hash::ObjectLocation{ref, e.version, e.sizeBytes});
+  bulkMode_ = false;
+}
+
+void MasterService::installReplicasAfterBulkLoad() {
+  if (params_.replication.factor <= 0) return;
+  for (const auto& [segId, seg] : log_.segments()) {
+    const auto* placement = replicaMgr_.placementOf(segId);
+    if (placement == nullptr) continue;
+    for (node::NodeId b : *placement) {
+      if (BackupService* bs = directory_.backupOn(b)) {
+        bs->bulkInstallFrame(node_.id(), seg, seg->appendedBytes(),
+                             seg->sealed(), /*onDisk=*/seg->sealed());
+      }
+    }
+  }
+}
+
+std::shared_ptr<const log::Segment> MasterService::findSegment(
+    log::SegmentId id) const {
+  if (auto s = log_.sharedSegment(id)) return s;
+  for (const auto& rt : recoveries_) {
+    // Side-log segments are resolved through the task's log.
+    if (auto s = rt->sideSegment(id)) return s;
+  }
+  return nullptr;
+}
+
+void MasterService::maybeStartCleaner() {
+  if (cleanerActive_ || !log_.needsCleaning()) return;
+  cleanerActive_ = true;
+  cleanerLoop();
+}
+
+void MasterService::cleanerLoop() {
+  if (!node_.cpu().poweredOn() || !log_.needsCleaning()) {
+    cleanerActive_ = false;
+    return;
+  }
+  const log::SegmentId victim = cleaner_.selectVictim(node_.sim().now());
+  if (victim == log::kInvalidSegment) {
+    cleanerActive_ = false;
+    return;
+  }
+  const log::Segment* seg = log_.segment(victim);
+  const std::uint64_t liveBytes = seg != nullptr ? seg->liveBytes() : 0;
+  const sim::Duration cost =
+      params_.cleanerPassCpu +
+      sim::nsec(static_cast<sim::Duration>(
+          params_.cleanerPerByteCpuNs * static_cast<double>(liveBytes)));
+  node_.cpu().run(cost, guard([this, victim] {
+    if (log_.segment(victim) != nullptr) {
+      // Relocations run under the same single-threaded event, so they
+      // cannot interleave with a write's append (documented simplification
+      // of RAMCloud's fine-grained cleaner/append synchronisation).
+      cleaner_.cleanSegment(victim, node_.sim().now());
+      replicaMgr_.freeSegment(victim);
+      ++stats_.cleanerRuns;
+    }
+    cleanerLoop();
+  }));
+}
+
+}  // namespace rc::server

@@ -1,0 +1,244 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hash/object_map.hpp"
+#include "log/cleaner.hpp"
+#include "log/log.hpp"
+#include "net/rpc.hpp"
+#include "node/node.hpp"
+#include "server/common.hpp"
+#include "server/dispatch.hpp"
+#include "server/migration.hpp"
+#include "server/recovery_plan.hpp"
+#include "server/replica_manager.hpp"
+#include "sim/fifo_lock.hpp"
+#include "sim/stats.hpp"
+
+namespace rc::server {
+
+class RecoveryTask;
+
+/// Service-time calibration of the master data path. The defaults are
+/// fitted to the paper's measurements on the Nancy nodes (see DESIGN.md §4
+/// and EXPERIMENTS.md for the derivation of each constant).
+struct MasterParams {
+  /// Worker CPU per read (hash lookup + reply marshalling). 3 workers at
+  /// 8 us give the single-server read ceiling of ~372 Kop/s (Fig. 1a).
+  sim::Duration readServiceTime = sim::usec(8);
+
+  /// Worker CPU for the in-memory part of a write: hash-table update plus
+  /// log append bookkeeping, under the append lock.
+  sim::Duration writeAppendCpu = sim::usec(25);
+
+  /// RAMCloud's log-sync/scheduling overhead on the update path when
+  /// replication is off. Calibrated from Table II (workload A at 10
+  /// clients); the paper attributes it to thread handling ("this issue was
+  /// confirmed by RAMCloud developers" — the nanoscheduling problem).
+  sim::Duration unreplicatedSyncTime = sim::usec(90);
+
+  /// Thread-handling cost an update pays under concurrency: each update's
+  /// sync is stretched by convoyPenaltyUs * sqrt(S), where S is the number
+  /// of distinct request streams (clients) seen in the last
+  /// concurrencyWindow. Models the paper's "poor thread handling under
+  /// highly-concurrent accesses" (futile context switches / wakeups) and
+  /// produces Table II's peak-then-decline for workload A. Calibrated on
+  /// Table II rows at 10/20/90 clients.
+  double convoyPenaltyUs = 11.0;
+  sim::Duration concurrencyWindow = sim::msec(50);
+
+  /// Tombstone append CPU for remove operations.
+  sim::Duration removeServiceTime = sim::usec(20);
+
+  /// Scan (paper SS X future work): per-object CPU while walking the hash
+  /// index over a tablet range, plus a fixed setup cost.
+  sim::Duration scanSetupCpu = sim::usec(10);
+  sim::Duration scanPerEntryCpu = sim::nsec(150);
+
+  /// Batched operations (multiRead/multiWrite): one dispatch + worker
+  /// hand-off amortised over the batch, then a smaller per-key cost.
+  sim::Duration multiOpBaseCpu = sim::usec(6);
+  sim::Duration multiReadPerKeyCpu = sim::usec(2);
+  sim::Duration multiWritePerKeyCpu = sim::usec(8);
+
+  /// Recovery replay: CPU per entry re-inserted (hash + log, batched).
+  sim::Duration replayPerEntryCpu = sim::nsec(1200);
+  /// Entries replayed per worker task; small enough that live reads can
+  /// interleave (their 1.4-2.4x latency bump during recovery, Fig. 10).
+  int replayChunkEntries = 64;
+  /// Concurrent segment fetches a recovery master keeps outstanding.
+  int recoveryFetchWindow = 3;
+  /// Sealed-but-unacked replay segments tolerated before replay pauses
+  /// (RAMCloud recovers with bounded un-replicated state).
+  int recoveryMaxUnackedSegments = 1;
+
+  /// Log-cleaner pass overhead, per-relocated-byte CPU, victim policy.
+  sim::Duration cleanerPassCpu = sim::usec(500);
+  double cleanerPerByteCpuNs = 0.3;
+  log::CleanerPolicy cleanerPolicy = log::CleanerPolicy::kCostBenefit;
+
+  /// Per-object log metadata footprint added to the value size.
+  std::uint32_t objectOverheadBytes = 100;
+  std::uint32_t tombstoneBytes = 60;
+
+  log::LogParams log;
+  ReplicationParams replication;
+  MigrationParams migration;
+};
+
+struct MasterStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t missingKeys = 0;
+  std::uint64_t unknownTablet = 0;
+  std::uint64_t cleanerRuns = 0;
+  std::uint64_t replicationFailures = 0;
+  sim::Histogram readServiceLatency;   ///< dispatch-arrival to reply
+  sim::Histogram writeServiceLatency;
+};
+
+/// The storage server: tablets, hash index, log-structured memory,
+/// replication, cleaning, and crash-recovery replay.
+class MasterService : public net::RpcService {
+ public:
+  MasterService(node::Node& node, Dispatch& dispatch, net::RpcSystem& rpc,
+                const ServiceDirectory& directory, MasterParams params,
+                std::function<RecoveryPlanPtr(std::uint64_t)> planLookup,
+                node::NodeId coordinatorNode, sim::Rng rng);
+  ~MasterService() override;
+
+  void handleRpc(const net::RpcRequest& req, node::NodeId from,
+                 Responder respond) override;
+
+  /// Process kill: drops queued work, forgets in-flight operations and
+  /// aborts any recovery replay in progress.
+  void crash();
+
+  // ----- setup / control plane
+
+  void addTablet(const Tablet& t);
+  const std::vector<Tablet>& tablets() const { return tablets_; }
+  bool ownsKey(std::uint64_t tableId, std::uint64_t keyId) const;
+
+  /// Event-free data loading (the paper's unmeasured YCSB load phase).
+  /// Fills log + hash table; replica frames are installed afterwards with
+  /// installReplicasAfterBulkLoad().
+  void bulkInsert(std::uint64_t tableId, std::uint64_t keyId,
+                  std::uint32_t valueBytes, sim::SimTime now);
+
+  /// Install backup frames (sealed segments flushed to disk, open head
+  /// buffered) matching the replica placements chosen during bulk load.
+  void installReplicasAfterBulkLoad();
+
+  /// Begin replaying one partition of a crashed master's data.
+  void startRecovery(RecoveryPlanPtr plan, int partitionIndex);
+
+  // ----- tablet migration (SS IX cluster resizing)
+
+  /// Begin migrating one of this master's tablets to `destination`.
+  void startMigration(const Tablet& tablet, node::NodeId destination);
+
+  /// True while (tableId, hash) is inside a range being migrated away —
+  /// writes are bounced so the snapshot stays consistent.
+  bool isMigratingRange(std::uint64_t tableId, std::uint64_t hash) const;
+
+  /// Content side-channel for kMigrationData: the destination collects the
+  /// announced batch.
+  std::vector<log::LogEntry> takeMigrationBatch(std::uint64_t batchId);
+
+  /// Used by MigrationTask at completion.
+  void dropObjectForMigration(const hash::Key& k);
+  void removeTablet(const Tablet& t);
+  void onMigrationTaskFinished(MigrationTask* task);
+  std::size_t activeMigrations() const { return migrations_.size(); }
+
+  // ----- introspection
+
+  std::shared_ptr<const log::Segment> findSegment(log::SegmentId id) const;
+  const hash::ObjectMap& objectMap() const { return map_; }
+  log::Log& log() { return log_; }
+  const log::Log& log() const { return log_; }
+  ReplicaManager& replicaManager() { return replicaMgr_; }
+  const log::LogCleaner& cleaner() const { return cleaner_; }
+  const MasterStats& stats() const { return stats_; }
+  MasterStats& mutableStats() { return stats_; }
+  const MasterParams& params() const { return params_; }
+  node::Node& node() { return node_; }
+  Dispatch& dispatch() { return dispatch_; }
+  net::RpcSystem& rpc() { return rpc_; }
+  const ServiceDirectory& directory() const { return directory_; }
+  node::NodeId coordinatorNode() const { return coordinator_; }
+  std::size_t activeRecoveries() const { return recoveries_.size(); }
+  std::size_t logLockWaiters() const { return logLock_.waiters(); }
+
+ private:
+  friend class RecoveryTask;
+
+  struct ApplyResult {
+    log::LogRef ref;
+    std::uint64_t version = 0;
+    std::uint32_t entryBytes = 0;
+  };
+
+  /// Wrap a continuation so it dies with the process.
+  template <typename F>
+  auto guard(F f) {
+    return [this, e = node_.cpu().epoch(),
+            f = std::move(f)](auto&&... args) mutable {
+      if (node_.cpu().epoch() == e && node_.cpu().poweredOn()) {
+        f(std::forward<decltype(args)>(args)...);
+      }
+    };
+  }
+
+  /// Distinct request streams seen within concurrencyWindow.
+  int concurrentStreams() const;
+  void noteStream(node::NodeId from);
+
+  void onRead(const net::RpcRequest& req, Responder respond);
+  void onWrite(const net::RpcRequest& req, Responder respond);
+  void onRemove(const net::RpcRequest& req, Responder respond);
+  void onScan(const net::RpcRequest& req, Responder respond);
+  void onMultiOp(const net::RpcRequest& req, Responder respond);
+  void onStartRecovery(const net::RpcRequest& req, Responder respond);
+  void onMigrateTablet(const net::RpcRequest& req, Responder respond);
+  void onMigrationData(const net::RpcRequest& req, node::NodeId from,
+                       Responder respond);
+
+  ApplyResult applyWrite(std::uint64_t tableId, std::uint64_t keyId,
+                         std::uint32_t valueBytes);
+  void maybeStartCleaner();
+  void cleanerLoop();
+  void onRecoveryTaskFinished(RecoveryTask* task);
+
+  std::vector<node::NodeId> backupCandidates() const;
+
+  node::Node& node_;
+  Dispatch& dispatch_;
+  net::RpcSystem& rpc_;
+  const ServiceDirectory& directory_;
+  MasterParams params_;
+  std::function<RecoveryPlanPtr(std::uint64_t)> planLookup_;
+  node::NodeId coordinator_;
+  sim::Rng rng_;
+
+  std::vector<Tablet> tablets_;
+  hash::ObjectMap map_;
+  log::Log log_;
+  log::LogCleaner cleaner_;
+  ReplicaManager replicaMgr_;
+  sim::FifoLock logLock_;
+  bool cleanerActive_ = false;
+  bool bulkMode_ = false;
+
+  std::vector<std::unique_ptr<RecoveryTask>> recoveries_;
+  std::vector<std::unique_ptr<MigrationTask>> migrations_;
+  mutable std::unordered_map<node::NodeId, sim::SimTime> recentStreams_;
+  MasterStats stats_;
+};
+
+}  // namespace rc::server

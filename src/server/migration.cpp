@@ -1,0 +1,133 @@
+#include "server/migration.hpp"
+
+#include <utility>
+
+#include "server/master_service.hpp"
+
+namespace rc::server {
+
+MigrationTask::MigrationTask(MasterService& source, Tablet tablet,
+                             node::NodeId destination)
+    : source_(source),
+      tablet_(tablet),
+      dest_(destination),
+      alive_(std::make_shared<bool>(true)) {}
+
+MigrationTask::~MigrationTask() { *alive_ = false; }
+
+void MigrationTask::abort() {
+  aborted_ = true;
+  *alive_ = false;
+}
+
+void MigrationTask::start() {
+  collectKeys();
+  sendNextBatch();
+}
+
+void MigrationTask::collectKeys() {
+  // Snapshot the objects in the migrating range. Writes to the range are
+  // already being bounced, so the snapshot is stable.
+  source_.objectMap().forEach([this](const hash::Key& k,
+                                     const hash::ObjectLocation& loc) {
+    if (k.tableId != tablet_.tableId) return;
+    const std::uint64_t h = hash::keyHash(k);
+    if (h < tablet_.startHash || h > tablet_.endHash) return;
+    log::LogEntry e;
+    e.tableId = k.tableId;
+    e.keyId = k.keyId;
+    e.sizeBytes = loc.sizeBytes;
+    e.version = loc.version;
+    e.type = log::EntryType::kObject;
+    pending_.push_back(e);
+  });
+}
+
+std::vector<log::LogEntry> MigrationTask::takeBatch(std::uint64_t batchId) {
+  auto it = inFlight_.find(batchId);
+  if (it == inFlight_.end()) return {};
+  std::vector<log::LogEntry> out = std::move(it->second);
+  inFlight_.erase(it);
+  return out;
+}
+
+void MigrationTask::sendNextBatch() {
+  if (aborted_ || failed_ || done_) return;
+  if (nextIndex_ >= pending_.size()) {
+    finish(true);
+    return;
+  }
+  const std::size_t n = std::min<std::size_t>(
+      static_cast<std::size_t>(source_.params().migration.batchObjects),
+      pending_.size() - nextIndex_);
+  std::vector<log::LogEntry> batch(
+      pending_.begin() + static_cast<std::ptrdiff_t>(nextIndex_),
+      pending_.begin() + static_cast<std::ptrdiff_t>(nextIndex_ + n));
+  nextIndex_ += n;
+
+  std::uint64_t bytes = 0;
+  for (const auto& e : batch) bytes += e.sizeBytes;
+  const std::uint64_t batchId = nextBatchId_++;
+  inFlight_[batchId] = std::move(batch);
+
+  // Source-side marshalling CPU, then ship the batch.
+  const sim::Duration cpu =
+      source_.params().migration.sourcePerObjectCpu *
+      static_cast<sim::Duration>(n);
+  source_.node().cpu().run(cpu, [this, w = std::weak_ptr<bool>(alive_),
+                                 batchId, bytes, n] {
+    auto p = w.lock();
+    if (p == nullptr || !*p) return;
+    net::RpcRequest req;
+    req.op = net::Opcode::kMigrationData;
+    req.a = static_cast<std::uint64_t>(source_.node().id());
+    req.b = batchId;
+    req.c = n;
+    req.payloadBytes = bytes;
+    source_.rpc().call(
+        source_.node().id(), dest_, net::kMasterPort, req,
+        sim::seconds(10),
+        [this, w](const net::RpcResponse& resp) {
+          auto p2 = w.lock();
+          if (p2 == nullptr || !*p2) return;
+          if (resp.status != net::Status::kOk) {
+            finish(false);
+            return;
+          }
+          objectsMoved_ += resp.a;
+          sendNextBatch();
+        });
+  });
+}
+
+void MigrationTask::finish(bool ok) {
+  if (done_ || failed_) return;
+  if (!ok) {
+    failed_ = true;
+  } else {
+    done_ = true;
+    // Drop the moved objects and the tablet; the coordinator flips the map
+    // when it receives kMigrationDone.
+    for (const auto& e : pending_) {
+      const hash::Key k{e.tableId, e.keyId};
+      if (const auto* loc = source_.objectMap().get(k);
+          loc != nullptr && loc->version == e.version) {
+        source_.dropObjectForMigration(k);
+      }
+    }
+    source_.removeTablet(tablet_);
+  }
+
+  net::RpcRequest req;
+  req.op = net::Opcode::kMigrationDone;
+  req.a = tablet_.tableId;
+  req.b = tablet_.startHash;
+  req.c = tablet_.endHash;
+  req.d = static_cast<std::uint64_t>(ok ? dest_ : node::kInvalidNode);
+  source_.rpc().call(source_.node().id(), source_.coordinatorNode(),
+                     net::kCoordinatorPort, req, timeouts::kControl,
+                     [](const net::RpcResponse&) {});
+  source_.onMigrationTaskFinished(this);
+}
+
+}  // namespace rc::server

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "log/segment.hpp"
+#include "server/common.hpp"
+
+namespace rc::server {
+
+/// One recovery master's share of a crashed master's data: a set of
+/// key-hash subranges (derived from the crashed master's will).
+struct PartitionSpec {
+  std::vector<Tablet> ranges;
+
+  bool covers(std::uint64_t tableId, std::uint64_t hash) const {
+    for (const Tablet& t : ranges) {
+      if (t.covers(tableId, hash)) return true;
+    }
+    return false;
+  }
+};
+
+/// The coordinator's plan for recovering one crashed master, shared with
+/// the participating backups and recovery masters. (In RAMCloud this state
+/// travels inside the recovery RPCs; here the RPCs carry a plan id and the
+/// plan structure is read through the ServiceDirectory — the bytes on the
+/// wire are still accounted via the RPC payload sizes.)
+struct RecoveryPlan {
+  std::uint64_t planId = 0;
+  ServerId crashedMaster = node::kInvalidNode;
+
+  std::vector<PartitionSpec> partitions;
+  std::vector<ServerId> recoveryMasters;  ///< partition index -> master
+
+  struct SegmentSource {
+    log::SegmentId segment = log::kInvalidSegment;
+    std::uint64_t bytes = 0;               ///< replicated watermark
+    std::vector<node::NodeId> backups;     ///< replica holders (primary first)
+  };
+  std::vector<SegmentSource> segments;
+
+  int partitionOf(ServerId master) const {
+    for (std::size_t i = 0; i < recoveryMasters.size(); ++i) {
+      if (recoveryMasters[i] == master) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+using RecoveryPlanPtr = std::shared_ptr<const RecoveryPlan>;
+
+}  // namespace rc::server

@@ -1,0 +1,314 @@
+#include "server/recovery_task.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "server/backup_service.hpp"
+#include "server/master_service.hpp"
+
+namespace rc::server {
+
+namespace {
+/// Globally unique side-log segment-id ranges (65536 segments each).
+log::SegmentId nextSideLogBase() {
+  static std::atomic<std::uint32_t> instance{0};
+  return 0x8000'0000u + (instance++ << 16);
+}
+}  // namespace
+
+RecoveryTask::RecoveryTask(MasterService& master, RecoveryPlanPtr plan,
+                           int partitionIndex)
+    : master_(master),
+      plan_(std::move(plan)),
+      part_(partitionIndex),
+      alive_(std::make_shared<bool>(true)) {
+  log::LogParams lp = master_.params().log;
+  lp.segmentIdBase = nextSideLogBase();
+  sideLog_ = std::make_unique<log::Log>(lp);
+  sideRepl_ = std::make_unique<ReplicaManager>(
+      master_.node().sim(), master_.rpc(), master_.node().id(),
+      master_.params().replication,
+      [this] { return master_.backupCandidates(); },
+      [this](log::SegmentId id) -> const log::Segment* {
+        auto s = sideSegment(id);
+        return s.get();
+      },
+      master_.rng_.fork(0x51de));
+  sideRepl_->stillAlive = [w = std::weak_ptr<bool>(alive_)] {
+    auto p = w.lock();
+    return p != nullptr && *p;
+  };
+  sideLog_->onSegmentOpened = [this](log::Segment& seg) {
+    sideRepl_->onSegmentOpened(seg);
+  };
+  sideLog_->onSegmentSealed = [this](log::Segment& seg) {
+    onSideSegmentSealed(seg);
+  };
+}
+
+RecoveryTask::~RecoveryTask() { *alive_ = false; }
+
+void RecoveryTask::abort() {
+  if (aborted_) return;
+  aborted_ = true;
+  *alive_ = false;
+  unpinWorkers();
+}
+
+std::shared_ptr<const log::Segment> RecoveryTask::sideSegment(
+    log::SegmentId id) const {
+  return sideLog_ ? sideLog_->sharedSegment(id) : nullptr;
+}
+
+void RecoveryTask::pinWorkers() {
+  auto* cpu = &master_.node().cpu();
+  workerEpoch_ = cpu->epoch();
+  // Grants may arrive after the task finished (commit/abort set *alive_
+  // false); such late grants hand the worker straight back.
+  auto pin = [this, cpu, w = std::weak_ptr<bool>(alive_)](int* slot) {
+    cpu->acquireWorker([this, cpu, w, slot](int wk) {
+      auto p = w.lock();
+      if (p != nullptr && *p) {
+        *slot = wk;
+      } else {
+        cpu->releaseWorker(wk);
+      }
+    });
+  };
+  pin(&replayWorker_);
+  if (master_.params().replication.factor > 0) pin(&syncWorker_);
+}
+
+void RecoveryTask::unpinWorkers() {
+  *alive_ = false;  // cut continuations; the task is done either way
+  auto& cpu = master_.node().cpu();
+  if (cpu.epoch() == workerEpoch_ && cpu.poweredOn()) {
+    if (replayWorker_ >= 0) cpu.releaseWorker(replayWorker_);
+    if (syncWorker_ >= 0) cpu.releaseWorker(syncWorker_);
+  }
+  replayWorker_ = -1;
+  syncWorker_ = -1;
+}
+
+void RecoveryTask::start() {
+  pinWorkers();
+  pumpFetches();
+}
+
+void RecoveryTask::pumpFetches() {
+  if (aborted_ || failed_) return;
+  while (nextFetch_ < plan_->segments.size() &&
+         outstandingFetches_ < master_.params().recoveryFetchWindow) {
+    const std::size_t idx = nextFetch_++;
+    ++outstandingFetches_;
+    fetchSegment(idx, 0);
+  }
+  maybeFinish();
+}
+
+void RecoveryTask::fetchSegment(std::size_t segIdx, std::size_t sourceIdx) {
+  const RecoveryPlan::SegmentSource& src = plan_->segments[segIdx];
+  if (sourceIdx >= src.backups.size()) {
+    // Every replica of this segment is gone: data loss, partition fails.
+    fail();
+    return;
+  }
+  const node::NodeId backup = src.backups[sourceIdx];
+
+  net::RpcRequest req;
+  req.op = net::Opcode::kGetRecoveryData;
+  req.a = static_cast<std::uint64_t>(plan_->crashedMaster);
+  req.b = src.segment;
+  req.c = static_cast<std::uint64_t>(part_);
+  req.d = plan_->planId;
+
+  master_.rpc().call(
+      master_.node().id(), backup, net::kBackupPort, req,
+      timeouts::kRecoveryData,
+      [this, w = std::weak_ptr<bool>(alive_), segIdx, sourceIdx,
+       backup](const net::RpcResponse& resp) {
+        auto p = w.lock();
+        if (p == nullptr || !*p) return;
+        if (resp.status != net::Status::kOk) {
+          fetchSegment(segIdx, sourceIdx + 1);
+          return;
+        }
+        BackupService* bs = master_.directory().backupOn(backup);
+        if (bs == nullptr) {
+          fetchSegment(segIdx, sourceIdx + 1);
+          return;
+        }
+        onSegmentData(segIdx,
+                      bs->filteredEntries(plan_->crashedMaster,
+                                          plan_->segments[segIdx].segment,
+                                          plan_->partitions[static_cast<
+                                              std::size_t>(part_)]));
+      });
+}
+
+void RecoveryTask::onSegmentData(std::size_t /*segIdx*/,
+                                 std::vector<log::LogEntry> entries) {
+  if (aborted_ || failed_) return;
+  --outstandingFetches_;
+  ++segmentsFetched_;
+  replayQueue_.push_back(std::move(entries));
+  pumpFetches();
+  pumpReplay();
+}
+
+void RecoveryTask::pumpReplay() {
+  if (aborted_ || failed_ || replaying_) return;
+  if (unackedSegments_ > master_.params().recoveryMaxUnackedSegments) return;
+  if (replayQueue_.empty()) {
+    maybeFinish();
+    return;
+  }
+  replaying_ = true;
+  std::vector<log::LogEntry> entries = std::move(replayQueue_.front());
+  replayQueue_.pop_front();
+  replayChunk(std::move(entries), 0);
+}
+
+void RecoveryTask::replayChunk(std::vector<log::LogEntry> entries,
+                               std::size_t offset) {
+  if (aborted_ || failed_) return;
+  if (offset >= entries.size()) {
+    replaying_ = false;
+    ++segmentsReplayed_;
+    pumpReplay();
+    return;
+  }
+  const std::size_t chunk = std::min<std::size_t>(
+      static_cast<std::size_t>(master_.params().replayChunkEntries),
+      entries.size() - offset);
+  const sim::Duration cpu =
+      master_.params().replayPerEntryCpu * static_cast<sim::Duration>(chunk);
+
+  // Replay runs on the task's pinned replay worker (already accounted
+  // busy); chunking keeps the event loop responsive.
+  master_.node().sim().schedule(cpu, [this, w = std::weak_ptr<bool>(alive_),
+                                      entries = std::move(entries), offset,
+                                      chunk]() mutable {
+    auto p = w.lock();
+    if (p == nullptr || !*p) return;
+    for (std::size_t i = offset; i < offset + chunk; ++i) {
+      applyEntry(entries[i]);
+      ++entriesReplayed_;
+    }
+    // Replication gating: if appends sealed a side segment and too many
+    // are unacked, pause until acks drain (pumpReplay re-checks).
+    if (unackedSegments_ > master_.params().recoveryMaxUnackedSegments) {
+      // Pause: re-queue the remainder at the front so order is preserved;
+      // pumpReplay resumes once acks drain.
+      if (offset + chunk < entries.size()) {
+        std::vector<log::LogEntry> rest(
+            entries.begin() + static_cast<std::ptrdiff_t>(offset + chunk),
+            entries.end());
+        replayQueue_.push_front(std::move(rest));
+      } else {
+        ++segmentsReplayed_;
+      }
+      replaying_ = false;
+      pumpReplay();
+      return;
+    }
+    replayChunk(std::move(entries), offset + chunk);
+  });
+}
+
+void RecoveryTask::applyEntry(const log::LogEntry& e) {
+  const hash::Key k{e.tableId, e.keyId};
+  Staged& st = staging_[k];
+  if (e.version <= st.version) return;  // stale duplicate from another copy
+  if (st.ref.valid()) sideLog_->markDead(st.ref);
+
+  log::LogEntry copy = e;
+  copy.live = true;
+  const log::LogRef ref = sideLog_->append(copy, master_.node().sim().now());
+  st.version = e.version;
+  st.sizeBytes = e.sizeBytes;
+  st.tombstone = e.type == log::EntryType::kTombstone;
+  st.ref = ref;
+}
+
+void RecoveryTask::onSideSegmentSealed(log::Segment& seg) {
+  ++unackedSegments_;
+  sideRepl_->replicateWholeSegment(
+      seg, [this, w = std::weak_ptr<bool>(alive_)](bool ok) {
+        auto p = w.lock();
+        if (p == nullptr || !*p) return;
+        --unackedSegments_;
+        if (!ok) {
+          fail();
+          return;
+        }
+        pumpReplay();
+        maybeFinish();
+      });
+}
+
+void RecoveryTask::maybeFinish() {
+  if (aborted_ || failed_ || committed_) return;
+  const bool allFetched = nextFetch_ >= plan_->segments.size() &&
+                          outstandingFetches_ == 0;
+  if (!allFetched || !replayQueue_.empty() || replaying_) return;
+  if (!drainStarted_) {
+    drainStarted_ = true;
+    sideLog_->sealHead();  // triggers final replication (if non-empty)
+  }
+  if (unackedSegments_ > 0) return;
+  commit();
+}
+
+void RecoveryTask::commit() {
+  if (committed_) return;
+  committed_ = true;
+  unpinWorkers();
+
+  // Atomically switch ownership: install recovered objects, adopt the
+  // side-log segments, take over the partition's tablets.
+  std::vector<std::shared_ptr<log::Segment>> adopted;
+  for (const auto& [id, seg] : sideLog_->segments()) adopted.push_back(seg);
+  for (auto& seg : adopted) master_.log().adopt(seg);
+
+  for (const auto& [key, st] : staging_) {
+    if (st.tombstone) {
+      master_.map_.erase(key);
+      if (st.ref.valid()) master_.log().markDead(st.ref);
+    } else {
+      master_.map_.put(key,
+                       hash::ObjectLocation{st.ref, st.version, st.sizeBytes});
+    }
+  }
+  for (const Tablet& t :
+       plan_->partitions[static_cast<std::size_t>(part_)].ranges) {
+    master_.addTablet(t);
+  }
+
+  net::RpcRequest req;
+  req.op = net::Opcode::kRecoveryDone;
+  req.a = plan_->planId;
+  req.b = static_cast<std::uint64_t>(part_);
+  req.c = 0;  // success
+  master_.rpc().call(master_.node().id(), master_.coordinatorNode(),
+                     net::kCoordinatorPort, req, timeouts::kControl,
+                     [](const net::RpcResponse&) {});
+  master_.onRecoveryTaskFinished(this);
+}
+
+void RecoveryTask::fail() {
+  if (failed_ || committed_) return;
+  failed_ = true;
+  unpinWorkers();
+  net::RpcRequest req;
+  req.op = net::Opcode::kRecoveryDone;
+  req.a = plan_->planId;
+  req.b = static_cast<std::uint64_t>(part_);
+  req.c = 1;  // failure
+  master_.rpc().call(master_.node().id(), master_.coordinatorNode(),
+                     net::kCoordinatorPort, req, timeouts::kControl,
+                     [](const net::RpcResponse&) {});
+  master_.onRecoveryTaskFinished(this);
+}
+
+}  // namespace rc::server

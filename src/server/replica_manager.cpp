@@ -1,0 +1,178 @@
+#include "server/replica_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rc::server {
+
+ReplicaManager::ReplicaManager(sim::Simulation& sim, net::RpcSystem& rpc,
+                               node::NodeId self, ReplicationParams params,
+                               CandidatesFn candidates,
+                               SegmentLookupFn segmentLookup, sim::Rng rng)
+    : sim_(sim),
+      rpc_(rpc),
+      self_(self),
+      params_(params),
+      candidates_(std::move(candidates)),
+      segmentLookup_(std::move(segmentLookup)),
+      rng_(rng) {}
+
+void ReplicaManager::onSegmentOpened(const log::Segment& seg) {
+  if (params_.factor <= 0) return;
+  SegmentState st;
+  std::vector<node::NodeId> pool = candidates_();
+  // Random distinct backups; RAMCloud scatters every segment independently.
+  for (int r = 0; r < params_.factor && !pool.empty(); ++r) {
+    const std::size_t pick = rng_.uniformInt(pool.size());
+    st.backups.push_back(pool[pick]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  segments_[seg.id()] = std::move(st);
+}
+
+const std::vector<node::NodeId>* ReplicaManager::placementOf(
+    log::SegmentId segId) const {
+  auto it = segments_.find(segId);
+  return it == segments_.end() ? nullptr : &it->second.backups;
+}
+
+node::NodeId ReplicaManager::pickReplacement(
+    const std::vector<node::NodeId>& current) {
+  std::vector<node::NodeId> pool = candidates_();
+  std::erase_if(pool, [&](node::NodeId n) {
+    return std::find(current.begin(), current.end(), n) != current.end();
+  });
+  if (pool.empty()) return node::kInvalidNode;
+  return pool[rng_.uniformInt(pool.size())];
+}
+
+void ReplicaManager::sendChain(log::SegmentId segId, std::uint64_t bytes,
+                               bool close, std::size_t replicaIdx,
+                               int retriesLeft, DoneFn done) {
+  auto it = segments_.find(segId);
+  if (it == segments_.end()) {  // freed meanwhile
+    if (done) done(false);
+    return;
+  }
+  SegmentState& st = it->second;
+  if (replicaIdx >= st.backups.size()) {
+    st.bytesSent += bytes;
+    if (close) st.closedSent = true;
+    if (done) done(true);
+    return;
+  }
+  const node::NodeId backup = st.backups[replicaIdx];
+  // perReplicaSendCpu is charged by the caller's worker occupancy model:
+  // the send itself is wire + remote work; the master-side CPU shows up as
+  // elapsed time here because the worker stays busy through the sync.
+  // One-sided RDMA shrinks the send to a DMA post and strips the remote
+  // CPU entirely (flag bit 1 tells the backup).
+  const sim::Duration sendCpu =
+      params_.oneSidedRdma ? sim::usec(1) : params_.perReplicaSendCpu;
+  sim_.schedule(sendCpu, [this, segId, bytes, close, replicaIdx, retriesLeft,
+                          backup, done = std::move(done)]() mutable {
+    if (stillAlive && !stillAlive()) return;
+    net::RpcRequest req;
+    req.op = net::Opcode::kBackupWrite;
+    req.a = static_cast<std::uint64_t>(self_);
+    req.b = segId;
+    req.c = (close ? 1u : 0u) | (params_.oneSidedRdma ? 2u : 0u);
+    req.payloadBytes = bytes;
+    rpc_.call(self_, backup, net::kBackupPort, req, timeouts::kReplication,
+              [this, segId, bytes, close, replicaIdx, retriesLeft,
+               done = std::move(done)](const net::RpcResponse& resp) mutable {
+      if (stillAlive && !stillAlive()) return;
+      if (resp.status == net::Status::kOk) {
+        const sim::Duration ackCpu =
+            params_.oneSidedRdma ? sim::usec(2) : params_.ackProcessing;
+        sim_.schedule(ackCpu,
+                      [this, segId, bytes, close, replicaIdx,
+                       done = std::move(done)]() mutable {
+          if (stillAlive && !stillAlive()) return;
+          sendChain(segId, bytes, close, replicaIdx + 1,
+                    params_.maxRetries, std::move(done));
+        });
+        return;
+      }
+      // Backup unreachable: pick a replacement and bring it up to the
+      // current watermark, then retry this position.
+      ++replicaTimeouts_;
+      auto it2 = segments_.find(segId);
+      if (it2 == segments_.end() || retriesLeft <= 0) {
+        if (done) done(false);
+        return;
+      }
+      const node::NodeId fresh = pickReplacement(it2->second.backups);
+      if (fresh == node::kInvalidNode) {
+        if (done) done(false);
+        return;
+      }
+      ++replacements_;
+      it2->second.backups[replicaIdx] = fresh;
+      std::uint64_t resend = bytes;
+      if (const log::Segment* seg = segmentLookup_(segId)) {
+        resend = std::max<std::uint64_t>(bytes, seg->appendedBytes());
+      }
+      sendChain(segId, resend, close, replicaIdx, retriesLeft - 1,
+                std::move(done));
+    });
+  });
+}
+
+void ReplicaManager::replicateAppend(log::SegmentId segId,
+                                     std::uint64_t bytes, DoneFn done) {
+  if (params_.factor <= 0) {
+    if (done) done(true);
+    return;
+  }
+  if (!params_.waitForAcks) {
+    // SS IX-B ablation: fire replication and acknowledge immediately.
+    ++pendingAsync_;
+    sendChain(segId, bytes, false, 0, params_.maxRetries,
+              [this](bool) { --pendingAsync_; });
+    if (done) done(true);
+    return;
+  }
+  sendChain(segId, bytes, false, 0, params_.maxRetries, std::move(done));
+}
+
+void ReplicaManager::sealSegment(const log::Segment& seg) {
+  if (params_.factor <= 0) return;
+  auto it = segments_.find(seg.id());
+  if (it == segments_.end()) return;
+  SegmentState& st = it->second;
+  if (st.closedSent) return;
+  const std::uint64_t tail =
+      seg.appendedBytes() > st.bytesSent ? seg.appendedBytes() - st.bytesSent
+                                         : 0;
+  ++pendingAsync_;
+  sendChain(seg.id(), tail, true, 0, params_.maxRetries,
+            [this](bool) { --pendingAsync_; });
+}
+
+void ReplicaManager::replicateWholeSegment(const log::Segment& seg,
+                                           DoneFn done) {
+  if (params_.factor <= 0) {
+    if (done) done(true);
+    return;
+  }
+  if (segments_.find(seg.id()) == segments_.end()) onSegmentOpened(seg);
+  sendChain(seg.id(), seg.appendedBytes(), true, 0, params_.maxRetries,
+            std::move(done));
+}
+
+void ReplicaManager::freeSegment(log::SegmentId segId) {
+  auto it = segments_.find(segId);
+  if (it == segments_.end()) return;
+  for (node::NodeId backup : it->second.backups) {
+    net::RpcRequest req;
+    req.op = net::Opcode::kBackupFree;
+    req.a = static_cast<std::uint64_t>(self_);
+    req.b = segId;
+    rpc_.call(self_, backup, net::kBackupPort, req, timeouts::kControl,
+              [](const net::RpcResponse&) {});
+  }
+  segments_.erase(it);
+}
+
+}  // namespace rc::server

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "log/segment.hpp"
+#include "net/rpc.hpp"
+#include "node/node.hpp"
+#include "server/common.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace rc::server {
+
+struct ReplicationParams {
+  /// Replicas per segment (the paper sweeps 1..5; 0 disables durability,
+  /// as in the paper's Sections IV-V).
+  int factor = 0;
+
+  /// Master-side CPU to build and send one replication RPC. Charged to the
+  /// worker holding the update (it stays busy-spinning through the sync) —
+  /// this, plus the ack wait, is the paper's Finding-3 contention.
+  sim::Duration perReplicaSendCpu = sim::usec(18);
+
+  /// Master-side CPU to process one replication acknowledgement.
+  sim::Duration ackProcessing = sim::usec(15);
+
+  /// Strong consistency: the update is acknowledged to the client only
+  /// after every backup acked (paper SS VI). false = the SS IX-B ablation
+  /// (fire-and-forget replication, relaxed consistency).
+  bool waitForAcks = true;
+
+  /// SS IX-B's other proposal: one-sided RDMA writes into backup frames.
+  /// The master posts a DMA (~1 us CPU) and the backup's CPU is not
+  /// involved at all — the NIC deposits the bytes and the completion is
+  /// polled. Keeps the ack wait (consistency preserved) but removes the
+  /// CPU contention of Finding 3.
+  bool oneSidedRdma = false;
+
+  /// Replacement attempts when a backup times out before giving up.
+  int maxRetries = 3;
+};
+
+/// Manages segment replica placement and replication traffic for one
+/// master (RAMCloud's ReplicaManager + ReplicatedSegment).
+class ReplicaManager {
+ public:
+  using DoneFn = std::function<void(bool ok)>;
+  /// Candidate backup nodes (alive, backup service up, excluding self).
+  using CandidatesFn = std::function<std::vector<node::NodeId>()>;
+  /// Resolve one of this master's segments (for watermark resends).
+  using SegmentLookupFn =
+      std::function<const log::Segment*(log::SegmentId)>;
+
+  ReplicaManager(sim::Simulation& sim, net::RpcSystem& rpc,
+                 node::NodeId self, ReplicationParams params,
+                 CandidatesFn candidates, SegmentLookupFn segmentLookup,
+                 sim::Rng rng);
+
+  /// Pick `factor` distinct backups for a fresh segment (random scatter —
+  /// RAMCloud's placement, chosen so recovery can enlist many machines).
+  void onSegmentOpened(const log::Segment& seg);
+
+  /// Replicate `bytes` just appended to `segId`, in the caller's worker
+  /// context: replicas are serviced one after another and `done` runs when
+  /// the last ack arrives (or immediately if waitForAcks is false).
+  void replicateAppend(log::SegmentId segId, std::uint64_t bytes,
+                       DoneFn done);
+
+  /// Asynchronously replicate the still-unreplicated tail of a sealed
+  /// segment and mark replicas closed (triggers backup disk flushes).
+  void sealSegment(const log::Segment& seg);
+
+  /// Replicate an entire (sealed) segment in one batched write per replica
+  /// — the recovery-replay path. Sequential per replica; `done` runs after
+  /// the last (flush-gated) ack.
+  void replicateWholeSegment(const log::Segment& seg, DoneFn done);
+
+  /// Tell the replicas' backups to drop a cleaned segment.
+  void freeSegment(log::SegmentId segId);
+
+  /// Replication writes in flight that nobody is waiting on (seal tails).
+  std::uint64_t pendingAsyncWrites() const { return pendingAsync_; }
+
+  const std::vector<node::NodeId>* placementOf(log::SegmentId segId) const;
+
+  std::uint64_t replicaTimeouts() const { return replicaTimeouts_; }
+  std::uint64_t replacementsMade() const { return replacements_; }
+  const ReplicationParams& params() const { return params_; }
+
+  /// Aliveness guard supplied by the owning master (crash safety).
+  std::function<bool()> stillAlive;
+
+ private:
+  struct SegmentState {
+    std::vector<node::NodeId> backups;
+    std::uint64_t bytesSent = 0;  ///< per-replica watermark (kept in sync)
+    bool closedSent = false;
+  };
+
+  void sendChain(log::SegmentId segId, std::uint64_t bytes, bool close,
+                 std::size_t replicaIdx, int retriesLeft, DoneFn done);
+  node::NodeId pickReplacement(const std::vector<node::NodeId>& current);
+
+  sim::Simulation& sim_;
+  net::RpcSystem& rpc_;
+  node::NodeId self_;
+  ReplicationParams params_;
+  CandidatesFn candidates_;
+  SegmentLookupFn segmentLookup_;
+  sim::Rng rng_;
+
+  std::unordered_map<log::SegmentId, SegmentState> segments_;
+  std::uint64_t pendingAsync_ = 0;
+  std::uint64_t replicaTimeouts_ = 0;
+  std::uint64_t replacements_ = 0;
+};
+
+}  // namespace rc::server

@@ -1,0 +1,29 @@
+#include "sim/fifo_lock.hpp"
+
+#include <utility>
+
+namespace rc::sim {
+
+bool FifoLock::acquire(Grant grant) {
+  if (!held_) {
+    held_ = true;
+    ++acquisitions_;
+    grant();
+    return true;
+  }
+  waiters_.push_back(std::move(grant));
+  return false;
+}
+
+void FifoLock::release() {
+  if (waiters_.empty()) {
+    held_ = false;
+    return;
+  }
+  Grant next = std::move(waiters_.front());
+  waiters_.pop_front();
+  ++acquisitions_;
+  next();
+}
+
+}  // namespace rc::sim

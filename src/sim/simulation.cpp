@@ -1,0 +1,82 @@
+#include "sim/simulation.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace rc::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::schedule(Duration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  return scheduleAt(now_ + delay, std::move(cb));
+}
+
+EventId Simulation::scheduleAt(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  const EventId id = nextId_++;
+  queue_.push(Entry{t, id, std::move(cb)});
+  return id;
+}
+
+void Simulation::cancel(EventId id) {
+  if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+bool Simulation::popAndRunOne(SimTime limit) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.time > limit) return false;
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    // Move the callback out before popping so it survives the pop.
+    Callback cb = std::move(const_cast<Entry&>(top).cb);
+    now_ = top.time;
+    queue_.pop();
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulation::run() {
+  std::uint64_t n = 0;
+  while (!stopped_ && popAndRunOne(std::numeric_limits<SimTime>::max())) ++n;
+  return n;
+}
+
+std::uint64_t Simulation::runUntil(SimTime t) {
+  std::uint64_t n = 0;
+  while (!stopped_ && popAndRunOne(t)) ++n;
+  if (!stopped_ && now_ < t) now_ = t;
+  return n;
+}
+
+PeriodicTask::PeriodicTask(Simulation& sim, Duration interval,
+                           std::function<void(SimTime)> fn)
+    : sim_(sim), interval_(interval), fn_(std::move(fn)) {
+  arm();
+}
+
+PeriodicTask::~PeriodicTask() { cancel(); }
+
+void PeriodicTask::cancel() {
+  if (!active_) return;
+  active_ = false;
+  sim_.cancel(pending_);
+  pending_ = kInvalidEvent;
+}
+
+void PeriodicTask::arm() {
+  pending_ = sim_.schedule(interval_, [this] {
+    if (!active_) return;
+    fn_(sim_.now());
+    if (active_) arm();
+  });
+}
+
+}  // namespace rc::sim

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace rc::sim {
+
+/// Identifier of a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+constexpr EventId kInvalidEvent = 0;
+
+/// Deterministic discrete-event simulation kernel.
+///
+/// Events are (time, callback) pairs executed in nondecreasing time order;
+/// ties are broken by scheduling order, which makes runs fully deterministic.
+/// Cancellation is lazy: cancelled ids are skipped when popped.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulation(std::uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run `delay` from now (delay < 0 is clamped to 0).
+  EventId schedule(Duration delay, Callback cb);
+
+  /// Schedule `cb` at absolute time `t` (clamped to now if in the past).
+  EventId scheduleAt(SimTime t, Callback cb);
+
+  /// Cancel a pending event. Cancelling an already-run or invalid id is a
+  /// harmless no-op.
+  void cancel(EventId id);
+
+  /// Run events until the queue is empty or `stop()` is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Run events with time <= t, then set now() = t (if not stopped earlier).
+  /// Returns the number of events executed.
+  std::uint64_t runUntil(SimTime t);
+
+  /// Convenience: runUntil(now() + d).
+  std::uint64_t runFor(Duration d) { return runUntil(now_ + d); }
+
+  /// Request that run()/runUntil() return after the current event.
+  void stop() { stopped_ = true; }
+
+  bool stopped() const { return stopped_; }
+
+  /// Clear the stop flag so the simulation can be resumed.
+  void clearStop() { stopped_ = false; }
+
+  /// Number of events still pending (including lazily-cancelled ones).
+  std::size_t pendingEvents() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  std::uint64_t eventsExecuted() const { return executed_; }
+
+  /// Root random generator for this simulation.
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  bool popAndRunOne(SimTime limit);
+
+  SimTime now_ = 0;
+  EventId nextId_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+/// Repeats a callback at a fixed interval until cancelled or destroyed.
+/// The callback runs first at `start + interval`.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulation& sim, Duration interval,
+               std::function<void(SimTime)> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void cancel();
+  bool active() const { return active_; }
+
+ private:
+  void arm();
+
+  Simulation& sim_;
+  Duration interval_;
+  std::function<void(SimTime)> fn_;
+  EventId pending_ = kInvalidEvent;
+  bool active_ = true;
+};
+
+}  // namespace rc::sim

@@ -1,0 +1,159 @@
+#include "ycsb/ycsb_client.hpp"
+
+#include <utility>
+
+namespace rc::ycsb {
+
+YcsbClient::YcsbClient(sim::Simulation& sim, client::RamCloudClient& client,
+                       std::uint64_t tableId, WorkloadSpec spec,
+                       YcsbClientParams params, sim::Rng rng)
+    : sim_(sim),
+      client_(client),
+      tableId_(tableId),
+      spec_(std::move(spec)),
+      params_(params),
+      rng_(rng),
+      keys_(spec_, rng_.fork(1)),
+      bucket_(params.throttleOpsPerSec) {}
+
+void YcsbClient::start() {
+  if (running_) return;
+  running_ = true;
+  ++generation_;
+  issueNext();
+}
+
+void YcsbClient::stop() {
+  running_ = false;
+  ++generation_;
+}
+
+YcsbClient::OpKind YcsbClient::pickOp() {
+  double r = rng_.uniformDouble();
+  if (r < spec_.readProportion) return OpKind::kRead;
+  r -= spec_.readProportion;
+  if (r < spec_.updateProportion) return OpKind::kUpdate;
+  r -= spec_.updateProportion;
+  if (r < spec_.insertProportion) return OpKind::kInsert;
+  return OpKind::kReadModifyWrite;
+}
+
+std::uint64_t YcsbClient::pickKey() {
+  // The chooser draws an index into the (possibly grown) keyspace; indices
+  // past the preloaded records map onto this client's insert range.
+  auto resolve = [this](std::uint64_t idx) {
+    return idx < spec_.recordCount
+               ? idx
+               : params_.insertKeyBase + (idx - spec_.recordCount);
+  };
+  std::uint64_t k = resolve(keys_.next(keyspaceSize()));
+  if (params_.keyPredicate) {
+    // Rejection sampling; give up after a bounded number of draws so a
+    // pathological predicate cannot wedge the simulation.
+    for (int tries = 0; tries < 10'000 && !params_.keyPredicate(k); ++tries) {
+      k = resolve(keys_.next(keyspaceSize()));
+    }
+  }
+  return k;
+}
+
+void YcsbClient::issueNext() {
+  if (!running_ || done()) return;
+  const std::uint64_t gen = generation_;
+
+  const sim::Duration wait = bucket_.reserve(sim_.now());
+  auto fire = [this, gen] {
+    if (generation_ != gen || !running_) return;
+    const OpKind op = pickOp();
+    const bool isRead = op == OpKind::kRead;
+    std::uint64_t key;
+    if (op == OpKind::kInsert) {
+      key = params_.insertKeyBase + inserted_;
+    } else {
+      key = pickKey();
+    }
+
+    auto complete = [this, gen, op, isRead](net::Status status,
+                                            sim::Duration latency) {
+      if (generation_ != gen) return;
+      if (status == net::Status::kOk) {
+        ++stats_.opsCompleted;
+        switch (op) {
+          case OpKind::kRead:
+            ++stats_.reads;
+            stats_.readLatency.add(latency);
+            break;
+          case OpKind::kUpdate:
+            ++stats_.updates;
+            stats_.updateLatency.add(latency);
+            break;
+          case OpKind::kInsert:
+            ++stats_.inserts;
+            ++inserted_;
+            stats_.updateLatency.add(latency);
+            break;
+          case OpKind::kReadModifyWrite:
+            ++stats_.readModifyWrites;
+            stats_.updateLatency.add(latency);
+            break;
+        }
+      } else {
+        ++stats_.failures;
+      }
+      stats_.lastCompletionAt = sim_.now();
+      if (onOpComplete) onOpComplete(sim_.now(), latency, isRead);
+      if (done()) {
+        running_ = false;
+        if (onDone) onDone();
+        return;
+      }
+      // Client-side processing before the next op in the closed loop.
+      const double j = params_.clientOverheadJitter;
+      const double factor =
+          j > 0 ? 1.0 - j + 2.0 * j * rng_.uniformDouble() : 1.0;
+      const auto overhead = static_cast<sim::Duration>(
+          static_cast<double>(params_.clientOverheadPerOp) * factor);
+      sim_.schedule(overhead, [this, gen] {
+        if (generation_ == gen) issueNext();
+      });
+    };
+
+    switch (op) {
+      case OpKind::kRead:
+        client_.read(tableId_, key, std::move(complete));
+        break;
+      case OpKind::kUpdate:
+      case OpKind::kInsert:
+        client_.write(tableId_, key, spec_.valueBytes, std::move(complete));
+        break;
+      case OpKind::kReadModifyWrite: {
+        // Read then write the same key; one logical op, combined latency.
+        const sim::SimTime started = sim_.now();
+        client_.read(tableId_, key,
+                     [this, gen, key, started,
+                      complete = std::move(complete)](
+                         net::Status s, sim::Duration) mutable {
+                       if (generation_ != gen) return;
+                       if (s != net::Status::kOk) {
+                         complete(s, sim_.now() - started);
+                         return;
+                       }
+                       client_.write(tableId_, key, spec_.valueBytes,
+                                     [started, complete = std::move(complete),
+                                      this](net::Status s2, sim::Duration) mutable {
+                                       complete(s2, sim_.now() - started);
+                                     });
+                     });
+        break;
+      }
+    }
+  };
+
+  if (wait > 0) {
+    sim_.schedule(wait, std::move(fire));
+  } else {
+    fire();
+  }
+}
+
+}  // namespace rc::ycsb

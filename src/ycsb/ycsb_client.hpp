@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "client/ramcloud_client.hpp"
+#include "client/token_bucket.hpp"
+#include "sim/stats.hpp"
+#include "ycsb/workload.hpp"
+
+namespace rc::ycsb {
+
+struct YcsbClientParams {
+  /// Ops to issue; 0 = run until stop().
+  std::uint64_t opsTarget = 0;
+
+  /// Client-side per-op processing cost (YCSB's Java-side work: key
+  /// generation, marshalling, stats). Bounds the per-client rate exactly
+  /// as in the paper, where 30 clients saturate around ~1 Mop/s (Fig. 1a).
+  sim::Duration clientOverheadPerOp = sim::usec(26);
+
+  /// Relative jitter on the overhead (uniform in [1-j, 1+j]); breaks the
+  /// phase-lock a deterministic closed loop would otherwise exhibit.
+  double clientOverheadJitter = 0.25;
+
+  /// Fig. 13's client-level throttle; <= 0 disables.
+  double throttleOpsPerSec = 0;
+
+  /// First key id this client's *inserts* use (workload D). Each client
+  /// must get a disjoint base; Cluster::configureYcsb assigns them.
+  std::uint64_t insertKeyBase = 1ULL << 40;
+
+  /// Keep only keys satisfying this predicate (rejection-sampled). Used by
+  /// Fig. 10's "client 1 requests exclusively the killed server's data" /
+  /// "client 2 requests the rest". Null = accept all keys.
+  std::function<bool(std::uint64_t)> keyPredicate;
+};
+
+struct YcsbStats {
+  std::uint64_t opsCompleted = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t readModifyWrites = 0;
+  std::uint64_t failures = 0;
+  sim::Histogram readLatency;
+  sim::Histogram updateLatency;  ///< updates, inserts and RMWs
+  sim::SimTime lastCompletionAt = 0;
+};
+
+/// A closed-loop YCSB client instance (one per client node, as the paper
+/// runs exactly one YCSB process per machine).
+class YcsbClient {
+ public:
+  YcsbClient(sim::Simulation& sim, client::RamCloudClient& client,
+             std::uint64_t tableId, WorkloadSpec spec, YcsbClientParams params,
+             sim::Rng rng);
+
+  void start();
+  void stop();
+
+  bool running() const { return running_; }
+  bool done() const {
+    return params_.opsTarget > 0 && stats_.opsCompleted >= params_.opsTarget;
+  }
+
+  const YcsbStats& stats() const { return stats_; }
+
+  /// Called on every completed op (for latency timelines): (now, latency).
+  std::function<void(sim::SimTime, sim::Duration, bool isRead)> onOpComplete;
+
+  /// Called once when opsTarget is reached.
+  std::function<void()> onDone;
+
+ private:
+  enum class OpKind { kRead, kUpdate, kInsert, kReadModifyWrite };
+
+  void issueNext();
+  OpKind pickOp();
+  std::uint64_t pickKey();
+  std::uint64_t keyspaceSize() const {
+    return spec_.recordCount + inserted_;
+  }
+
+  sim::Simulation& sim_;
+  client::RamCloudClient& client_;
+  std::uint64_t tableId_;
+  WorkloadSpec spec_;
+  YcsbClientParams params_;
+  sim::Rng rng_;
+  KeyChooser keys_;
+  client::TokenBucket bucket_;
+
+  bool running_ = false;
+  std::uint64_t generation_ = 0;  ///< invalidates in-flight loops on stop()
+  std::uint64_t inserted_ = 0;    ///< grows the keyspace (workload D)
+  YcsbStats stats_;
+};
+
+}  // namespace rc::ycsb

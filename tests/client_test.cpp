@@ -1,0 +1,176 @@
+// Tests for the client library: routing, retries, recovery back-off,
+// token-bucket throttling.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "client/token_bucket.hpp"
+#include "core/cluster.hpp"
+
+namespace rc::client {
+namespace {
+
+using sim::msec;
+using sim::seconds;
+using sim::toSeconds;
+using sim::usec;
+
+core::ClusterParams clusterOf(int servers, int clients, int rf = 0) {
+  core::ClusterParams p;
+  p.servers = servers;
+  p.clients = clients;
+  p.replicationFactor = rf;
+  return p;
+}
+
+TEST(TokenBucket, DisabledNeverWaits) {
+  TokenBucket tb(0);
+  EXPECT_FALSE(tb.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(tb.reserve(seconds(i)), 0);
+}
+
+TEST(TokenBucket, SustainedRateMatchesConfig) {
+  TokenBucket tb(100);  // 100 ops/s
+  sim::SimTime now = 0;
+  int issued = 0;
+  while (now < seconds(10)) {
+    now += tb.reserve(now);
+    ++issued;
+  }
+  EXPECT_NEAR(issued / 10.0, 100.0, 5.0);
+}
+
+TEST(TokenBucket, BurstAllowsInitialSpike) {
+  TokenBucket tb(10, 5);
+  int immediate = 0;
+  while (tb.reserve(0) == 0) ++immediate;
+  EXPECT_EQ(immediate, 5);
+}
+
+TEST(RamCloudClient, ReadAfterWriteSucceeds) {
+  core::Cluster c(clusterOf(3, 1));
+  const auto table = c.createTable("t");
+  auto& rc = *c.clientHost(0).rc;
+  bool ok = false;
+  rc.write(table, 5, 1000, [&](net::Status s, sim::Duration) {
+    ASSERT_EQ(s, net::Status::kOk);
+    rc.read(table, 5, [&](net::Status s2, sim::Duration) {
+      ok = s2 == net::Status::kOk;
+    });
+  });
+  c.sim().runFor(seconds(1));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(rc.stats().opsSucceeded, 2u);
+  EXPECT_GE(rc.stats().mapRefreshes, 1u);  // bootstrap fetch
+}
+
+TEST(RamCloudClient, RoutesToAllOwners) {
+  core::Cluster c(clusterOf(4, 1));
+  const auto table = c.createTable("t");
+  auto& rc = *c.clientHost(0).rc;
+  std::set<server::ServerId> owners;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    owners.insert(c.ownerOfKey(table, k));
+    rc.write(table, k, 100, [](net::Status s, sim::Duration) {
+      ASSERT_EQ(s, net::Status::kOk);
+    });
+  }
+  c.sim().runFor(seconds(1));
+  EXPECT_EQ(owners.size(), 4u);  // uniform distribution reached everyone
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(c.server(i).master->stats().writes, 0u);
+  }
+}
+
+TEST(RamCloudClient, LatencyIsMicroseconds) {
+  core::Cluster c(clusterOf(1, 1));
+  const auto table = c.createTable("t");
+  auto& rc = *c.clientHost(0).rc;
+  c.bulkLoad(table, 100, 1000);
+  sim::Duration lat = 0;
+  rc.read(table, 1, [&](net::Status s, sim::Duration l) {
+    ASSERT_EQ(s, net::Status::kOk);
+    lat = l;
+  });
+  c.sim().runFor(seconds(1));
+  EXPECT_GT(lat, usec(5));
+  EXPECT_LT(lat, usec(100));
+}
+
+TEST(RamCloudClient, OpToDeadServerTimesOutThenFails) {
+  core::Cluster c(clusterOf(2, 1));
+  const auto table = c.createTable("t");
+  auto& rc = *c.clientHost(0).rc;
+  // Warm the map first.
+  rc.read(table, 1, [](net::Status, sim::Duration) {});
+  c.sim().runFor(msec(100));
+  c.coord().stopFailureDetector();  // nothing will ever fix the crash
+  const auto victim = c.ownerOfKey(table, 7);
+  c.crashServer(victim - 1);
+
+  net::Status final = net::Status::kOk;
+  rc.read(table, 7, [&](net::Status s, sim::Duration) { final = s; });
+  c.sim().runFor(seconds(30));
+  EXPECT_NE(final, net::Status::kOk);
+  EXPECT_GE(rc.stats().rpcTimeouts, 1u);
+}
+
+TEST(RamCloudClient, BlockedOpCompletesAfterRecovery) {
+  // Fig. 10 semantics: an op on lost data blocks for the whole recovery
+  // and then succeeds; its latency ~= detection + recovery time.
+  core::Cluster c(clusterOf(4, 1, /*rf=*/2));
+  const auto table = c.createTable("t");
+  c.bulkLoad(table, 10'000, 1000);
+  auto& rc = *c.clientHost(0).rc;
+  rc.read(table, 3, [](net::Status, sim::Duration) {});
+  c.sim().runFor(seconds(1));
+
+  const auto victim = c.ownerOfKey(table, 3);
+  c.crashServer(victim - 1);
+  net::Status final = net::Status::kError;
+  sim::Duration lat = 0;
+  rc.read(table, 3, [&](net::Status s, sim::Duration l) {
+    final = s;
+    lat = l;
+  });
+  for (int i = 0; i < 600 && final == net::Status::kError; ++i) {
+    c.sim().runFor(msec(100));
+  }
+  EXPECT_EQ(final, net::Status::kOk);
+  EXPECT_GT(lat, msec(300));  // blocked at least through detection
+  ASSERT_FALSE(c.coord().recoveryLog().empty());
+  const auto& rec = c.coord().recoveryLog().front();
+  // End-to-end op latency is within ~2.5 s of (detection + recovery).
+  const auto expect = rec.finishedAt - (rec.detectedAt - msec(450));
+  EXPECT_LT(std::abs(lat - expect), seconds(3));
+}
+
+TEST(RamCloudClient, StaleMapRefreshedAfterRecovery) {
+  core::Cluster c(clusterOf(4, 1, 2));
+  const auto table = c.createTable("t");
+  c.bulkLoad(table, 5'000, 1000);
+  auto& rc = *c.clientHost(0).rc;
+  rc.read(table, 1, [](net::Status, sim::Duration) {});
+  c.sim().runFor(seconds(1));
+
+  c.crashServer(c.ownerOfKey(table, 1) - 1);
+  for (int i = 0; i < 600 && c.coord().recoveryLog().empty(); ++i) {
+    c.sim().runFor(msec(100));
+  }
+  ASSERT_FALSE(c.coord().recoveryLog().empty());
+
+  // A later read must land on the new owner and succeed quickly.
+  net::Status s = net::Status::kError;
+  sim::Duration lat = 0;
+  rc.read(table, 1, [&](net::Status st, sim::Duration l) {
+    s = st;
+    lat = l;
+  });
+  c.sim().runFor(seconds(5));
+  EXPECT_EQ(s, net::Status::kOk);
+  EXPECT_LT(lat, seconds(2));
+}
+
+}  // namespace
+}  // namespace rc::client

@@ -1,0 +1,62 @@
+// Tests for the output formatting utilities used by the bench binaries.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/table_format.hpp"
+
+namespace rc::core {
+namespace {
+
+TEST(TableFormatter, AlignsColumns) {
+  TableFormatter t({"a", "long-header", "x"});
+  t.addRow({"1", "2", "3"});
+  t.addRow({"100", "veeeeery-long-cell", "z"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header + separator + 2 rows + borders, all same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    if (n++ == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+  EXPECT_EQ(n, 6);
+  EXPECT_NE(out.find("veeeeery-long-cell"), std::string::npos);
+}
+
+TEST(TableFormatter, ShortRowsArePadded) {
+  TableFormatter t({"a", "b", "c"});
+  t.addRow({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TableFormatter, NumFormatting) {
+  EXPECT_EQ(TableFormatter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableFormatter::num(3.14159, 0), "3");
+  EXPECT_EQ(TableFormatter::kops(372'000), "372K");
+  EXPECT_EQ(TableFormatter::kops(1'500, 1), "1.5K");
+}
+
+TEST(ShapeCheck, PrintsVerdictAndReturns) {
+  std::ostringstream os;
+  EXPECT_TRUE(shapeCheck(true, "all good", os));
+  EXPECT_FALSE(shapeCheck(false, "broken", os));
+  EXPECT_NE(os.str().find("PASS — all good"), std::string::npos);
+  EXPECT_NE(os.str().find("FAIL — broken"), std::string::npos);
+}
+
+TEST(Within, InclusiveBounds) {
+  EXPECT_TRUE(within(1.0, 1.0, 2.0));
+  EXPECT_TRUE(within(2.0, 1.0, 2.0));
+  EXPECT_FALSE(within(2.01, 1.0, 2.0));
+}
+
+}  // namespace
+}  // namespace rc::core

@@ -1,0 +1,178 @@
+// Unit tests for the network and RPC fabric.
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+
+namespace rc::net {
+namespace {
+
+using sim::msec;
+using sim::nsec;
+using sim::toSeconds;
+using sim::usec;
+
+TEST(Network, SmallMessageArrivesAfterLatency) {
+  sim::Simulation sim;
+  Network net(sim, TransportParams::infiniband());
+  bool arrived = false;
+  net.send(1, 2, 0, [&] { arrived = true; });
+  sim.run();
+  EXPECT_TRUE(arrived);
+  EXPECT_NEAR(static_cast<double>(sim.now()),
+              static_cast<double>(usec(2) + nsec(300)), 1.0);
+}
+
+TEST(Network, LargeTransferPaysBandwidth) {
+  sim::Simulation sim;
+  TransportParams p = TransportParams::infiniband();  // 2000 MB/s
+  Network net(sim, p);
+  net.send(1, 2, 2'000'000'000, [] {});  // 2 GB -> 1 s
+  sim.run();
+  EXPECT_NEAR(toSeconds(sim.now()), 1.0, 0.01);
+}
+
+TEST(Network, SenderNicSerialises) {
+  sim::Simulation sim;
+  Network net(sim, TransportParams::infiniband());
+  sim::SimTime first = 0, second = 0;
+  net.send(1, 2, 200'000'000, [&] { first = sim.now(); });   // 100 ms wire
+  net.send(1, 3, 200'000'000, [&] { second = sim.now(); });  // queued behind
+  sim.run();
+  EXPECT_GE(second - first, msec(99));
+}
+
+TEST(Network, DifferentSendersDoNotSerialise) {
+  sim::Simulation sim;
+  Network net(sim, TransportParams::infiniband());
+  sim::SimTime a = 0, b = 0;
+  net.send(1, 9, 200'000'000, [&] { a = sim.now(); });
+  net.send(2, 9, 200'000'000, [&] { b = sim.now(); });
+  sim.run();
+  EXPECT_LT(std::abs(a - b), usec(10));
+}
+
+TEST(Network, EthernetSlowerThanInfiniband) {
+  const auto ib = TransportParams::infiniband();
+  const auto eth = TransportParams::gigabitEthernet();
+  EXPECT_GT(eth.oneWayLatency, ib.oneWayLatency);
+  EXPECT_LT(eth.bandwidthMBps, ib.bandwidthMBps);
+}
+
+class EchoService : public RpcService {
+ public:
+  int handled = 0;
+  void handleRpc(const RpcRequest& req, node::NodeId /*from*/,
+                 Responder respond) override {
+    ++handled;
+    RpcResponse r;
+    r.a = req.a + 1;
+    respond(std::move(r));
+  }
+};
+
+TEST(Rpc, RoundTripDeliversResponse) {
+  sim::Simulation sim;
+  Network net(sim, TransportParams::infiniband());
+  RpcSystem rpc(sim, net);
+  EchoService echo;
+  rpc.bind(2, kMasterPort, &echo);
+
+  RpcRequest req;
+  req.a = 41;
+  bool got = false;
+  rpc.call(1, 2, kMasterPort, req, sim::seconds(1),
+           [&](const RpcResponse& resp) {
+             got = true;
+             EXPECT_EQ(resp.status, Status::kOk);
+             EXPECT_EQ(resp.a, 42u);
+           });
+  sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(echo.handled, 1);
+}
+
+TEST(Rpc, UnboundTargetTimesOut) {
+  sim::Simulation sim;
+  Network net(sim, TransportParams::infiniband());
+  RpcSystem rpc(sim, net);
+  bool got = false;
+  rpc.call(1, 7, kMasterPort, RpcRequest{}, msec(50),
+           [&](const RpcResponse& resp) {
+             got = true;
+             EXPECT_EQ(resp.status, Status::kTimeout);
+           });
+  sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(sim.now(), msec(50));
+  EXPECT_EQ(rpc.timeoutsObserved(), 1u);
+}
+
+TEST(Rpc, UnbindDuringFlightTimesOut) {
+  sim::Simulation sim;
+  Network net(sim, TransportParams::infiniband());
+  RpcSystem rpc(sim, net);
+  EchoService echo;
+  rpc.bind(2, kMasterPort, &echo);
+  rpc.unbind(2, kMasterPort);
+  bool timedOut = false;
+  rpc.call(1, 2, kMasterPort, RpcRequest{}, msec(10),
+           [&](const RpcResponse& r) {
+             timedOut = r.status == Status::kTimeout;
+           });
+  sim.run();
+  EXPECT_TRUE(timedOut);
+  EXPECT_EQ(echo.handled, 0);
+}
+
+class SlowService : public RpcService {
+ public:
+  explicit SlowService(sim::Simulation& s) : sim_(s) {}
+  void handleRpc(const RpcRequest&, node::NodeId,
+                 Responder respond) override {
+    sim_.schedule(msec(100), [respond = std::move(respond)]() mutable {
+      respond(RpcResponse{});
+    });
+  }
+  sim::Simulation& sim_;
+};
+
+TEST(Rpc, LateResponseAfterTimeoutIsDropped) {
+  sim::Simulation sim;
+  Network net(sim, TransportParams::infiniband());
+  RpcSystem rpc(sim, net);
+  SlowService slow(sim);
+  rpc.bind(2, kMasterPort, &slow);
+  int callbacks = 0;
+  rpc.call(1, 2, kMasterPort, RpcRequest{}, msec(10),
+           [&](const RpcResponse& r) {
+             ++callbacks;
+             EXPECT_EQ(r.status, Status::kTimeout);
+           });
+  sim.run();
+  EXPECT_EQ(callbacks, 1);  // exactly once, and it was the timeout
+}
+
+TEST(Rpc, ManyConcurrentCallsAllComplete) {
+  sim::Simulation sim;
+  Network net(sim, TransportParams::infiniband());
+  RpcSystem rpc(sim, net);
+  EchoService echo;
+  rpc.bind(2, kMasterPort, &echo);
+  int done = 0;
+  for (int i = 0; i < 500; ++i) {
+    RpcRequest req;
+    req.a = static_cast<std::uint64_t>(i);
+    rpc.call(1, 2, kMasterPort, req, sim::seconds(1),
+             [&done, i](const RpcResponse& r) {
+               EXPECT_EQ(r.a, static_cast<std::uint64_t>(i) + 1);
+               ++done;
+             });
+  }
+  sim.run();
+  EXPECT_EQ(done, 500);
+}
+
+}  // namespace
+}  // namespace rc::net

@@ -1,0 +1,90 @@
+// Dedicated tests for the power/energy substrate: efficiency metrics, PDU
+// sampling windows, suspension accounting.
+
+#include <gtest/gtest.h>
+
+#include "node/node.hpp"
+#include "power/pdu.hpp"
+#include "power/power_model.hpp"
+
+namespace rc::power {
+namespace {
+
+using sim::msec;
+using sim::seconds;
+
+TEST(Efficiency, OpsPerJoule) {
+  EXPECT_DOUBLE_EQ(efficiency::opsPerJoule(372'000, 122.0), 372'000 / 122.0);
+  EXPECT_DOUBLE_EQ(efficiency::opsPerJoule(100, 0), 0);
+}
+
+TEST(Efficiency, PaperFig8Definition) {
+  // The paper's rf=1 / 40-server point: 237 Kop/s at 103 W/node = 2.3 Kop/J.
+  EXPECT_NEAR(efficiency::opsPerJoulePerNode(237'000, 103.0), 2300, 10);
+}
+
+TEST(PduSampler, CoversWindowsBackToBack) {
+  sim::Simulation sim;
+  PowerModel model;
+  // Utilisation callback: 0.5 in even seconds, 0 in odd ones.
+  int call = 0;
+  PduSampler pdu(sim, model, [&call](sim::SimTime, sim::SimTime) {
+    return (call++ % 2 == 0) ? 0.5 : 0.0;
+  });
+  sim.runUntil(seconds(4) + msec(1));
+  ASSERT_EQ(pdu.trace().size(), 4u);
+  EXPECT_NEAR(pdu.trace().points()[0].value, model.watts(0.5), 1e-9);
+  EXPECT_NEAR(pdu.trace().points()[1].value, model.watts(0.0), 1e-9);
+  // Sampled energy = sum of sample * interval.
+  EXPECT_NEAR(pdu.sampledEnergyJoules(0, seconds(4)),
+              2 * model.watts(0.5) + 2 * model.watts(0.0), 1e-6);
+}
+
+TEST(PduSampler, StopFreezesTrace) {
+  sim::Simulation sim;
+  PduSampler pdu(sim, PowerModel{}, [](sim::SimTime, sim::SimTime) {
+    return 0.3;
+  });
+  sim.runUntil(seconds(2) + msec(1));
+  pdu.stop();
+  sim.runUntil(seconds(10));
+  EXPECT_EQ(pdu.trace().size(), 2u);
+}
+
+TEST(NodePower, SuspensionWindowMixesCorrectly) {
+  sim::Simulation sim;
+  node::NodeParams p;
+  node::Node n(sim, 1, p);
+  n.startProcess();
+  const auto snap = n.snapshotPower();
+  // 5 s running idle (polling core), then 5 s suspended.
+  sim.runUntil(seconds(5));
+  n.suspendMachine();
+  sim.runUntil(seconds(10));
+  const double j = n.energyJoulesSince(snap, sim.now());
+  const double expect = p.power.watts(0.25) * 5 + p.suspendedWatts * 5;
+  EXPECT_NEAR(j, expect, 1.0);
+  EXPECT_NEAR(n.meanWattsSince(snap, sim.now()), expect / 10, 0.2);
+}
+
+TEST(NodePower, ResumeRestoresActiveAccounting) {
+  sim::Simulation sim;
+  node::NodeParams p;
+  node::Node n(sim, 1, p);
+  n.startProcess();
+  n.suspendMachine();
+  sim.runUntil(seconds(5));
+  n.resumeMachine();
+  EXPECT_TRUE(n.processRunning());
+  const auto snap = n.snapshotPower();
+  sim.runUntil(seconds(10));
+  EXPECT_NEAR(n.meanWattsSince(snap, sim.now()), p.power.watts(0.25), 0.5);
+}
+
+TEST(NodePower, SuspendedDrawsSmallFractionOfIdle) {
+  node::NodeParams p;
+  EXPECT_LT(p.suspendedWatts * 5, p.power.idleWatts);
+}
+
+}  // namespace
+}  // namespace rc::power

@@ -1,0 +1,329 @@
+// Tests for the master/backup services, dispatch and replication manager,
+// exercised through a small simulated cluster.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cluster.hpp"
+#include "server/backup_service.hpp"
+#include "server/dispatch.hpp"
+#include "server/master_service.hpp"
+
+namespace rc::server {
+namespace {
+
+using sim::msec;
+using sim::seconds;
+using sim::usec;
+
+core::ClusterParams smallCluster(int servers, int rf) {
+  core::ClusterParams p;
+  p.servers = servers;
+  p.clients = 1;
+  p.replicationFactor = rf;
+  return p;
+}
+
+net::RpcResponse callSync(core::Cluster& c, node::NodeId to,
+                          net::RpcRequest req,
+                          sim::Duration timeout = seconds(2)) {
+  net::RpcResponse out;
+  bool done = false;
+  c.rpc().call(c.clientNodeId(0), to, net::kMasterPort, req, timeout,
+               [&](const net::RpcResponse& r) {
+                 out = r;
+                 done = true;
+               });
+  while (!done) c.sim().runFor(msec(10));
+  return out;
+}
+
+net::RpcRequest writeReq(std::uint64_t table, std::uint64_t key,
+                         std::uint64_t bytes = 1000) {
+  net::RpcRequest r;
+  r.op = net::Opcode::kWrite;
+  r.a = table;
+  r.b = key;
+  r.payloadBytes = bytes;
+  return r;
+}
+
+net::RpcRequest readReq(std::uint64_t table, std::uint64_t key) {
+  net::RpcRequest r;
+  r.op = net::Opcode::kRead;
+  r.a = table;
+  r.b = key;
+  return r;
+}
+
+TEST(Dispatch, SerialisesItems) {
+  sim::Simulation sim;
+  DispatchParams p;
+  p.perItem = usec(1);
+  Dispatch d(sim, p);
+  std::vector<sim::SimTime> at;
+  for (int i = 0; i < 5; ++i) {
+    d.enqueue([&] { at.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(at.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(at[static_cast<size_t>(i)], usec(i + 1));
+}
+
+TEST(Dispatch, ExtraCostDelaysFollowers) {
+  sim::Simulation sim;
+  DispatchParams p;
+  p.perItem = usec(1);
+  Dispatch d(sim, p);
+  sim::SimTime second = 0;
+  d.enqueue([] {}, usec(99));  // a backup write hogging the dispatch core
+  d.enqueue([&] { second = sim.now(); });
+  sim.run();
+  EXPECT_EQ(second, usec(101));
+}
+
+TEST(Dispatch, CrashDropsQueued) {
+  sim::Simulation sim;
+  Dispatch d(sim, DispatchParams{});
+  bool ran = false;
+  d.enqueue([&] { ran = true; });
+  d.crash();
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(MasterService, WriteThenReadRoundTrip) {
+  core::Cluster c(smallCluster(2, 0));
+  const auto table = c.createTable("t");
+  auto w = callSync(c, c.ownerOfKey(table, 5), writeReq(table, 5));
+  EXPECT_EQ(w.status, net::Status::kOk);
+  auto r = callSync(c, c.ownerOfKey(table, 5), readReq(table, 5));
+  EXPECT_EQ(r.status, net::Status::kOk);
+  EXPECT_EQ(r.a, 1u);  // found
+  EXPECT_EQ(r.payloadBytes, 1100u);  // 1000 B value + 100 B log metadata
+}
+
+TEST(MasterService, ReadMissingKeyReportsAbsent) {
+  core::Cluster c(smallCluster(1, 0));
+  const auto table = c.createTable("t");
+  auto r = callSync(c, c.serverNodeId(0), readReq(table, 12345));
+  EXPECT_EQ(r.status, net::Status::kOk);
+  EXPECT_EQ(r.a, 0u);
+}
+
+TEST(MasterService, WrongOwnerReturnsUnknownTablet) {
+  core::Cluster c(smallCluster(2, 0));
+  const auto table = c.createTable("t");
+  const auto owner = c.ownerOfKey(table, 5);
+  const auto other = owner == c.serverNodeId(0) ? c.serverNodeId(1)
+                                                : c.serverNodeId(0);
+  auto r = callSync(c, other, readReq(table, 5));
+  EXPECT_EQ(r.status, net::Status::kUnknownTablet);
+}
+
+TEST(MasterService, VersionsIncreaseAcrossOverwrites) {
+  core::Cluster c(smallCluster(1, 0));
+  const auto table = c.createTable("t");
+  callSync(c, c.serverNodeId(0), writeReq(table, 1));
+  callSync(c, c.serverNodeId(0), writeReq(table, 1));
+  auto r = callSync(c, c.serverNodeId(0), readReq(table, 1));
+  EXPECT_GE(r.b, 2u);
+  // The overwritten entry is dead in the log.
+  const auto& master = *c.server(0).master;
+  EXPECT_LT(master.log().liveBytes(), master.log().appendedBytes());
+}
+
+TEST(MasterService, RemoveDeletesAndWritesTombstone) {
+  core::Cluster c(smallCluster(1, 0));
+  const auto table = c.createTable("t");
+  callSync(c, c.serverNodeId(0), writeReq(table, 9));
+  net::RpcRequest rm;
+  rm.op = net::Opcode::kRemove;
+  rm.a = table;
+  rm.b = 9;
+  auto resp = callSync(c, c.serverNodeId(0), rm);
+  EXPECT_EQ(resp.status, net::Status::kOk);
+  EXPECT_EQ(resp.a, 1u);
+  auto r = callSync(c, c.serverNodeId(0), readReq(table, 9));
+  EXPECT_EQ(r.a, 0u);  // gone
+  EXPECT_EQ(c.server(0).master->objectMap().get(hash::Key{table, 9}),
+            nullptr);
+}
+
+TEST(MasterService, UnreplicatedWriteSlowerThanRead) {
+  // The paper's Finding 2: updates cost far more than reads even at RF=0.
+  core::Cluster c(smallCluster(1, 0));
+  const auto table = c.createTable("t");
+  callSync(c, c.serverNodeId(0), writeReq(table, 1));
+  const auto& st = c.server(0).master->stats();
+  ASSERT_EQ(st.writes, 1u);
+  EXPECT_GT(st.writeServiceLatency.mean(), 4 * st.readServiceLatency.mean() +
+                                               static_cast<double>(usec(50)));
+}
+
+TEST(Replication, AckedWriteIsDurableOnRfBackups) {
+  for (int rf : {1, 2, 3}) {
+    core::Cluster c(smallCluster(5, rf));
+    const auto table = c.createTable("t");
+    const auto owner = c.ownerOfKey(table, 77);
+    auto w = callSync(c, owner, writeReq(table, 77));
+    ASSERT_EQ(w.status, net::Status::kOk);
+
+    auto& master = *c.server(owner - 1).master;
+    const auto* loc = master.objectMap().get(hash::Key{table, 77});
+    ASSERT_NE(loc, nullptr);
+    const auto* placement =
+        master.replicaManager().placementOf(loc->ref.segment);
+    ASSERT_NE(placement, nullptr);
+    ASSERT_EQ(placement->size(), static_cast<std::size_t>(rf));
+    for (node::NodeId b : *placement) {
+      EXPECT_NE(b, owner);  // never self
+      auto frames = c.directory().backupOn(b)->framesForMaster(owner);
+      ASSERT_EQ(frames.size(), 1u);
+      EXPECT_GE(frames[0].bytes, 1100u);  // the write is within watermark
+    }
+  }
+}
+
+TEST(Replication, DistinctBackupsPerSegment) {
+  core::Cluster c(smallCluster(6, 3));
+  const auto table = c.createTable("t");
+  const auto owner = c.ownerOfKey(table, 1);
+  callSync(c, owner, writeReq(table, 1));
+  auto& master = *c.server(owner - 1).master;
+  const auto* loc = master.objectMap().get(hash::Key{table, 1});
+  const auto* placement = master.replicaManager().placementOf(loc->ref.segment);
+  ASSERT_NE(placement, nullptr);
+  std::set<node::NodeId> uniq(placement->begin(), placement->end());
+  EXPECT_EQ(uniq.size(), placement->size());
+}
+
+TEST(Replication, WriteLatencyGrowsWithRf) {
+  double lastLatency = 0;
+  for (int rf : {0, 1, 2, 4}) {
+    core::Cluster c(smallCluster(6, rf));
+    const auto table = c.createTable("t");
+    const auto owner = c.ownerOfKey(table, 3);
+    callSync(c, owner, writeReq(table, 3));
+    const double lat =
+        c.server(owner - 1).master->stats().writeServiceLatency.mean();
+    if (rf >= 2) EXPECT_GT(lat, lastLatency);
+    lastLatency = lat;
+  }
+}
+
+TEST(Replication, BackupCrashTriggersReplacement) {
+  core::Cluster c(smallCluster(5, 2));
+  const auto table = c.createTable("t");
+  const auto owner = c.ownerOfKey(table, 42);
+  callSync(c, owner, writeReq(table, 42));
+
+  auto& master = *c.server(owner - 1).master;
+  const auto* loc = master.objectMap().get(hash::Key{table, 42});
+  const auto* placement = master.replicaManager().placementOf(loc->ref.segment);
+  ASSERT_NE(placement, nullptr);
+  const node::NodeId victim = placement->front();
+  c.coord().stopFailureDetector();  // isolate: no recovery, just replication
+  c.crashServer(victim - 1);
+
+  // A second write to the same master (any key it owns) must still be
+  // acknowledged: the manager replaces the dead backup.
+  std::uint64_t key2 = 43;
+  while (c.ownerOfKey(table, key2) != owner) ++key2;
+  auto w = callSync(c, owner, writeReq(table, key2), seconds(5));
+  EXPECT_EQ(w.status, net::Status::kOk);
+  EXPECT_GE(master.replicaManager().replacementsMade(), 1u);
+  const auto* now = master.replicaManager().placementOf(loc->ref.segment);
+  ASSERT_NE(now, nullptr);
+  for (node::NodeId b : *now) EXPECT_NE(b, victim);
+}
+
+TEST(Replication, ConsistencyAblationSkipsAckWait) {
+  // SS IX-B: fire-and-forget replication must be much faster than synced.
+  double synced = 0, relaxed = 0;
+  for (bool wait : {true, false}) {
+    core::ClusterParams p = smallCluster(5, 3);
+    p.master.replication.waitForAcks = wait;
+    core::Cluster c(p);
+    const auto table = c.createTable("t");
+    const auto owner = c.ownerOfKey(table, 5);
+    callSync(c, owner, writeReq(table, 5));
+    const double lat =
+        c.server(owner - 1).master->stats().writeServiceLatency.mean();
+    (wait ? synced : relaxed) = lat;
+  }
+  EXPECT_LT(relaxed * 2, synced);
+}
+
+TEST(BackupService, SealedSegmentFlushesToDisk) {
+  core::ClusterParams p = smallCluster(3, 1);
+  p.master.log.segmentBytes = 64 * 1024;  // seal quickly
+  core::Cluster c(p);
+  const auto table = c.createTable("t", 1);
+  const auto owner = c.ownerOfKey(table, 0);
+  // ~60 writes of 1.1 KB fill a 64 KB segment.
+  for (int i = 0; i < 120; ++i) {
+    callSync(c, owner, writeReq(table, static_cast<std::uint64_t>(i)));
+  }
+  c.sim().runFor(seconds(2));  // let flushes drain
+  std::uint64_t flushed = 0;
+  for (int i = 0; i < c.serverCount(); ++i) {
+    for (const auto& f :
+         c.server(i).backup->framesForMaster(owner)) {
+      if (f.onDisk) ++flushed;
+    }
+  }
+  EXPECT_GE(flushed, 1u);
+}
+
+TEST(BackupService, FreesFramesOnRequest) {
+  core::Cluster c(smallCluster(3, 2));
+  const auto table = c.createTable("t");
+  const auto owner = c.ownerOfKey(table, 8);
+  callSync(c, owner, writeReq(table, 8));
+  auto& master = *c.server(owner - 1).master;
+  const auto* loc = master.objectMap().get(hash::Key{table, 8});
+  master.replicaManager().freeSegment(loc->ref.segment);
+  c.sim().runFor(msec(100));
+  for (int i = 0; i < c.serverCount(); ++i) {
+    EXPECT_TRUE(c.server(i).backup->framesForMaster(owner).empty());
+  }
+}
+
+TEST(MasterService, CleanerReclaimsUnderChurn) {
+  core::ClusterParams p = smallCluster(1, 0);
+  p.master.log.segmentBytes = 32 * 1024;
+  p.master.log.capacityBytes = 256 * 1024;  // 8 segments
+  p.master.log.cleanerThreshold = 0.5;
+  core::Cluster c(p);
+  const auto table = c.createTable("t");
+  // Overwrite 20 keys repeatedly: appended >> live, cleaner must run.
+  for (int round = 0; round < 20; ++round) {
+    for (std::uint64_t k = 0; k < 20; ++k) {
+      auto w = callSync(c, c.serverNodeId(0), writeReq(table, k));
+      ASSERT_EQ(w.status, net::Status::kOk);
+    }
+  }
+  c.sim().runFor(seconds(2));
+  const auto& master = *c.server(0).master;
+  EXPECT_GT(master.stats().cleanerRuns, 0u);
+  EXPECT_LE(master.log().memoryInUse(), p.master.log.capacityBytes);
+  // All 20 keys still readable with latest data.
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    auto r = callSync(c, c.serverNodeId(0), readReq(table, k));
+    EXPECT_EQ(r.a, 1u) << "key " << k;
+  }
+}
+
+TEST(MasterService, CrashedMasterStopsResponding) {
+  core::Cluster c(smallCluster(2, 0));
+  const auto table = c.createTable("t");
+  c.coord().stopFailureDetector();
+  c.crashServer(0);
+  auto r = callSync(c, c.serverNodeId(0), readReq(table, 1), msec(300));
+  EXPECT_EQ(r.status, net::Status::kTimeout);
+}
+
+}  // namespace
+}  // namespace rc::server

@@ -1,0 +1,40 @@
+// End-to-end smoke: a small cluster serves reads and writes.
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+
+namespace rc {
+namespace {
+
+TEST(Smoke, ClusterServesReadOnlyWorkload) {
+  core::YcsbExperimentConfig cfg;
+  cfg.servers = 2;
+  cfg.clients = 2;
+  cfg.workload = ycsb::WorkloadSpec::C(10'000);
+  cfg.warmup = sim::msec(200);
+  cfg.measure = sim::seconds(1);
+  const auto r = core::runYcsbExperiment(cfg);
+  EXPECT_GT(r.throughputOpsPerSec, 1000.0);
+  EXPECT_EQ(r.opFailures, 0u);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_GT(r.meanPowerPerServerW, 60.0);
+  EXPECT_LT(r.meanPowerPerServerW, 130.0);
+}
+
+TEST(Smoke, ClusterServesUpdateHeavyWithReplication) {
+  core::YcsbExperimentConfig cfg;
+  cfg.servers = 3;
+  cfg.clients = 2;
+  cfg.replicationFactor = 2;
+  cfg.workload = ycsb::WorkloadSpec::A(5'000);
+  cfg.warmup = sim::msec(200);
+  cfg.measure = sim::seconds(1);
+  const auto r = core::runYcsbExperiment(cfg);
+  EXPECT_GT(r.throughputOpsPerSec, 500.0);
+  EXPECT_EQ(r.opFailures, 0u);
+}
+
+}  // namespace
+}  // namespace rc

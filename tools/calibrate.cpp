@@ -1,0 +1,103 @@
+// Calibration probe: prints the model's predictions for the paper's key
+// data points so service-time constants can be fitted. Not a benchmark.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/recovery_experiment.hpp"
+
+using namespace rc;
+
+namespace {
+
+void probeYcsb(const char* tag, int servers, int clients, int rf,
+               ycsb::WorkloadSpec spec, double throttle = 0) {
+  core::YcsbExperimentConfig cfg;
+  cfg.servers = servers;
+  cfg.clients = clients;
+  cfg.replicationFactor = rf;
+  cfg.workload = spec;
+  cfg.warmup = sim::seconds(1);
+  cfg.measure = sim::seconds(4);
+  cfg.throttleOpsPerSec = throttle;
+  const auto r = core::runYcsbExperiment(cfg);
+  std::printf(
+      "%-28s srv=%2d cli=%2d rf=%d wl=%s  thr=%8.0f op/s  cpu=%5.1f%% "
+      "(%5.1f-%5.1f)  P=%6.1fW  eff=%6.0f op/J  rdLat=%7.1fus upLat=%8.1fus "
+      "fail=%llu%s\n",
+      tag, servers, clients, rf, spec.name.c_str(), r.throughputOpsPerSec,
+      r.meanCpuPct, r.minCpuPct, r.maxCpuPct, r.meanPowerPerServerW,
+      r.opsPerJoule, r.readMeanLatencyUs, r.updateMeanLatencyUs,
+      static_cast<unsigned long long>(r.opFailures),
+      r.crashed ? "  CRASHED" : "");
+}
+
+void probeRecovery(int servers, int rf, std::uint64_t records) {
+  core::RecoveryExperimentConfig cfg;
+  cfg.servers = servers;
+  cfg.replicationFactor = rf;
+  cfg.records = records;
+  cfg.killAt = sim::seconds(10);
+  const auto r = core::runRecoveryExperiment(cfg);
+  std::printf(
+      "recovery srv=%d rf=%d data=%.2fGB  detect=%.2fs recover=%.1fs  "
+      "peakCpu=%.0f%%  P=%.1fW  E/node=%.0fJ  ok=%d allKeys=%d\n",
+      servers, rf, r.dataRecoveredGB, sim::toSeconds(r.detectionDelay),
+      sim::toSeconds(r.recoveryDuration), r.peakCpuPct,
+      r.meanPowerDuringRecoveryW, r.energyPerNodeDuringRecoveryJ,
+      r.recovered ? 1 : 0, r.allKeysRecovered ? 1 : 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string what = argc > 1 ? argv[1] : "fig1";
+
+  if (what == "fig1") {
+    // Paper: 1 srv/30 cli ~372K; 5 srv linear; 10 srv == 5 srv (client cap).
+    // Power: 1 cli ~92W, 10/30 cli ~122-127W. Table I CPU staircase.
+    auto C = ycsb::WorkloadSpec::C(500'000);
+    for (int srv : {1, 5, 10}) {
+      for (int cli : {1, 10, 30}) probeYcsb("fig1", srv, cli, 0, C);
+    }
+    for (int cli : {1, 2, 3, 4, 5}) probeYcsb("table1", 1, cli, 0, C);
+  } else if (what == "table2") {
+    // Paper (10 srv): A: 98/106/64/63/64K; B: 236/454/622/816/844K;
+    //                 C: 236/482/753/1433/2004K  at 10/20/30/60/90 cli.
+    for (auto spec :
+         {ycsb::WorkloadSpec::A(), ycsb::WorkloadSpec::B(),
+          ycsb::WorkloadSpec::C()}) {
+      for (int cli : {10, 20, 30, 60, 90}) {
+        probeYcsb("table2", 10, cli, 0, spec);
+      }
+    }
+  } else if (what == "fig5") {
+    // Paper (20 srv, A): 10cli 78->43K rf1->4; 30/60 cli rf4 ~41/50K.
+    for (int cli : {10, 30, 60}) {
+      for (int rf : {1, 2, 3, 4}) {
+        probeYcsb("fig5", 20, cli, rf, ycsb::WorkloadSpec::A());
+      }
+    }
+  } else if (what == "fig6") {
+    // Paper (60 cli, A): rf1: 128K@10srv -> 237K@40srv; 10srv rf>2 crashes.
+    for (int srv : {10, 20, 30, 40}) {
+      for (int rf : {1, 2, 3, 4}) {
+        probeYcsb("fig6", srv, 60, rf, ycsb::WorkloadSpec::A());
+      }
+    }
+  } else if (what == "recovery") {
+    // Paper: 9 srv, ~1.085GB/srv, rf1->5: 10/~21/~32/~43/55 s.
+    const std::uint64_t records =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10'000'000;
+    for (int rf : {1, 2, 3, 4, 5}) probeRecovery(9, rf, records);
+  } else if (what == "fig13") {
+    for (double rate : {200.0, 500.0}) {
+      for (int cli : {10, 30, 60}) {
+        probeYcsb("fig13", 10, cli, 2, ycsb::WorkloadSpec::A(), rate);
+      }
+    }
+  }
+  return 0;
+}

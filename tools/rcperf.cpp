@@ -1,0 +1,230 @@
+// rcperf — command-line experiment runner for the simulated RAMCloud
+// cluster. Lets you reproduce any paper configuration (or your own) without
+// writing code:
+//
+//   rcperf ycsb --servers 10 --clients 30 --workload A --rf 2
+//   rcperf ycsb --workload C --dist zipfian --measure 10
+//   rcperf recovery --servers 9 --rf 4 --records 2000000 --csv
+//   rcperf sweep rf --values 1,2,3,4 --servers 20 --clients 60 --workload A
+//
+// Output: one human-readable row per run; --csv switches to a header+rows
+// CSV stream for plotting.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/recovery_experiment.hpp"
+#include "core/table_format.hpp"
+
+using namespace rc;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool has(const std::string& k) const { return kv.count(k) > 0; }
+  std::string str(const std::string& k, const std::string& dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  double num(const std::string& k, double dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+  static Args parse(int argc, char** argv, int from) {
+    Args a;
+    for (int i = from; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      const std::string key = argv[i] + 2;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        a.kv[key] = argv[++i];
+      } else {
+        a.kv[key] = "1";  // boolean flag
+      }
+    }
+    return a;
+  }
+};
+
+ycsb::WorkloadSpec workloadFor(const Args& a) {
+  const std::string w = a.str("workload", "C");
+  const auto records =
+      static_cast<std::uint64_t>(a.num("records", 100'000));
+  ycsb::WorkloadSpec spec;
+  if (w == "A") {
+    spec = ycsb::WorkloadSpec::A(records);
+  } else if (w == "B") {
+    spec = ycsb::WorkloadSpec::B(records);
+  } else if (w == "C") {
+    spec = ycsb::WorkloadSpec::C(records);
+  } else if (w == "D") {
+    spec = ycsb::WorkloadSpec::D(records);
+  } else if (w == "F") {
+    spec = ycsb::WorkloadSpec::F(records);
+  } else {
+    std::fprintf(stderr, "unknown --workload %s (A|B|C|D|F)\n", w.c_str());
+    std::exit(2);
+  }
+  const std::string dist = a.str("dist", "");
+  if (dist == "zipfian") {
+    spec.distribution = ycsb::WorkloadSpec::Distribution::kZipfian;
+  } else if (dist == "latest") {
+    spec.distribution = ycsb::WorkloadSpec::Distribution::kLatest;
+  } else if (dist == "uniform" || dist.empty()) {
+    // D defaults to latest; only override when asked.
+    if (dist == "uniform") {
+      spec.distribution = ycsb::WorkloadSpec::Distribution::kUniform;
+    }
+  } else {
+    std::fprintf(stderr, "unknown --dist %s\n", dist.c_str());
+    std::exit(2);
+  }
+  spec.valueBytes = static_cast<std::uint32_t>(a.num("value-bytes", 1000));
+  return spec;
+}
+
+core::YcsbExperimentConfig ycsbConfig(const Args& a) {
+  core::YcsbExperimentConfig cfg;
+  cfg.servers = static_cast<int>(a.num("servers", 10));
+  cfg.clients = static_cast<int>(a.num("clients", 10));
+  cfg.replicationFactor = static_cast<int>(a.num("rf", 0));
+  cfg.workload = workloadFor(a);
+  cfg.warmup = sim::secondsF(a.num("warmup", 1.0));
+  cfg.measure = sim::secondsF(a.num("measure", 4.0));
+  cfg.throttleOpsPerSec = a.num("throttle", 0);
+  cfg.seed = static_cast<std::uint64_t>(a.num("seed", 42));
+  return cfg;
+}
+
+void printYcsbHeaderCsv() {
+  std::printf(
+      "servers,clients,rf,workload,throughput_ops,watts_per_node,"
+      "cpu_pct,ops_per_joule,read_mean_us,update_mean_us,failures\n");
+}
+
+void printYcsbRow(const core::YcsbExperimentConfig& cfg,
+                  const core::YcsbExperimentResult& r, bool csv) {
+  if (csv) {
+    std::printf("%d,%d,%d,%s,%.0f,%.2f,%.2f,%.1f,%.2f,%.2f,%llu\n",
+                cfg.servers, cfg.clients, cfg.replicationFactor,
+                cfg.workload.name.c_str(), r.throughputOpsPerSec,
+                r.meanPowerPerServerW, r.meanCpuPct, r.opsPerJoule,
+                r.readMeanLatencyUs, r.updateMeanLatencyUs,
+                static_cast<unsigned long long>(r.opFailures));
+    return;
+  }
+  std::printf(
+      "srv=%-3d cli=%-3d rf=%d wl=%-2s | %9.0f op/s | %6.1f W/node | "
+      "%5.1f%% cpu | %6.1f op/J | rd %7.1fus up %8.1fus | fail %llu%s\n",
+      cfg.servers, cfg.clients, cfg.replicationFactor,
+      cfg.workload.name.c_str(), r.throughputOpsPerSec,
+      r.meanPowerPerServerW, r.meanCpuPct, r.opsPerJoule,
+      r.readMeanLatencyUs, r.updateMeanLatencyUs,
+      static_cast<unsigned long long>(r.opFailures),
+      r.crashed ? "  [CRASHED]" : "");
+}
+
+int cmdYcsb(const Args& a) {
+  const bool csv = a.has("csv");
+  const auto cfg = ycsbConfig(a);
+  const auto r = core::runYcsbExperiment(cfg);
+  if (csv) printYcsbHeaderCsv();
+  printYcsbRow(cfg, r, csv);
+  return r.crashed ? 1 : 0;
+}
+
+int cmdSweep(const Args& a, const std::string& param) {
+  const bool csv = a.has("csv");
+  std::vector<int> values;
+  std::stringstream ss(a.str("values", "1,2,3,4"));
+  for (std::string tok; std::getline(ss, tok, ',');) {
+    values.push_back(std::atoi(tok.c_str()));
+  }
+  if (csv) printYcsbHeaderCsv();
+  for (int v : values) {
+    auto cfg = ycsbConfig(a);
+    if (param == "rf") {
+      cfg.replicationFactor = v;
+    } else if (param == "servers") {
+      cfg.servers = v;
+    } else if (param == "clients") {
+      cfg.clients = v;
+    } else {
+      std::fprintf(stderr, "sweep parameter must be rf|servers|clients\n");
+      return 2;
+    }
+    printYcsbRow(cfg, core::runYcsbExperiment(cfg), csv);
+  }
+  return 0;
+}
+
+int cmdRecovery(const Args& a) {
+  core::RecoveryExperimentConfig cfg;
+  cfg.servers = static_cast<int>(a.num("servers", 9));
+  cfg.replicationFactor = static_cast<int>(a.num("rf", 3));
+  cfg.records = static_cast<std::uint64_t>(a.num("records", 1'000'000));
+  cfg.valueBytes = static_cast<std::uint32_t>(a.num("value-bytes", 1000));
+  cfg.killAt = sim::secondsF(a.num("kill-at", 5.0));
+  cfg.probeClients = a.has("probe-clients");
+  cfg.seed = static_cast<std::uint64_t>(a.num("seed", 42));
+  if (a.has("segment-mb")) {
+    cfg.segmentBytes =
+        static_cast<std::uint64_t>(a.num("segment-mb", 8)) * 1024 * 1024;
+  }
+  const auto r = core::runRecoveryExperiment(cfg);
+  std::printf(
+      "recovered=%s detect=%.2fs replay=%.2fs data=%.2fGB "
+      "peakCpu=%.0f%% power=%.1fW energy/node=%.0fJ allKeys=%s\n",
+      r.recovered ? "yes" : "NO", sim::toSeconds(r.detectionDelay),
+      sim::toSeconds(r.recoveryDuration), r.dataRecoveredGB, r.peakCpuPct,
+      r.meanPowerDuringRecoveryW, r.energyPerNodeDuringRecoveryJ,
+      r.allKeysRecovered ? "yes" : "NO");
+  if (a.has("csv")) {
+    std::printf("%s", r.cpuMeanPct.toCsv("cpu_pct").c_str());
+    std::printf("%s", r.powerMeanW.toCsv("power_w").c_str());
+    std::printf("%s", r.diskReadMBps.toCsv("disk_read_MBps").c_str());
+    std::printf("%s", r.diskWriteMBps.toCsv("disk_write_MBps").c_str());
+    if (cfg.probeClients) {
+      std::printf("%s", r.client1LatencyUs.toCsv("client1_us").c_str());
+      std::printf("%s", r.client2LatencyUs.toCsv("client2_us").c_str());
+    }
+  }
+  return r.recovered ? 0 : 1;
+}
+
+void usage() {
+  std::puts(
+      "rcperf — simulated-RAMCloud experiment runner\n"
+      "\n"
+      "  rcperf ycsb     [--servers N] [--clients N] [--rf N]\n"
+      "                  [--workload A|B|C|D|F] [--dist uniform|zipfian|latest]\n"
+      "                  [--records N] [--value-bytes N] [--throttle OPS]\n"
+      "                  [--warmup S] [--measure S] [--seed N] [--csv]\n"
+      "  rcperf sweep P  --values v1,v2,...   (P = rf|servers|clients;\n"
+      "                  remaining flags as for ycsb)\n"
+      "  rcperf recovery [--servers N] [--rf N] [--records N] [--kill-at S]\n"
+      "                  [--segment-mb N] [--probe-clients] [--seed N] [--csv]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "ycsb") return cmdYcsb(Args::parse(argc, argv, 2));
+  if (cmd == "recovery") return cmdRecovery(Args::parse(argc, argv, 2));
+  if (cmd == "sweep" && argc >= 3) {
+    return cmdSweep(Args::parse(argc, argv, 3), argv[2]);
+  }
+  usage();
+  return 2;
+}
