@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_consistency.cpp" "bench/CMakeFiles/bench_ablation_consistency.dir/bench_ablation_consistency.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_consistency.dir/bench_ablation_consistency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/rc_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/rc_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/coordinator/CMakeFiles/rc_coordinator.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/rc_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rc_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/rc_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rdma.dir/bench_ablation_rdma.cpp.o"
+  "CMakeFiles/bench_ablation_rdma.dir/bench_ablation_rdma.cpp.o.d"
+  "bench_ablation_rdma"
+  "bench_ablation_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

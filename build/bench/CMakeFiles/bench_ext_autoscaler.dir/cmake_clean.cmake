@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_autoscaler.dir/bench_ext_autoscaler.cpp.o"
+  "CMakeFiles/bench_ext_autoscaler.dir/bench_ext_autoscaler.cpp.o.d"
+  "bench_ext_autoscaler"
+  "bench_ext_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cleaner.dir/bench_ext_cleaner.cpp.o"
+  "CMakeFiles/bench_ext_cleaner.dir/bench_ext_cleaner.cpp.o.d"
+  "bench_ext_cleaner"
+  "bench_ext_cleaner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cleaner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_replication.dir/bench_fig05_replication.cpp.o"
+  "CMakeFiles/bench_fig05_replication.dir/bench_fig05_replication.cpp.o.d"
+  "bench_fig05_replication"
+  "bench_fig05_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_efficiency_rf.dir/bench_fig08_efficiency_rf.cpp.o"
+  "CMakeFiles/bench_fig08_efficiency_rf.dir/bench_fig08_efficiency_rf.cpp.o.d"
+  "bench_fig08_efficiency_rf"
+  "bench_fig08_efficiency_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_efficiency_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

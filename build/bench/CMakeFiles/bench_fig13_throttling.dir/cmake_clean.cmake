@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_throttling.dir/bench_fig13_throttling.cpp.o"
+  "CMakeFiles/bench_fig13_throttling.dir/bench_fig13_throttling.cpp.o.d"
+  "bench_fig13_throttling"
+  "bench_fig13_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_client.dir/ramcloud_client.cpp.o"
+  "CMakeFiles/rc_client.dir/ramcloud_client.cpp.o.d"
+  "librc_client.a"
+  "librc_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_coordinator.dir/coordinator.cpp.o"
+  "CMakeFiles/rc_coordinator.dir/coordinator.cpp.o.d"
+  "CMakeFiles/rc_coordinator.dir/tablet_map.cpp.o"
+  "CMakeFiles/rc_coordinator.dir/tablet_map.cpp.o.d"
+  "librc_coordinator.a"
+  "librc_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_core.dir/autoscaler.cpp.o"
+  "CMakeFiles/rc_core.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/rc_core.dir/cluster.cpp.o"
+  "CMakeFiles/rc_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/rc_core.dir/experiment.cpp.o"
+  "CMakeFiles/rc_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/rc_core.dir/recovery_experiment.cpp.o"
+  "CMakeFiles/rc_core.dir/recovery_experiment.cpp.o.d"
+  "CMakeFiles/rc_core.dir/table_format.cpp.o"
+  "CMakeFiles/rc_core.dir/table_format.cpp.o.d"
+  "librc_core.a"
+  "librc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_hash.dir/object_map.cpp.o"
+  "CMakeFiles/rc_hash.dir/object_map.cpp.o.d"
+  "librc_hash.a"
+  "librc_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

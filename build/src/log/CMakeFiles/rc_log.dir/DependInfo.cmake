@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/cleaner.cpp" "src/log/CMakeFiles/rc_log.dir/cleaner.cpp.o" "gcc" "src/log/CMakeFiles/rc_log.dir/cleaner.cpp.o.d"
+  "/root/repo/src/log/log.cpp" "src/log/CMakeFiles/rc_log.dir/log.cpp.o" "gcc" "src/log/CMakeFiles/rc_log.dir/log.cpp.o.d"
+  "/root/repo/src/log/segment.cpp" "src/log/CMakeFiles/rc_log.dir/segment.cpp.o" "gcc" "src/log/CMakeFiles/rc_log.dir/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

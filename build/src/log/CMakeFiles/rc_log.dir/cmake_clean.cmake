@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_log.dir/cleaner.cpp.o"
+  "CMakeFiles/rc_log.dir/cleaner.cpp.o.d"
+  "CMakeFiles/rc_log.dir/log.cpp.o"
+  "CMakeFiles/rc_log.dir/log.cpp.o.d"
+  "CMakeFiles/rc_log.dir/segment.cpp.o"
+  "CMakeFiles/rc_log.dir/segment.cpp.o.d"
+  "librc_log.a"
+  "librc_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/cpu_scheduler.cpp" "src/node/CMakeFiles/rc_node.dir/cpu_scheduler.cpp.o" "gcc" "src/node/CMakeFiles/rc_node.dir/cpu_scheduler.cpp.o.d"
+  "/root/repo/src/node/disk.cpp" "src/node/CMakeFiles/rc_node.dir/disk.cpp.o" "gcc" "src/node/CMakeFiles/rc_node.dir/disk.cpp.o.d"
+  "/root/repo/src/node/node.cpp" "src/node/CMakeFiles/rc_node.dir/node.cpp.o" "gcc" "src/node/CMakeFiles/rc_node.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_node.dir/cpu_scheduler.cpp.o"
+  "CMakeFiles/rc_node.dir/cpu_scheduler.cpp.o.d"
+  "CMakeFiles/rc_node.dir/disk.cpp.o"
+  "CMakeFiles/rc_node.dir/disk.cpp.o.d"
+  "CMakeFiles/rc_node.dir/node.cpp.o"
+  "CMakeFiles/rc_node.dir/node.cpp.o.d"
+  "librc_node.a"
+  "librc_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

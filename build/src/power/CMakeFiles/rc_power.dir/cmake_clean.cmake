@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_power.dir/pdu.cpp.o"
+  "CMakeFiles/rc_power.dir/pdu.cpp.o.d"
+  "librc_power.a"
+  "librc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

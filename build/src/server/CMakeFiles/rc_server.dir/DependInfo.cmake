@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/backup_service.cpp" "src/server/CMakeFiles/rc_server.dir/backup_service.cpp.o" "gcc" "src/server/CMakeFiles/rc_server.dir/backup_service.cpp.o.d"
+  "/root/repo/src/server/master_service.cpp" "src/server/CMakeFiles/rc_server.dir/master_service.cpp.o" "gcc" "src/server/CMakeFiles/rc_server.dir/master_service.cpp.o.d"
+  "/root/repo/src/server/migration.cpp" "src/server/CMakeFiles/rc_server.dir/migration.cpp.o" "gcc" "src/server/CMakeFiles/rc_server.dir/migration.cpp.o.d"
+  "/root/repo/src/server/recovery_task.cpp" "src/server/CMakeFiles/rc_server.dir/recovery_task.cpp.o" "gcc" "src/server/CMakeFiles/rc_server.dir/recovery_task.cpp.o.d"
+  "/root/repo/src/server/replica_manager.cpp" "src/server/CMakeFiles/rc_server.dir/replica_manager.cpp.o" "gcc" "src/server/CMakeFiles/rc_server.dir/replica_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rc_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/rc_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

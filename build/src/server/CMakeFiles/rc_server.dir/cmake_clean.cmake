@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_server.dir/backup_service.cpp.o"
+  "CMakeFiles/rc_server.dir/backup_service.cpp.o.d"
+  "CMakeFiles/rc_server.dir/master_service.cpp.o"
+  "CMakeFiles/rc_server.dir/master_service.cpp.o.d"
+  "CMakeFiles/rc_server.dir/migration.cpp.o"
+  "CMakeFiles/rc_server.dir/migration.cpp.o.d"
+  "CMakeFiles/rc_server.dir/recovery_task.cpp.o"
+  "CMakeFiles/rc_server.dir/recovery_task.cpp.o.d"
+  "CMakeFiles/rc_server.dir/replica_manager.cpp.o"
+  "CMakeFiles/rc_server.dir/replica_manager.cpp.o.d"
+  "librc_server.a"
+  "librc_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

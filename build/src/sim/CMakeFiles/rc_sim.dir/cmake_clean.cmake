@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_sim.dir/fifo_lock.cpp.o"
+  "CMakeFiles/rc_sim.dir/fifo_lock.cpp.o.d"
+  "CMakeFiles/rc_sim.dir/rng.cpp.o"
+  "CMakeFiles/rc_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/rc_sim.dir/simulation.cpp.o"
+  "CMakeFiles/rc_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/rc_sim.dir/stats.cpp.o"
+  "CMakeFiles/rc_sim.dir/stats.cpp.o.d"
+  "librc_sim.a"
+  "librc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_ycsb.dir/workload.cpp.o"
+  "CMakeFiles/rc_ycsb.dir/workload.cpp.o.d"
+  "CMakeFiles/rc_ycsb.dir/ycsb_client.cpp.o"
+  "CMakeFiles/rc_ycsb.dir/ycsb_client.cpp.o.d"
+  "librc_ycsb.a"
+  "librc_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

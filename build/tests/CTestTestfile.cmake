@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_node[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_log[1]_include.cmake")
+include("/root/repo/build/tests/test_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_server[1]_include.cmake")
+include("/root/repo/build/tests/test_coordinator[1]_include.cmake")
+include("/root/repo/build/tests/test_client[1]_include.cmake")
+include("/root/repo/build/tests/test_ycsb[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_migration[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_format[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcperf.dir/rcperf.cpp.o"
+  "CMakeFiles/rcperf.dir/rcperf.cpp.o.d"
+  "rcperf"
+  "rcperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
