@@ -7,6 +7,8 @@
 //   --full       paper-scale data volumes (slow; closest to the paper)
 //   --seed N     experiment seed (default 42)
 //   --csv        additionally dump any timeline series as CSV
+//   --metrics-dir DIR   per-run metrics.jsonl + aligned 1 Hz series.csv
+//                dumps (one subdirectory per experiment run)
 //
 // Output format: the paper-style table, then one "shape-check:" line per
 // qualitative claim. The process exits non-zero if any shape check fails.
@@ -26,6 +28,7 @@ struct Options {
   Scale scale = Scale::kDefault;
   std::uint64_t seed = 42;
   bool csv = false;
+  std::string metricsDir;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -36,8 +39,16 @@ struct Options {
       if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         o.seed = std::strtoull(argv[++i], nullptr, 10);
       }
+      if (std::strcmp(argv[i], "--metrics-dir") == 0 && i + 1 < argc) {
+        o.metricsDir = argv[++i];
+      }
     }
     return o;
+  }
+
+  /// Per-run subdirectory under --metrics-dir ("" when disabled).
+  std::string runDir(const std::string& runName) const {
+    return metricsDir.empty() ? std::string() : metricsDir + "/" + runName;
   }
 
   /// Multiplier for measurement windows.

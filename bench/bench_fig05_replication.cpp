@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   const int clientCounts[] = {10, 30, 60};
   double thr[3][4];
+  double replWaitUs[3][4];
   for (int ci = 0; ci < 3; ++ci) {
     for (int rf = 1; rf <= 4; ++rf) {
       core::YcsbExperimentConfig cfg;
@@ -28,7 +29,11 @@ int main(int argc, char** argv) {
       cfg.workload = ycsb::WorkloadSpec::A();
       cfg.seed = opt.seed;
       cfg.timeScale = opt.timeScale();
-      thr[ci][rf - 1] = core::runYcsbExperiment(cfg).throughputOpsPerSec;
+      cfg.metricsDir = opt.runDir("cl" + std::to_string(clientCounts[ci]) +
+                                  "_rf" + std::to_string(rf));
+      const auto r = core::runYcsbExperiment(cfg);
+      thr[ci][rf - 1] = r.throughputOpsPerSec;
+      replWaitUs[ci][rf - 1] = r.replicationWaitMeanUs;
     }
   }
 
@@ -41,7 +46,9 @@ int main(int argc, char** argv) {
   }
   t.print();
   std::printf("paper: 10 clients 78->43K (rf1->4); 30cl rf4 ~41K; "
-              "60cl rf4 ~50K\n\n");
+              "60cl rf4 ~50K\n");
+  std::printf("mean replication wait, 10 clients: rf1 %.0fus -> rf4 %.0fus\n\n",
+              replWaitUs[0][0], replWaitUs[0][3]);
 
   bench::Verdict v;
   const double drop10 = 1.0 - thr[0][3] / thr[0][0];
@@ -54,5 +61,7 @@ int main(int argc, char** argv) {
     v.check(monotone, std::string("throughput falls monotonically with rf (") +
                           std::to_string(clientCounts[ci]) + " clients)");
   }
+  v.check(replWaitUs[0][3] > replWaitUs[0][0],
+          "per-RPC replication wait grows rf 1->4 (10 clients)");
   return v.exitCode();
 }

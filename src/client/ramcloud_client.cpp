@@ -252,9 +252,18 @@ void RamCloudClient::issue(OpState st) {
   req.a = st.tableId;
   req.b = st.keyId;
   if (st.op == net::Opcode::kWrite) req.payloadBytes = st.valueBytes;
+  // One span per RPC *attempt*: retries and recovery waits open fresh
+  // spans, so stage histograms describe individual RPCs, not op lifetimes.
+  const std::uint64_t span = trace_ != nullptr ? trace_->beginSpan() : 0;
+  req.traceSpan = span;
 
   rpc_.call(self_, target, net::kMasterPort, req, params_.opTimeout,
-            [this, st = std::move(st)](const net::RpcResponse& resp) mutable {
+            [this, span,
+             st = std::move(st)](const net::RpcResponse& resp) mutable {
+    if (trace_ != nullptr && span != 0) {
+      trace_->stamp(span, obs::TimeTrace::Stage::kNetworkReply);
+      trace_->endSpan(span);
+    }
     switch (resp.status) {
       case net::Status::kOk:
         finish(st, net::Status::kOk);

@@ -6,6 +6,7 @@
 #include "coordinator/tablet_map.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
+#include "obs/time_trace.hpp"
 #include "server/common.hpp"
 #include "sim/simulation.hpp"
 
@@ -71,6 +72,11 @@ class RamCloudClient {
   const ClientStats& stats() const { return stats_; }
   node::NodeId nodeId() const { return self_; }
 
+  /// Attach the cluster's per-RPC time trace: every read/write/remove RPC
+  /// attempt opens a span at issue and closes it at completion (including
+  /// synthesised timeouts). nullptr disables tracing.
+  void setTimeTrace(obs::TimeTrace* trace) { trace_ = trace; }
+
  private:
   struct OpState {
     net::Opcode op;
@@ -107,6 +113,7 @@ class RamCloudClient {
   std::vector<std::function<void()>> refreshWaiters_;
 
   ClientStats stats_;
+  obs::TimeTrace* trace_ = nullptr;
 };
 
 }  // namespace rc::client

@@ -9,7 +9,8 @@ Cluster::Cluster(ClusterParams params)
     : params_(params),
       sim_(params.seed),
       net_(sim_, params.transport),
-      rpc_(sim_, net_) {
+      rpc_(sim_, net_),
+      trace_(sim_) {
   params_.master.replication.factor = params_.replicationFactor;
   params_.clientNode.metered = false;
 
@@ -61,6 +62,13 @@ Cluster::Cluster(ClusterParams params)
     rpc_.bind(nid, net::kMasterPort, s.master.get());
     rpc_.bind(nid, net::kBackupPort, s.backup.get());
     coord_->enlistServer(nid);
+
+    const std::string prefix = "node" + std::to_string(nid);
+    s.node->registerMetrics(metrics_, prefix);
+    s.dispatch->registerMetrics(metrics_, prefix + ".master.dispatch");
+    s.master->registerMetrics(metrics_, prefix + ".master");
+    s.backup->registerMetrics(metrics_, prefix + ".backup");
+    s.master->setTimeTrace(&trace_);
     servers_.push_back(std::move(s));
   }
 
@@ -76,10 +84,49 @@ Cluster::Cluster(ClusterParams params)
           return &coord_->tabletMap();
         },
         params_.client);
+    c.rc->setTimeTrace(&trace_);
     clients_.push_back(std::move(c));
   }
 
+  registerClusterMetrics();
   coord_->startFailureDetector();
+}
+
+void Cluster::registerClusterMetrics() {
+  trace_.registerMetrics(metrics_, "cluster.rpc");
+  metrics_.probeCounter("cluster.client.ops", "ops", [this] {
+    return static_cast<double>(totalOpsCompleted());
+  });
+  metrics_.probeCounter("cluster.client.failures", "ops", [this] {
+    return static_cast<double>(totalOpFailures());
+  });
+  metrics_.probeCounter("cluster.rpc.timeouts", "ops", [this] {
+    return static_cast<double>(totalRpcTimeouts());
+  });
+  metrics_.probeGauge("cluster.alive_servers", "servers", [this] {
+    return static_cast<double>(aliveServerCount());
+  });
+}
+
+void Cluster::startStatsSampling() {
+  if (!sampler_) {
+    sampler_ = std::make_unique<obs::StatsSampler>(sim_, metrics_);
+  }
+}
+
+bool Cluster::exportMetrics(const std::string& dir) const {
+  obs::MetricsExporter exporter(metrics_);
+  exporter.attachTimeTrace(&trace_);
+  if (sampler_) exporter.attachSampler(sampler_.get());
+  for (int i = 0; i < serverCount(); ++i) {
+    const auto* pdu = servers_[static_cast<std::size_t>(i)].node->pdu();
+    if (pdu != nullptr) {
+      exporter.addSeries(
+          "node" + std::to_string(serverNodeId(i)) + ".pdu.watts",
+          &pdu->trace());
+    }
+  }
+  return exporter.exportRunDir(dir);
 }
 
 Cluster::~Cluster() = default;

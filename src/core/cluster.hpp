@@ -10,6 +10,10 @@
 #include "net/network.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
+#include "obs/metric_registry.hpp"
+#include "obs/metrics_exporter.hpp"
+#include "obs/stats_sampler.hpp"
+#include "obs/time_trace.hpp"
 #include "server/backup_service.hpp"
 #include "server/dispatch.hpp"
 #include "server/master_service.hpp"
@@ -63,6 +67,27 @@ class Cluster {
   coordinator::Coordinator& coord() { return *coord_; }
   const ClusterParams& params() const { return params_; }
   const server::ServiceDirectory& directory() const { return directory_; }
+
+  // ----- observability
+
+  /// Cluster-wide metric registry: every node/dispatch/master/backup
+  /// registers its counters and gauges here under "node<N>.*" paths, plus
+  /// cluster-level aggregates under "cluster.*".
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
+  /// Per-RPC time trace shared by every client and master.
+  obs::TimeTrace& timeTrace() { return trace_; }
+  const obs::TimeTrace& timeTrace() const { return trace_; }
+
+  /// Start the 1 Hz registry sampler (same tick cadence as the PDUs; call
+  /// it alongside startPduSampling so the series align). Idempotent.
+  void startStatsSampling();
+  const obs::StatsSampler* sampler() const { return sampler_.get(); }
+
+  /// Dump metrics.jsonl + series.csv (registry state, sampler series,
+  /// per-node PDU watt traces, time-trace histograms + ring) into `dir`.
+  bool exportMetrics(const std::string& dir) const;
 
   int serverCount() const { return static_cast<int>(servers_.size()); }
   int clientCount() const { return static_cast<int>(clients_.size()); }
@@ -142,11 +167,16 @@ class Cluster {
                               std::uint64_t keyId) const;
 
  private:
+  void registerClusterMetrics();
+
   ClusterParams params_;
   sim::Simulation sim_;
   net::Network net_;
   net::RpcSystem rpc_;
   server::ServiceDirectory directory_;
+  obs::MetricRegistry metrics_;
+  obs::TimeTrace trace_;
+  std::unique_ptr<obs::StatsSampler> sampler_;
 
   std::unique_ptr<node::Node> coordNode_;
   std::unique_ptr<coordinator::Coordinator> coord_;

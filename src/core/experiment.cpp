@@ -16,6 +16,7 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
   const std::uint64_t table = cluster.createTable("usertable");
   cluster.bulkLoad(table, cfg.workload.recordCount, cfg.workload.valueBytes);
   cluster.startPduSampling();
+  if (!cfg.metricsDir.empty()) cluster.startStatsSampling();
 
   ycsb::YcsbClientParams ycp;
   ycp.opsTarget = 0;  // run until stopped; we measure a window
@@ -91,9 +92,23 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
   r.readP99Us = sim::toMicros(reads.percentile(0.99));
   r.updateP99Us = sim::toMicros(updates.percentile(0.99));
 
+  // Per-stage RPC breakdown from the shared TimeTrace.
+  using Stage = obs::TimeTrace::Stage;
+  const auto& dw = cluster.timeTrace().stageHistogram(Stage::kDispatchWait);
+  const auto& ws = cluster.timeTrace().stageHistogram(Stage::kWorkerService);
+  const auto& rw = cluster.timeTrace().stageHistogram(Stage::kReplicationWait);
+  r.dispatchWaitMeanUs = dw.mean() / 1e3;
+  r.dispatchWaitP99Us = sim::toMicros(dw.percentile(0.99));
+  r.workerServiceMeanUs = ws.mean() / 1e3;
+  r.workerServiceP99Us = sim::toMicros(ws.percentile(0.99));
+  r.replicationWaitMeanUs = rw.mean() / 1e3;
+  r.replicationWaitP99Us = sim::toMicros(rw.percentile(0.99));
+
   r.opFailures = cluster.totalOpFailures();
   r.rpcTimeouts = cluster.totalRpcTimeouts();
   r.crashed = r.opFailures > 0;
+
+  if (!cfg.metricsDir.empty()) cluster.exportMetrics(cfg.metricsDir);
   return r;
 }
 

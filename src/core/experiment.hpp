@@ -32,6 +32,10 @@ struct YcsbExperimentConfig {
 
   /// Shrink the measurement window (tests / --quick benches).
   double timeScale = 1.0;
+
+  /// When non-empty, start the 1 Hz stats sampler alongside the PDUs and
+  /// dump metrics.jsonl + series.csv into this directory after the run.
+  std::string metricsDir;
 };
 
 struct YcsbExperimentResult {
@@ -50,6 +54,16 @@ struct YcsbExperimentResult {
   double updateMeanLatencyUs = 0;
   double readP99Us = 0;
   double updateP99Us = 0;
+
+  /// Per-stage RPC latency breakdown from the cluster TimeTrace (whole
+  /// run): where an RPC's time goes — dispatch queueing vs. worker service
+  /// vs. replication/log-sync wait (Finding 3's contention, made visible).
+  double dispatchWaitMeanUs = 0;
+  double dispatchWaitP99Us = 0;
+  double workerServiceMeanUs = 0;
+  double workerServiceP99Us = 0;
+  double replicationWaitMeanUs = 0;
+  double replicationWaitP99Us = 0;
 
   std::uint64_t opsMeasured = 0;
   std::uint64_t opFailures = 0;

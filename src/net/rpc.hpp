@@ -53,6 +53,9 @@ struct RpcRequest {
   std::uint64_t c = 0;
   std::uint64_t d = 0;
   std::uint64_t payloadBytes = 0;
+  /// obs::TimeTrace span carried with the request (0 = untraced). Servers
+  /// stamp pipeline stages against it; costs nothing on the wire.
+  std::uint64_t traceSpan = 0;
   /// Batched-op key list (kMultiRead/kMultiWrite). Shared so the copy in
   /// flight costs nothing; the wire bytes are charged via payloadBytes.
   std::shared_ptr<const std::vector<std::uint64_t>> keys;

@@ -1,5 +1,7 @@
 #include "node/node.hpp"
 
+#include <memory>
+
 namespace rc::node {
 
 Node::Node(sim::Simulation& sim, NodeId id, NodeParams params)
@@ -83,6 +85,42 @@ double Node::energyJoulesSince(const CpuScheduler::Snapshot& s,
   if (t <= s.time) return 0;
   const double u = cpu_.utilisationSince(s, t);
   return params_.power.joules(u, sim::toSeconds(t - s.time));
+}
+
+void Node::registerMetrics(obs::MetricRegistry& reg,
+                           const std::string& prefix) {
+  // cpu.util and power.watts report the mean over the elapsed window since
+  // the previous probe call. The StatsSampler probes once per 1 Hz tick, so
+  // these land on exactly the ticks (and values) the PDU sampler reports.
+  auto cpuSnap = std::make_shared<CpuScheduler::Snapshot>(cpu_.snapshot());
+  reg.probeGauge(prefix + ".cpu.util", "ratio", [this, cpuSnap] {
+    const double u = cpu_.utilisationSince(*cpuSnap, sim_.now());
+    *cpuSnap = cpu_.snapshot();
+    return u;
+  });
+  auto pwrSnap = std::make_shared<PowerSnapshot>(snapshotPower());
+  reg.probeGauge(prefix + ".power.watts", "watts", [this, pwrSnap] {
+    const double w = meanWattsSince(*pwrSnap, sim_.now());
+    *pwrSnap = snapshotPower();
+    return w;
+  });
+  reg.probeGauge(prefix + ".cpu.busy_workers", "items", [this] {
+    return static_cast<double>(cpu_.busyWorkers());
+  });
+  reg.probeGauge(prefix + ".cpu.queued_requests", "items", [this] {
+    return static_cast<double>(cpu_.queuedRequests());
+  });
+  reg.probeCounter(prefix + ".disk.read_bytes", "bytes", [this] {
+    return static_cast<double>(disk_.bytesRead());
+  });
+  reg.probeCounter(prefix + ".disk.write_bytes", "bytes", [this] {
+    return static_cast<double>(disk_.bytesWritten());
+  });
+  reg.probeGauge(prefix + ".disk.queue_depth", "items", [this] {
+    return static_cast<double>(disk_.queueDepth());
+  });
+  reg.probeGauge(prefix + ".suspended", "ratio",
+                 [this] { return suspended_ ? 1.0 : 0.0; });
 }
 
 double Node::currentWatts() const {

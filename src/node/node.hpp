@@ -5,6 +5,7 @@
 
 #include "node/cpu_scheduler.hpp"
 #include "node/disk.hpp"
+#include "obs/metric_registry.hpp"
 #include "power/pdu.hpp"
 #include "power/power_model.hpp"
 #include "sim/simulation.hpp"
@@ -92,6 +93,11 @@ class Node {
   /// Instantaneous wattage estimate over the trailing PDU window (for
   /// logging); falls back to the model at current utilisation.
   double currentWatts() const;
+
+  /// Register this machine's metrics under `prefix` (e.g. "node3"):
+  /// cpu.util / power.watts (mean over the sampling window, so they align
+  /// with the 1 Hz PDU ticks), worker/queue gauges, disk counters.
+  void registerMetrics(obs::MetricRegistry& reg, const std::string& prefix);
 
  private:
   sim::Simulation& sim_;

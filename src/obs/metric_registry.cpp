@@ -1,0 +1,142 @@
+#include "obs/metric_registry.hpp"
+
+#include <cassert>
+
+namespace rc::obs {
+
+const char* kindName(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+MetricRegistry::Entry& MetricRegistry::upsert(const std::string& name,
+                                              MetricKind kind,
+                                              const std::string& unit) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& e = *entries_[it->second];
+    assert(e.info.kind == kind && "metric re-registered with a different kind");
+    return e;
+  }
+  auto e = std::make_unique<Entry>();
+  e->info = MetricInfo{name, kind, unit};
+  entries_.push_back(std::move(e));
+  index_[name] = entries_.size() - 1;
+  return *entries_.back();
+}
+
+Counter& MetricRegistry::counter(const std::string& name,
+                                 const std::string& unit) {
+  Entry& e = upsert(name, MetricKind::kCounter, unit);
+  if (!e.ownedCounter) {
+    e.ownedCounter = std::make_unique<Counter>();
+    Counter* c = e.ownedCounter.get();
+    e.read = [c] { return static_cast<double>(c->value()); };
+  }
+  return *e.ownedCounter;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name,
+                             const std::string& unit) {
+  Entry& e = upsert(name, MetricKind::kGauge, unit);
+  if (!e.ownedGauge) {
+    e.ownedGauge = std::make_unique<Gauge>();
+    Gauge* g = e.ownedGauge.get();
+    e.read = [g] { return g->value(); };
+  }
+  return *e.ownedGauge;
+}
+
+sim::Histogram& MetricRegistry::histogram(const std::string& name,
+                                          const std::string& unit) {
+  Entry& e = upsert(name, MetricKind::kHistogram, unit);
+  if (!e.ownedHistogram) {
+    e.ownedHistogram = std::make_unique<sim::Histogram>();
+    sim::Histogram* h = e.ownedHistogram.get();
+    e.readHist = [h]() -> const sim::Histogram* { return h; };
+  }
+  return *e.ownedHistogram;
+}
+
+void MetricRegistry::probeCounter(const std::string& name,
+                                  const std::string& unit,
+                                  std::function<double()> fn) {
+  Entry& e = upsert(name, MetricKind::kCounter, unit);
+  e.read = std::move(fn);
+}
+
+void MetricRegistry::probeGauge(const std::string& name,
+                                const std::string& unit,
+                                std::function<double()> fn) {
+  Entry& e = upsert(name, MetricKind::kGauge, unit);
+  e.read = std::move(fn);
+}
+
+void MetricRegistry::probeHistogram(
+    const std::string& name, const std::string& unit,
+    std::function<const sim::Histogram*()> fn) {
+  Entry& e = upsert(name, MetricKind::kHistogram, unit);
+  e.readHist = std::move(fn);
+}
+
+bool MetricRegistry::has(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+const MetricInfo* MetricRegistry::info(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &entries_[it->second]->info;
+}
+
+void MetricRegistry::forEach(
+    const std::function<void(const MetricInfo&)>& fn) const {
+  for (const auto& e : entries_) fn(e->info);
+}
+
+double MetricRegistry::value(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return 0;
+  const Entry& e = *entries_[it->second];
+  return e.read ? e.read() : 0;
+}
+
+const sim::Histogram* MetricRegistry::histogramAt(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  const Entry& e = *entries_[it->second];
+  return e.readHist ? e.readHist() : nullptr;
+}
+
+MetricRegistry::Snapshot MetricRegistry::snapshotValues() const {
+  Snapshot s;
+  for (const auto& e : entries_) {
+    if (e->read) s[e->info.name] = e->read();
+  }
+  return s;
+}
+
+double MetricRegistry::delta(const Snapshot& before, const Snapshot& after,
+                             const std::string& name) {
+  const auto b = before.find(name);
+  const auto a = after.find(name);
+  const double bv = b == before.end() ? 0 : b->second;
+  const double av = a == after.end() ? 0 : a->second;
+  return av - bv;
+}
+
+double MetricRegistry::rate(const Snapshot& before, const Snapshot& after,
+                            const std::string& name, sim::SimTime from,
+                            sim::SimTime to) {
+  if (to <= from) return 0;
+  return delta(before, after, name) / sim::toSeconds(to - from);
+}
+
+}  // namespace rc::obs

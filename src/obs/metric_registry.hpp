@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace rc::obs {
+
+/// What a registered metric measures. Counters are cumulative and
+/// monotonically nondecreasing (the sampler turns them into window rates);
+/// gauges are instantaneous readings; histograms are latency distributions
+/// in nanoseconds.
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* kindName(MetricKind k);
+
+/// Cumulative event counter owned by the registry.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Settable instantaneous value owned by the registry.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+struct MetricInfo {
+  std::string name;  ///< hierarchical dotted path, e.g. "node3.dispatch.queue_depth"
+  MetricKind kind = MetricKind::kGauge;
+  std::string unit;  ///< "ops", "bytes", "ratio", "watts", "us", "items"
+};
+
+/// Cluster-wide metric registry (the repro's RawMetrics equivalent).
+///
+/// Components register metrics under a hierarchical dotted path at
+/// construction time. Two registration styles:
+///  - owned: counter()/gauge()/histogram() return a reference the component
+///    updates directly (create-or-get by name);
+///  - probe: probeCounter()/probeGauge()/probeHistogram() register a callback
+///    that reads an existing component statistic, so legacy stats structs
+///    plug in without restructuring.
+///
+/// Enumeration order is insertion order, which is deterministic because
+/// cluster construction is.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& unit);
+  Gauge& gauge(const std::string& name, const std::string& unit);
+  sim::Histogram& histogram(const std::string& name, const std::string& unit);
+
+  /// `fn` must return the cumulative count so far (monotone nondecreasing).
+  void probeCounter(const std::string& name, const std::string& unit,
+                    std::function<double()> fn);
+  void probeGauge(const std::string& name, const std::string& unit,
+                  std::function<double()> fn);
+  /// `fn` may return nullptr (treated as an empty histogram).
+  void probeHistogram(const std::string& name, const std::string& unit,
+                      std::function<const sim::Histogram*()> fn);
+
+  bool has(const std::string& name) const;
+  std::size_t size() const { return entries_.size(); }
+  const MetricInfo* info(const std::string& name) const;
+
+  /// Visit every metric in registration order.
+  void forEach(const std::function<void(const MetricInfo&)>& fn) const;
+
+  /// Current value of a counter or gauge (0 if absent or a histogram).
+  double value(const std::string& name) const;
+
+  /// Histogram behind `name` (nullptr if absent or not a histogram).
+  const sim::Histogram* histogramAt(const std::string& name) const;
+
+  /// Point-in-time values of every counter and gauge. Delta/rate between
+  /// two snapshots gives windowed statistics for free.
+  using Snapshot = std::map<std::string, double>;
+  Snapshot snapshotValues() const;
+
+  static double delta(const Snapshot& before, const Snapshot& after,
+                      const std::string& name);
+  /// delta / window, guarded: zero-length or inverted windows yield 0.
+  static double rate(const Snapshot& before, const Snapshot& after,
+                     const std::string& name, sim::SimTime from,
+                     sim::SimTime to);
+
+ private:
+  struct Entry {
+    MetricInfo info;
+    std::function<double()> read;                      // counter/gauge
+    std::function<const sim::Histogram*()> readHist;   // histogram
+    std::unique_ptr<Counter> ownedCounter;
+    std::unique_ptr<Gauge> ownedGauge;
+    std::unique_ptr<sim::Histogram> ownedHistogram;
+  };
+
+  Entry& upsert(const std::string& name, MetricKind kind,
+                const std::string& unit);
+
+  std::vector<std::unique_ptr<Entry>> entries_;     // insertion order
+  std::map<std::string, std::size_t> index_;        // name -> entries_ idx
+};
+
+}  // namespace rc::obs

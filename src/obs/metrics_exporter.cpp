@@ -1,0 +1,175 @@
+#include "obs/metrics_exporter.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rc::obs {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void writeHistogramLine(std::ostream& os, const std::string& name,
+                        const std::string& unit, const sim::Histogram& h) {
+  os << "{\"type\":\"histogram\",\"name\":\"" << jsonEscape(name)
+     << "\",\"unit\":\"" << jsonEscape(unit) << "\",\"count\":" << h.count()
+     << ",\"mean\":" << h.mean() / 1e3
+     << ",\"p50\":" << sim::toMicros(h.percentile(0.5))
+     << ",\"p90\":" << sim::toMicros(h.percentile(0.9))
+     << ",\"p99\":" << sim::toMicros(h.percentile(0.99))
+     << ",\"max\":" << sim::toMicros(h.max()) << "}\n";
+}
+
+void writeSeriesLines(std::ostream& os, const std::string& name,
+                      const sim::TimeSeries& ts) {
+  for (const auto& p : ts.points()) {
+    os << "{\"type\":\"point\",\"name\":\"" << jsonEscape(name)
+       << "\",\"t\":" << sim::toSeconds(p.time) << ",\"value\":" << p.value
+       << "}\n";
+  }
+}
+
+/// Minimal field extraction for the exporter's own (flat, one-line) output.
+bool findString(const std::string& line, const std::string& key,
+                std::string* out) {
+  const std::string pat = "\"" + key + "\":\"";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return false;
+  std::string r;
+  for (std::size_t i = at + pat.size(); i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      r.push_back(line[++i]);
+    } else if (line[i] == '"') {
+      *out = r;
+      return true;
+    } else {
+      r.push_back(line[i]);
+    }
+  }
+  return false;
+}
+
+bool findNumber(const std::string& line, const std::string& key,
+                double* out) {
+  const std::string pat = "\"" + key + "\":";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + at + pat.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+void MetricsExporter::addSeries(const std::string& name,
+                                const sim::TimeSeries* ts) {
+  if (ts != nullptr) extraSeries_.emplace_back(name, ts);
+}
+
+bool MetricsExporter::writeJsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  registry_.forEach([&](const MetricInfo& info) {
+    if (info.kind == MetricKind::kHistogram) {
+      const sim::Histogram* h = registry_.histogramAt(info.name);
+      static const sim::Histogram kEmpty;
+      writeHistogramLine(os, info.name, info.unit, h != nullptr ? *h : kEmpty);
+      return;
+    }
+    os << "{\"type\":\"" << kindName(info.kind) << "\",\"name\":\""
+       << jsonEscape(info.name) << "\",\"unit\":\"" << jsonEscape(info.unit)
+       << "\",\"value\":" << registry_.value(info.name) << "}\n";
+  });
+  if (sampler_ != nullptr) {
+    for (const auto& [name, ts] : sampler_->series()) {
+      writeSeriesLines(os, name, ts);
+    }
+  }
+  for (const auto& [name, ts] : extraSeries_) {
+    writeSeriesLines(os, name, *ts);
+  }
+  if (trace_ != nullptr) {
+    for (const auto& ev : trace_->recentEvents()) {
+      os << "{\"type\":\"trace\",\"t\":" << sim::toSeconds(ev.at)
+         << ",\"span\":" << ev.span << ",\"name\":\""
+         << TimeTrace::stageName(ev.stage)
+         << "\",\"value\":" << sim::toMicros(ev.elapsed) << "}\n";
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+bool MetricsExporter::writeSeriesCsv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  if (sampler_ == nullptr || sampler_->series().empty()) {
+    os << "time_s\n";
+    return static_cast<bool>(os);
+  }
+  const auto& all = sampler_->series();
+  os << "time_s";
+  for (const auto& [name, ts] : all) os << "," << name;
+  os << "\n";
+  // Every sampler series shares the same tick times by construction; rows
+  // are bounded by the shortest series for safety (a metric registered
+  // mid-run starts late).
+  std::size_t rows = all.front().second.size();
+  for (const auto& [name, ts] : all) rows = std::min(rows, ts.size());
+  const auto& clock = all.front().second.points();
+  const std::size_t skewFront = all.front().second.size() - rows;
+  for (std::size_t i = 0; i < rows; ++i) {
+    os << sim::toSeconds(clock[skewFront + i].time);
+    for (const auto& [name, ts] : all) {
+      const auto& pts = ts.points();
+      os << "," << pts[pts.size() - rows + i].value;
+    }
+    os << "\n";
+  }
+  return static_cast<bool>(os);
+}
+
+bool MetricsExporter::exportRunDir(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  const std::filesystem::path base(dir);
+  return writeJsonl((base / "metrics.jsonl").string()) &&
+         writeSeriesCsv((base / "series.csv").string());
+}
+
+std::vector<MetricsExporter::Record> MetricsExporter::readJsonl(
+    const std::string& path) {
+  std::vector<Record> out;
+  std::ifstream is(path);
+  for (std::string line; std::getline(is, line);) {
+    if (line.empty()) continue;
+    Record r;
+    if (!findString(line, "type", &r.type)) continue;
+    findString(line, "name", &r.name);
+    findString(line, "unit", &r.unit);
+    findNumber(line, "value", &r.value);
+    findNumber(line, "t", &r.t);
+    double n = 0;
+    if (findNumber(line, "count", &n)) {
+      r.count = static_cast<std::uint64_t>(n);
+    }
+    findNumber(line, "mean", &r.mean);
+    findNumber(line, "p50", &r.p50);
+    findNumber(line, "p90", &r.p90);
+    findNumber(line, "p99", &r.p99);
+    findNumber(line, "max", &r.max);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace rc::obs

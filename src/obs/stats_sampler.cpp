@@ -1,0 +1,59 @@
+#include "obs/stats_sampler.hpp"
+
+namespace rc::obs {
+
+StatsSampler::StatsSampler(sim::Simulation& sim,
+                           const MetricRegistry& registry,
+                           sim::Duration interval)
+    : sim_(sim),
+      registry_(registry),
+      interval_(interval),
+      lastTick_(sim.now()),
+      prev_(registry.snapshotValues()) {
+  task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, interval_, [this](sim::SimTime now) { tick(now); });
+}
+
+void StatsSampler::stop() {
+  if (task_) task_->cancel();
+}
+
+sim::TimeSeries& StatsSampler::seriesFor(const std::string& name) {
+  for (auto& [n, ts] : series_) {
+    if (n == name) return ts;
+  }
+  series_.emplace_back(name, sim::TimeSeries{});
+  return series_.back().second;
+}
+
+const sim::TimeSeries* StatsSampler::find(const std::string& name) const {
+  for (const auto& [n, ts] : series_) {
+    if (n == name) return &ts;
+  }
+  return nullptr;
+}
+
+void StatsSampler::tick(sim::SimTime now) {
+  const MetricRegistry::Snapshot cur = registry_.snapshotValues();
+  registry_.forEach([&](const MetricInfo& info) {
+    switch (info.kind) {
+      case MetricKind::kCounter:
+        seriesFor(info.name + ".rate")
+            .add(now, MetricRegistry::rate(prev_, cur, info.name, lastTick_,
+                                           now));
+        break;
+      case MetricKind::kGauge: {
+        const auto it = cur.find(info.name);
+        seriesFor(info.name).add(now, it == cur.end() ? 0 : it->second);
+        break;
+      }
+      case MetricKind::kHistogram:
+        break;  // distributions are exported whole, not sampled
+    }
+  });
+  prev_ = cur;
+  lastTick_ = now;
+  ++ticks_;
+}
+
+}  // namespace rc::obs

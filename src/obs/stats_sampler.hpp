@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metric_registry.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+
+namespace rc::obs {
+
+/// Walks the registry once per simulated second — the same 1 Hz ticks the
+/// PDU samplers use — so CPU, throughput, disk and power all land in
+/// aligned TimeSeries (the paper's correlated-trace methodology).
+///
+/// Counters become per-second window rates (series named "<metric>.rate");
+/// gauges are sampled verbatim (series named "<metric>"). The metric set is
+/// captured at tick time, so metrics registered after construction (e.g.
+/// YCSB clients created later) are picked up automatically.
+class StatsSampler {
+ public:
+  StatsSampler(sim::Simulation& sim, const MetricRegistry& registry,
+               sim::Duration interval = sim::seconds(1));
+
+  StatsSampler(const StatsSampler&) = delete;
+  StatsSampler& operator=(const StatsSampler&) = delete;
+
+  void stop();
+  bool running() const { return task_ && task_->active(); }
+
+  sim::Duration interval() const { return interval_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+  /// Series in first-seen order; every series shares the same tick times.
+  const std::vector<std::pair<std::string, sim::TimeSeries>>& series() const {
+    return series_;
+  }
+  const sim::TimeSeries* find(const std::string& name) const;
+
+ private:
+  void tick(sim::SimTime now);
+  sim::TimeSeries& seriesFor(const std::string& name);
+
+  sim::Simulation& sim_;
+  const MetricRegistry& registry_;
+  sim::Duration interval_;
+  sim::SimTime lastTick_;
+  std::uint64_t ticks_ = 0;
+  MetricRegistry::Snapshot prev_;
+  std::vector<std::pair<std::string, sim::TimeSeries>> series_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+}  // namespace rc::obs

@@ -1,0 +1,88 @@
+#include "obs/time_trace.hpp"
+
+#include <algorithm>
+
+namespace rc::obs {
+
+const char* TimeTrace::stageName(Stage s) {
+  switch (s) {
+    case Stage::kNetworkRequest:
+      return "network_request";
+    case Stage::kDispatchWait:
+      return "dispatch_wait";
+    case Stage::kWorkerService:
+      return "worker_service";
+    case Stage::kReplicationWait:
+      return "replication_wait";
+    case Stage::kNetworkReply:
+      return "network_reply";
+    case Stage::kTotal:
+      return "total";
+  }
+  return "unknown";
+}
+
+TimeTrace::TimeTrace(sim::Simulation& sim, std::size_t ringCapacity)
+    : sim_(sim), ring_(std::max<std::size_t>(1, ringCapacity)) {}
+
+std::uint64_t TimeTrace::beginSpan() {
+  const std::uint64_t id = nextSpan_++;
+  active_[id] = SpanState{sim_.now(), sim_.now()};
+  ++started_;
+  return id;
+}
+
+void TimeTrace::record(std::uint64_t span, Stage stage,
+                       sim::Duration elapsed) {
+  histograms_[static_cast<std::size_t>(stage)].add(elapsed);
+  ring_[ringNext_] = Event{sim_.now(), span, stage, elapsed};
+  ringNext_ = (ringNext_ + 1) % ring_.size();
+  ringCount_ = std::min(ringCount_ + 1, ring_.size());
+}
+
+void TimeTrace::stamp(std::uint64_t span, Stage stage) {
+  auto it = active_.find(span);
+  if (it == active_.end()) return;
+  const sim::SimTime now = sim_.now();
+  record(span, stage, now - it->second.last);
+  it->second.last = now;
+}
+
+void TimeTrace::endSpan(std::uint64_t span) {
+  auto it = active_.find(span);
+  if (it == active_.end()) return;
+  record(span, Stage::kTotal, sim_.now() - it->second.begin);
+  active_.erase(it);
+  ++completed_;
+}
+
+std::vector<TimeTrace::Event> TimeTrace::recentEvents() const {
+  std::vector<Event> out;
+  out.reserve(ringCount_);
+  const std::size_t start =
+      ringCount_ < ring_.size() ? 0 : ringNext_;
+  for (std::size_t i = 0; i < ringCount_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TimeTrace::registerMetrics(MetricRegistry& reg,
+                                const std::string& prefix) {
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    reg.probeHistogram(
+        prefix + ".stage." + stageName(stage), "us",
+        [this, stage]() -> const sim::Histogram* {
+          return &stageHistogram(stage);
+        });
+  }
+  reg.probeCounter(prefix + ".spans_started", "ops",
+                   [this] { return static_cast<double>(started_); });
+  reg.probeCounter(prefix + ".spans_completed", "ops",
+                   [this] { return static_cast<double>(completed_); });
+  reg.probeGauge(prefix + ".active_spans", "items",
+                 [this] { return static_cast<double>(active_.size()); });
+}
+
+}  // namespace rc::obs

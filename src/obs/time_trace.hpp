@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metric_registry.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+
+namespace rc::obs {
+
+/// Per-RPC time trace (the repro's TimeTrace equivalent).
+///
+/// A span is opened when the client issues an RPC; each subsequent stamp()
+/// charges the time since the previous stamp to one pipeline stage:
+///
+///   client issue --network--> server --dispatch queue--> worker service
+///     --replication / log-sync wait--> reply --network--> client
+///
+/// Stage durations accumulate into per-stage histograms (Finding 3's
+/// dispatch-vs-replication contention becomes directly measurable) and the
+/// most recent events land in a fixed-size ring buffer for export.
+///
+/// Stamping an unknown or already-ended span is a harmless no-op: a server
+/// may keep annotating an RPC whose client already timed out, exactly like
+/// a late reply on the wire.
+class TimeTrace {
+ public:
+  enum class Stage : std::uint8_t {
+    kNetworkRequest,    ///< client issue -> server RPC arrival
+    kDispatchWait,      ///< arrival -> dispatch thread hand-off complete
+    kWorkerService,     ///< hand-off -> service CPU done (incl. worker wait)
+    kReplicationWait,   ///< service done -> replication fan-out / log-sync acked
+    kNetworkReply,      ///< reply sent -> client completion
+    kTotal,             ///< span begin -> end (client-observed RPC latency)
+  };
+  static constexpr std::size_t kNumStages =
+      static_cast<std::size_t>(Stage::kTotal) + 1;
+  static const char* stageName(Stage s);
+
+  struct Event {
+    sim::SimTime at = 0;
+    std::uint64_t span = 0;
+    Stage stage = Stage::kTotal;
+    sim::Duration elapsed = 0;
+  };
+
+  explicit TimeTrace(sim::Simulation& sim, std::size_t ringCapacity = 4096);
+
+  TimeTrace(const TimeTrace&) = delete;
+  TimeTrace& operator=(const TimeTrace&) = delete;
+
+  /// Open a span at now(); returns its id (never 0).
+  std::uint64_t beginSpan();
+
+  /// Charge now()-since-last-stamp to `stage`.
+  void stamp(std::uint64_t span, Stage stage);
+
+  /// Close the span, recording Stage::kTotal since beginSpan().
+  void endSpan(std::uint64_t span);
+
+  bool spanActive(std::uint64_t span) const { return active_.count(span) > 0; }
+  std::size_t activeSpans() const { return active_.size(); }
+  std::uint64_t spansStarted() const { return started_; }
+  std::uint64_t spansCompleted() const { return completed_; }
+
+  const sim::Histogram& stageHistogram(Stage s) const {
+    return histograms_[static_cast<std::size_t>(s)];
+  }
+
+  /// Ring-buffer contents, oldest first.
+  std::vector<Event> recentEvents() const;
+  std::size_t ringCapacity() const { return ring_.size(); }
+
+  /// Register per-stage histograms and span counters under `prefix`
+  /// (e.g. "cluster.rpc" -> "cluster.rpc.stage.dispatch_wait").
+  void registerMetrics(MetricRegistry& reg, const std::string& prefix);
+
+ private:
+  struct SpanState {
+    sim::SimTime begin = 0;
+    sim::SimTime last = 0;
+  };
+
+  void record(std::uint64_t span, Stage stage, sim::Duration elapsed);
+
+  sim::Simulation& sim_;
+  std::vector<Event> ring_;
+  std::size_t ringNext_ = 0;
+  std::size_t ringCount_ = 0;
+  std::uint64_t nextSpan_ = 1;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::unordered_map<std::uint64_t, SpanState> active_;
+  sim::Histogram histograms_[kNumStages];
+};
+
+}  // namespace rc::obs

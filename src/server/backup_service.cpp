@@ -270,6 +270,22 @@ std::vector<BackupService::FrameInfo> BackupService::framesForMaster(
   return out;
 }
 
+void BackupService::registerMetrics(obs::MetricRegistry& reg,
+                                    const std::string& prefix) {
+  reg.probeCounter(prefix + ".writes_serviced", "ops", [this] {
+    return static_cast<double>(writesServiced_);
+  });
+  reg.probeCounter(prefix + ".acks_delayed", "ops", [this] {
+    return static_cast<double>(acksDelayed_);
+  });
+  reg.probeGauge(prefix + ".unflushed_bytes", "bytes", [this] {
+    return static_cast<double>(unflushedBytes_);
+  });
+  reg.probeGauge(prefix + ".frames_held", "items", [this] {
+    return static_cast<double>(frames_.size());
+  });
+}
+
 std::vector<log::LogEntry> BackupService::filteredEntries(
     ServerId master, log::SegmentId segment, const PartitionSpec& part) const {
   std::vector<log::LogEntry> out;

@@ -10,6 +10,7 @@
 #include "log/segment.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
+#include "obs/metric_registry.hpp"
 #include "server/common.hpp"
 #include "server/dispatch.hpp"
 #include "server/recovery_plan.hpp"
@@ -75,6 +76,9 @@ class BackupService : public net::RpcService {
   std::uint64_t acksDelayed() const { return acksDelayed_; }
 
   const BackupParams& params() const { return params_; }
+
+  /// Register this backup's metrics under `prefix` (e.g. "node3.backup").
+  void registerMetrics(obs::MetricRegistry& reg, const std::string& prefix);
 
  private:
   struct FrameKey {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string>
 
+#include "obs/metric_registry.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
@@ -38,9 +40,12 @@ class Dispatch {
     if (!alive_) return;
     const sim::SimTime start = std::max(sim_.now(), nextFree_);
     nextFree_ = start + params_.perItem + extraCost;
+    ++queued_;
+    maxQueueDepth_ = std::max(maxQueueDepth_, queued_);
     const std::uint64_t epoch = epoch_;
     sim_.scheduleAt(nextFree_, [this, epoch, fn = std::move(fn)] {
-      if (epoch_ != epoch) return;
+      if (epoch_ != epoch) return;  // crashed/restarted: item was dropped
+      if (queued_ > 0) --queued_;
       fn();
     });
     ++itemsDispatched_;
@@ -50,20 +55,41 @@ class Dispatch {
   void crash() {
     alive_ = false;
     ++epoch_;
+    queued_ = 0;
   }
 
   void restart() {
     alive_ = true;
     ++epoch_;
     nextFree_ = sim_.now();
+    queued_ = 0;
   }
 
   bool alive() const { return alive_; }
   std::uint64_t itemsDispatched() const { return itemsDispatched_; }
 
+  /// Items accepted but not yet handed off to their service stage.
+  std::uint64_t queueDepth() const { return queued_; }
+  std::uint64_t maxQueueDepth() const { return maxQueueDepth_; }
+
+  /// Absolute time at which the dispatch thread frees up.
+  sim::SimTime nextFreeAt() const { return nextFree_; }
+
   /// Current backlog expressed as time until the dispatch thread is free.
   sim::Duration backlogDelay() const {
     return std::max<sim::Duration>(0, nextFree_ - sim_.now());
+  }
+
+  /// Register this dispatch stage's metrics under `prefix`
+  /// (e.g. "node3.dispatch").
+  void registerMetrics(obs::MetricRegistry& reg, const std::string& prefix) {
+    reg.probeCounter(prefix + ".items", "ops", [this] {
+      return static_cast<double>(itemsDispatched_);
+    });
+    reg.probeGauge(prefix + ".queue_depth", "items",
+                   [this] { return static_cast<double>(queued_); });
+    reg.probeGauge(prefix + ".backlog_us", "us",
+                   [this] { return sim::toMicros(backlogDelay()); });
   }
 
  private:
@@ -73,6 +99,8 @@ class Dispatch {
   bool alive_ = true;
   std::uint64_t epoch_ = 0;
   std::uint64_t itemsDispatched_ = 0;
+  std::uint64_t queued_ = 0;
+  std::uint64_t maxQueueDepth_ = 0;
 };
 
 }  // namespace rc::server

@@ -86,6 +86,9 @@ void MasterService::handleRpc(const net::RpcRequest& req, node::NodeId from,
   if (req.op == net::Opcode::kRead || req.op == net::Opcode::kWrite ||
       req.op == net::Opcode::kRemove) {
     noteStream(from);
+    // Span opened at client issue time: the elapsed stage is the
+    // client->server network + transport leg.
+    stampTrace(req.traceSpan, obs::TimeTrace::Stage::kNetworkRequest);
   }
   switch (req.op) {
     case net::Opcode::kPing: {
@@ -171,10 +174,12 @@ MasterService::ApplyResult MasterService::applyWrite(std::uint64_t tableId,
 void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
   const std::uint64_t tableId = req.a;
   const std::uint64_t keyId = req.b;
+  const std::uint64_t span = req.traceSpan;
   const sim::SimTime arrival = node_.sim().now();
 
-  dispatch_.enqueue(guard([this, tableId, keyId, arrival,
+  dispatch_.enqueue(guard([this, tableId, keyId, span, arrival,
                            respond = std::move(respond)]() mutable {
+    stampTrace(span, obs::TimeTrace::Stage::kDispatchWait);
     if (!ownsKey(tableId, keyId)) {
       ++stats_.unknownTablet;
       net::RpcResponse r;
@@ -182,12 +187,12 @@ void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
       respond(std::move(r));
       return;
     }
-    node_.cpu().acquireWorker(guard([this, tableId, keyId, arrival,
+    node_.cpu().acquireWorker(guard([this, tableId, keyId, span, arrival,
                                      respond =
                                          std::move(respond)](int w) mutable {
       node_.sim().schedule(
           params_.readServiceTime,
-          guard([this, tableId, keyId, arrival, w,
+          guard([this, tableId, keyId, span, arrival, w,
                  respond = std::move(respond)]() mutable {
             node_.cpu().releaseWorker(w);
             const auto* loc = map_.get(hash::Key{tableId, keyId});
@@ -202,6 +207,7 @@ void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
             }
             ++stats_.reads;
             stats_.readServiceLatency.add(node_.sim().now() - arrival);
+            stampTrace(span, obs::TimeTrace::Stage::kWorkerService);
             respond(std::move(r));
           }));
     }));
@@ -212,10 +218,12 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
   const std::uint64_t tableId = req.a;
   const std::uint64_t keyId = req.b;
   const auto valueBytes = static_cast<std::uint32_t>(req.payloadBytes);
+  const std::uint64_t span = req.traceSpan;
   const sim::SimTime arrival = node_.sim().now();
 
-  dispatch_.enqueue(guard([this, tableId, keyId, valueBytes, arrival,
+  dispatch_.enqueue(guard([this, tableId, keyId, valueBytes, span, arrival,
                            respond = std::move(respond)]() mutable {
+    stampTrace(span, obs::TimeTrace::Stage::kDispatchWait);
     if (!ownsKey(tableId, keyId)) {
       ++stats_.unknownTablet;
       net::RpcResponse r;
@@ -231,11 +239,12 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
       respond(std::move(r));
       return;
     }
-    node_.cpu().acquireWorker(guard([this, tableId, keyId, valueBytes, arrival,
+    node_.cpu().acquireWorker(guard([this, tableId, keyId, valueBytes, span,
+                                     arrival,
                                      respond =
                                          std::move(respond)](int w) mutable {
-      logLock_.acquire(guard([this, tableId, keyId, valueBytes, arrival, w,
-                              respond = std::move(respond)]() mutable {
+      logLock_.acquire(guard([this, tableId, keyId, valueBytes, span, arrival,
+                              w, respond = std::move(respond)]() mutable {
         // Thread-handling cost under concurrency (Finding 2's root cause):
         // the more distinct streams hammer this server, the more futile
         // context switches each synced update eats. sqrt keeps the penalty
@@ -245,10 +254,13 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
             params_.convoyPenaltyUs * std::sqrt(static_cast<double>(streams)));
         node_.sim().schedule(
             params_.writeAppendCpu + penalty,
-            guard([this, tableId, keyId, valueBytes, arrival, w,
+            guard([this, tableId, keyId, valueBytes, span, arrival, w,
                    respond = std::move(respond)]() mutable {
               const ApplyResult res = applyWrite(tableId, keyId, valueBytes);
-              auto finish = guard([this, arrival, w,
+              // Hash/log work done; what follows is the log-sync /
+              // replication fan-out the paper's Finding 3 is about.
+              stampTrace(span, obs::TimeTrace::Stage::kWorkerService);
+              auto finish = guard([this, span, arrival, w,
                                    respond = std::move(respond)](
                                       bool ok) mutable {
                 logLock_.release();
@@ -259,6 +271,7 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
                 }
                 ++stats_.writes;
                 stats_.writeServiceLatency.add(node_.sim().now() - arrival);
+                stampTrace(span, obs::TimeTrace::Stage::kReplicationWait);
                 respond(std::move(r));
                 node_.cpu().releaseWorker(w);
                 maybeStartCleaner();
@@ -684,6 +697,60 @@ std::shared_ptr<const log::Segment> MasterService::findSegment(
     if (auto s = rt->sideSegment(id)) return s;
   }
   return nullptr;
+}
+
+void MasterService::registerMetrics(obs::MetricRegistry& reg,
+                                    const std::string& prefix) {
+  reg.probeCounter(prefix + ".reads", "ops", [this] {
+    return static_cast<double>(stats_.reads);
+  });
+  reg.probeCounter(prefix + ".writes", "ops", [this] {
+    return static_cast<double>(stats_.writes);
+  });
+  reg.probeCounter(prefix + ".removes", "ops", [this] {
+    return static_cast<double>(stats_.removes);
+  });
+  reg.probeCounter(prefix + ".missing_keys", "ops", [this] {
+    return static_cast<double>(stats_.missingKeys);
+  });
+  reg.probeCounter(prefix + ".unknown_tablet", "ops", [this] {
+    return static_cast<double>(stats_.unknownTablet);
+  });
+  reg.probeCounter(prefix + ".cleaner_runs", "ops", [this] {
+    return static_cast<double>(stats_.cleanerRuns);
+  });
+  reg.probeCounter(prefix + ".replication_failures", "ops", [this] {
+    return static_cast<double>(stats_.replicationFailures);
+  });
+  reg.probeGauge(prefix + ".log_lock_waiters", "items", [this] {
+    return static_cast<double>(logLock_.waiters());
+  });
+  reg.probeGauge(prefix + ".log_segments", "items", [this] {
+    return static_cast<double>(log_.segments().size());
+  });
+  reg.probeGauge(prefix + ".objects", "items", [this] {
+    return static_cast<double>(map_.size());
+  });
+  reg.probeHistogram(prefix + ".read_service", "us",
+                     [this]() -> const sim::Histogram* {
+                       return &stats_.readServiceLatency;
+                     });
+  reg.probeHistogram(prefix + ".write_service", "us",
+                     [this]() -> const sim::Histogram* {
+                       return &stats_.writeServiceLatency;
+                     });
+  reg.probeCounter(prefix + ".replication.bytes", "bytes", [this] {
+    return static_cast<double>(replicaMgr_.bytesReplicated());
+  });
+  reg.probeCounter(prefix + ".replication.timeouts", "ops", [this] {
+    return static_cast<double>(replicaMgr_.replicaTimeouts());
+  });
+  reg.probeCounter(prefix + ".replication.replacements", "ops", [this] {
+    return static_cast<double>(replicaMgr_.replacementsMade());
+  });
+  reg.probeGauge(prefix + ".replication.pending_async", "items", [this] {
+    return static_cast<double>(replicaMgr_.pendingAsyncWrites());
+  });
 }
 
 void MasterService::maybeStartCleaner() {

@@ -10,6 +10,8 @@
 #include "log/log.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
+#include "obs/metric_registry.hpp"
+#include "obs/time_trace.hpp"
 #include "server/common.hpp"
 #include "server/dispatch.hpp"
 #include "server/migration.hpp"
@@ -175,6 +177,17 @@ class MasterService : public net::RpcService {
   std::size_t activeRecoveries() const { return recoveries_.size(); }
   std::size_t logLockWaiters() const { return logLock_.waiters(); }
 
+  // ----- observability
+
+  /// Attach the cluster's per-RPC time trace; read/write/remove handlers
+  /// stamp dispatch-wait, worker-service and replication-wait stages
+  /// against spans carried in RpcRequest::traceSpan. nullptr disables.
+  void setTimeTrace(obs::TimeTrace* trace) { trace_ = trace; }
+
+  /// Register this master's counters and service histograms under `prefix`
+  /// (e.g. "node3.master").
+  void registerMetrics(obs::MetricRegistry& reg, const std::string& prefix);
+
  private:
   friend class RecoveryTask;
 
@@ -198,6 +211,10 @@ class MasterService : public net::RpcService {
   /// Distinct request streams seen within concurrencyWindow.
   int concurrentStreams() const;
   void noteStream(node::NodeId from);
+
+  void stampTrace(std::uint64_t span, obs::TimeTrace::Stage stage) {
+    if (trace_ != nullptr && span != 0) trace_->stamp(span, stage);
+  }
 
   void onRead(const net::RpcRequest& req, Responder respond);
   void onWrite(const net::RpcRequest& req, Responder respond);
@@ -239,6 +256,7 @@ class MasterService : public net::RpcService {
   std::vector<std::unique_ptr<MigrationTask>> migrations_;
   mutable std::unordered_map<node::NodeId, sim::SimTime> recentStreams_;
   MasterStats stats_;
+  obs::TimeTrace* trace_ = nullptr;
 };
 
 }  // namespace rc::server

@@ -72,6 +72,7 @@ void ReplicaManager::sendChain(log::SegmentId segId, std::uint64_t bytes,
   sim_.schedule(sendCpu, [this, segId, bytes, close, replicaIdx, retriesLeft,
                           backup, done = std::move(done)]() mutable {
     if (stillAlive && !stillAlive()) return;
+    bytesReplicated_ += bytes;
     net::RpcRequest req;
     req.op = net::Opcode::kBackupWrite;
     req.a = static_cast<std::uint64_t>(self_);

@@ -88,6 +88,8 @@ class ReplicaManager {
 
   std::uint64_t replicaTimeouts() const { return replicaTimeouts_; }
   std::uint64_t replacementsMade() const { return replacements_; }
+  /// Cumulative payload bytes pushed to backups (all replicas counted).
+  std::uint64_t bytesReplicated() const { return bytesReplicated_; }
   const ReplicationParams& params() const { return params_; }
 
   /// Aliveness guard supplied by the owning master (crash safety).
@@ -116,6 +118,7 @@ class ReplicaManager {
   std::uint64_t pendingAsync_ = 0;
   std::uint64_t replicaTimeouts_ = 0;
   std::uint64_t replacements_ = 0;
+  std::uint64_t bytesReplicated_ = 0;
 };
 
 }  // namespace rc::server

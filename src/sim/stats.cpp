@@ -194,7 +194,10 @@ double TimeWeightedValue::integralTo(SimTime t) const {
 
 double OpCounter::rate(std::uint64_t startCount, std::uint64_t endCount,
                        SimTime from, SimTime to) {
-  if (to <= from) return 0;
+  // Zero-length (or inverted) windows and counter resets (endCount behind
+  // startCount, e.g. across a process crash) both yield 0 instead of
+  // dividing by zero / wrapping the unsigned difference.
+  if (to <= from || endCount < startCount) return 0;
   return static_cast<double>(endCount - startCount) / toSeconds(to - from);
 }
 

@@ -93,6 +93,49 @@ TEST(Dispatch, CrashDropsQueued) {
   EXPECT_FALSE(ran);
 }
 
+TEST(Dispatch, BacklogGrowsMonotonicallyUnderOverload) {
+  sim::Simulation sim;
+  DispatchParams p;
+  p.perItem = usec(10);
+  Dispatch d(sim, p);
+  // Offer items faster than the dispatch core can hand them off (one per
+  // 10 us service time, arriving instantaneously): the backlog and queue
+  // depth must grow monotonically, never reset or wrap.
+  sim::Duration prevBacklog = 0;
+  std::uint64_t prevDepth = 0;
+  for (int i = 0; i < 50; ++i) {
+    d.enqueue([] {});
+    EXPECT_GE(d.backlogDelay(), prevBacklog);
+    EXPECT_GE(d.queueDepth(), prevDepth);
+    prevBacklog = d.backlogDelay();
+    prevDepth = d.queueDepth();
+  }
+  EXPECT_EQ(d.queueDepth(), 50u);
+  EXPECT_EQ(d.maxQueueDepth(), 50u);
+  EXPECT_EQ(d.backlogDelay(), usec(500));
+  EXPECT_EQ(d.nextFreeAt(), usec(500));
+  sim.run();
+  // Everything drained: depth returns to zero, high-water mark sticks.
+  EXPECT_EQ(d.queueDepth(), 0u);
+  EXPECT_EQ(d.maxQueueDepth(), 50u);
+  EXPECT_EQ(d.itemsDispatched(), 50u);
+}
+
+TEST(Dispatch, QueueMetricsExposed) {
+  sim::Simulation sim;
+  DispatchParams p;
+  p.perItem = usec(10);
+  Dispatch d(sim, p);
+  obs::MetricRegistry reg;
+  d.registerMetrics(reg, "node1.master.dispatch");
+  for (int i = 0; i < 8; ++i) d.enqueue([] {});
+  EXPECT_DOUBLE_EQ(reg.value("node1.master.dispatch.queue_depth"), 8.0);
+  EXPECT_DOUBLE_EQ(reg.value("node1.master.dispatch.backlog_us"), 80.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(reg.value("node1.master.dispatch.queue_depth"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.value("node1.master.dispatch.items"), 8.0);
+}
+
 TEST(MasterService, WriteThenReadRoundTrip) {
   core::Cluster c(smallCluster(2, 0));
   const auto table = c.createTable("t");

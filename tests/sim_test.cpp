@@ -235,6 +235,58 @@ TEST(TimeWeightedValue, IntegratesPiecewiseConstant) {
   EXPECT_DOUBLE_EQ(v.integralTo(seconds(15)), 40.0);
 }
 
+// ----- degenerate-input regressions: every stats helper must return 0 (not
+// divide by zero, wrap, or crash) on empty or zero-length inputs.
+
+TEST(OpCounter, RateZeroOnDegenerateWindow) {
+  EXPECT_DOUBLE_EQ(OpCounter::rate(0, 100, seconds(5), seconds(5)), 0.0);
+  EXPECT_DOUBLE_EQ(OpCounter::rate(0, 100, seconds(5), seconds(4)), 0.0);
+  // Counter reset (end behind start, e.g. across a crash) must not wrap
+  // the unsigned difference into a huge rate.
+  EXPECT_DOUBLE_EQ(OpCounter::rate(100, 40, seconds(0), seconds(1)), 0.0);
+  EXPECT_DOUBLE_EQ(OpCounter::rate(40, 100, seconds(0), seconds(2)), 30.0);
+}
+
+TEST(TimeSeries, MeanInWindowEmpty) {
+  TimeSeries empty;
+  EXPECT_DOUBLE_EQ(empty.meanInWindow(0, seconds(10)), 0.0);
+  TimeSeries ts;
+  ts.add(seconds(1), 10);
+  // Window containing no samples, and a zero-length window.
+  EXPECT_DOUBLE_EQ(ts.meanInWindow(seconds(5), seconds(6)), 0.0);
+  EXPECT_DOUBLE_EQ(ts.meanInWindow(seconds(1), seconds(1)), 0.0);
+}
+
+TEST(Histogram, PercentileMonotonicInQ) {
+  Histogram h;
+  for (int i = 1; i <= 500; ++i) h.add(usec(i * 3));
+  Duration prev = 0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const Duration p = h.percentile(q);
+    EXPECT_GE(p, prev) << "percentile not monotonic at q=" << q;
+    prev = p;
+  }
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
+  EXPECT_LE(h.percentile(0.99), h.max());
+}
+
+TEST(Histogram, PercentileEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.percentile(1.0), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(TimeWeightedValue, IntegralZeroBeforeFirstSet) {
+  TimeWeightedValue v;
+  EXPECT_DOUBLE_EQ(v.integralTo(seconds(100)), 0.0);
+  EXPECT_DOUBLE_EQ(v.current(), 0.0);
+  v.set(seconds(50), 3.0);
+  // Time before the first set contributes nothing.
+  EXPECT_DOUBLE_EQ(v.integralTo(seconds(60)), 30.0);
+}
+
 TEST(FifoLock, GrantsInOrder) {
   FifoLock lock;
   std::vector<int> order;

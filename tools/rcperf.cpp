@@ -99,6 +99,7 @@ core::YcsbExperimentConfig ycsbConfig(const Args& a) {
   cfg.measure = sim::secondsF(a.num("measure", 4.0));
   cfg.throttleOpsPerSec = a.num("throttle", 0);
   cfg.seed = static_cast<std::uint64_t>(a.num("seed", 42));
+  cfg.metricsDir = a.str("metrics-dir", "");
   return cfg;
 }
 
@@ -136,6 +137,15 @@ int cmdYcsb(const Args& a) {
   const auto r = core::runYcsbExperiment(cfg);
   if (csv) printYcsbHeaderCsv();
   printYcsbRow(cfg, r, csv);
+  if (!cfg.metricsDir.empty()) {
+    std::printf(
+        "  stages: dispatch-wait %.1f/%.1fus  worker %.1f/%.1fus  "
+        "repl-wait %.1f/%.1fus (mean/p99)\n",
+        r.dispatchWaitMeanUs, r.dispatchWaitP99Us, r.workerServiceMeanUs,
+        r.workerServiceP99Us, r.replicationWaitMeanUs, r.replicationWaitP99Us);
+    std::printf("  metrics: %s/metrics.jsonl, %s/series.csv\n",
+                cfg.metricsDir.c_str(), cfg.metricsDir.c_str());
+  }
   return r.crashed ? 1 : 0;
 }
 
@@ -158,6 +168,10 @@ int cmdSweep(const Args& a, const std::string& param) {
     } else {
       std::fprintf(stderr, "sweep parameter must be rf|servers|clients\n");
       return 2;
+    }
+    if (!cfg.metricsDir.empty()) {
+      // One run directory per sweep point.
+      cfg.metricsDir += "/" + param + "=" + std::to_string(v);
     }
     printYcsbRow(cfg, core::runYcsbExperiment(cfg), csv);
   }
@@ -206,6 +220,8 @@ void usage() {
       "                  [--workload A|B|C|D|F] [--dist uniform|zipfian|latest]\n"
       "                  [--records N] [--value-bytes N] [--throttle OPS]\n"
       "                  [--warmup S] [--measure S] [--seed N] [--csv]\n"
+      "                  [--metrics-dir DIR]  (dump metrics.jsonl +\n"
+      "                  aligned 1 Hz series.csv + RPC stage breakdown)\n"
       "  rcperf sweep P  --values v1,v2,...   (P = rf|servers|clients;\n"
       "                  remaining flags as for ycsb)\n"
       "  rcperf recovery [--servers N] [--rf N] [--records N] [--kill-at S]\n"
