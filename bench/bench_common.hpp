@@ -16,10 +16,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/table_format.hpp"
+#include "obs/event_journal.hpp"
 
 namespace rc::bench {
 
@@ -89,6 +91,70 @@ class Verdict {
  private:
   bool all_ = true;
 };
+
+// ----- Event-journal shape helpers (recovery benches) -----------------------
+//
+// Recovery experiments return a copy of the cluster's event journal
+// (RecoveryExperimentResult::spans); these helpers answer the usual shape
+// questions — which phases ran, on how many nodes, and for how long.
+
+/// The (single, if the run was healthy) root span named "recovery".
+inline const obs::EventJournal::Span* recoveryRoot(
+    const std::vector<obs::EventJournal::Span>& spans) {
+  for (const auto& s : spans) {
+    if (s.name == "recovery") return &s;
+  }
+  return nullptr;
+}
+
+inline int spanCount(const std::vector<obs::EventJournal::Span>& spans,
+                     const std::string& name) {
+  int n = 0;
+  for (const auto& s : spans) n += s.name == name ? 1 : 0;
+  return n;
+}
+
+/// Summed wall time of *closed* spans named `name` (busy-time; concurrent
+/// spans count multiply).
+inline double spanBusySeconds(
+    const std::vector<obs::EventJournal::Span>& spans,
+    const std::string& name) {
+  double sec = 0;
+  for (const auto& s : spans) {
+    if (s.name == name && !s.open) sec += sim::toSeconds(s.duration());
+  }
+  return sec;
+}
+
+inline std::uint64_t spanBytes(
+    const std::vector<obs::EventJournal::Span>& spans,
+    const std::string& name) {
+  std::uint64_t b = 0;
+  for (const auto& s : spans) {
+    if (s.name == name) b += s.bytes;
+  }
+  return b;
+}
+
+/// Distinct phase names grouped under recovery context `ctx`.
+inline std::set<std::string> phaseNames(
+    const std::vector<obs::EventJournal::Span>& spans, std::uint64_t ctx) {
+  std::set<std::string> names;
+  for (const auto& s : spans) {
+    if (s.ctx == ctx) names.insert(s.name);
+  }
+  return names;
+}
+
+/// Distinct actor nodes participating in recovery context `ctx`.
+inline std::set<int> phaseNodes(
+    const std::vector<obs::EventJournal::Span>& spans, std::uint64_t ctx) {
+  std::set<int> nodes;
+  for (const auto& s : spans) {
+    if (s.ctx == ctx) nodes.insert(s.node);
+  }
+  return nodes;
+}
 
 inline void banner(const std::string& title, const std::string& paperRef) {
   std::printf("==============================================================\n");

@@ -66,5 +66,30 @@ int main(int argc, char** argv) {
                            r.recoveryDuration + sim::seconds(3);
   const double after = r.cpuMeanPct.meanInWindow(end, end + sim::seconds(6));
   v.check(after < 40, "CPU returns toward idle after recovery");
+
+  // Journal shape: the crash must yield one complete cross-node span tree.
+  const auto* root = bench::recoveryRoot(r.spans);
+  v.check(root != nullptr && !root->open && !root->abandoned &&
+              bench::spanCount(r.spans, "recovery") == 1,
+          "journal holds exactly one closed recovery span tree");
+  if (root != nullptr) {
+    const auto phases = bench::phaseNames(r.spans, root->ctx);
+    const auto nodes = bench::phaseNodes(r.spans, root->ctx);
+    v.check(phases.size() >= 7,
+            "span tree covers >= 7 distinct recovery phases");
+    v.check(nodes.size() >= 3, "span tree crosses >= 3 nodes");
+  }
+  // Data-path work (fetch/replay/read/re-replicate) dwarfs the
+  // coordinator's control phases — recovery is bandwidth-, not
+  // coordination-bound.
+  const double dataBusy = bench::spanBusySeconds(r.spans, "segment_fetch") +
+                          bench::spanBusySeconds(r.spans, "replay") +
+                          bench::spanBusySeconds(r.spans, "segment_read") +
+                          bench::spanBusySeconds(r.spans, "rereplication");
+  const double ctrlBusy =
+      bench::spanBusySeconds(r.spans, "will_lookup") +
+      bench::spanBusySeconds(r.spans, "partition_assignment");
+  v.check(dataBusy > ctrlBusy,
+          "data-path span busy-time dominates coordinator control phases");
   return v.exitCode();
 }

@@ -82,5 +82,23 @@ int main(int argc, char** argv) {
           "(paper: 1.4-2.4x)");
   v.check(c2During < 30 * c2Before,
           "client 2 is degraded, not blocked");
+
+  // Journal shape: the root recovery span must agree with the recovery
+  // record, and detection must complete before the will lookup starts.
+  const auto* root = bench::recoveryRoot(r.spans);
+  const double rootS = root ? sim::toSeconds(root->duration()) : 0;
+  const double recS = sim::toSeconds(r.recoveryDuration);
+  v.check(root != nullptr && !root->open && recS > 0 &&
+              core::within(rootS / recS, 0.9, 1.1),
+          "journal root span duration matches the recovery record");
+  const obs::EventJournal::Span* det = nullptr;
+  const obs::EventJournal::Span* wl = nullptr;
+  for (const auto& s : r.spans) {
+    if (s.name == "failure_detection" && det == nullptr) det = &s;
+    if (s.name == "will_lookup" && wl == nullptr) wl = &s;
+  }
+  v.check(det != nullptr && wl != nullptr && !det->open && !det->abandoned &&
+              det->end <= wl->begin,
+          "failure detection completes before the will lookup begins");
   return v.exitCode();
 }

@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
                           "power/node (W)", "all keys back"});
   double times[5];
   double joules[5];
+  double rereplBusy[5];
+  bool journalOk = true;
   for (int rf = 1; rf <= 5; ++rf) {
     core::RecoveryExperimentConfig cfg;
     cfg.servers = 9;
@@ -33,6 +35,9 @@ int main(int argc, char** argv) {
     const auto r = core::runRecoveryExperiment(cfg);
     times[rf - 1] = sim::toSeconds(r.recoveryDuration);
     joules[rf - 1] = r.energyPerNodeDuringRecoveryJ;
+    rereplBusy[rf - 1] = bench::spanBusySeconds(r.spans, "rereplication");
+    const auto* root = bench::recoveryRoot(r.spans);
+    journalOk &= root != nullptr && !root->open && !root->abandoned;
     t.addRow({std::to_string(rf),
               core::TableFormatter::num(times[rf - 1], 1),
               core::TableFormatter::num(joules[rf - 1] / 1e3, 2),
@@ -59,5 +64,9 @@ int main(int argc, char** argv) {
   v.check(energyMonotone, "per-node recovery energy grows with rf");
   v.check(joules[4] / joules[0] > 2.0,
           "energy scales roughly with time (power stays ~flat)");
+  v.check(journalOk, "every rf run closes its recovery span tree");
+  v.check(rereplBusy[4] > rereplBusy[0],
+          "re-replication spans take longer at rf=5 than rf=1 "
+          "(the replicated write path behind Finding 6)");
   return v.exitCode();
 }

@@ -75,5 +75,25 @@ int main(int argc, char** argv) {
     if (rd[i].value > 0.5 && wr[i].value > 0.5) ++overlapSeconds;
   }
   v.check(overlapSeconds >= 2, "read and write activity overlap");
+
+  // Journal shape: the read bump is the surviving backups loading the
+  // dead master's on-disk segments — every segment_read span sits on a
+  // live backup node inside the recovery window.
+  int reads = 0;
+  bool readsOk = true;
+  for (const auto& s : r.spans) {
+    if (s.name != "segment_read") continue;
+    ++reads;
+    readsOk &= !s.open && !s.abandoned && s.node != r.victimNodeId &&
+               s.begin >= r.killTime &&
+               s.end <= r.recoveryEndTime + sim::seconds(1);
+  }
+  v.check(reads >= 1,
+          "backups emit segment_read spans (disk load of lost segments)");
+  v.check(readsOk,
+          "segment_read spans sit on surviving backups within the "
+          "recovery window");
+  v.check(bench::spanBytes(r.spans, "rereplication") > 0,
+          "re-replication spans carry the recovered bytes");
   return v.exitCode();
 }

@@ -261,8 +261,14 @@ void RamCloudClient::issue(OpState st) {
             [this, span,
              st = std::move(st)](const net::RpcResponse& resp) mutable {
     if (trace_ != nullptr && span != 0) {
-      trace_->stamp(span, obs::TimeTrace::Stage::kNetworkReply);
-      trace_->endSpan(span);
+      if (resp.status == net::Status::kTimeout) {
+        // The server died (or the reply was lost): the RPC never finished,
+        // so drop the span rather than charging a timeout-length "reply".
+        trace_->abandonSpan(span);
+      } else {
+        trace_->stamp(span, obs::TimeTrace::Stage::kNetworkReply);
+        trace_->endSpan(span);
+      }
     }
     switch (resp.status) {
       case net::Status::kOk:

@@ -156,6 +156,11 @@ void Coordinator::onMigrationDone(const net::RpcRequest& req) {
       m->addTablet(t);
     }
     ++migrationsCompleted_;
+    if (journal_ != nullptr) {
+      // req.traceSpan carries the source master's migration span id, so
+      // the ownership flip is a cross-node child of the migration.
+      journal_->event("ownership_transfer", node_.id(), req.traceSpan);
+    }
   }
   if (am.done) am.done(ok);
 }
@@ -185,6 +190,12 @@ void Coordinator::pingAll() {
               [this, id](const net::RpcResponse& resp) {
                 if (resp.status == net::Status::kOk) {
                   pingMisses_[id] = 0;
+                  // A reply after misses: false alarm, drop the suspicion.
+                  if (auto ds = detectSpans_.find(id);
+                      ds != detectSpans_.end()) {
+                    if (journal_ != nullptr) journal_->abandonSpan(ds->second);
+                    detectSpans_.erase(ds);
+                  }
                 } else {
                   onPingMiss(id);
                 }
@@ -194,7 +205,14 @@ void Coordinator::pingAll() {
 
 void Coordinator::onPingMiss(ServerId id) {
   if (std::find(up_.begin(), up_.end(), id) == up_.end()) return;
-  if (++pingMisses_[id] >= params_.missesBeforeDead) {
+  const int misses = ++pingMisses_[id];
+  if (misses == 1 && journal_ != nullptr &&
+      detectSpans_.find(id) == detectSpans_.end()) {
+    // Suspicion starts at the first missed ping; the span ends when the
+    // server is declared dead (or is abandoned if it answers again).
+    detectSpans_[id] = journal_->beginSpan("failure_detection", node_.id());
+  }
+  if (misses >= params_.missesBeforeDead) {
     onServerDead(id);
   }
 }
@@ -204,6 +222,13 @@ void Coordinator::onServerDead(ServerId id) {
   if (it == up_.end()) return;  // already handled
   up_.erase(it);
   pingMisses_.erase(id);
+  if (journal_ != nullptr) {
+    // Detection is complete; the entry stays until beginRecovery links the
+    // span under the recovery root (or discards it if nothing to recover).
+    if (auto ds = detectSpans_.find(id); ds != detectSpans_.end()) {
+      journal_->endSpan(ds->second);
+    }
+  }
   if (onCrashDetected) onCrashDetected(id);
 
   // If the dead server was acting as a recovery master, re-run its
@@ -226,6 +251,15 @@ void Coordinator::onServerDead(ServerId id) {
 }
 
 void Coordinator::beginRecovery(ServerId id) {
+  // Consume the failure_detection span (if the detector saw this crash):
+  // either it becomes the first child of the recovery root below, or the
+  // crash needs no recovery and the closed span stays a lone root.
+  std::uint64_t detectSpan = 0;
+  if (auto ds = detectSpans_.find(id); ds != detectSpans_.end()) {
+    detectSpan = ds->second;
+    detectSpans_.erase(ds);
+  }
+
   if (map_.tabletsOwnedBy(id).empty()) return;  // nothing to recover
   for (const auto& [rid, rec] : activeRecoveries_) {
     if (rec.crashed == id) return;  // already recovering this master
@@ -237,6 +271,17 @@ void Coordinator::beginRecovery(ServerId id) {
   rec.recoveryId = recoveryId;
   rec.crashed = id;
   rec.detectedAt = node_.sim().now();
+  if (journal_ != nullptr) {
+    rec.rootSpan = journal_->beginSpan("recovery", node_.id(), 0, recoveryId);
+    if (detectSpan != 0) {
+      journal_->linkSpan(detectSpan, rec.rootSpan, recoveryId);
+    }
+    // Covers crash verification, scheduling and the segment-list gather
+    // (the paper's "will lookup"); closed in buildAndStartPlan.
+    rec.lookupSpan =
+        journal_->beginSpan("will_lookup", node_.id(), rec.rootSpan,
+                            recoveryId);
+  }
   activeRecoveries_[recoveryId] = std::move(rec);
 
   // Verify the crash and schedule (paper: the coordinator double-checks,
@@ -273,6 +318,10 @@ void Coordinator::beginRecovery(ServerId id) {
 }
 
 void Coordinator::buildAndStartPlan(ActiveRecovery& rec) {
+  if (journal_ != nullptr && rec.lookupSpan != 0) {
+    journal_->endSpan(rec.lookupSpan);  // segment lists are in
+    rec.lookupSpan = 0;
+  }
   std::vector<ServerId> masters = up_;
   if (masters.empty()) {
     finishRecovery(rec, false);
@@ -283,9 +332,18 @@ void Coordinator::buildAndStartPlan(ActiveRecovery& rec) {
   rec.partitionOwner = masters;
   rec.remaining = p;
 
+  const std::uint64_t assignSpan =
+      journal_ != nullptr
+          ? journal_->beginSpan("partition_assignment", node_.id(),
+                                rec.rootSpan, rec.recoveryId)
+          : 0;
   std::vector<int> all(static_cast<std::size_t>(p));
   for (int i = 0; i < p; ++i) all[static_cast<std::size_t>(i)] = i;
   RecoveryPlanPtr plan = buildPlan(rec, all, masters);
+  if (assignSpan != 0) {
+    journal_->addCount(assignSpan, static_cast<std::uint64_t>(p));
+    journal_->endSpan(assignSpan);
+  }
   if (!plan || plan->segments.empty()) {
     // No backup holds a single replica of this master (e.g. replication
     // disabled, or every replica holder also died): the data is lost.
@@ -310,6 +368,8 @@ server::RecoveryPlanPtr Coordinator::buildPlan(
   auto plan = std::make_shared<RecoveryPlan>();
   plan->planId = nextPlanId_++;
   plan->crashedMaster = rec.crashed;
+  plan->recoveryId = rec.recoveryId;
+  plan->rootSpan = rec.rootSpan;
 
   // Partition specs: split each of the dead master's tablets into
   // `totalPartitions` equal hash subranges (the "will").
@@ -438,6 +498,12 @@ void Coordinator::finishRecovery(ActiveRecovery& rec, bool success) {
                       owner);
       }
     }
+    if (journal_ != nullptr && rec.rootSpan != 0) {
+      const auto tabletRemap = journal_->event("tablet_remap", node_.id(),
+                                               rec.rootSpan, rec.recoveryId);
+      journal_->addCount(tabletRemap,
+                         static_cast<std::uint64_t>(rec.partitions.size()));
+    }
     // Old replicas are no longer needed: free the dead master's frames.
     if (directory_.liveBackups) {
       for (ServerId b : directory_.liveBackups()) {
@@ -459,6 +525,15 @@ void Coordinator::finishRecovery(ActiveRecovery& rec, bool success) {
   out.partitionRetries = rec.retries;
   out.succeeded = success;
   recoveryLog_.push_back(out);
+
+  if (journal_ != nullptr && rec.rootSpan != 0) {
+    if (rec.lookupSpan != 0) journal_->abandonSpan(rec.lookupSpan);
+    if (success) {
+      journal_->endSpan(rec.rootSpan);
+    } else {
+      journal_->abandonSpan(rec.rootSpan);
+    }
+  }
 
   const std::uint64_t rid = rec.recoveryId;
   if (onRecoveryFinished) onRecoveryFinished(out);

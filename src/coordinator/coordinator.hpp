@@ -11,6 +11,7 @@
 #include "coordinator/tablet_map.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
+#include "obs/event_journal.hpp"
 #include "server/common.hpp"
 #include "server/recovery_plan.hpp"
 #include "sim/rng.hpp"
@@ -95,6 +96,12 @@ class Coordinator : public net::RpcService {
   std::function<void(server::ServerId)> onCrashDetected;
   std::function<void(const RecoveryRecord&)> onRecoveryFinished;
 
+  /// Attach the cluster's event journal: the coordinator emits the root
+  /// "recovery" span plus failure_detection / will_lookup /
+  /// partition_assignment / tablet_remap children for every recovery, and
+  /// ownership_transfer events for migrations. nullptr disables.
+  void setJournal(obs::EventJournal* journal) { journal_ = journal; }
+
  private:
   struct ActiveRecovery {
     std::uint64_t recoveryId = 0;
@@ -108,6 +115,10 @@ class Coordinator : public net::RpcService {
     std::vector<server::ServerId> partitionOwner;
     int remaining = 0;
     int retries = 0;
+
+    // Journal spans (0 when tracing is off).
+    std::uint64_t rootSpan = 0;
+    std::uint64_t lookupSpan = 0;
   };
 
   struct ActiveMigration {
@@ -137,6 +148,12 @@ class Coordinator : public net::RpcService {
 
   std::vector<server::ServerId> up_;
   std::unordered_map<server::ServerId, int> pingMisses_;
+  /// Open "failure_detection" span per suspected server: begins at the
+  /// first missed ping, ends at declared-dead (and is linked under the
+  /// recovery root), abandoned if the server answers again.
+  std::unordered_map<server::ServerId, obs::EventJournal::SpanId>
+      detectSpans_;
+  obs::EventJournal* journal_ = nullptr;
   TabletMap map_;
   std::uint64_t nextTableId_ = 1;
   std::uint64_t nextPlanId_ = 1;

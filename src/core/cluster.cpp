@@ -10,7 +10,8 @@ Cluster::Cluster(ClusterParams params)
       sim_(params.seed),
       net_(sim_, params.transport),
       rpc_(sim_, net_),
-      trace_(sim_) {
+      trace_(sim_),
+      journal_(sim_) {
   params_.master.replication.factor = params_.replicationFactor;
   params_.clientNode.metered = false;
 
@@ -43,6 +44,7 @@ Cluster::Cluster(ClusterParams params)
   coord_ = std::make_unique<coordinator::Coordinator>(
       *coordNode_, rpc_, directory_, params_.coordinator,
       sim_.rng().fork(0xc0));
+  coord_->setJournal(&journal_);
   rpc_.bind(0, net::kCoordinatorPort, coord_.get());
 
   auto planLookup = [this](std::uint64_t id) { return coord_->planById(id); };
@@ -69,8 +71,26 @@ Cluster::Cluster(ClusterParams params)
     s.master->registerMetrics(metrics_, prefix + ".master");
     s.backup->registerMetrics(metrics_, prefix + ".backup");
     s.master->setTimeTrace(&trace_);
+    s.master->setJournal(&journal_);
+    s.backup->setJournal(&journal_);
     servers_.push_back(std::move(s));
   }
+
+  // Journal energy probe: cumulative model joules per node since t=0
+  // (coordinator + servers; client machines are unmetered -> 0).
+  energyBaselines_[0] = coordNode_->snapshotPower();
+  for (int i = 0; i < serverCount(); ++i) {
+    energyBaselines_[serverNodeId(i)] =
+        servers_[static_cast<std::size_t>(i)].node->snapshotPower();
+  }
+  journal_.setEnergyProbe([this](int nodeId) -> double {
+    auto it = energyBaselines_.find(nodeId);
+    if (it == energyBaselines_.end()) return 0;
+    const node::Node* n =
+        nodeId == 0 ? coordNode_.get()
+                    : servers_[static_cast<std::size_t>(nodeId - 1)].node.get();
+    return n->energyJoulesSince(it->second, sim_.now());
+  });
 
   clients_.reserve(static_cast<std::size_t>(params_.clients));
   for (int i = 0; i < params_.clients; ++i) {
@@ -94,6 +114,7 @@ Cluster::Cluster(ClusterParams params)
 
 void Cluster::registerClusterMetrics() {
   trace_.registerMetrics(metrics_, "cluster.rpc");
+  journal_.registerMetrics(metrics_, "cluster.journal");
   metrics_.probeCounter("cluster.client.ops", "ops", [this] {
     return static_cast<double>(totalOpsCompleted());
   });
@@ -126,7 +147,8 @@ bool Cluster::exportMetrics(const std::string& dir) const {
           &pdu->trace());
     }
   }
-  return exporter.exportRunDir(dir);
+  if (!exporter.exportRunDir(dir)) return false;
+  return journal_.writeJsonl(dir + "/events.jsonl");
 }
 
 Cluster::~Cluster() = default;
@@ -231,6 +253,9 @@ void Cluster::crashServer(int idx) {
   s.node->crashProcess();
   rpc_.unbind(nid, net::kMasterPort);
   rpc_.unbind(nid, net::kBackupPort);
+  // Deterministically close spans the dead process left open (they are
+  // flagged abandoned rather than dangling forever).
+  journal_.abandonNode(nid);
 }
 
 int Cluster::pickRandomServerIndex() {
@@ -285,6 +310,7 @@ bool Cluster::suspendServer(int idx) {
   rpc_.unbind(nid, net::kMasterPort);
   rpc_.unbind(nid, net::kBackupPort);
   s.node->suspendMachine();
+  journal_.abandonNode(nid);
   return true;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "client/ramcloud_client.hpp"
@@ -10,6 +11,7 @@
 #include "net/network.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
+#include "obs/event_journal.hpp"
 #include "obs/metric_registry.hpp"
 #include "obs/metrics_exporter.hpp"
 #include "obs/stats_sampler.hpp"
@@ -80,13 +82,19 @@ class Cluster {
   obs::TimeTrace& timeTrace() { return trace_; }
   const obs::TimeTrace& timeTrace() const { return trace_; }
 
+  /// Cluster-wide event journal: recovery/migration/cleaner phase spans
+  /// with cross-node causality and per-span energy (see docs/TRACING.md).
+  obs::EventJournal& journal() { return journal_; }
+  const obs::EventJournal& journal() const { return journal_; }
+
   /// Start the 1 Hz registry sampler (same tick cadence as the PDUs; call
   /// it alongside startPduSampling so the series align). Idempotent.
   void startStatsSampling();
   const obs::StatsSampler* sampler() const { return sampler_.get(); }
 
   /// Dump metrics.jsonl + series.csv (registry state, sampler series,
-  /// per-node PDU watt traces, time-trace histograms + ring) into `dir`.
+  /// per-node PDU watt traces, time-trace histograms + ring) plus
+  /// events.jsonl (the journal's span tree) into `dir`.
   bool exportMetrics(const std::string& dir) const;
 
   int serverCount() const { return static_cast<int>(servers_.size()); }
@@ -176,7 +184,10 @@ class Cluster {
   server::ServiceDirectory directory_;
   obs::MetricRegistry metrics_;
   obs::TimeTrace trace_;
+  obs::EventJournal journal_;
   std::unique_ptr<obs::StatsSampler> sampler_;
+  /// Fixed per-node energy origins for the journal's energy probe.
+  std::unordered_map<int, node::Node::PowerSnapshot> energyBaselines_;
 
   std::unique_ptr<node::Node> coordNode_;
   std::unique_ptr<coordinator::Coordinator> coord_;

@@ -111,11 +111,13 @@ RecoveryExperimentResult runRecoveryExperiment(
   const std::uint64_t table = cluster.createTable("usertable");
   cluster.bulkLoad(table, cfg.records, cfg.valueBytes);
   cluster.startPduSampling();
+  if (!cfg.metricsDir.empty()) cluster.startStatsSampling();
 
   // Kill target (seeded random, as in the paper's "randomly picked").
   const int victim = cfg.killIndex >= 0 ? cfg.killIndex
                                         : cluster.pickRandomServerIndex();
   const node::NodeId victimNode = cluster.serverNodeId(victim);
+  r.victimNodeId = victimNode;
 
   // Fig. 10 probe clients.
   LatencyTimeline lat1;
@@ -234,9 +236,12 @@ RecoveryExperimentResult runRecoveryExperiment(
   r.client1WorstOpUs = lat1.worstUs;
   r.client2WorstOpUs = lat2.worstUs;
 
+  r.recoveryEndTime = recoveryEnd;
   r.peakCpuPct = r.cpuMeanPct.maxValue();
   r.allKeysRecovered =
       r.recovered && cluster.verifyAllKeysPresent(table, cfg.records);
+  r.spans = cluster.journal().spans();
+  if (!cfg.metricsDir.empty()) cluster.exportMetrics(cfg.metricsDir);
   return r;
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/cluster.hpp"
 #include "sim/stats.hpp"
@@ -29,6 +31,10 @@ struct RecoveryExperimentConfig {
   /// Optional smaller log-segment size (the §IX segment-size ablation);
   /// 0 keeps the 8 MB default.
   std::uint64_t segmentBytes = 0;
+
+  /// Non-empty: export metrics.jsonl / series.csv / events.jsonl into this
+  /// directory at the end of the run (1 Hz sampling runs from t=0).
+  std::string metricsDir;
 };
 
 struct RecoveryExperimentResult {
@@ -58,6 +64,12 @@ struct RecoveryExperimentResult {
   double client2WorstOpUs = 0;
 
   sim::SimTime killTime = 0;
+  sim::SimTime recoveryEndTime = 0;
+  int victimNodeId = 0;  ///< node id of the killed server
+
+  /// Copy of the cluster's event journal at the end of the run (the
+  /// recovery's cross-node span tree; benches run shape checks on it).
+  std::vector<obs::EventJournal::Span> spans;
 };
 
 RecoveryExperimentResult runRecoveryExperiment(

@@ -1,0 +1,216 @@
+#include "obs/event_journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace rc::obs {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool findString(const std::string& line, const std::string& key,
+                std::string* out) {
+  const std::string pat = "\"" + key + "\":\"";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return false;
+  std::string r;
+  for (std::size_t i = at + pat.size(); i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      r.push_back(line[++i]);
+    } else if (line[i] == '"') {
+      *out = r;
+      return true;
+    } else {
+      r.push_back(line[i]);
+    }
+  }
+  return false;
+}
+
+bool findNumber(const std::string& line, const std::string& key, double* out) {
+  const std::string pat = "\"" + key + "\":";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + at + pat.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+EventJournal::SpanId EventJournal::beginSpan(const std::string& name, int node,
+                                             SpanId parent, std::uint64_t ctx) {
+  const SpanId id = nextSpan_++;
+  Span s;
+  s.id = id;
+  s.parent = parent;
+  s.name = name;
+  s.node = node;
+  s.ctx = ctx;
+  s.begin = sim_.now();
+  index_[id] = spans_.size();
+  spans_.push_back(std::move(s));
+  openEnergy0_[id] = energyProbe_ ? energyProbe_(node) : 0;
+  ++started_;
+  return id;
+}
+
+EventJournal::SpanId EventJournal::event(const std::string& name, int node,
+                                         SpanId parent, std::uint64_t ctx) {
+  const SpanId id = beginSpan(name, node, parent, ctx);
+  endSpan(id);
+  return id;
+}
+
+void EventJournal::addBytes(SpanId id, std::uint64_t bytes) {
+  auto it = index_.find(id);
+  if (it != index_.end()) spans_[it->second].bytes += bytes;
+}
+
+void EventJournal::addCount(SpanId id, std::uint64_t n) {
+  auto it = index_.find(id);
+  if (it != index_.end()) spans_[it->second].count += n;
+}
+
+void EventJournal::linkSpan(SpanId id, SpanId parent, std::uint64_t ctx) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  spans_[it->second].parent = parent;
+  spans_[it->second].ctx = ctx;
+}
+
+void EventJournal::close(SpanId id, bool abandoned) {
+  auto e0 = openEnergy0_.find(id);
+  if (e0 == openEnergy0_.end()) return;  // unknown or already closed
+  auto it = index_.find(id);
+  Span& s = spans_[it->second];
+  s.end = sim_.now();
+  s.open = false;
+  s.abandoned = abandoned;
+  if (energyProbe_) s.joules = energyProbe_(s.node) - e0->second;
+  openEnergy0_.erase(e0);
+  if (abandoned) {
+    ++abandoned_;
+  } else {
+    ++completed_;
+  }
+}
+
+void EventJournal::endSpan(SpanId id) { close(id, /*abandoned=*/false); }
+
+void EventJournal::abandonSpan(SpanId id) { close(id, /*abandoned=*/true); }
+
+void EventJournal::abandonNode(int node) {
+  // Collect first: close() mutates openEnergy0_.
+  std::vector<SpanId> toClose;
+  for (const auto& [id, j0] : openEnergy0_) {
+    if (spans_[index_.at(id)].node == node) toClose.push_back(id);
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(toClose.begin(), toClose.end());
+  for (SpanId id : toClose) close(id, /*abandoned=*/true);
+}
+
+const EventJournal::Span* EventJournal::span(SpanId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &spans_[it->second];
+}
+
+std::vector<const EventJournal::Span*> EventJournal::spansNamed(
+    const std::string& name) const {
+  std::vector<const Span*> out;
+  for (const Span& s : spans_) {
+    if (s.name == name) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const EventJournal::Span*> EventJournal::spansInCtx(
+    std::uint64_t ctx) const {
+  std::vector<const Span*> out;
+  for (const Span& s : spans_) {
+    if (s.ctx == ctx) out.push_back(&s);
+  }
+  return out;
+}
+
+double EventJournal::joulesForPhase(const std::string& name) const {
+  double j = 0;
+  for (const Span& s : spans_) {
+    if (!s.open && (name.empty() || s.name == name)) j += s.joules;
+  }
+  return j;
+}
+
+void EventJournal::registerMetrics(MetricRegistry& reg,
+                                   const std::string& prefix) {
+  reg.probeCounter(prefix + ".spans_started", "ops",
+                   [this] { return static_cast<double>(started_); });
+  reg.probeCounter(prefix + ".spans_completed", "ops",
+                   [this] { return static_cast<double>(completed_); });
+  reg.probeCounter(prefix + ".spans_abandoned", "ops",
+                   [this] { return static_cast<double>(abandoned_); });
+  reg.probeGauge(prefix + ".open_spans", "items",
+                 [this] { return static_cast<double>(openSpans()); });
+}
+
+bool EventJournal::writeJsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  char t0[32];
+  char t1[32];
+  char joules[32];
+  for (const Span& s : spans_) {
+    // Nanosecond-resolution seconds keep interval queries exact on re-read.
+    std::snprintf(t0, sizeof t0, "%.9f", sim::toSeconds(s.begin));
+    std::snprintf(t1, sizeof t1, "%.9f",
+                  sim::toSeconds(s.open ? s.begin : s.end));
+    std::snprintf(joules, sizeof joules, "%.6f", s.joules);
+    os << "{\"type\":\"span\",\"id\":" << s.id << ",\"parent\":" << s.parent
+       << ",\"name\":\"" << escape(s.name) << "\",\"node\":" << s.node
+       << ",\"ctx\":" << s.ctx << ",\"t0\":" << t0 << ",\"t1\":" << t1
+       << ",\"open\":" << (s.open ? 1 : 0)
+       << ",\"abandoned\":" << (s.abandoned ? 1 : 0) << ",\"joules\":" << joules
+       << ",\"bytes\":" << s.bytes << ",\"count\":" << s.count << "}\n";
+  }
+  return static_cast<bool>(os);
+}
+
+std::vector<EventJournal::Span> EventJournal::readJsonl(
+    const std::string& path) {
+  std::vector<Span> out;
+  std::ifstream is(path);
+  for (std::string line; std::getline(is, line);) {
+    if (line.empty()) continue;
+    std::string type;
+    if (!findString(line, "type", &type) || type != "span") continue;
+    Span s;
+    double n = 0;
+    if (findNumber(line, "id", &n)) s.id = static_cast<SpanId>(n);
+    if (findNumber(line, "parent", &n)) s.parent = static_cast<SpanId>(n);
+    findString(line, "name", &s.name);
+    if (findNumber(line, "node", &n)) s.node = static_cast<int>(n);
+    if (findNumber(line, "ctx", &n)) s.ctx = static_cast<std::uint64_t>(n);
+    if (findNumber(line, "t0", &n)) s.begin = sim::secondsF(n);
+    if (findNumber(line, "t1", &n)) s.end = sim::secondsF(n);
+    if (findNumber(line, "open", &n)) s.open = n != 0;
+    if (findNumber(line, "abandoned", &n)) s.abandoned = n != 0;
+    findNumber(line, "joules", &s.joules);
+    if (findNumber(line, "bytes", &n)) s.bytes = static_cast<std::uint64_t>(n);
+    if (findNumber(line, "count", &n)) s.count = static_cast<std::uint64_t>(n);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace rc::obs

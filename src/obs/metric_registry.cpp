@@ -4,6 +4,17 @@
 
 namespace rc::obs {
 
+HistogramSummary summarizeHistogram(const sim::Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.meanUs = h.mean() / 1e3;
+  s.p50Us = sim::toMicros(h.percentile(0.5));
+  s.p90Us = sim::toMicros(h.percentile(0.9));
+  s.p99Us = sim::toMicros(h.percentile(0.99));
+  s.maxUs = sim::toMicros(h.max());
+  return s;
+}
+
 const char* kindName(MetricKind k) {
   switch (k) {
     case MetricKind::kCounter:

@@ -40,6 +40,20 @@ class Gauge {
   double value_ = 0;
 };
 
+/// Export-ready digest of a latency histogram, in microseconds. All
+/// percentiles are guaranteed inside [min, max] of the observed samples
+/// (a 1-sample histogram reports that sample for every quantile).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double meanUs = 0;
+  double p50Us = 0;
+  double p90Us = 0;
+  double p99Us = 0;
+  double maxUs = 0;
+};
+
+HistogramSummary summarizeHistogram(const sim::Histogram& h);
+
 struct MetricInfo {
   std::string name;  ///< hierarchical dotted path, e.g. "node3.dispatch.queue_depth"
   MetricKind kind = MetricKind::kGauge;

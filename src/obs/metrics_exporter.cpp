@@ -21,13 +21,12 @@ std::string jsonEscape(const std::string& s) {
 
 void writeHistogramLine(std::ostream& os, const std::string& name,
                         const std::string& unit, const sim::Histogram& h) {
+  const HistogramSummary s = summarizeHistogram(h);
   os << "{\"type\":\"histogram\",\"name\":\"" << jsonEscape(name)
-     << "\",\"unit\":\"" << jsonEscape(unit) << "\",\"count\":" << h.count()
-     << ",\"mean\":" << h.mean() / 1e3
-     << ",\"p50\":" << sim::toMicros(h.percentile(0.5))
-     << ",\"p90\":" << sim::toMicros(h.percentile(0.9))
-     << ",\"p99\":" << sim::toMicros(h.percentile(0.99))
-     << ",\"max\":" << sim::toMicros(h.max()) << "}\n";
+     << "\",\"unit\":\"" << jsonEscape(unit) << "\",\"count\":" << s.count
+     << ",\"mean\":" << s.meanUs << ",\"p50\":" << s.p50Us
+     << ",\"p90\":" << s.p90Us << ",\"p99\":" << s.p99Us
+     << ",\"max\":" << s.maxUs << "}\n";
 }
 
 void writeSeriesLines(std::ostream& os, const std::string& name,

@@ -56,6 +56,13 @@ void TimeTrace::endSpan(std::uint64_t span) {
   ++completed_;
 }
 
+void TimeTrace::abandonSpan(std::uint64_t span) {
+  auto it = active_.find(span);
+  if (it == active_.end()) return;
+  active_.erase(it);
+  ++abandoned_;
+}
+
 std::vector<TimeTrace::Event> TimeTrace::recentEvents() const {
   std::vector<Event> out;
   out.reserve(ringCount_);
@@ -81,6 +88,8 @@ void TimeTrace::registerMetrics(MetricRegistry& reg,
                    [this] { return static_cast<double>(started_); });
   reg.probeCounter(prefix + ".spans_completed", "ops",
                    [this] { return static_cast<double>(completed_); });
+  reg.probeCounter(prefix + ".spans_abandoned", "ops",
+                   [this] { return static_cast<double>(abandoned_); });
   reg.probeGauge(prefix + ".active_spans", "items",
                  [this] { return static_cast<double>(active_.size()); });
 }

@@ -61,10 +61,17 @@ class TimeTrace {
   /// Close the span, recording Stage::kTotal since beginSpan().
   void endSpan(std::uint64_t span);
 
+  /// Drop the span *without* recording anything: the RPC never completed
+  /// (its server died and the client timed out). Stage histograms and the
+  /// recent-events ring only ever describe RPCs that finished, so a crash
+  /// mid-recovery cannot leak timeout-length garbage into them.
+  void abandonSpan(std::uint64_t span);
+
   bool spanActive(std::uint64_t span) const { return active_.count(span) > 0; }
   std::size_t activeSpans() const { return active_.size(); }
   std::uint64_t spansStarted() const { return started_; }
   std::uint64_t spansCompleted() const { return completed_; }
+  std::uint64_t spansAbandoned() const { return abandoned_; }
 
   const sim::Histogram& stageHistogram(Stage s) const {
     return histograms_[static_cast<std::size_t>(s)];
@@ -93,6 +100,7 @@ class TimeTrace {
   std::uint64_t nextSpan_ = 1;
   std::uint64_t started_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t abandoned_ = 0;
   std::unordered_map<std::uint64_t, SpanState> active_;
   sim::Histogram histograms_[kNumStages];
 };

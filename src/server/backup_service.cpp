@@ -110,7 +110,13 @@ void BackupService::maybeStartFlush(const FrameKey& key) {
   if (!f.closed || f.flushing || f.onDisk) return;
   f.flushing = true;
   const std::uint64_t flushBytes = f.ackedBytes;
-  node_.disk().write(flushBytes, [this, key, flushBytes] {
+  std::uint64_t flushSpan = 0;
+  if (journal_ != nullptr) {
+    flushSpan = journal_->beginSpan("frame_flush", node_.id());
+    journal_->addBytes(flushSpan, flushBytes);
+  }
+  node_.disk().write(flushBytes, [this, key, flushBytes, flushSpan] {
+    if (journal_ != nullptr && flushSpan != 0) journal_->endSpan(flushSpan);
     auto it2 = frames_.find(key);
     if (it2 == frames_.end()) {
       // Frame freed while flushing; the pool accounting was already fixed
@@ -140,8 +146,11 @@ void BackupService::onGetRecoveryData(const net::RpcRequest& req,
   const ServerId master = static_cast<ServerId>(req.a);
   const auto segId = static_cast<log::SegmentId>(req.b);
   const std::uint64_t planId = req.d;
+  // On kGetRecoveryData the trace-span field carries the recovery master's
+  // segment_fetch journal span, making the disk read its cross-node child.
+  const std::uint64_t fetchSpan = req.traceSpan;
 
-  dispatch_.enqueue([this, master, segId, planId,
+  dispatch_.enqueue([this, master, segId, planId, fetchSpan,
                      respond = std::move(respond)]() mutable {
     const FrameKey key{master, segId};
     auto it = frames_.find(key);
@@ -195,7 +204,17 @@ void BackupService::onGetRecoveryData(const net::RpcRequest& req,
       f.loadWaiters.push_back(std::move(deliver));
       if (!f.loading) {
         f.loading = true;
-        node_.disk().read(f.ackedBytes, [this, key] {
+        std::uint64_t readSpan = 0;
+        if (journal_ != nullptr) {
+          readSpan = journal_->beginSpan(
+              "segment_read", node_.id(), fetchSpan,
+              plan != nullptr ? plan->recoveryId : 0);
+          journal_->addBytes(readSpan, f.ackedBytes);
+        }
+        node_.disk().read(f.ackedBytes, [this, key, readSpan] {
+          if (journal_ != nullptr && readSpan != 0) {
+            journal_->endSpan(readSpan);
+          }
           auto it3 = frames_.find(key);
           if (it3 == frames_.end()) return;
           Frame& f3 = it3->second;

@@ -10,6 +10,7 @@
 #include "log/segment.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
+#include "obs/event_journal.hpp"
 #include "obs/metric_registry.hpp"
 #include "server/common.hpp"
 #include "server/dispatch.hpp"
@@ -80,6 +81,12 @@ class BackupService : public net::RpcService {
   /// Register this backup's metrics under `prefix` (e.g. "node3.backup").
   void registerMetrics(obs::MetricRegistry& reg, const std::string& prefix);
 
+  /// Attach the cluster's event journal; recovery disk reads emit
+  /// segment_read spans (parented under the requesting master's
+  /// segment_fetch span) and spills emit frame_flush spans. nullptr
+  /// disables.
+  void setJournal(obs::EventJournal* journal) { journal_ = journal; }
+
  private:
   struct FrameKey {
     ServerId master;
@@ -126,6 +133,7 @@ class BackupService : public net::RpcService {
 
   std::uint64_t writesServiced_ = 0;
   std::uint64_t acksDelayed_ = 0;
+  obs::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace rc::server

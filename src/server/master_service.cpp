@@ -775,7 +775,14 @@ void MasterService::cleanerLoop() {
       params_.cleanerPassCpu +
       sim::nsec(static_cast<sim::Duration>(
           params_.cleanerPerByteCpuNs * static_cast<double>(liveBytes)));
-  node_.cpu().run(cost, guard([this, victim] {
+  // One journal span per pass; cleaner passes on a node are serialized by
+  // cleanerActive_, so these spans never overlap per actor.
+  std::uint64_t passSpan = 0;
+  if (journal_ != nullptr) {
+    passSpan = journal_->beginSpan("cleaner_pass", node_.id());
+    journal_->addBytes(passSpan, liveBytes);
+  }
+  node_.cpu().run(cost, guard([this, victim, passSpan] {
     if (log_.segment(victim) != nullptr) {
       // Relocations run under the same single-threaded event, so they
       // cannot interleave with a write's append (documented simplification
@@ -784,6 +791,7 @@ void MasterService::cleanerLoop() {
       replicaMgr_.freeSegment(victim);
       ++stats_.cleanerRuns;
     }
+    if (journal_ != nullptr && passSpan != 0) journal_->endSpan(passSpan);
     cleanerLoop();
   }));
 }

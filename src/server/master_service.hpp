@@ -10,6 +10,7 @@
 #include "log/log.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
+#include "obs/event_journal.hpp"
 #include "obs/metric_registry.hpp"
 #include "obs/time_trace.hpp"
 #include "server/common.hpp"
@@ -184,6 +185,11 @@ class MasterService : public net::RpcService {
   /// against spans carried in RpcRequest::traceSpan. nullptr disables.
   void setTimeTrace(obs::TimeTrace* trace) { trace_ = trace; }
 
+  /// Attach the cluster's event journal; recovery tasks, migrations and
+  /// cleaner passes emit phase spans on this node. nullptr disables.
+  void setJournal(obs::EventJournal* journal) { journal_ = journal; }
+  obs::EventJournal* journal() { return journal_; }
+
   /// Register this master's counters and service histograms under `prefix`
   /// (e.g. "node3.master").
   void registerMetrics(obs::MetricRegistry& reg, const std::string& prefix);
@@ -257,6 +263,7 @@ class MasterService : public net::RpcService {
   mutable std::unordered_map<node::NodeId, sim::SimTime> recentStreams_;
   MasterStats stats_;
   obs::TimeTrace* trace_ = nullptr;
+  obs::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace rc::server

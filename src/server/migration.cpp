@@ -21,6 +21,9 @@ void MigrationTask::abort() {
 }
 
 void MigrationTask::start() {
+  if (auto* j = source_.journal()) {
+    migrationSpan_ = j->beginSpan("migration", source_.node().id());
+  }
   collectKeys();
   sendNextBatch();
 }
@@ -95,6 +98,9 @@ void MigrationTask::sendNextBatch() {
             return;
           }
           objectsMoved_ += resp.a;
+          if (migrationSpan_ != 0) {
+            source_.journal()->addCount(migrationSpan_, resp.a);
+          }
           sendNextBatch();
         });
   });
@@ -118,12 +124,23 @@ void MigrationTask::finish(bool ok) {
     source_.removeTablet(tablet_);
   }
 
+  if (migrationSpan_ != 0) {
+    if (ok) {
+      source_.journal()->endSpan(migrationSpan_);
+    } else {
+      source_.journal()->abandonSpan(migrationSpan_);
+    }
+  }
+
   net::RpcRequest req;
   req.op = net::Opcode::kMigrationDone;
   req.a = tablet_.tableId;
   req.b = tablet_.startHash;
   req.c = tablet_.endHash;
   req.d = static_cast<std::uint64_t>(ok ? dest_ : node::kInvalidNode);
+  // Carry the migration span so the coordinator parents its
+  // ownership_transfer event under it (this opcode never stamps TimeTrace).
+  req.traceSpan = migrationSpan_;
   source_.rpc().call(source_.node().id(), source_.coordinatorNode(),
                      net::kCoordinatorPort, req, timeouts::kControl,
                      [](const net::RpcResponse&) {});

@@ -31,6 +31,12 @@ struct RecoveryPlan {
   std::uint64_t planId = 0;
   ServerId crashedMaster = node::kInvalidNode;
 
+  /// Journal context: the coordinator's recovery id and its root
+  /// "recovery" span, so recovery masters and backups parent their phase
+  /// spans into the same cross-node span tree (0 when tracing is off).
+  std::uint64_t recoveryId = 0;
+  std::uint64_t rootSpan = 0;
+
   std::vector<PartitionSpec> partitions;
   std::vector<ServerId> recoveryMasters;  ///< partition index -> master
 

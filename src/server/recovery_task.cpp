@@ -91,8 +91,20 @@ void RecoveryTask::unpinWorkers() {
 }
 
 void RecoveryTask::start() {
+  if (auto* j = master_.journal()) {
+    taskSpan_ = j->beginSpan("partition_recovery", master_.node().id(),
+                             plan_->rootSpan, plan_->recoveryId);
+  }
   pinWorkers();
   pumpFetches();
+}
+
+void RecoveryTask::abandonJournalSpans() {
+  auto* j = master_.journal();
+  if (j == nullptr) return;  // abandonSpan is a no-op on closed spans
+  for (const auto& [segIdx, span] : fetchSpans_) j->abandonSpan(span);
+  if (replaySpan_ != 0) j->abandonSpan(replaySpan_);
+  if (taskSpan_ != 0) j->abandonSpan(taskSpan_);
 }
 
 void RecoveryTask::pumpFetches() {
@@ -114,6 +126,12 @@ void RecoveryTask::fetchSegment(std::size_t segIdx, std::size_t sourceIdx) {
     return;
   }
   const node::NodeId backup = src.backups[sourceIdx];
+  if (auto* j = master_.journal(); j != nullptr && sourceIdx == 0) {
+    // One span per segment, spanning replica fallbacks; up to
+    // recoveryFetchWindow of these legitimately overlap per actor.
+    fetchSpans_[segIdx] = j->beginSpan("segment_fetch", master_.node().id(),
+                                       taskSpan_, plan_->recoveryId);
+  }
 
   net::RpcRequest req;
   req.op = net::Opcode::kGetRecoveryData;
@@ -121,6 +139,11 @@ void RecoveryTask::fetchSegment(std::size_t segIdx, std::size_t sourceIdx) {
   req.b = src.segment;
   req.c = static_cast<std::uint64_t>(part_);
   req.d = plan_->planId;
+  // Carry the fetch span so the backup parents its segment_read under it
+  // (backups never stamp TimeTrace, so the field is free on this opcode).
+  if (auto it = fetchSpans_.find(segIdx); it != fetchSpans_.end()) {
+    req.traceSpan = it->second;
+  }
 
   master_.rpc().call(
       master_.node().id(), backup, net::kBackupPort, req,
@@ -146,11 +169,18 @@ void RecoveryTask::fetchSegment(std::size_t segIdx, std::size_t sourceIdx) {
       });
 }
 
-void RecoveryTask::onSegmentData(std::size_t /*segIdx*/,
+void RecoveryTask::onSegmentData(std::size_t segIdx,
                                  std::vector<log::LogEntry> entries) {
   if (aborted_ || failed_) return;
   --outstandingFetches_;
   ++segmentsFetched_;
+  if (auto it = fetchSpans_.find(segIdx); it != fetchSpans_.end()) {
+    auto* j = master_.journal();
+    j->addBytes(it->second, plan_->segments[segIdx].bytes);
+    j->addCount(it->second, entries.size());
+    j->endSpan(it->second);
+    fetchSpans_.erase(it);
+  }
   replayQueue_.push_back(std::move(entries));
   pumpFetches();
   pumpReplay();
@@ -164,6 +194,10 @@ void RecoveryTask::pumpReplay() {
     return;
   }
   replaying_ = true;
+  if (auto* j = master_.journal()) {
+    replaySpan_ = j->beginSpan("replay", master_.node().id(), taskSpan_,
+                               plan_->recoveryId);
+  }
   std::vector<log::LogEntry> entries = std::move(replayQueue_.front());
   replayQueue_.pop_front();
   replayChunk(std::move(entries), 0);
@@ -174,6 +208,10 @@ void RecoveryTask::replayChunk(std::vector<log::LogEntry> entries,
   if (aborted_ || failed_) return;
   if (offset >= entries.size()) {
     replaying_ = false;
+    if (replaySpan_ != 0) {
+      master_.journal()->endSpan(replaySpan_);
+      replaySpan_ = 0;
+    }
     ++segmentsReplayed_;
     pumpReplay();
     return;
@@ -195,6 +233,7 @@ void RecoveryTask::replayChunk(std::vector<log::LogEntry> entries,
       applyEntry(entries[i]);
       ++entriesReplayed_;
     }
+    if (replaySpan_ != 0) master_.journal()->addCount(replaySpan_, chunk);
     // Replication gating: if appends sealed a side segment and too many
     // are unacked, pause until acks drain (pumpReplay re-checks).
     if (unackedSegments_ > master_.params().recoveryMaxUnackedSegments) {
@@ -209,6 +248,10 @@ void RecoveryTask::replayChunk(std::vector<log::LogEntry> entries,
         ++segmentsReplayed_;
       }
       replaying_ = false;
+      if (replaySpan_ != 0) {
+        master_.journal()->endSpan(replaySpan_);
+        replaySpan_ = 0;
+      }
       pumpReplay();
       return;
     }
@@ -233,11 +276,24 @@ void RecoveryTask::applyEntry(const log::LogEntry& e) {
 
 void RecoveryTask::onSideSegmentSealed(log::Segment& seg) {
   ++unackedSegments_;
+  std::uint64_t replSpan = 0;
+  if (auto* j = master_.journal()) {
+    replSpan = j->beginSpan("rereplication", master_.node().id(), taskSpan_,
+                            plan_->recoveryId);
+    j->addBytes(replSpan, seg.appendedBytes());
+  }
   sideRepl_->replicateWholeSegment(
-      seg, [this, w = std::weak_ptr<bool>(alive_)](bool ok) {
+      seg, [this, w = std::weak_ptr<bool>(alive_), replSpan](bool ok) {
         auto p = w.lock();
         if (p == nullptr || !*p) return;
         --unackedSegments_;
+        if (replSpan != 0) {
+          if (ok) {
+            master_.journal()->endSpan(replSpan);
+          } else {
+            master_.journal()->abandonSpan(replSpan);
+          }
+        }
         if (!ok) {
           fail();
           return;
@@ -264,6 +320,10 @@ void RecoveryTask::commit() {
   if (committed_) return;
   committed_ = true;
   unpinWorkers();
+  if (auto* j = master_.journal(); j != nullptr && taskSpan_ != 0) {
+    j->addCount(taskSpan_, entriesReplayed_);
+    j->endSpan(taskSpan_);
+  }
 
   // Atomically switch ownership: install recovered objects, adopt the
   // side-log segments, take over the partition's tablets.
@@ -300,6 +360,7 @@ void RecoveryTask::fail() {
   if (failed_ || committed_) return;
   failed_ = true;
   unpinWorkers();
+  abandonJournalSpans();
   net::RpcRequest req;
   req.op = net::Opcode::kRecoveryDone;
   req.a = plan_->planId;

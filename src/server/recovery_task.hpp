@@ -69,6 +69,7 @@ class RecoveryTask {
   void pumpFetches();
   void fetchSegment(std::size_t segIdx, std::size_t sourceIdx);
   void onSegmentData(std::size_t segIdx, std::vector<log::LogEntry> entries);
+  void abandonJournalSpans();
   void pumpReplay();
   void replayChunk(std::vector<log::LogEntry> entries, std::size_t offset);
   void applyEntry(const log::LogEntry& e);
@@ -107,6 +108,14 @@ class RecoveryTask {
   bool committed_ = false;
   bool failed_ = false;
   bool aborted_ = false;
+
+  /// Journal spans (0 / absent when tracing is off). taskSpan_ is the
+  /// "partition_recovery" span covering the whole task; one segment_fetch
+  /// span per segment (spanning replica fallbacks); one replay span per
+  /// replaying_ burst — serial per actor by construction.
+  std::uint64_t taskSpan_ = 0;
+  std::uint64_t replaySpan_ = 0;
+  std::unordered_map<std::size_t, std::uint64_t> fetchSpans_;
 
   std::shared_ptr<bool> alive_;  ///< guards continuations after abort
 };

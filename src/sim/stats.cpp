@@ -106,14 +106,21 @@ double Histogram::mean() const {
 
 Duration Histogram::percentile(double q) const {
   if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
+  // Degenerate quantiles answer exactly, without touching the buckets: q=0
+  // is the minimum and q=1 the maximum by definition.
+  if (q <= 0) return min_;
+  if (q >= 1) return max_;
   const auto target = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(count_)));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[i];
     if (seen >= target && buckets_[i] > 0) {
-      return std::min(bucketUpper(i), max_);
+      // A log bucket's upper bound can overshoot the samples it holds by up
+      // to one sub-bucket width (~2.4%). Clamping into [min, max] keeps
+      // every quantile inside the observed range, so p99 of a 1-sample or
+      // all-equal histogram is the sample itself, not an interpolation.
+      return std::clamp(bucketUpper(i), min_, max_);
     }
   }
   return max_;

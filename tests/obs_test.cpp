@@ -196,6 +196,213 @@ TEST(TimeTrace, RegisterMetricsExposesStagesAndCounts) {
   EXPECT_DOUBLE_EQ(reg.value("cluster.rpc.active_spans"), 1.0);
 }
 
+// ----- Histogram percentile edges (regression: p0/p100 must stay inside
+// the observed [min, max] even for degenerate histograms)
+
+TEST(HistogramPercentiles, OneSampleReportsThatSampleEverywhere) {
+  sim::Histogram h;
+  h.add(usec(250));
+  EXPECT_EQ(h.percentile(0.0), h.percentile(1.0));
+  EXPECT_GE(h.percentile(0.0), h.min());
+  EXPECT_LE(h.percentile(1.0), h.max());
+  const HistogramSummary s = summarizeHistogram(h);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50Us, s.p99Us);
+  EXPECT_GE(s.p50Us, sim::toMicros(h.min()));
+  EXPECT_LE(s.p99Us, s.maxUs);
+}
+
+TEST(HistogramPercentiles, AllEqualSamplesCollapseToOneValue) {
+  sim::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(usec(42));
+  const HistogramSummary s = summarizeHistogram(h);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.p50Us, s.p90Us);
+  EXPECT_DOUBLE_EQ(s.p90Us, s.p99Us);
+  EXPECT_LE(s.p99Us, s.maxUs);
+  EXPECT_GE(s.p50Us, sim::toMicros(h.min()));
+}
+
+TEST(HistogramPercentiles, EmptyHistogramIsAllZero) {
+  sim::Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0);
+  const HistogramSummary s = summarizeHistogram(h);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50Us, 0.0);
+  EXPECT_DOUBLE_EQ(s.maxUs, 0.0);
+}
+
+TEST(HistogramPercentiles, OrderedAcrossQuantiles) {
+  sim::Histogram h;
+  for (int i = 1; i <= 10'000; ++i) h.add(usec(i));
+  double prev = 0;
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double v = sim::toMicros(h.percentile(q));
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_LE(prev, sim::toMicros(h.max()) + 1e-9);
+}
+
+// ----- TimeTrace abandonSpan (regression: a client whose RPC times out
+// against a crashed node must drop the span without recording a bogus
+// total-latency sample)
+
+TEST(TimeTrace, AbandonedSpanLeavesNoSample) {
+  sim::Simulation sim;
+  TimeTrace tt(sim);
+  MetricRegistry reg;
+  tt.registerMetrics(reg, "cluster.rpc");
+
+  const std::uint64_t span = tt.beginSpan();
+  tt.stamp(span, Stage::kNetworkRequest);
+  tt.abandonSpan(span);
+
+  EXPECT_EQ(tt.spansStarted(), 1u);
+  EXPECT_EQ(tt.spansCompleted(), 0u);
+  EXPECT_EQ(tt.spansAbandoned(), 1u);
+  EXPECT_EQ(tt.activeSpans(), 0u);
+  // No total-latency sample: the span never completed.
+  EXPECT_EQ(tt.stageHistogram(Stage::kTotal).count(), 0u);
+  EXPECT_DOUBLE_EQ(reg.value("cluster.rpc.spans_abandoned"), 1.0);
+
+  // Late stamps / ends / double abandon on the dead span are no-ops.
+  tt.stamp(span, Stage::kWorkerService);
+  tt.endSpan(span);
+  tt.abandonSpan(span);
+  EXPECT_EQ(tt.spansAbandoned(), 1u);
+  EXPECT_EQ(tt.spansCompleted(), 0u);
+  EXPECT_EQ(tt.stageHistogram(Stage::kWorkerService).count(), 0u);
+}
+
+// ----- EventJournal
+
+TEST(EventJournal, SpanLifecycleAndAttributes) {
+  sim::Simulation sim;
+  EventJournal j(sim);
+
+  EventJournal::SpanId root = 0;
+  EventJournal::SpanId child = 0;
+  sim.schedule(0, [&] { root = j.beginSpan("recovery", 0, 0, 7); });
+  sim.schedule(msec(1), [&] {
+    child = j.beginSpan("replay", 3, root, 7);
+    j.addBytes(child, 1000);
+    j.addBytes(child, 500);
+    j.addCount(child, 25);
+  });
+  sim.schedule(msec(5), [&] { j.endSpan(child); });
+  sim.schedule(msec(9), [&] { j.endSpan(root); });
+  sim.run();
+
+  ASSERT_NE(root, 0u);
+  ASSERT_NE(child, 0u);
+  const auto* c = j.span(child);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->parent, root);
+  EXPECT_EQ(c->ctx, 7u);
+  EXPECT_EQ(c->node, 3);
+  EXPECT_EQ(c->bytes, 1500u);
+  EXPECT_EQ(c->count, 25u);
+  EXPECT_FALSE(c->open);
+  EXPECT_FALSE(c->abandoned);
+  EXPECT_EQ(c->duration(), msec(4));
+  EXPECT_EQ(j.spansStarted(), 2u);
+  EXPECT_EQ(j.spansCompleted(), 2u);
+  EXPECT_EQ(j.openSpans(), 0u);
+  EXPECT_EQ(j.spansInCtx(7).size(), 2u);
+  EXPECT_EQ(j.spansNamed("replay").size(), 1u);
+  // Unknown ids are no-ops, double close does not double count.
+  j.endSpan(999);
+  j.addBytes(999, 1);
+  j.endSpan(child);
+  EXPECT_EQ(j.spansCompleted(), 2u);
+}
+
+TEST(EventJournal, EventIsAClosedZeroDurationSpan) {
+  sim::Simulation sim;
+  EventJournal j(sim);
+  const auto id = j.event("tablet_remap", 0, 0, 1);
+  const auto* s = j.span(id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->open);
+  EXPECT_EQ(s->begin, s->end);
+  EXPECT_EQ(j.spansCompleted(), 1u);
+}
+
+TEST(EventJournal, LinkSpanReparentsAfterTheFact) {
+  sim::Simulation sim;
+  EventJournal j(sim);
+  // Detection opens before the recovery root exists (real ordering).
+  const auto det = j.beginSpan("failure_detection", 0);
+  const auto root = j.beginSpan("recovery", 0, 0, 42);
+  j.linkSpan(det, root, 42);
+  j.endSpan(det);
+  j.endSpan(root);
+  const auto* d = j.span(det);
+  EXPECT_EQ(d->parent, root);
+  EXPECT_EQ(d->ctx, 42u);
+  j.linkSpan(999, root, 42);  // unknown id: no-op
+}
+
+TEST(EventJournal, AbandonNodeClosesOnlyThatNodesOpenSpans) {
+  sim::Simulation sim;
+  EventJournal j(sim);
+  const auto a1 = j.beginSpan("cleaner_pass", 2);
+  const auto a2 = j.beginSpan("frame_flush", 2);
+  const auto b = j.beginSpan("replay", 3);
+  sim.schedule(msec(2), [&] { j.abandonNode(2); });
+  sim.run();
+
+  EXPECT_TRUE(j.span(a1)->abandoned);
+  EXPECT_TRUE(j.span(a2)->abandoned);
+  EXPECT_FALSE(j.span(a1)->open);
+  EXPECT_EQ(j.span(a1)->end, msec(2));
+  EXPECT_TRUE(j.span(b)->open);
+  EXPECT_EQ(j.spansAbandoned(), 2u);
+  EXPECT_EQ(j.openSpans(), 1u);
+  j.abandonSpan(b);
+  EXPECT_EQ(j.spansAbandoned(), 3u);
+  EXPECT_EQ(j.openSpans(), 0u);
+}
+
+TEST(EventJournal, EnergyProbeAttributesJoulesToClosedSpans) {
+  sim::Simulation sim;
+  EventJournal j(sim);
+  // Linear fake meter: node n has burned 10*n*seconds J at time t.
+  j.setEnergyProbe([&sim](int n) {
+    return 10.0 * n * sim::toSeconds(sim.now());
+  });
+  EventJournal::SpanId s1 = 0;
+  EventJournal::SpanId s2 = 0;
+  sim.schedule(0, [&] {
+    s1 = j.beginSpan("replay", 1);
+    s2 = j.beginSpan("replay", 2);
+  });
+  sim.schedule(seconds(2), [&] {
+    j.endSpan(s1);
+    j.abandonSpan(s2);  // abandoned spans still account their energy
+  });
+  sim.run();
+  EXPECT_NEAR(j.span(s1)->joules, 20.0, 1e-9);
+  EXPECT_NEAR(j.span(s2)->joules, 40.0, 1e-9);
+  EXPECT_NEAR(j.joulesForPhase("replay"), 60.0, 1e-9);
+  EXPECT_NEAR(j.joulesForPhase(""), 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(j.joulesForPhase("no_such_phase"), 0.0);
+}
+
+TEST(EventJournal, RegisterMetricsExposesCounters) {
+  sim::Simulation sim;
+  EventJournal j(sim);
+  MetricRegistry reg;
+  j.registerMetrics(reg, "cluster.journal");
+  const auto s = j.beginSpan("recovery", 0);
+  EXPECT_DOUBLE_EQ(reg.value("cluster.journal.spans_started"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.value("cluster.journal.open_spans"), 1.0);
+  j.endSpan(s);
+  EXPECT_DOUBLE_EQ(reg.value("cluster.journal.spans_completed"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.value("cluster.journal.open_spans"), 0.0);
+}
+
 // ----- StatsSampler
 
 TEST(StatsSampler, CountersBecomeRatesGaugesSampledVerbatim) {

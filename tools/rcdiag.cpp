@@ -1,0 +1,405 @@
+// rcdiag — offline analyzer for a run directory produced with
+// --metrics-dir: loads events.jsonl (the cluster's recovery/migration span
+// tree) plus metrics.jsonl (1 Hz PDU watt samples) and prints
+//
+//   timeline  per-node ASCII swimlanes of every recovery's span tree
+//   critical  the recovery's critical path (chain of latest-ending children)
+//   phases    per-phase time/energy table: each node's PDU samples are
+//             partitioned across that node's span intervals (innermost
+//             active span wins, remainder -> steady_state), so the phase
+//             energies sum to the PDU-integrated total by construction;
+//             the span-recorded whole-node model joules are shown alongside
+//   check     schema validation; exits non-zero on any violation (CI smoke)
+//   report    timeline + critical + phases (default)
+//
+// Span semantics and the energy-attribution method are documented in
+// docs/TRACING.md.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/event_journal.hpp"
+#include "obs/metrics_exporter.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using rc::obs::EventJournal;
+using rc::obs::MetricsExporter;
+using Span = EventJournal::Span;
+
+struct RunData {
+  std::vector<Span> spans;
+  std::unordered_map<std::uint64_t, const Span*> byId;
+  /// node id -> 1 Hz PDU samples (t seconds, watts); sample at t covers
+  /// [t - interval, t).
+  std::map<int, std::vector<std::pair<double, double>>> pdu;
+  double pduIntervalS = 1.0;
+};
+
+double t0s(const Span& s) { return rc::sim::toSeconds(s.begin); }
+double t1s(const Span& s) {
+  return rc::sim::toSeconds(s.open ? s.begin : s.end);
+}
+
+bool loadRun(const std::string& dir, RunData* out) {
+  out->spans = EventJournal::readJsonl(dir + "/events.jsonl");
+  if (out->spans.empty()) {
+    std::fprintf(stderr, "rcdiag: no spans in %s/events.jsonl\n", dir.c_str());
+    return false;
+  }
+  for (const Span& s : out->spans) out->byId[s.id] = &s;
+
+  // PDU series are optional (energy columns degrade gracefully).
+  for (const auto& rec : MetricsExporter::readJsonl(dir + "/metrics.jsonl")) {
+    if (rec.type != "point") continue;
+    constexpr const char* kPrefix = "node";
+    constexpr const char* kSuffix = ".pdu.watts";
+    if (rec.name.rfind(kPrefix, 0) != 0) continue;
+    const auto dot = rec.name.find(kSuffix);
+    if (dot == std::string::npos ||
+        dot + std::strlen(kSuffix) != rec.name.size()) {
+      continue;
+    }
+    const int node = std::atoi(rec.name.c_str() + std::strlen(kPrefix));
+    out->pdu[node].emplace_back(rec.t, rec.value);
+  }
+  for (auto& [node, samples] : out->pdu) {
+    std::sort(samples.begin(), samples.end());
+  }
+  return true;
+}
+
+std::vector<const Span*> recoveryRoots(const RunData& run) {
+  std::vector<const Span*> roots;
+  for (const Span& s : run.spans) {
+    if (s.name == "recovery") roots.push_back(&s);
+  }
+  return roots;
+}
+
+/// All spans belonging to one recovery: same ctx, plus cross-node children
+/// reachable by parent link (segment_read spans carry the ctx already).
+std::vector<const Span*> spansOfRecovery(const RunData& run,
+                                         const Span& root) {
+  std::vector<const Span*> out;
+  for (const Span& s : run.spans) {
+    if (s.ctx == root.ctx && s.ctx != 0) out.push_back(&s);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- timeline
+
+void printTimeline(const RunData& run) {
+  const auto roots = recoveryRoots(run);
+  if (roots.empty()) {
+    std::puts("timeline: no recovery spans in journal");
+    return;
+  }
+  constexpr int kCols = 64;
+  for (const Span* root : roots) {
+    const auto spans = spansOfRecovery(run, *root);
+    const double w0 = t0s(*root);
+    double w1 = t1s(*root);
+    for (const Span* s : spans) w1 = std::max(w1, t1s(*s));
+    const double width = std::max(w1 - w0, 1e-9);
+
+    std::printf("recovery #%llu  [%.3fs .. %.3fs]  (%.3fs, %zu spans)%s\n",
+                static_cast<unsigned long long>(root->ctx), w0, w1, w1 - w0,
+                spans.size(), root->abandoned ? "  FAILED" : "");
+    std::map<int, std::vector<const Span*>> byNode;
+    for (const Span* s : spans) byNode[s->node].push_back(s);
+    for (auto& [node, list] : byNode) {
+      std::sort(list.begin(), list.end(), [](const Span* a, const Span* b) {
+        return a->begin != b->begin ? a->begin < b->begin : a->id < b->id;
+      });
+      std::printf("  node %-3d\n", node);
+      for (const Span* s : list) {
+        const double a = std::clamp((t0s(*s) - w0) / width, 0.0, 1.0);
+        const double b = std::clamp((t1s(*s) - w0) / width, 0.0, 1.0);
+        int x0 = static_cast<int>(a * kCols);
+        int x1 = std::max(x0 + 1, static_cast<int>(b * kCols + 0.5));
+        x1 = std::min(x1, kCols);
+        std::string bar(static_cast<std::size_t>(kCols), ' ');
+        for (int i = x0; i < x1; ++i) {
+          bar[static_cast<std::size_t>(i)] = s->open ? '?' : '#';
+        }
+        std::printf("    %-20s |%s| %8.3fs%s\n",
+                    s->name.size() > 20 ? s->name.substr(0, 20).c_str()
+                                        : s->name.c_str(),
+                    bar.c_str(), t1s(*s) - t0s(*s),
+                    s->abandoned ? " (abandoned)" : "");
+      }
+    }
+    std::puts("");
+  }
+}
+
+// ------------------------------------------------------------ critical path
+
+void printCriticalPath(const RunData& run) {
+  const auto roots = recoveryRoots(run);
+  if (roots.empty()) {
+    std::puts("critical: no recovery spans in journal");
+    return;
+  }
+  for (const Span* root : roots) {
+    std::unordered_map<std::uint64_t, std::vector<const Span*>> children;
+    for (const Span& s : run.spans) {
+      if (s.parent != 0) children[s.parent].push_back(&s);
+    }
+    std::printf("critical path of recovery #%llu (total %.3fs):\n",
+                static_cast<unsigned long long>(root->ctx),
+                t1s(*root) - t0s(*root));
+    const Span* cur = root;
+    int depth = 0;
+    while (cur != nullptr) {
+      std::printf("  %*s%-20s node %-3d [%.3fs .. %.3fs]  %.3fs\n", depth * 2,
+                  "", cur->name.c_str(), cur->node, t0s(*cur), t1s(*cur),
+                  t1s(*cur) - t0s(*cur));
+      // Descend into the latest-ending child: the phase that gated this
+      // span's completion.
+      const Span* next = nullptr;
+      auto it = children.find(cur->id);
+      if (it != children.end()) {
+        for (const Span* c : it->second) {
+          if (next == nullptr || t1s(*c) > t1s(*next)) next = c;
+        }
+      }
+      cur = next;
+      ++depth;
+    }
+    std::puts("");
+  }
+}
+
+// ----------------------------------------------------------- energy/phases
+
+struct PhaseRow {
+  std::uint64_t spans = 0;
+  double busyS = 0;    ///< sum of span durations (may overlap)
+  double modelJ = 0;   ///< span-recorded whole-node model joules
+  double pduJ = 0;     ///< non-overlapping PDU-sample attribution
+  std::uint64_t bytes = 0;
+};
+
+/// Attribute one node's PDU energy over [winA, winB) to the innermost
+/// active span's phase; un-covered time goes to "steady_state".
+void attributeNode(const RunData& run, int node, double winA, double winB,
+                   std::map<std::string, PhaseRow>* rows) {
+  auto pit = run.pdu.find(node);
+  if (pit == run.pdu.end()) return;
+
+  std::vector<const Span*> nodeSpans;
+  for (const Span& s : run.spans) {
+    if (s.node == node && !s.open && t1s(s) > t0s(s)) nodeSpans.push_back(&s);
+  }
+
+  for (const auto& [t, watts] : pit->second) {
+    // Sample at t covers [t - interval, t); clip the coverage to the
+    // window (the window totals use the same clipping, so the per-phase
+    // attribution sums to the window total exactly).
+    const double a = std::max(t - run.pduIntervalS, winA);
+    const double b = std::min(t, winB);
+    if (b <= a) continue;
+
+    // Split the interval at span boundaries.
+    std::vector<double> cuts{a, b};
+    for (const Span* s : nodeSpans) {
+      if (t0s(*s) > a && t0s(*s) < b) cuts.push_back(t0s(*s));
+      if (t1s(*s) > a && t1s(*s) < b) cuts.push_back(t1s(*s));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const double x = cuts[i];
+      const double y = cuts[i + 1];
+      if (y - x <= 0) continue;
+      const double mid = (x + y) / 2;
+      // Innermost active span: latest begin wins (ties -> later id).
+      const Span* inner = nullptr;
+      for (const Span* s : nodeSpans) {
+        if (t0s(*s) <= mid && mid < t1s(*s)) {
+          if (inner == nullptr || s->begin > inner->begin ||
+              (s->begin == inner->begin && s->id > inner->id)) {
+            inner = s;
+          }
+        }
+      }
+      const std::string phase = inner != nullptr ? inner->name : "steady_state";
+      (*rows)[phase].pduJ += watts * (y - x);
+    }
+  }
+}
+
+void printPhases(const RunData& run) {
+  const auto roots = recoveryRoots(run);
+  if (roots.empty()) {
+    std::puts("phases: no recovery spans in journal");
+    return;
+  }
+  for (const Span* root : roots) {
+    const auto spans = spansOfRecovery(run, *root);
+    const double w0 = t0s(*root);
+    double w1 = t1s(*root);
+    for (const Span* s : spans) w1 = std::max(w1, t1s(*s));
+
+    std::map<std::string, PhaseRow> rows;
+    std::set<int> nodes;
+    for (const Span* s : spans) {
+      PhaseRow& r = rows[s->name];
+      ++r.spans;
+      r.busyS += t1s(*s) - t0s(*s);
+      r.modelJ += s->joules;
+      r.bytes += s->bytes;
+      nodes.insert(s->node);
+    }
+    double pduTotal = 0;
+    for (const auto& [node, samples] : run.pdu) {
+      for (const auto& [t, watts] : samples) {
+        const double overlap =
+            std::min(t, w1) - std::max(t - run.pduIntervalS, w0);
+        if (overlap > 0) pduTotal += watts * overlap;
+      }
+      attributeNode(run, node, w0, w1, &rows);
+    }
+
+    std::printf(
+        "recovery #%llu  window [%.3fs .. %.3fs]  %zu nodes  "
+        "pdu_total=%.1fJ\n",
+        static_cast<unsigned long long>(root->ctx), w0, w1, nodes.size(),
+        pduTotal);
+    std::printf("  %-20s %6s %10s %12s %12s %12s\n", "phase", "spans",
+                "busy_s", "bytes", "model_J", "pdu_J");
+    double pduSum = 0;
+    for (const auto& [phase, r] : rows) {
+      std::printf("  %-20s %6llu %10.3f %12llu %12.1f %12.1f\n", phase.c_str(),
+                  static_cast<unsigned long long>(r.spans), r.busyS,
+                  static_cast<unsigned long long>(r.bytes), r.modelJ, r.pduJ);
+      pduSum += r.pduJ;
+    }
+    const double delta =
+        pduTotal > 0 ? 100.0 * (pduSum - pduTotal) / pduTotal : 0.0;
+    std::printf("  %-20s %6s %10s %12s %12s %12.1f  (delta %.2f%%)\n", "SUM",
+                "", "", "", "", pduSum, delta);
+    std::puts("");
+  }
+}
+
+// ------------------------------------------------------------------- check
+
+int checkRun(const std::string& dir) {
+  RunData run;
+  if (!loadRun(dir, &run)) return 1;
+  int violations = 0;
+  auto fail = [&violations](const char* fmt, unsigned long long a) {
+    std::fprintf(stderr, "check: ");
+    std::fprintf(stderr, fmt, a);
+    std::fprintf(stderr, "\n");
+    ++violations;
+  };
+
+  std::set<std::uint64_t> ids;
+  for (const Span& s : run.spans) {
+    if (s.id == 0) fail("span with id 0", 0);
+    if (!ids.insert(s.id).second) fail("duplicate span id %llu", s.id);
+  }
+  for (const Span& s : run.spans) {
+    if (s.name.empty()) fail("span %llu has empty name", s.id);
+    if (s.node < 0) fail("span %llu has invalid node", s.id);
+    if (s.parent != 0 && ids.find(s.parent) == ids.end()) {
+      fail("span %llu references unknown parent", s.id);
+    }
+    // A child may *begin* before its parent (failure_detection starts at
+    // the first missed ping, before the recovery root exists), but a
+    // closed span must not end before it begins.
+    if (!s.open && s.end < s.begin) {
+      fail("span %llu ends before it begins", s.id);
+    }
+    if (s.open && s.abandoned) {
+      fail("span %llu is both open and abandoned", s.id);
+    }
+  }
+  // Every recovery root must have children covering at least the
+  // coordinator-side phases.
+  for (const Span* root : recoveryRoots(run)) {
+    std::set<std::string> phases;
+    for (const Span& s : run.spans) {
+      if (s.ctx == root->ctx && s.id != root->id) phases.insert(s.name);
+    }
+    if (phases.empty()) {
+      fail("recovery #%llu has no child phases", root->ctx);
+    }
+  }
+
+  // metrics.jsonl (when present) must parse into typed records.
+  const auto recs = MetricsExporter::readJsonl(dir + "/metrics.jsonl");
+  for (const auto& rec : recs) {
+    if (rec.type != "counter" && rec.type != "gauge" &&
+        rec.type != "histogram" && rec.type != "point" &&
+        rec.type != "trace") {
+      std::fprintf(stderr, "check: unknown record type '%s' in metrics.jsonl\n",
+                   rec.type.c_str());
+      ++violations;
+    }
+  }
+
+  if (violations == 0) {
+    std::printf("check: OK (%zu spans, %zu metric records)\n",
+                run.spans.size(), recs.size());
+    return 0;
+  }
+  std::fprintf(stderr, "check: %d violation(s)\n", violations);
+  return 1;
+}
+
+void usage() {
+  std::puts(
+      "rcdiag — recovery/migration journal analyzer\n"
+      "\n"
+      "  rcdiag [timeline|critical|phases|check|report] DIR\n"
+      "\n"
+      "DIR is a --metrics-dir run directory (events.jsonl [+ metrics.jsonl]).\n"
+      "Default command is report (timeline + critical + phases).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cmd = "report";
+  std::string dir;
+  if (argc == 2) {
+    dir = argv[1];
+  } else if (argc == 3) {
+    cmd = argv[1];
+    dir = argv[2];
+  } else {
+    usage();
+    return 2;
+  }
+  if (cmd == "check") return checkRun(dir);
+
+  RunData run;
+  if (!loadRun(dir, &run)) return 1;
+  if (cmd == "timeline") {
+    printTimeline(run);
+  } else if (cmd == "critical") {
+    printCriticalPath(run);
+  } else if (cmd == "phases") {
+    printPhases(run);
+  } else if (cmd == "report") {
+    printTimeline(run);
+    printCriticalPath(run);
+    printPhases(run);
+  } else {
+    usage();
+    return 2;
+  }
+  return 0;
+}

@@ -191,6 +191,7 @@ int cmdRecovery(const Args& a) {
     cfg.segmentBytes =
         static_cast<std::uint64_t>(a.num("segment-mb", 8)) * 1024 * 1024;
   }
+  cfg.metricsDir = a.str("metrics-dir", "");
   const auto r = core::runRecoveryExperiment(cfg);
   std::printf(
       "recovered=%s detect=%.2fs replay=%.2fs data=%.2fGB "
@@ -225,7 +226,9 @@ void usage() {
       "  rcperf sweep P  --values v1,v2,...   (P = rf|servers|clients;\n"
       "                  remaining flags as for ycsb)\n"
       "  rcperf recovery [--servers N] [--rf N] [--records N] [--kill-at S]\n"
-      "                  [--segment-mb N] [--probe-clients] [--seed N] [--csv]\n");
+      "                  [--segment-mb N] [--probe-clients] [--seed N] [--csv]\n"
+      "                  [--metrics-dir DIR]  (also writes events.jsonl —\n"
+      "                  the recovery span tree; analyze with rcdiag)\n");
 }
 
 }  // namespace
