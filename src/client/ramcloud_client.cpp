@@ -303,8 +303,17 @@ void RamCloudClient::issue(OpState st) {
       finish(st, net::Status::kTimeout);
       return;
     }
-    refreshMapThen(
-        [this, st = std::move(st)]() mutable { issue(std::move(st)); });
+    // Hard failure (timeout or stale routing): back off with deterministic
+    // jitter before re-resolving the route, growing the wait each attempt.
+    const int attempt = params_.maxRetries - st.retriesLeft - 1;
+    const std::uint64_t salt = (static_cast<std::uint64_t>(self_) << 48) ^
+                               (st.tableId << 32) ^ (st.keyId << 8) ^
+                               static_cast<std::uint64_t>(st.startedAt);
+    sim_.schedule(params_.retryBackoff.delay(attempt, salt),
+                  [this, st = std::move(st)]() mutable {
+      refreshMapThen(
+          [this, st = std::move(st)]() mutable { issue(std::move(st)); });
+    });
   });
 }
 

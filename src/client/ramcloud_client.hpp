@@ -16,6 +16,10 @@ struct ClientParams {
   sim::Duration opTimeout = server::timeouts::kClientOp;
   /// Hard-failure retry budget (timeouts, stale routing).
   int maxRetries = 5;
+  /// Capped exponential backoff between hard-failure retries, with
+  /// deterministic jitter so a dead server isn't hammered by synchronized
+  /// client retries (see server::Backoff).
+  server::Backoff retryBackoff{sim::msec(1), sim::msec(100)};
   /// Wait between retries while the target tablet is being recovered
   /// (these waits do not consume the retry budget: the op blocks until the
   /// data is available again — paper Fig. 10's "client 1").

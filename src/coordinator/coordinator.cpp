@@ -231,15 +231,30 @@ void Coordinator::onServerDead(ServerId id) {
   }
   if (onCrashDetected) onCrashDetected(id);
 
+  // Tell every surviving master: replica slots on the dead server must be
+  // re-replicated, and in-flight recovery fetches from it should fail over
+  // now rather than wait out their RPC timeouts.
+  for (ServerId m : up_) {
+    net::RpcRequest req;
+    req.op = net::Opcode::kServerListUpdate;
+    req.a = static_cast<std::uint64_t>(id);
+    rpc_.call(node_.id(), m, net::kMasterPort, req,
+              server::timeouts::kControl, [](const net::RpcResponse&) {});
+  }
+
   // If the dead server was acting as a recovery master, re-run its
-  // unfinished partitions elsewhere. (Collect first: retries can finish —
+  // partitions elsewhere — including ones it already reported done, since
+  // the recovered data died with it. (Collect first: retries can finish —
   // and erase — a recovery, invalidating iterators.)
   std::vector<std::pair<std::uint64_t, int>> toRetry;
-  for (const auto& [rid, rec] : activeRecoveries_) {
+  for (auto& [rid, rec] : activeRecoveries_) {
     for (std::size_t p = 0; p < rec.partitionOwner.size(); ++p) {
-      if (rec.partitionOwner[p] == id && !rec.partitionDone[p]) {
-        toRetry.emplace_back(rid, static_cast<int>(p));
+      if (rec.partitionOwner[p] != id) continue;
+      if (rec.partitionDone[p]) {
+        rec.partitionDone[p] = false;
+        ++rec.remaining;
       }
+      toRetry.emplace_back(rid, static_cast<int>(p));
     }
   }
   for (const auto& [rid, p] : toRetry) {
@@ -283,6 +298,7 @@ void Coordinator::beginRecovery(ServerId id) {
                             recoveryId);
   }
   activeRecoveries_[recoveryId] = std::move(rec);
+  if (onRecoveryStarted) onRecoveryStarted(recoveryId, id);
 
   // Verify the crash and schedule (paper: the coordinator double-checks,
   // confirms backup availability, selects recovery masters a-priori).
@@ -350,6 +366,7 @@ void Coordinator::buildAndStartPlan(ActiveRecovery& rec) {
     finishRecovery(rec, false);
     return;
   }
+  const std::uint64_t recoveryId = rec.recoveryId;
   for (int i = 0; i < p; ++i) {
     net::RpcRequest req;
     req.op = net::Opcode::kStartRecovery;
@@ -357,7 +374,18 @@ void Coordinator::buildAndStartPlan(ActiveRecovery& rec) {
     req.b = static_cast<std::uint64_t>(i);
     rpc_.call(node_.id(), masters[static_cast<std::size_t>(i)],
               net::kMasterPort, req, server::timeouts::kControl,
-              [](const net::RpcResponse&) {});
+              [this, recoveryId, i](const net::RpcResponse& resp) {
+                if (resp.status == net::Status::kOk) return;
+                // The designated recovery master never started (crashed or
+                // unreachable): hand the partition to someone else.
+                auto it = activeRecoveries_.find(recoveryId);
+                if (it == activeRecoveries_.end()) return;
+                ActiveRecovery& r = it->second;
+                if (i < static_cast<int>(r.partitionDone.size()) &&
+                    !r.partitionDone[static_cast<std::size_t>(i)]) {
+                  retryPartition(r, i);
+                }
+              });
   }
 }
 
@@ -480,12 +508,25 @@ void Coordinator::retryPartition(ActiveRecovery& rec, int globalPartition) {
     finishRecovery(rec, false);
     return;
   }
+  const std::uint64_t recoveryId = rec.recoveryId;
   net::RpcRequest req;
   req.op = net::Opcode::kStartRecovery;
   req.a = plan->planId;
   req.b = 0;
   rpc_.call(node_.id(), fresh, net::kMasterPort, req,
-            server::timeouts::kControl, [](const net::RpcResponse&) {});
+            server::timeouts::kControl,
+            [this, recoveryId, globalPartition](const net::RpcResponse& resp) {
+              if (resp.status == net::Status::kOk) return;
+              auto it = activeRecoveries_.find(recoveryId);
+              if (it == activeRecoveries_.end()) return;
+              ActiveRecovery& r = it->second;
+              if (globalPartition <
+                      static_cast<int>(r.partitionDone.size()) &&
+                  !r.partitionDone[static_cast<std::size_t>(
+                      globalPartition)]) {
+                retryPartition(r, globalPartition);
+              }
+            });
 }
 
 void Coordinator::finishRecovery(ActiveRecovery& rec, bool success) {

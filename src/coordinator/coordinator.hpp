@@ -95,6 +95,10 @@ class Coordinator : public net::RpcService {
   /// Harness hooks.
   std::function<void(server::ServerId)> onCrashDetected;
   std::function<void(const RecoveryRecord&)> onRecoveryFinished;
+  /// Fires when a recovery is admitted (before the setup delay): the
+  /// fault injector uses it for "during recovery N" trigger conditions.
+  std::function<void(std::uint64_t recoveryId, server::ServerId crashed)>
+      onRecoveryStarted;
 
   /// Attach the cluster's event journal: the coordinator emits the root
   /// "recovery" span plus failure_detection / will_lookup /

@@ -127,6 +127,34 @@ void Cluster::registerClusterMetrics() {
   metrics_.probeGauge("cluster.alive_servers", "servers", [this] {
     return static_cast<double>(aliveServerCount());
   });
+  // Replica slots lost to backup deaths and not yet repaired, summed over
+  // live masters; returns to 0 once background re-replication converges.
+  metrics_.probeGauge("cluster.rf_deficit", "replicas", [this] {
+    std::uint64_t deficit = 0;
+    for (int i = 0; i < serverCount(); ++i) {
+      if (serverAlive(i)) {
+        deficit += servers_[static_cast<std::size_t>(i)]
+                       .master->replicaManager()
+                       .rfDeficit();
+      }
+    }
+    return static_cast<double>(deficit);
+  });
+  metrics_.probeCounter("net.messages_dropped", "msgs", [this] {
+    return static_cast<double>(net_.messagesDropped());
+  });
+  // RPC timeouts observed by the transport, total and per opcode.
+  metrics_.probeCounter("net.rpc.timeouts.total", "ops", [this] {
+    return static_cast<double>(rpc_.timeoutsObserved());
+  });
+  for (std::size_t op = 0; op < net::kOpcodeCount; ++op) {
+    const auto opcode = static_cast<net::Opcode>(op);
+    metrics_.probeCounter(
+        std::string("net.rpc.timeouts.") + net::opcodeName(opcode), "ops",
+        [this, opcode] {
+          return static_cast<double>(rpc_.timeoutsForOpcode(opcode));
+        });
+  }
 }
 
 void Cluster::startStatsSampling() {

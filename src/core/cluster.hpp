@@ -65,6 +65,7 @@ class Cluster {
   };
 
   sim::Simulation& sim() { return sim_; }
+  net::Network& network() { return net_; }
   net::RpcSystem& rpc() { return rpc_; }
   coordinator::Coordinator& coord() { return *coord_; }
   const ClusterParams& params() const { return params_; }

@@ -21,8 +21,18 @@ sim::SimTime Network::send(node::NodeId from, node::NodeId to,
   const sim::SimTime txEnd = txStart + params_.perMessageOverhead + wire;
   txFree = txEnd;
 
-  const sim::SimTime arrival =
-      (to == from) ? txEnd : txEnd + params_.oneWayLatency;
+  sim::SimTime arrival = (to == from) ? txEnd : txEnd + params_.oneWayLatency;
+  if (faultFilter_) {
+    const FaultVerdict v = faultFilter_(from, to, bytes);
+    if (v.drop) {
+      // The sender's NIC time is still charged (the bytes left the host);
+      // the message just never arrives, so the caller's timeout machinery
+      // takes over.
+      ++messagesDropped_;
+      return arrival;
+    }
+    arrival += v.extraLatency;
+  }
   sim_.scheduleAt(arrival, std::move(deliver));
   return arrival;
 }

@@ -39,6 +39,18 @@ class Network {
  public:
   using DeliverFn = std::function<void()>;
 
+  /// Fault-injection verdict for one message (see fault::FaultInjector).
+  /// drop: the message vanishes after the sender serialised it — the
+  /// receiver never runs `deliver`, so the RPC layer's timeout fires.
+  /// extraLatency: added to the one-way flight time (latency spikes,
+  /// degraded links).
+  struct FaultVerdict {
+    bool drop = false;
+    sim::Duration extraLatency = 0;
+  };
+  using FaultFilter =
+      std::function<FaultVerdict(node::NodeId, node::NodeId, std::uint64_t)>;
+
   Network(sim::Simulation& sim, TransportParams params);
 
   /// Sends `bytes` from `from` to `to`; `deliver` runs at the receiver's
@@ -46,17 +58,23 @@ class Network {
   sim::SimTime send(node::NodeId from, node::NodeId to, std::uint64_t bytes,
                     DeliverFn deliver);
 
+  /// Consulted for every message; null disables injection.
+  void setFaultFilter(FaultFilter f) { faultFilter_ = std::move(f); }
+
   const TransportParams& params() const { return params_; }
 
   std::uint64_t messagesSent() const { return messagesSent_; }
   std::uint64_t bytesSent() const { return bytesSent_; }
+  std::uint64_t messagesDropped() const { return messagesDropped_; }
 
  private:
   sim::Simulation& sim_;
   TransportParams params_;
   std::unordered_map<node::NodeId, sim::SimTime> txFree_;
+  FaultFilter faultFilter_;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t bytesSent_ = 0;
+  std::uint64_t messagesDropped_ = 0;
 };
 
 }  // namespace rc::net

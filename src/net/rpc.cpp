@@ -4,6 +4,31 @@
 
 namespace rc::net {
 
+const char* opcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kPing: return "ping";
+    case Opcode::kRead: return "read";
+    case Opcode::kWrite: return "write";
+    case Opcode::kRemove: return "remove";
+    case Opcode::kScan: return "scan";
+    case Opcode::kMultiRead: return "multi_read";
+    case Opcode::kMultiWrite: return "multi_write";
+    case Opcode::kBackupWrite: return "backup_write";
+    case Opcode::kBackupFree: return "backup_free";
+    case Opcode::kGetSegmentList: return "get_segment_list";
+    case Opcode::kGetRecoveryData: return "get_recovery_data";
+    case Opcode::kStartRecovery: return "start_recovery";
+    case Opcode::kRecoveryDone: return "recovery_done";
+    case Opcode::kGetTabletMap: return "get_tablet_map";
+    case Opcode::kEnlist: return "enlist";
+    case Opcode::kMigrateTablet: return "migrate_tablet";
+    case Opcode::kMigrationData: return "migration_data";
+    case Opcode::kMigrationDone: return "migration_done";
+    case Opcode::kServerListUpdate: return "server_list_update";
+  }
+  return "unknown";
+}
+
 RpcSystem::RpcSystem(sim::Simulation& sim, Network& net)
     : sim_(sim), net_(net) {}
 
@@ -27,13 +52,14 @@ void RpcSystem::call(node::NodeId from, node::NodeId to, int port,
     auto it = outstanding_.find(rpcId);
     if (it == outstanding_.end()) return;
     ResponseFn cb = std::move(it->second.cb);
+    ++opTimeouts_[static_cast<std::size_t>(it->second.op)];
     outstanding_.erase(it);
     ++timeouts_;
     RpcResponse resp;
     resp.status = Status::kTimeout;
     cb(resp);
   });
-  outstanding_[rpcId] = Pending{std::move(cb), timeoutEvent};
+  outstanding_[rpcId] = Pending{std::move(cb), timeoutEvent, req.op};
 
   net_.send(from, to, kRpcHeaderBytes + req.payloadBytes,
             [this, rpcId, from, to, port, req] {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -32,7 +33,14 @@ enum class Opcode : std::uint8_t {
   kMigrateTablet,      ///< coordinator -> source master: start migration
   kMigrationData,      ///< source master -> destination master: batch
   kMigrationDone,      ///< source master -> coordinator
+  kServerListUpdate,   ///< coordinator -> masters: a server was declared dead
 };
+
+constexpr std::size_t kOpcodeCount =
+    static_cast<std::size_t>(Opcode::kServerListUpdate) + 1;
+
+/// Stable lower-case name for metric paths ("net.rpc.timeouts.<opcode>").
+const char* opcodeName(Opcode op);
 
 enum class Status : std::uint8_t {
   kOk,
@@ -105,10 +113,17 @@ class RpcSystem {
 
   std::uint64_t timeoutsObserved() const { return timeouts_; }
 
+  /// Timeouts attributed to the request's opcode (stall attribution for
+  /// chaos runs and rcdiag).
+  std::uint64_t timeoutsForOpcode(Opcode op) const {
+    return opTimeouts_[static_cast<std::size_t>(op)];
+  }
+
  private:
   struct Pending {
     ResponseFn cb;
     sim::EventId timeoutEvent;
+    Opcode op = Opcode::kPing;
   };
   static std::uint64_t addrKey(node::NodeId n, int port) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(n)) << 16) |
@@ -121,6 +136,7 @@ class RpcSystem {
   std::unordered_map<std::uint64_t, Pending> outstanding_;
   std::uint64_t nextRpcId_ = 1;
   std::uint64_t timeouts_ = 0;
+  std::array<std::uint64_t, kOpcodeCount> opTimeouts_{};
 };
 
 }  // namespace rc::net

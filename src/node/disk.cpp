@@ -38,10 +38,39 @@ void Disk::powerOn() {
   ++epoch_;
 }
 
+void Disk::setSlowdownFactor(double factor) {
+  slowdown_ = factor < 1.0 ? 1.0 : factor;
+}
+
+bool Disk::stalled() const { return sim_.now() < stallUntil_; }
+
+void Disk::stallFor(sim::Duration d) {
+  const sim::SimTime until = sim_.now() + d;
+  if (until <= stallUntil_) return;
+  stallUntil_ = until;
+  if (!active_ && !queue_.empty()) serviceNext();
+}
+
 void Disk::serviceNext() {
   if (!on_ || queue_.empty()) {
     active_ = false;
     busy_.set(sim_.now(), 0);
+    return;
+  }
+  if (stalled()) {
+    // Stalled: hold the queue, resume exactly at stall end. The disk does
+    // no useful work, so it counts as idle for utilisation/power.
+    active_ = false;
+    busy_.set(sim_.now(), 0);
+    if (!resumePending_) {
+      resumePending_ = true;
+      const std::uint64_t epoch = epoch_;
+      sim_.scheduleAt(stallUntil_, [this, epoch] {
+        resumePending_ = false;
+        if (epoch_ != epoch || active_) return;
+        if (!queue_.empty()) serviceNext();
+      });
+    }
     return;
   }
   active_ = true;
@@ -51,7 +80,8 @@ void Disk::serviceNext() {
   queue_.pop_front();
 
   const std::uint64_t chunk = std::min(op.remaining, params_.chunkBytes);
-  const double mbps = op.isWrite ? params_.writeMBps : params_.readMBps;
+  const double mbps =
+      (op.isWrite ? params_.writeMBps : params_.readMBps) / slowdown_;
   sim::Duration t = sim::secondsF(static_cast<double>(chunk) / (mbps * 1e6));
   if (op.id != lastServedOp_) t += params_.seekTime;
   lastServedOp_ = op.id;

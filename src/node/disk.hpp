@@ -47,6 +47,19 @@ class Disk {
   void powerOff();
   void powerOn();
 
+  // ----- fault injection (see fault::FaultInjector)
+
+  /// Throughput degradation: both rates are divided by `factor` (>= 1;
+  /// 1 restores nominal speed). Applies to chunks started after the call.
+  void setSlowdownFactor(double factor);
+  double slowdownFactor() const { return slowdown_; }
+
+  /// Firmware-style stall: no new chunk starts before now + `d`. In-flight
+  /// chunks finish; queued operations (and their seek/rotate state) are
+  /// preserved.
+  void stallFor(sim::Duration d);
+  bool stalled() const;
+
   std::size_t queueDepth() const { return queue_.size() + (active_ ? 1 : 0); }
   std::uint64_t bytesRead() const { return bytesRead_; }
   std::uint64_t bytesWritten() const { return bytesWritten_; }
@@ -70,6 +83,9 @@ class Disk {
   DiskParams params_;
   bool on_ = true;
   std::uint64_t epoch_ = 0;
+  double slowdown_ = 1.0;
+  sim::SimTime stallUntil_ = 0;
+  bool resumePending_ = false;
   std::uint64_t nextOpId_ = 1;
   std::uint64_t lastServedOp_ = 0;
   std::deque<Op> queue_;

@@ -1,5 +1,6 @@
 #include "server/backup_service.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "hash/object_map.hpp"
@@ -154,7 +155,7 @@ void BackupService::onGetRecoveryData(const net::RpcRequest& req,
                      respond = std::move(respond)]() mutable {
     const FrameKey key{master, segId};
     auto it = frames_.find(key);
-    if (it == frames_.end() || !it->second.data) {
+    if (it == frames_.end() || !it->second.data || it->second.corrupt) {
       net::RpcResponse r;
       r.status = net::Status::kError;
       respond(std::move(r));
@@ -278,6 +279,58 @@ void BackupService::bulkInstallFrame(ServerId master,
   frames_[FrameKey{master, f.data->id()}] = std::move(f);
 }
 
+std::vector<BackupService::FrameKey> BackupService::sortedFrameKeys() const {
+  std::vector<FrameKey> keys;
+  keys.reserve(frames_.size());
+  for (const auto& [key, f] : frames_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), [](const FrameKey& a,
+                                         const FrameKey& b) {
+    return a.master != b.master ? a.master < b.master
+                                : a.segment < b.segment;
+  });
+  return keys;
+}
+
+std::size_t BackupService::injectFrameLoss(std::size_t count,
+                                           sim::Rng& rng) {
+  std::vector<FrameKey> keys = sortedFrameKeys();
+  std::size_t dropped = 0;
+  while (dropped < count && !keys.empty()) {
+    const std::size_t pick = rng.uniformInt(keys.size());
+    const FrameKey key = keys[pick];
+    keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(pick));
+    auto it = frames_.find(key);
+    if (it == frames_.end()) continue;
+    const Frame& f = it->second;
+    if (f.closed && !f.onDisk) {
+      unflushedBytes_ -= std::min(unflushedBytes_, f.ackedBytes);
+    }
+    // Pending loadWaiters see the frame vanish and answer kError.
+    frames_.erase(it);
+    ++dropped;
+  }
+  if (dropped > 0) drainAckWaiters();
+  return dropped;
+}
+
+std::size_t BackupService::injectFrameCorruption(std::size_t count,
+                                                 sim::Rng& rng) {
+  std::vector<FrameKey> keys = sortedFrameKeys();
+  std::erase_if(keys, [this](const FrameKey& k) {
+    return frames_.at(k).corrupt;
+  });
+  std::size_t hit = 0;
+  while (hit < count && !keys.empty()) {
+    const std::size_t pick = rng.uniformInt(keys.size());
+    const FrameKey key = keys[pick];
+    keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(pick));
+    frames_[key].corrupt = true;
+    ++corruptFrames_;
+    ++hit;
+  }
+  return hit;
+}
+
 std::vector<BackupService::FrameInfo> BackupService::framesForMaster(
     ServerId master) const {
   std::vector<FrameInfo> out;
@@ -309,7 +362,9 @@ std::vector<log::LogEntry> BackupService::filteredEntries(
     ServerId master, log::SegmentId segment, const PartitionSpec& part) const {
   std::vector<log::LogEntry> out;
   auto it = frames_.find(FrameKey{master, segment});
-  if (it == frames_.end() || !it->second.data) return out;
+  if (it == frames_.end() || !it->second.data || it->second.corrupt) {
+    return out;
+  }
   const Frame& f = it->second;
   std::uint64_t seen = 0;
   for (const auto& e : f.data->entries()) {

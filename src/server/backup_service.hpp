@@ -15,6 +15,7 @@
 #include "server/common.hpp"
 #include "server/dispatch.hpp"
 #include "server/recovery_plan.hpp"
+#include "sim/rng.hpp"
 
 namespace rc::server {
 
@@ -71,10 +72,23 @@ class BackupService : public net::RpcService {
                                              log::SegmentId segment,
                                              const PartitionSpec& part) const;
 
+  // ----- fault injection (see fault::FaultInjector)
+
+  /// Silently drop up to `count` frames (lost backup state). Selection is
+  /// deterministic: frames sorted by (master, segment), picked via `rng`.
+  /// Returns the number of frames actually dropped.
+  std::size_t injectFrameLoss(std::size_t count, sim::Rng& rng);
+
+  /// Mark up to `count` frames corrupt. Corrupt frames still show up in
+  /// segment lists — the failure is only discovered when recovery tries to
+  /// read them (kGetRecoveryData fails), exercising replica fallback.
+  std::size_t injectFrameCorruption(std::size_t count, sim::Rng& rng);
+
   std::uint64_t unflushedBytes() const { return unflushedBytes_; }
   std::uint64_t framesHeld() const { return frames_.size(); }
   std::uint64_t writesServiced() const { return writesServiced_; }
   std::uint64_t acksDelayed() const { return acksDelayed_; }
+  std::uint64_t corruptFramesHeld() const { return corruptFrames_; }
 
   const BackupParams& params() const { return params_; }
 
@@ -109,8 +123,12 @@ class BackupService : public net::RpcService {
     bool flushing = false;
     bool inMemory = true;   ///< buffered copy still present
     bool loading = false;   ///< recovery read from disk in progress
+    bool corrupt = false;   ///< injected fault: reads fail, listing works
     std::vector<std::function<void()>> loadWaiters;
   };
+
+  /// Frame keys sorted by (master, segment) — deterministic fault picks.
+  std::vector<FrameKey> sortedFrameKeys() const;
 
   void onBackupWrite(const net::RpcRequest& req, Responder respond);
   void onGetRecoveryData(const net::RpcRequest& req, Responder respond);
@@ -133,6 +151,7 @@ class BackupService : public net::RpcService {
 
   std::uint64_t writesServiced_ = 0;
   std::uint64_t acksDelayed_ = 0;
+  std::uint64_t corruptFrames_ = 0;
   obs::EventJournal* journal_ = nullptr;
 };
 

@@ -117,6 +117,9 @@ void MasterService::handleRpc(const net::RpcRequest& req, node::NodeId from,
     case net::Opcode::kStartRecovery:
       onStartRecovery(req, std::move(respond));
       break;
+    case net::Opcode::kServerListUpdate:
+      onServerListUpdate(req, std::move(respond));
+      break;
     case net::Opcode::kMigrateTablet:
       onMigrateTablet(req, std::move(respond));
       break;
@@ -640,6 +643,20 @@ void MasterService::onStartRecovery(const net::RpcRequest& req,
     respond(std::move(r));  // ack start; completion arrives via
                             // kRecoveryDone
     startRecovery(std::move(plan), partition);
+  }));
+}
+
+void MasterService::onServerListUpdate(const net::RpcRequest& req,
+                                       Responder respond) {
+  const auto dead = static_cast<node::NodeId>(req.a);
+  dispatch_.enqueue(guard([this, dead,
+                           respond = std::move(respond)]() mutable {
+    // Invalidate every replica slot pointing at the dead server and kick
+    // off background repair; in-flight recoveries fail over their segment
+    // fetches immediately instead of waiting out the RPC timeout.
+    replicaMgr_.onBackupFailed(dead);
+    for (auto& rt : recoveries_) rt->onBackupDown(dead);
+    respond(net::RpcResponse{});
   }));
 }
 

@@ -185,9 +185,13 @@ class MasterService : public net::RpcService {
   /// against spans carried in RpcRequest::traceSpan. nullptr disables.
   void setTimeTrace(obs::TimeTrace* trace) { trace_ = trace; }
 
-  /// Attach the cluster's event journal; recovery tasks, migrations and
-  /// cleaner passes emit phase spans on this node. nullptr disables.
-  void setJournal(obs::EventJournal* journal) { journal_ = journal; }
+  /// Attach the cluster's event journal; recovery tasks, migrations,
+  /// cleaner passes and background re-replication emit phase spans on this
+  /// node. nullptr disables.
+  void setJournal(obs::EventJournal* journal) {
+    journal_ = journal;
+    replicaMgr_.setJournal(journal);
+  }
   obs::EventJournal* journal() { return journal_; }
 
   /// Register this master's counters and service histograms under `prefix`
@@ -228,6 +232,7 @@ class MasterService : public net::RpcService {
   void onScan(const net::RpcRequest& req, Responder respond);
   void onMultiOp(const net::RpcRequest& req, Responder respond);
   void onStartRecovery(const net::RpcRequest& req, Responder respond);
+  void onServerListUpdate(const net::RpcRequest& req, Responder respond);
   void onMigrateTablet(const net::RpcRequest& req, Responder respond);
   void onMigrationData(const net::RpcRequest& req, node::NodeId from,
                        Responder respond);

@@ -1,5 +1,6 @@
 #include "server/recovery_task.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <utility>
 
@@ -120,18 +121,31 @@ void RecoveryTask::pumpFetches() {
 
 void RecoveryTask::fetchSegment(std::size_t segIdx, std::size_t sourceIdx) {
   const RecoveryPlan::SegmentSource& src = plan_->segments[segIdx];
+  // Skip sources already known dead (coordinator broadcast) — no point
+  // burning a full RPC timeout on them.
+  while (sourceIdx < src.backups.size() &&
+         deadBackups_.contains(src.backups[sourceIdx])) {
+    ++sourceIdx;
+  }
   if (sourceIdx >= src.backups.size()) {
     // Every replica of this segment is gone: data loss, partition fails.
+    inFlightFetches_.erase(segIdx);
     fail();
     return;
   }
   const node::NodeId backup = src.backups[sourceIdx];
-  if (auto* j = master_.journal(); j != nullptr && sourceIdx == 0) {
+  if (auto* j = master_.journal();
+      j != nullptr && !fetchSpans_.contains(segIdx)) {
     // One span per segment, spanning replica fallbacks; up to
     // recoveryFetchWindow of these legitimately overlap per actor.
     fetchSpans_[segIdx] = j->beginSpan("segment_fetch", master_.node().id(),
                                        taskSpan_, plan_->recoveryId);
   }
+  FetchState& fs = inFlightFetches_[segIdx];
+  fs.backup = backup;
+  fs.sourceIdx = sourceIdx;
+  fs.generation = ++fetchGeneration_;
+  const std::uint64_t gen = fs.generation;
 
   net::RpcRequest req;
   req.op = net::Opcode::kGetRecoveryData;
@@ -148,10 +162,14 @@ void RecoveryTask::fetchSegment(std::size_t segIdx, std::size_t sourceIdx) {
   master_.rpc().call(
       master_.node().id(), backup, net::kBackupPort, req,
       timeouts::kRecoveryData,
-      [this, w = std::weak_ptr<bool>(alive_), segIdx, sourceIdx,
+      [this, w = std::weak_ptr<bool>(alive_), segIdx, sourceIdx, gen,
        backup](const net::RpcResponse& resp) {
         auto p = w.lock();
         if (p == nullptr || !*p) return;
+        auto fit = inFlightFetches_.find(segIdx);
+        if (fit == inFlightFetches_.end() || fit->second.generation != gen) {
+          return;  // superseded by an onBackupDown failover
+        }
         if (resp.status != net::Status::kOk) {
           fetchSegment(segIdx, sourceIdx + 1);
           return;
@@ -161,12 +179,26 @@ void RecoveryTask::fetchSegment(std::size_t segIdx, std::size_t sourceIdx) {
           fetchSegment(segIdx, sourceIdx + 1);
           return;
         }
+        inFlightFetches_.erase(fit);
         onSegmentData(segIdx,
                       bs->filteredEntries(plan_->crashedMaster,
                                           plan_->segments[segIdx].segment,
                                           plan_->partitions[static_cast<
                                               std::size_t>(part_)]));
       });
+}
+
+void RecoveryTask::onBackupDown(node::NodeId dead) {
+  if (aborted_ || failed_ || committed_) return;
+  deadBackups_.insert(dead);
+  if (sideRepl_) sideRepl_->onBackupFailed(dead);
+  // Collect first: fetchSegment mutates inFlightFetches_.
+  std::vector<std::pair<std::size_t, std::size_t>> failover;
+  for (const auto& [segIdx, fs] : inFlightFetches_) {
+    if (fs.backup == dead) failover.emplace_back(segIdx, fs.sourceIdx + 1);
+  }
+  std::sort(failover.begin(), failover.end());
+  for (const auto& [segIdx, next] : failover) fetchSegment(segIdx, next);
 }
 
 void RecoveryTask::onSegmentData(std::size_t segIdx,

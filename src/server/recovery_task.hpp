@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "log/log.hpp"
@@ -44,6 +45,12 @@ class RecoveryTask {
 
   /// Owner-side abort (recovery master crashed).
   void abort();
+
+  /// Coordinator broadcast: `dead` crashed. In-flight segment fetches
+  /// aimed at it fail over to the next replica immediately (instead of
+  /// waiting out the long kGetRecoveryData timeout), future fetches skip
+  /// it, and side-log replicas on it are queued for repair.
+  void onBackupDown(node::NodeId dead);
 
   // Progress counters (for tests and the Fig. 9-12 timelines).
   std::size_t segmentsFetched() const { return segmentsFetched_; }
@@ -95,6 +102,18 @@ class RecoveryTask {
   std::uint64_t workerEpoch_ = 0;
   void pinWorkers();
   void unpinWorkers();
+
+  /// One entry per in-flight kGetRecoveryData RPC; `generation` lets a
+  /// failover invalidate the superseded RPC's response when it eventually
+  /// arrives (or times out).
+  struct FetchState {
+    node::NodeId backup = node::kInvalidNode;
+    std::size_t sourceIdx = 0;
+    std::uint64_t generation = 0;
+  };
+  std::unordered_map<std::size_t, FetchState> inFlightFetches_;
+  std::uint64_t fetchGeneration_ = 0;
+  std::unordered_set<node::NodeId> deadBackups_;
 
   std::size_t nextFetch_ = 0;
   int outstandingFetches_ = 0;

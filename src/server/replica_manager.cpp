@@ -61,6 +61,28 @@ void ReplicaManager::sendChain(log::SegmentId segId, std::uint64_t bytes,
     if (done) done(true);
     return;
   }
+  if (st.backups[replicaIdx] == node::kInvalidNode) {
+    // The slot was invalidated by a backup death and not repaired yet:
+    // replace inline and bring the fresh replica up to the full watermark.
+    if (retriesLeft <= 0) {
+      if (done) done(false);
+      return;
+    }
+    const node::NodeId fresh = pickReplacement(st.backups);
+    if (fresh == node::kInvalidNode) {
+      if (done) done(false);
+      return;
+    }
+    ++replacements_;
+    st.backups[replicaIdx] = fresh;
+    std::uint64_t resend = bytes;
+    if (const log::Segment* seg = segmentLookup_(segId)) {
+      resend = std::max<std::uint64_t>(bytes, seg->appendedBytes());
+    }
+    sendChain(segId, resend, close, replicaIdx, retriesLeft - 1,
+              std::move(done));
+    return;
+  }
   const node::NodeId backup = st.backups[replicaIdx];
   // perReplicaSendCpu is charged by the caller's worker occupancy model:
   // the send itself is wire + remote work; the master-side CPU shows up as
@@ -96,7 +118,9 @@ void ReplicaManager::sendChain(log::SegmentId segId, std::uint64_t bytes,
         return;
       }
       // Backup unreachable: pick a replacement and bring it up to the
-      // current watermark, then retry this position.
+      // current watermark, then retry this position after a backed-off
+      // wait (deterministic jitter keeps retries from synchronising
+      // across masters while staying reproducible per seed).
       ++replicaTimeouts_;
       auto it2 = segments_.find(segId);
       if (it2 == segments_.end() || retriesLeft <= 0) {
@@ -114,8 +138,17 @@ void ReplicaManager::sendChain(log::SegmentId segId, std::uint64_t bytes,
       if (const log::Segment* seg = segmentLookup_(segId)) {
         resend = std::max<std::uint64_t>(bytes, seg->appendedBytes());
       }
-      sendChain(segId, resend, close, replicaIdx, retriesLeft - 1,
-                std::move(done));
+      const int attempt = params_.maxRetries - retriesLeft;
+      const std::uint64_t salt = (static_cast<std::uint64_t>(self_) << 40) ^
+                                 (segId << 8) ^ replicaIdx;
+      sim_.schedule(
+          params_.retryBackoff.delay(attempt, salt),
+          [this, segId, resend, close, replicaIdx, retriesLeft,
+           done = std::move(done)]() mutable {
+            if (stillAlive && !stillAlive()) return;
+            sendChain(segId, resend, close, replicaIdx, retriesLeft - 1,
+                      std::move(done));
+          });
     });
   });
 }
@@ -166,6 +199,7 @@ void ReplicaManager::freeSegment(log::SegmentId segId) {
   auto it = segments_.find(segId);
   if (it == segments_.end()) return;
   for (node::NodeId backup : it->second.backups) {
+    if (backup == node::kInvalidNode) continue;
     net::RpcRequest req;
     req.op = net::Opcode::kBackupFree;
     req.a = static_cast<std::uint64_t>(self_);
@@ -174,6 +208,140 @@ void ReplicaManager::freeSegment(log::SegmentId segId) {
               [](const net::RpcResponse&) {});
   }
   segments_.erase(it);
+}
+
+void ReplicaManager::onBackupFailed(node::NodeId backup) {
+  bool any = false;
+  for (auto& [segId, st] : segments_) {
+    for (node::NodeId& b : st.backups) {
+      if (b == backup) {
+        b = node::kInvalidNode;
+        any = true;
+      }
+    }
+  }
+  if (any) {
+    repairAttempt_ = 0;  // fresh incident: restart the backoff ladder
+    scheduleRepair();
+  }
+}
+
+std::uint64_t ReplicaManager::rfDeficit() const {
+  if (params_.factor <= 0) return 0;
+  const auto want = static_cast<std::size_t>(params_.factor);
+  std::uint64_t deficit = 0;
+  for (const auto& [segId, st] : segments_) {
+    std::size_t healthy = 0;
+    for (node::NodeId b : st.backups) {
+      if (b != node::kInvalidNode) ++healthy;
+    }
+    if (healthy < want) deficit += want - healthy;
+  }
+  return deficit;
+}
+
+void ReplicaManager::scheduleRepair() {
+  if (repairScheduled_) return;
+  if (stillAlive && !stillAlive()) return;
+  repairScheduled_ = true;
+  const int attempt = repairAttempt_;
+  if (repairAttempt_ < 30) ++repairAttempt_;
+  const std::uint64_t salt =
+      (static_cast<std::uint64_t>(self_) << 32) ^ 0x5eedULL;
+  sim_.schedule(params_.retryBackoff.delay(attempt, salt),
+                [this] { repairTick(); });
+}
+
+void ReplicaManager::repairTick() {
+  repairScheduled_ = false;
+  if (stillAlive && !stillAlive()) return;
+  // Deterministic order regardless of hash-map layout.
+  std::vector<log::SegmentId> damaged;
+  bool inFlight = false;
+  for (const auto& [segId, st] : segments_) {
+    if (st.repairsInFlight > 0) {
+      inFlight = true;
+      continue;
+    }
+    for (node::NodeId b : st.backups) {
+      if (b == node::kInvalidNode) {
+        damaged.push_back(segId);
+        break;
+      }
+    }
+  }
+  if (damaged.empty()) {
+    if (!inFlight) repairAttempt_ = 0;  // converged; next incident starts fresh
+    return;
+  }
+  std::sort(damaged.begin(), damaged.end());
+  for (log::SegmentId segId : damaged) {
+    const SegmentState& st = segments_.at(segId);
+    for (std::size_t s = 0; s < st.backups.size(); ++s) {
+      if (st.backups[s] == node::kInvalidNode) {
+        repairSlot(segId, s);
+        break;  // one slot per segment per round; the ack chains the next
+      }
+    }
+  }
+}
+
+void ReplicaManager::repairSlot(log::SegmentId segId, std::size_t slot) {
+  auto it = segments_.find(segId);
+  if (it == segments_.end()) return;
+  SegmentState& st = it->second;
+  if (slot >= st.backups.size() ||
+      st.backups[slot] != node::kInvalidNode) {
+    return;
+  }
+  const node::NodeId fresh = pickReplacement(st.backups);
+  if (fresh == node::kInvalidNode) {
+    scheduleRepair();  // no candidates right now; back off and re-poll
+    return;
+  }
+  std::uint64_t resend = st.bytesSent;
+  if (const log::Segment* seg = segmentLookup_(segId)) {
+    resend = std::max<std::uint64_t>(resend, seg->appendedBytes());
+  }
+  ++st.repairsInFlight;
+  std::uint64_t span = 0;
+  if (journal_) {
+    span = journal_->beginSpan("rereplication", self_, 0, journalCtx_);
+    journal_->addBytes(span, resend);
+  }
+  bytesReplicated_ += resend;
+  net::RpcRequest req;
+  req.op = net::Opcode::kBackupWrite;
+  req.a = static_cast<std::uint64_t>(self_);
+  req.b = segId;
+  req.c = (st.closedSent ? 1u : 0u) | (params_.oneSidedRdma ? 2u : 0u);
+  req.payloadBytes = resend;
+  rpc_.call(self_, fresh, net::kBackupPort, req, timeouts::kReplication,
+            [this, segId, slot, fresh, span](const net::RpcResponse& resp) {
+    if (stillAlive && !stillAlive()) {
+      if (journal_ && span) journal_->abandonSpan(span);
+      return;
+    }
+    auto it2 = segments_.find(segId);
+    if (it2 == segments_.end()) {  // freed while repairing
+      if (journal_ && span) journal_->abandonSpan(span);
+      return;
+    }
+    SegmentState& st2 = it2->second;
+    if (st2.repairsInFlight > 0) --st2.repairsInFlight;
+    if (resp.status == net::Status::kOk && slot < st2.backups.size() &&
+        st2.backups[slot] == node::kInvalidNode) {
+      st2.backups[slot] = fresh;
+      ++replacements_;
+      ++repairsCompleted_;
+      repairAttempt_ = 0;
+      if (journal_ && span) journal_->endSpan(span);
+    } else {
+      if (resp.status != net::Status::kOk) ++replicaTimeouts_;
+      if (journal_ && span) journal_->abandonSpan(span);
+    }
+    if (rfDeficit() > 0) scheduleRepair();
+  });
 }
 
 }  // namespace rc::server

@@ -8,6 +8,7 @@
 #include "log/segment.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
+#include "obs/event_journal.hpp"
 #include "server/common.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
@@ -41,6 +42,10 @@ struct ReplicationParams {
 
   /// Replacement attempts when a backup times out before giving up.
   int maxRetries = 3;
+
+  /// Wait before re-sending after a failed replica write, and between
+  /// background-repair rounds (deterministic jitter; see server::Backoff).
+  Backoff retryBackoff{sim::msec(2), sim::msec(200)};
 };
 
 /// Manages segment replica placement and replication traffic for one
@@ -81,6 +86,18 @@ class ReplicaManager {
   /// Tell the replicas' backups to drop a cleaned segment.
   void freeSegment(log::SegmentId segId);
 
+  /// A backup died (coordinator broadcast / local timeout evidence): every
+  /// placement slot pointing at it is invalidated and a background-repair
+  /// loop re-replicates the affected segments — open heads up to their
+  /// watermark, sealed segments in full — onto fresh backups, with capped
+  /// exponential backoff between rounds.
+  void onBackupFailed(node::NodeId backup);
+
+  /// Replica slots currently missing across all segments (invalidated by a
+  /// backup death and not yet repaired, plus under-placed segments). The
+  /// cluster-level `cluster.rf_deficit` gauge sums this over live masters.
+  std::uint64_t rfDeficit() const;
+
   /// Replication writes in flight that nobody is waiting on (seal tails).
   std::uint64_t pendingAsyncWrites() const { return pendingAsync_; }
 
@@ -88,6 +105,7 @@ class ReplicaManager {
 
   std::uint64_t replicaTimeouts() const { return replicaTimeouts_; }
   std::uint64_t replacementsMade() const { return replacements_; }
+  std::uint64_t repairsCompleted() const { return repairsCompleted_; }
   /// Cumulative payload bytes pushed to backups (all replicas counted).
   std::uint64_t bytesReplicated() const { return bytesReplicated_; }
   const ReplicationParams& params() const { return params_; }
@@ -95,16 +113,27 @@ class ReplicaManager {
   /// Aliveness guard supplied by the owning master (crash safety).
   std::function<bool()> stillAlive;
 
+  /// Attach the cluster's event journal; background repairs emit
+  /// "rereplication" spans on this node. nullptr disables.
+  void setJournal(obs::EventJournal* journal, std::uint64_t ctx = 0) {
+    journal_ = journal;
+    journalCtx_ = ctx;
+  }
+
  private:
   struct SegmentState {
     std::vector<node::NodeId> backups;
     std::uint64_t bytesSent = 0;  ///< per-replica watermark (kept in sync)
     bool closedSent = false;
+    int repairsInFlight = 0;
   };
 
   void sendChain(log::SegmentId segId, std::uint64_t bytes, bool close,
                  std::size_t replicaIdx, int retriesLeft, DoneFn done);
   node::NodeId pickReplacement(const std::vector<node::NodeId>& current);
+  void scheduleRepair();
+  void repairTick();
+  void repairSlot(log::SegmentId segId, std::size_t slot);
 
   sim::Simulation& sim_;
   net::RpcSystem& rpc_;
@@ -118,7 +147,12 @@ class ReplicaManager {
   std::uint64_t pendingAsync_ = 0;
   std::uint64_t replicaTimeouts_ = 0;
   std::uint64_t replacements_ = 0;
+  std::uint64_t repairsCompleted_ = 0;
   std::uint64_t bytesReplicated_ = 0;
+  bool repairScheduled_ = false;
+  int repairAttempt_ = 0;
+  obs::EventJournal* journal_ = nullptr;
+  std::uint64_t journalCtx_ = 0;
 };
 
 }  // namespace rc::server

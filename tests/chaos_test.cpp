@@ -1,0 +1,228 @@
+// Seeded chaos harness: a declarative fault matrix (crashes, a backup death
+// mid-recovery, network loss/latency, disk stall/degradation, a gray CPU
+// failure, corrupt replica frames) driven against a live cluster under
+// write-heavy YCSB load. The invariants (docs/FAULTS.md):
+//
+//   1. No acked write is lost while concurrent process crashes <= rf - 1.
+//   2. Every triggered recovery converges and succeeds.
+//   3. The replication-factor deficit returns to zero (background repair).
+//   4. The event journal stays well-formed (no dangling open spans; every
+//      re-replication span closed with bytes attached).
+//   5. Same seed + same plan => bit-identical metrics.jsonl / events.jsonl.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "fault/fault_injector.hpp"
+#include "server/master_service.hpp"
+
+namespace rc {
+namespace {
+
+using sim::msec;
+using sim::seconds;
+using sim::usec;
+
+constexpr std::uint64_t kRecords = 8'000;
+constexpr int kServers = 8;
+constexpr int kRf = 3;
+constexpr int kTableSpan = 6;  // servers 6 and 7 stay tablet-less (pure
+                               // backups), so crashing them mid-recovery
+                               // attacks durability, not availability
+
+// The standing fault matrix. Two crashes total (== rf - 1): the tablet
+// owner at t=2s, then a pure backup 50 ms into the ensuing recovery. The
+// surrounding loss/latency/disk/CPU/corruption faults make every hardened
+// path fire on the same run.
+fault::FaultPlan chaosPlan() {
+  fault::FaultPlan plan;
+  plan.networkLoss(seconds(1), 0.02, seconds(1));
+  plan.latencySpike(msec(1500), usec(200), seconds(1));
+  plan.diskDegrade(seconds(1), /*serverIdx=*/4, /*factor=*/2.0, seconds(2));
+  plan.cpuThrottle(seconds(1), /*serverIdx=*/5, /*fraction=*/0.34,
+                   seconds(2));
+  plan.corruptFrames(msec(1800), /*serverIdx=*/2, /*count=*/2);
+  plan.crashServer(seconds(2), /*serverIdx=*/0);
+  plan.crashOnRecovery(/*ordinal=*/1, msec(50), /*serverIdx=*/7);
+  plan.diskStall(msec(2500), /*serverIdx=*/3, msec(300));
+  return plan;
+}
+
+struct ChaosResult {
+  bool converged = false;
+  std::size_t recoveries = 0;
+  bool allRecoveriesSucceeded = false;
+  bool allKeysPresent = false;
+  double rfDeficitMetric = -1;
+  std::size_t openSpans = 0;
+  std::size_t rereplicationSpans = 0;
+  std::size_t rereplicationWithBytes = 0;
+  std::size_t faultEvents = 0;
+  int crashesInjected = 0;
+  std::size_t activeNetworkRules = 0;
+  std::uint64_t opsCompleted = 0;
+  bool backupCrashLandedMidRecovery = false;
+};
+
+ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
+  core::ClusterParams p;
+  p.servers = kServers;
+  p.clients = 2;
+  p.seed = seed;
+  p.replicationFactor = kRf;
+  core::Cluster c(p);
+  const auto table = c.createTable("chaos", kTableSpan);
+  c.bulkLoad(table, kRecords, 256);
+
+  // Write-heavy closed-loop load for the whole fault window.
+  ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::A(kRecords);
+  spec.valueBytes = 256;
+  c.configureYcsb(table, spec, ycsb::YcsbClientParams{});
+  c.startYcsb();
+
+  fault::FaultInjector injector(c, chaosPlan(),
+                                c.sim().rng().fork(0xFA171));
+  injector.arm();
+
+  c.sim().runFor(seconds(6));
+  c.stopYcsb();
+
+  auto rfDeficit = [&c] {
+    double d = 0;
+    for (int i = 0; i < c.serverCount(); ++i) {
+      if (c.serverAlive(i)) {
+        d += static_cast<double>(
+            c.server(i).master->replicaManager().rfDeficit());
+      }
+    }
+    return d;
+  };
+
+  // Healthy map: every tablet served by a live server. A recovery master
+  // dying just after its partition completes leaves tablets pointed at a
+  // corpse until its own failure detection fires — wait the cascade out.
+  auto mapHealthy = [&c] {
+    for (const auto& e : c.coord().tabletMap().entries()) {
+      if (e.state != coordinator::TabletMap::TabletState::kUp) return false;
+      bool alive = false;
+      for (int i = 0; i < c.serverCount(); ++i) {
+        alive |= c.serverAlive(i) && c.serverNodeId(i) == e.tablet.owner;
+      }
+      if (!alive) return false;
+    }
+    return true;
+  };
+
+  // Converge: recoveries done, background repair drained the RF deficit.
+  const sim::SimTime deadline = c.sim().now() + seconds(300);
+  while (c.sim().now() < deadline &&
+         (c.coord().recoveryInProgress() || c.coord().recoveryLog().empty() ||
+          rfDeficit() > 0 || !mapHealthy())) {
+    c.sim().runFor(msec(100));
+  }
+  c.sim().runFor(seconds(2));  // let trailing RPCs and spans settle
+
+  ChaosResult r;
+  r.converged = !c.coord().recoveryInProgress() &&
+                !c.coord().recoveryLog().empty() && rfDeficit() == 0 &&
+                mapHealthy();
+  r.recoveries = c.coord().recoveryLog().size();
+  r.allRecoveriesSucceeded = true;
+  for (const auto& rec : c.coord().recoveryLog()) {
+    r.allRecoveriesSucceeded = r.allRecoveriesSucceeded && rec.succeeded;
+  }
+  r.allKeysPresent = c.verifyAllKeysPresent(table, kRecords);
+  r.rfDeficitMetric = c.metrics().value("cluster.rf_deficit");
+  r.openSpans = c.journal().openSpans();
+  for (const auto* s : c.journal().spansNamed("rereplication")) {
+    ++r.rereplicationSpans;
+    if (!s->open && !s->abandoned && s->bytes > 0) {
+      ++r.rereplicationWithBytes;
+    }
+  }
+  r.faultEvents = c.journal().spansNamed("fault_crash_server").size();
+  r.crashesInjected = injector.crashesInjected();
+  r.activeNetworkRules = injector.activeNetworkRules();
+  for (int i = 0; i < c.clientCount(); ++i) {
+    r.opsCompleted += c.clientHost(i).ycsb->stats().opsCompleted;
+  }
+  // The conditional crash must actually land inside the first recovery's
+  // window — otherwise the mid-recovery failover paths went unexercised.
+  for (const auto& inj : injector.injections()) {
+    if (inj.kind != fault::FaultKind::kCrashServer || inj.server != 7) {
+      continue;
+    }
+    for (const auto& rec : c.coord().recoveryLog()) {
+      if (rec.crashed == c.serverNodeId(0) && inj.at >= rec.detectedAt &&
+          inj.at <= rec.finishedAt) {
+        r.backupCrashLandedMidRecovery = true;
+      }
+    }
+  }
+  if (!exportDir.empty()) {
+    EXPECT_TRUE(c.exportMetrics(exportDir));
+  }
+  return r;
+}
+
+void expectInvariants(const ChaosResult& r) {
+  EXPECT_TRUE(r.converged);
+  // The tablet owner's crash must recover; the pure backup's crash may or
+  // may not produce its own (empty) recovery record.
+  EXPECT_GE(r.recoveries, 1u);
+  EXPECT_TRUE(r.allRecoveriesSucceeded);
+  EXPECT_TRUE(r.allKeysPresent);
+  EXPECT_EQ(r.rfDeficitMetric, 0.0);
+  EXPECT_EQ(r.openSpans, 0u);
+  // Losing a backup under rf=3 forces re-replication, and it must carry
+  // payload bytes.
+  EXPECT_GT(r.rereplicationSpans, 0u);
+  EXPECT_GT(r.rereplicationWithBytes, 0u);
+  EXPECT_EQ(r.faultEvents, 2u);  // both crashes journaled
+  EXPECT_EQ(r.crashesInjected, 2);
+  EXPECT_EQ(r.activeNetworkRules, 0u);  // every network fault healed
+  EXPECT_GT(r.opsCompleted, 0u);
+  EXPECT_TRUE(r.backupCrashLandedMidRecovery);
+}
+
+class ChaosSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSeed, InvariantsHoldUnderFaultMatrix) {
+  expectInvariants(runChaos(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ChaosSeed,
+                         ::testing::Values(101ull, 202ull, 303ull));
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(Chaos, SameSeedSamePlanIsBitIdentical) {
+  const std::string dirA = ::testing::TempDir() + "chaos_replay_a";
+  const std::string dirB = ::testing::TempDir() + "chaos_replay_b";
+  const auto a = runChaos(777, dirA);
+  const auto b = runChaos(777, dirB);
+  expectInvariants(a);
+  expectInvariants(b);
+
+  const std::string metricsA = slurp(dirA + "/metrics.jsonl");
+  const std::string metricsB = slurp(dirB + "/metrics.jsonl");
+  ASSERT_FALSE(metricsA.empty());
+  EXPECT_EQ(metricsA, metricsB);
+
+  const std::string eventsA = slurp(dirA + "/events.jsonl");
+  const std::string eventsB = slurp(dirB + "/events.jsonl");
+  ASSERT_FALSE(eventsA.empty());
+  EXPECT_EQ(eventsA, eventsB);
+}
+
+}  // namespace
+}  // namespace rc

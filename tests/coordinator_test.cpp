@@ -223,5 +223,81 @@ TEST(Coordinator, SecondCrashDuringRecoveryIsHandled) {
   EXPECT_TRUE(c.verifyAllKeysPresent(table, 30'000));
 }
 
+TEST(Coordinator, RecoveryMasterDeathReassignsItsPartitions) {
+  // Kill a recovery master 80 ms after the coordinator admits the first
+  // recovery — while its partition replay is in flight (the plan's setup
+  // delay is ~50 ms and partitions run well past 100 ms at this data
+  // volume). The partition must
+  // be reassigned (retryPartition), the recovery must still succeed, and
+  // the journal must show each partition completed exactly once by a
+  // surviving master (the dead master's attempt closes as abandoned).
+  core::Cluster c([] {
+    core::ClusterParams p;
+    p.servers = 5;
+    p.clients = 0;
+    p.replicationFactor = 3;
+    return p;
+  }());
+  const auto table = c.createTable("t");
+  c.bulkLoad(table, 60'000, 1000);
+
+  std::uint64_t firstRecoveryId = 0;
+  c.coord().onRecoveryStarted = [&](std::uint64_t recoveryId,
+                                    server::ServerId) {
+    if (firstRecoveryId != 0) return;
+    firstRecoveryId = recoveryId;
+    c.sim().schedule(msec(80), [&c] { c.crashServer(1); });
+  };
+
+  c.sim().runFor(seconds(1));
+  c.crashServer(0);
+
+  // Both recoveries (the original crash, then the recovery master's own)
+  // must complete.
+  for (int i = 0; i < 1800 && (c.coord().recoveryLog().size() < 2 ||
+                               c.coord().recoveryInProgress());
+       ++i) {
+    c.sim().runFor(msec(100));
+  }
+  ASSERT_EQ(firstRecoveryId, 1u);
+  ASSERT_GE(c.coord().recoveryLog().size(), 2u);
+  for (const auto& rec : c.coord().recoveryLog()) {
+    EXPECT_TRUE(rec.succeeded);
+  }
+  EXPECT_TRUE(c.verifyAllKeysPresent(table, 60'000));
+
+  // The log is completion-ordered and the delayed recovery finishes last —
+  // find the original crash's record by victim.
+  const RecoveryRecord* rec0 = nullptr;
+  for (const auto& rec : c.coord().recoveryLog()) {
+    if (rec.crashed == c.serverNodeId(0)) rec0 = &rec;
+  }
+  ASSERT_NE(rec0, nullptr);
+  EXPECT_GE(rec0->partitionRetries, 1);
+
+  // Span accounting for recovery 1: exactly one completed
+  // partition_recovery span per partition, all owned by masters that are
+  // still alive; the dead recovery master's attempt was abandoned.
+  int completed = 0;
+  int abandoned = 0;
+  for (const auto* s : c.journal().spansNamed("partition_recovery")) {
+    if (s->ctx != firstRecoveryId) continue;
+    EXPECT_FALSE(s->open);
+    if (s->abandoned) {
+      ++abandoned;
+      continue;
+    }
+    ++completed;
+    bool ownerAlive = false;
+    for (int i = 0; i < c.serverCount(); ++i) {
+      ownerAlive |= c.serverAlive(i) && c.serverNodeId(i) == s->node;
+    }
+    EXPECT_TRUE(ownerAlive) << "completed partition span on dead node "
+                            << s->node;
+  }
+  EXPECT_EQ(completed, rec0->partitions);
+  EXPECT_GE(abandoned, 1);
+}
+
 }  // namespace
 }  // namespace rc::coordinator

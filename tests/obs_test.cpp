@@ -649,5 +649,44 @@ TEST(ObsEndToEnd, YcsbRunProducesAlignedSeriesAndStageHistograms) {
   EXPECT_TRUE(sawPduPoint);
 }
 
+TEST(ObsEndToEnd, RpcTimeoutCountersRegisteredPerOpcode) {
+  core::ClusterParams cp;
+  cp.servers = 2;
+  cp.clients = 1;
+  core::Cluster c(cp);
+  auto& reg = c.metrics();
+
+  // The RPC fabric surfaces its timeout accounting: a total plus one
+  // counter per opcode, named after the wire name.
+  EXPECT_TRUE(reg.has("net.rpc.timeouts.total"));
+  for (int i = 0; i < static_cast<int>(net::kOpcodeCount); ++i) {
+    const auto op = static_cast<net::Opcode>(i);
+    EXPECT_TRUE(reg.has(std::string("net.rpc.timeouts.") +
+                        net::opcodeName(op)))
+        << net::opcodeName(op);
+  }
+  EXPECT_TRUE(reg.has("net.messages_dropped"));
+  EXPECT_TRUE(reg.has("cluster.rf_deficit"));
+
+  // Drive one real timeout and watch it land in the right bucket.
+  const auto table = c.createTable("t");
+  c.coord().stopFailureDetector();
+  c.crashServer(0);
+  net::RpcRequest req;
+  req.op = net::Opcode::kRead;
+  req.a = table;
+  req.b = 1;
+  bool done = false;
+  c.rpc().call(c.clientNodeId(0), c.serverNodeId(0), net::kMasterPort, req,
+               msec(200), [&done](const net::RpcResponse& resp) {
+                 EXPECT_EQ(resp.status, net::Status::kTimeout);
+                 done = true;
+               });
+  while (!done) c.sim().runFor(msec(10));
+  EXPECT_GE(reg.value("net.rpc.timeouts.read"), 1.0);
+  EXPECT_GE(reg.value("net.rpc.timeouts.total"),
+            reg.value("net.rpc.timeouts.read"));
+}
+
 }  // namespace
 }  // namespace rc::obs

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "core/cluster.hpp"
@@ -357,6 +358,31 @@ TEST(MasterService, CleanerReclaimsUnderChurn) {
     auto r = callSync(c, c.serverNodeId(0), readReq(table, k));
     EXPECT_EQ(r.a, 1u) << "key " << k;
   }
+}
+
+TEST(Backoff, GrowsExponentiallyWithJitterInsideTarget) {
+  Backoff b{msec(1), msec(100)};
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    sim::Duration target = msec(1) << std::min(attempt, 30);
+    if (target > msec(100) || target <= 0) target = msec(100);
+    const sim::Duration d = b.delay(attempt, /*salt=*/42);
+    EXPECT_GE(d, target / 2) << "attempt " << attempt;
+    EXPECT_LT(d, target) << "attempt " << attempt;
+  }
+  // Capped: far-out attempts never exceed the cap.
+  EXPECT_LT(b.delay(1000, 7), msec(100));
+}
+
+TEST(Backoff, JitterIsDeterministicPerSaltAndSpreadsAcrossSalts) {
+  Backoff b{msec(2), msec(200)};
+  // Same (attempt, salt) -> bit-identical delay (replayable schedules).
+  EXPECT_EQ(b.delay(3, 1234), b.delay(3, 1234));
+  // Different salts decorrelate retry loops (no synchronized hammering).
+  std::set<sim::Duration> seen;
+  for (std::uint64_t salt = 0; salt < 16; ++salt) {
+    seen.insert(b.delay(3, salt));
+  }
+  EXPECT_GT(seen.size(), 8u);
 }
 
 TEST(MasterService, CrashedMasterStopsResponding) {
