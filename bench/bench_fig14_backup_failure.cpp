@@ -10,6 +10,8 @@
 // Emits one JSON line per run (machine-readable) plus the usual table.
 
 #include <cstdio>
+#include <functional>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/cluster.hpp"
@@ -31,10 +33,33 @@ struct RunResult {
   double recoverySec = 0;   ///< coordinator's detectedAt -> finishedAt
   double gapSec = 0;        ///< crash -> tablets served again
   double repairDeficit = 0; ///< rf deficit left at the deadline
+  std::uint64_t rpcRetries = 0;      ///< client re-issues (net.rpc.retries.*)
+  double duplicatesSuppressed = 0;   ///< linearize.duplicates_suppressed
 };
 
+/// Closed-loop write probe on a key owned by the server that will crash:
+/// the write caught by the crash times out and is retried, so the run
+/// exercises the client retry path (and, when the original attempt got
+/// durable first, the new owner's duplicate suppression). Returns the stop
+/// flag.
+std::shared_ptr<bool> startWriteProbe(core::Cluster& c, std::uint64_t table,
+                                      std::uint64_t key) {
+  auto stop = std::make_shared<bool>(false);
+  auto step = std::make_shared<std::function<void()>>();
+  auto& rc = *c.clientHost(0).rc;
+  *step = [&c, &rc, table, key, stop, step] {
+    if (*stop) return;
+    rc.write(table, key, 100, [&c, stop, step](net::Status, sim::Duration) {
+      if (*stop) return;
+      c.sim().schedule(sim::msec(2), [step] { (*step)(); });
+    });
+  };
+  (*step)();
+  return stop;
+}
+
 RunResult runOnce(int rf, int backupFailures, std::uint64_t records,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, bool injectFaults = true) {
   core::ClusterParams p;
   p.servers = kServers;
   p.clients = 1;
@@ -44,10 +69,16 @@ RunResult runOnce(int rf, int backupFailures, std::uint64_t records,
   const auto table = c.createTable("t", kTableSpan);
   c.bulkLoad(table, records, 1000);
 
+  std::uint64_t probeKey = 0;
+  while (c.ownerOfKey(table, probeKey) != c.serverNodeId(0)) ++probeKey;
+  auto probeStop = startWriteProbe(c, table, probeKey);
+
   fault::FaultPlan plan;
-  plan.crashServer(kKillAt, 0);
-  if (backupFailures >= 1) plan.crashOnRecovery(1, sim::msec(30), 7);
-  if (backupFailures >= 2) plan.crashOnRecovery(1, sim::msec(60), 6);
+  if (injectFaults) {
+    plan.crashServer(kKillAt, 0);
+    if (backupFailures >= 1) plan.crashOnRecovery(1, sim::msec(30), 7);
+    if (backupFailures >= 2) plan.crashOnRecovery(1, sim::msec(60), 6);
+  }
   fault::FaultInjector injector(c, plan, c.sim().rng().fork(0xF14));
   injector.arm();
 
@@ -78,12 +109,20 @@ RunResult runOnce(int rf, int backupFailures, std::uint64_t records,
     return true;
   };
 
-  const sim::SimTime deadline = sim::seconds(600);
-  while (c.sim().now() < deadline &&
-         (c.coord().recoveryLog().empty() || c.coord().recoveryInProgress() ||
-          rfDeficit() > 0 || !mapHealthy())) {
-    c.sim().runFor(sim::msec(100));
+  if (injectFaults) {
+    const sim::SimTime deadline = sim::seconds(600);
+    while (c.sim().now() < deadline &&
+           (c.coord().recoveryLog().empty() ||
+            c.coord().recoveryInProgress() || rfDeficit() > 0 ||
+            !mapHealthy())) {
+      c.sim().runFor(sim::msec(100));
+    }
+  } else {
+    // Fault-free shape-check window: no retries, no suppressed duplicates.
+    c.sim().runFor(sim::seconds(4));
   }
+  *probeStop = true;
+  c.sim().runFor(sim::seconds(1));  // drain the probe's last op
 
   RunResult r;
   r.converged =
@@ -96,6 +135,9 @@ RunResult runOnce(int rf, int backupFailures, std::uint64_t records,
     r.gapSec = sim::toSeconds(rec.finishedAt - kKillAt);
   }
   r.allKeys = c.verifyAllKeysPresent(table, records);
+  r.rpcRetries = c.totalRpcRetries();
+  r.duplicatesSuppressed =
+      c.metrics().value("cluster.linearize.duplicates_suppressed");
   return r;
 }
 
@@ -124,20 +166,38 @@ int main(int argc, char** argv) {
           "{\"figure\":\"14ext\",\"rf\":%d,\"backup_failures\":%d,"
           "\"recovered\":%s,\"all_keys_present\":%s,\"converged\":%s,"
           "\"recovery_s\":%.3f,\"availability_gap_s\":%.3f,"
-          "\"rf_deficit_left\":%.0f,\"records\":%llu,\"seed\":%llu}\n",
+          "\"rf_deficit_left\":%.0f,\"rpc_retries\":%llu,"
+          "\"duplicates_suppressed\":%.0f,\"records\":%llu,\"seed\":%llu}\n",
           rf, failures, r.recovered ? "true" : "false",
           r.allKeys ? "true" : "false", r.converged ? "true" : "false",
           r.recoverySec, r.gapSec, r.repairDeficit,
-          static_cast<unsigned long long>(records),
+          static_cast<unsigned long long>(r.rpcRetries),
+          r.duplicatesSuppressed, static_cast<unsigned long long>(records),
           static_cast<unsigned long long>(opt.seed));
     }
   }
   t.print();
   std::printf("note: each run crashes one tablet owner at t=2s; backup "
               "deaths hit tablet-less replica holders 30/60 ms into the "
-              "recovery. 'avail. gap' = crash to tablets served again.\n\n");
+              "recovery. 'avail. gap' = crash to tablets served again. A "
+              "write probe runs throughout, so rpc_retries counts the "
+              "client re-issues the crash forced and duplicates_suppressed "
+              "the retries answered from completion records.\n\n");
+
+  // Fault-free shape check: the exactly-once machinery must be inert when
+  // nothing fails.
+  const auto base = runOnce(3, 0, records, opt.seed, /*injectFaults=*/false);
+  std::printf(
+      "{\"figure\":\"14ext-baseline\",\"rf\":3,\"backup_failures\":0,"
+      "\"rpc_retries\":%llu,\"duplicates_suppressed\":%.0f,"
+      "\"records\":%llu,\"seed\":%llu}\n",
+      static_cast<unsigned long long>(base.rpcRetries),
+      base.duplicatesSuppressed, static_cast<unsigned long long>(records),
+      static_cast<unsigned long long>(opt.seed));
 
   bench::Verdict v;
+  v.check(base.duplicatesSuppressed == 0 && base.rpcRetries == 0,
+          "no faults -> zero suppressed duplicates and zero client retries");
   // With failures <= rf-1 concurrent crashes, nothing may be lost.
   bool safeZoneIntact = true;
   for (int rf = 2; rf <= 4; ++rf) {

@@ -37,6 +37,32 @@ void RamCloudClient::remove(std::uint64_t tableId, std::uint64_t keyId,
                 params_.maxRetries, std::move(cb)});
 }
 
+void RamCloudClient::readV(std::uint64_t tableId, std::uint64_t keyId,
+                           VersionCallback cb) {
+  ++stats_.opsIssued;
+  OpState st{net::Opcode::kRead, tableId, keyId, 0, sim_.now(),
+             params_.maxRetries, nullptr};
+  st.vcb = std::move(cb);
+  issue(std::move(st));
+}
+
+void RamCloudClient::writeV(std::uint64_t tableId, std::uint64_t keyId,
+                            std::uint32_t valueBytes,
+                            std::uint64_t expectedVersion,
+                            VersionCallback cb) {
+  ++stats_.opsIssued;
+  OpState st{net::Opcode::kWrite, tableId, keyId, valueBytes, sim_.now(),
+             params_.maxRetries, nullptr};
+  st.vcb = std::move(cb);
+  st.expectedVersion = expectedVersion;
+  issue(std::move(st));
+}
+
+void RamCloudClient::stallFor(sim::Duration d) {
+  const sim::SimTime until = sim_.now() + d;
+  if (until > stalledUntil_) stalledUntil_ = until;
+}
+
 void RamCloudClient::scanTable(std::uint64_t tableId, ScanCallback cb) {
   refreshMapThen([this, tableId, cb = std::move(cb)]() mutable {
     struct Agg {
@@ -176,13 +202,73 @@ void RamCloudClient::issueMulti(net::Opcode op, std::uint64_t tableId,
   });
 }
 
-void RamCloudClient::finish(OpState& st, net::Status status) {
+void RamCloudClient::finish(OpState& st, net::Status status,
+                            std::uint64_t version) {
   if (status == net::Status::kOk) {
     ++stats_.opsSucceeded;
   } else {
     ++stats_.opsFailed;
   }
-  st.cb(status, sim_.now() - st.startedAt);
+  // Terminal completion acknowledges the seq: firstUnacked advances past it
+  // and the masters may garbage-collect its completion record.
+  if (st.seq != 0) outstandingSeqs_.erase(st.seq);
+  if (st.vcb) {
+    st.vcb(status, version, sim_.now() - st.startedAt);
+  } else {
+    st.cb(status, sim_.now() - st.startedAt);
+  }
+}
+
+void RamCloudClient::openLeaseThen(std::function<void()> then) {
+  leaseWaiters_.push_back(std::move(then));
+  if (openingLease_) return;
+  openingLease_ = true;
+  net::RpcRequest req;
+  req.op = net::Opcode::kOpenLease;
+  rpc_.call(self_, coordinator_, net::kCoordinatorPort, req,
+            server::timeouts::kControl, [this](const net::RpcResponse& resp) {
+              openingLease_ = false;
+              if (resp.status == net::Status::kOk) {
+                clientId_ = resp.a;
+                leaseTerm_ = static_cast<sim::Duration>(resp.b);
+                ++stats_.leasesOpened;
+                startRenewals();
+                auto waiters = std::move(leaseWaiters_);
+                leaseWaiters_.clear();
+                for (auto& w : waiters) w();
+              } else {
+                // Coordinator unreachable: retry; queued ops stay queued.
+                sim_.schedule(params_.recoveringBackoff, [this] {
+                  if (clientId_ == 0 && !leaseWaiters_.empty()) {
+                    openLeaseThen([] {});
+                  }
+                });
+              }
+            });
+}
+
+void RamCloudClient::startRenewals() {
+  // Renew at term/4: three consecutive lost renewals are needed before the
+  // lease can lapse, so a transient loss event cannot expire a live client.
+  renewTask_ = std::make_unique<sim::PeriodicTask>(
+      sim_, leaseTerm_ / 4, [this](sim::SimTime) {
+        if (clientId_ == 0) return;
+        if (sim_.now() < stalledUntil_) return;  // stalled: cannot renew
+        net::RpcRequest req;
+        req.op = net::Opcode::kRenewLease;
+        req.a = clientId_;
+        rpc_.call(self_, coordinator_, net::kCoordinatorPort, req,
+                  server::timeouts::kControl,
+                  [this, cid = clientId_](const net::RpcResponse& resp) {
+                    if (resp.status == net::Status::kOk) {
+                      ++stats_.leaseRenewals;
+                    } else if (resp.status == net::Status::kExpiredLease &&
+                               clientId_ == cid) {
+                      ++stats_.leaseExpiries;
+                      clientId_ = 0;  // reopen lazily on the next tracked op
+                    }
+                  });
+      });
 }
 
 RamCloudClient::Route RamCloudClient::routeFor(std::uint64_t tableId,
@@ -222,6 +308,23 @@ void RamCloudClient::refreshMapThen(std::function<void()> then) {
 }
 
 void RamCloudClient::issue(OpState st) {
+  // Fault model (client_stall): the client process is frozen — nothing
+  // issues until the stall lifts. Renewals skip too, so a long stall lets
+  // the lease expire and exercises the reclamation path.
+  if (sim_.now() < stalledUntil_) {
+    const sim::Duration wait = stalledUntil_ - sim_.now();
+    sim_.schedule(wait,
+                  [this, st = std::move(st)]() mutable { issue(std::move(st)); });
+    return;
+  }
+  // Tracked mutating ops need a lease before the first attempt (and a new
+  // one after an expiry); ops queue behind the open.
+  if (tracked(st) && clientId_ == 0) {
+    openLeaseThen(
+        [this, st = std::move(st)]() mutable { issue(std::move(st)); });
+    return;
+  }
+
   node::NodeId target = node::kInvalidNode;
   const Route route = routeFor(st.tableId, st.keyId, &target);
 
@@ -251,7 +354,20 @@ void RamCloudClient::issue(OpState st) {
   req.op = st.op;
   req.a = st.tableId;
   req.b = st.keyId;
-  if (st.op == net::Opcode::kWrite) req.payloadBytes = st.valueBytes;
+  if (st.op == net::Opcode::kWrite) {
+    req.payloadBytes = st.valueBytes;
+    req.c = st.expectedVersion;
+  }
+  if (tracked(st)) {
+    if (st.seq == 0) {
+      st.seq = nextSeq_++;
+      outstandingSeqs_.insert(st.seq);
+    }
+    req.clientId = clientId_;
+    req.rpcSeq = st.seq;  // retries reuse the seq: the duplicate key
+    req.firstUnacked = outstandingSeqs_.empty() ? nextSeq_
+                                                : *outstandingSeqs_.begin();
+  }
   // One span per RPC *attempt*: retries and recovery waits open fresh
   // spans, so stage histograms describe individual RPCs, not op lifetimes.
   const std::uint64_t span = trace_ != nullptr ? trace_->beginSpan() : 0;
@@ -272,13 +388,24 @@ void RamCloudClient::issue(OpState st) {
     }
     switch (resp.status) {
       case net::Status::kOk:
-        finish(st, net::Status::kOk);
+        finish(st, net::Status::kOk, resp.b);
+        return;
+      case net::Status::kVersionMismatch:
+        // Conditional write lost the race; the reply carries the current
+        // version. Terminal — the caller decides whether to re-read.
+        finish(st, net::Status::kVersionMismatch, resp.b);
         return;
       case net::Status::kUnknownTablet:
         ++stats_.staleRoutes;
         break;
       case net::Status::kTimeout:
         ++stats_.rpcTimeouts;
+        break;
+      case net::Status::kExpiredLease:
+        // The master no longer tracks us: reopen a lease (lazily, on the
+        // retry) and try again. The seq is reused under the new clientId.
+        ++stats_.leaseExpiries;
+        clientId_ = 0;
         break;
       case net::Status::kRecovering: {
         // Back off and re-route (no budget consumed: the data will come
@@ -288,6 +415,7 @@ void RamCloudClient::issue(OpState st) {
           finish(st, net::Status::kTimeout);
           return;
         }
+        noteRetry(st.op);
         sim_.schedule(params_.recoveringBackoff,
                       [this, st = std::move(st)]() mutable {
           refreshMapThen(
@@ -303,8 +431,9 @@ void RamCloudClient::issue(OpState st) {
       finish(st, net::Status::kTimeout);
       return;
     }
-    // Hard failure (timeout or stale routing): back off with deterministic
-    // jitter before re-resolving the route, growing the wait each attempt.
+    noteRetry(st.op);
+    // Hard failure (timeout, stale routing or expired lease): back off with
+    // deterministic jitter before re-resolving the route.
     const int attempt = params_.maxRetries - st.retriesLeft - 1;
     const std::uint64_t salt = (static_cast<std::uint64_t>(self_) << 48) ^
                                (st.tableId << 32) ^ (st.keyId << 8) ^

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <set>
 
 #include "coordinator/tablet_map.hpp"
 #include "net/rpc.hpp"
@@ -26,6 +29,12 @@ struct ClientParams {
   sim::Duration recoveringBackoff = sim::msec(20);
   /// How long an op may block on recovery before giving up entirely.
   sim::Duration recoveringDeadline = sim::seconds(180);
+  /// Exactly-once semantics (RIFL, docs/LINEARIZABILITY.md): lazily open a
+  /// coordinator lease before the first mutating op and stamp every
+  /// write/remove with (clientId, rpcSeq, firstUnacked) so masters can
+  /// suppress duplicate retries. Off reverts to PR 3's at-least-once
+  /// retries. Batched multiWrite stays untracked either way.
+  bool exactlyOnce = true;
 };
 
 struct ClientStats {
@@ -36,6 +45,9 @@ struct ClientStats {
   std::uint64_t staleRoutes = 0;
   std::uint64_t mapRefreshes = 0;
   std::uint64_t recoveryWaits = 0;
+  std::uint64_t leasesOpened = 0;
+  std::uint64_t leaseRenewals = 0;
+  std::uint64_t leaseExpiries = 0;  ///< kExpiredLease responses observed
 };
 
 /// RAMCloud client library: tablet-map caching, request routing, retry and
@@ -55,6 +67,22 @@ class RamCloudClient {
   void write(std::uint64_t tableId, std::uint64_t keyId,
              std::uint32_t valueBytes, OpCallback cb);
   void remove(std::uint64_t tableId, std::uint64_t keyId, OpCallback cb);
+
+  /// Version-carrying variants. cb(status, version, latency): for reads the
+  /// version of the returned object (0 if missing); for writes the version
+  /// the write produced — or, on kVersionMismatch, the current version the
+  /// conditional write lost to.
+  using VersionCallback =
+      std::function<void(net::Status, std::uint64_t, sim::Duration)>;
+  void readV(std::uint64_t tableId, std::uint64_t keyId, VersionCallback cb);
+  /// Conditional write: applies only if the object's current version equals
+  /// `expectedVersion` (0 = unconditional). The version check runs on the
+  /// master under the append lock, so an already-applied duplicate cannot
+  /// silently apply twice — the retry is either suppressed by the
+  /// UnackedRpcResults table or rejected with kVersionMismatch.
+  void writeV(std::uint64_t tableId, std::uint64_t keyId,
+              std::uint32_t valueBytes, std::uint64_t expectedVersion,
+              VersionCallback cb);
 
   /// Table scan (paper SS X future work): fans one kScan RPC out per
   /// tablet and aggregates. cb(status, objectCount, totalBytes).
@@ -76,6 +104,27 @@ class RamCloudClient {
   const ClientStats& stats() const { return stats_; }
   node::NodeId nodeId() const { return self_; }
 
+  /// Fault hook (FaultPlan client_stall): freeze the client — no new RPC
+  /// issues and no lease renewals — until `d` from now. Used to drive a
+  /// client past its lease expiry deterministically.
+  void stallFor(sim::Duration d);
+
+  /// Current lease (0 = none open). A stalled-out client drops to 0 when a
+  /// renewal or a tracked op observes kExpiredLease, then reopens lazily.
+  std::uint64_t clientId() const { return clientId_; }
+
+  /// Client-side retry counters per opcode, mirroring the RPC system's
+  /// net.rpc.timeouts.*: incremented each time an already-sent RPC is
+  /// re-issued (timeout, stale route, recovering bounce, expired lease).
+  std::uint64_t retriesForOpcode(net::Opcode op) const {
+    return opRetries_[static_cast<std::size_t>(op)];
+  }
+  std::uint64_t totalRetries() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t v : opRetries_) n += v;
+    return n;
+  }
+
   /// Attach the cluster's per-RPC time trace: every read/write/remove RPC
   /// attempt opens a span at issue and closes it at completion (including
   /// synthesised timeouts). nullptr disables tracing.
@@ -90,11 +139,26 @@ class RamCloudClient {
     sim::SimTime startedAt;
     int retriesLeft;
     OpCallback cb;
+    VersionCallback vcb;  ///< set instead of cb by the *V variants
+    std::uint64_t expectedVersion = 0;  ///< conditional write (0 = blind)
+    /// RIFL sequence number, assigned once at the first issue of a tracked
+    /// op and reused verbatim by every retry — the master's duplicate key.
+    std::uint64_t seq = 0;
   };
+
+  bool tracked(const OpState& st) const {
+    return params_.exactlyOnce && (st.op == net::Opcode::kWrite ||
+                                   st.op == net::Opcode::kRemove);
+  }
 
   void issue(OpState st);
   void refreshMapThen(std::function<void()> then);
-  void finish(OpState& st, net::Status status);
+  void openLeaseThen(std::function<void()> then);
+  void startRenewals();
+  void noteRetry(net::Opcode op) {
+    ++opRetries_[static_cast<std::size_t>(op)];
+  }
+  void finish(OpState& st, net::Status status, std::uint64_t version = 0);
   void issueMulti(net::Opcode op, std::uint64_t tableId,
                   std::vector<std::uint64_t> keys, std::uint32_t valueBytes,
                   MultiOpCallback cb, int retriesLeft);
@@ -115,6 +179,21 @@ class RamCloudClient {
   bool haveMap_ = false;
   bool refreshing_ = false;
   std::vector<std::function<void()>> refreshWaiters_;
+
+  // ----- exactly-once state (docs/LINEARIZABILITY.md)
+  std::uint64_t clientId_ = 0;
+  sim::Duration leaseTerm_ = 0;
+  bool openingLease_ = false;
+  std::vector<std::function<void()>> leaseWaiters_;
+  /// Never reset, even across lease reopen: a (clientId, seq) pair must
+  /// stay unique for the client's lifetime.
+  std::uint64_t nextSeq_ = 1;
+  /// Seqs issued but not yet terminally completed; min() is the
+  /// firstUnacked watermark stamped on every tracked RPC.
+  std::set<std::uint64_t> outstandingSeqs_;
+  std::unique_ptr<sim::PeriodicTask> renewTask_;
+  sim::SimTime stalledUntil_ = 0;
+  std::array<std::uint64_t, net::kOpcodeCount> opRetries_{};
 
   ClientStats stats_;
   obs::TimeTrace* trace_ = nullptr;

@@ -54,6 +54,37 @@ void Coordinator::handleRpc(const net::RpcRequest& req, node::NodeId /*from*/,
       onMigrationDone(req);
       break;
     }
+    case net::Opcode::kOpenLease: {
+      const std::uint64_t cid = nextClientId_++;
+      leases_[cid] = node_.sim().now() + params_.leaseTerm;
+      ++leasesIssued_;
+      if (!leaseSweep_) {
+        leaseSweep_ = std::make_unique<sim::PeriodicTask>(
+            node_.sim(), params_.leaseSweepInterval,
+            [this](sim::SimTime) { sweepLeases(); });
+      }
+      net::RpcResponse r;
+      r.a = cid;
+      r.b = static_cast<std::uint64_t>(params_.leaseTerm);
+      respond(std::move(r));
+      break;
+    }
+    case net::Opcode::kRenewLease: {
+      net::RpcResponse r;
+      auto it = leases_.find(req.a);
+      if (it == leases_.end()) {
+        // Lease already expired: the client must reopen and accept that its
+        // pre-expiry retries lost the exactly-once guarantee.
+        r.status = net::Status::kExpiredLease;
+      } else {
+        it->second = node_.sim().now() + params_.leaseTerm;
+        ++leaseRenewals_;
+        r.a = req.a;
+        r.b = static_cast<std::uint64_t>(params_.leaseTerm);
+      }
+      respond(std::move(r));
+      break;
+    }
     default: {
       net::RpcResponse r;
       r.status = net::Status::kError;
@@ -172,6 +203,28 @@ bool Coordinator::decommissionServer(ServerId id) {
   up_.erase(it);
   pingMisses_.erase(id);
   return true;
+}
+
+bool Coordinator::leaseValid(std::uint64_t clientId) const {
+  auto it = leases_.find(clientId);
+  return it != leases_.end() && it->second > node_.sim().now();
+}
+
+void Coordinator::sweepLeases() {
+  const sim::SimTime now = node_.sim().now();
+  std::vector<std::uint64_t> expired;
+  for (const auto& [cid, expiry] : leases_) {
+    if (expiry <= now) expired.push_back(cid);
+  }
+  std::sort(expired.begin(), expired.end());  // deterministic journal order
+  for (std::uint64_t cid : expired) {
+    leases_.erase(cid);
+    ++leasesExpired_;
+    if (journal_ != nullptr) {
+      const auto ev = journal_->event("lease_expire", node_.id());
+      journal_->addCount(ev, cid);
+    }
+  }
 }
 
 void Coordinator::startFailureDetector() {

@@ -26,6 +26,13 @@ struct CoordinatorParams {
   /// actually starts (the paper's "check whether that server truly
   /// crashed ... schedule a recovery").
   sim::Duration recoverySetupDelay = sim::msec(50);
+  /// Client-lease term (RIFL). A client that fails to renew within the term
+  /// loses its duplicate-suppression state cluster-wide; clients renew at
+  /// term/4 so a single lost renewal cannot expire a healthy client.
+  sim::Duration leaseTerm = sim::seconds(30);
+  /// Cadence of the expiry sweep that drops dead leases (and journals
+  /// lease_expire events masters key their reclamation off).
+  sim::Duration leaseSweepInterval = sim::seconds(1);
 };
 
 /// Record of one completed (or failed) master recovery.
@@ -66,6 +73,17 @@ class Coordinator : public net::RpcService {
 
   void startFailureDetector();
   void stopFailureDetector();
+
+  // ----- client leases (docs/LINEARIZABILITY.md)
+
+  /// Is this client id's lease still valid *now*? Masters consult this on
+  /// every tracked RPC and during their reclamation sweeps.
+  bool leaseValid(std::uint64_t clientId) const;
+
+  std::size_t activeLeases() const { return leases_.size(); }
+  std::uint64_t leasesIssued() const { return leasesIssued_; }
+  std::uint64_t leaseRenewals() const { return leaseRenewals_; }
+  std::uint64_t leasesExpired() const { return leasesExpired_; }
 
   // ----- cluster resizing (SS IX: tablet migration + node add/remove)
 
@@ -133,6 +151,8 @@ class Coordinator : public net::RpcService {
   };
   void onMigrationDone(const net::RpcRequest& req);
 
+  void sweepLeases();
+
   void pingAll();
   void onPingMiss(server::ServerId id);
   void beginRecovery(server::ServerId id);
@@ -173,6 +193,14 @@ class Coordinator : public net::RpcService {
   std::uint64_t migrationsCompleted_ = 0;
 
   std::unique_ptr<sim::PeriodicTask> detector_;
+
+  /// clientId -> lease expiry time. The sweep drops expired entries.
+  std::unordered_map<std::uint64_t, sim::SimTime> leases_;
+  std::uint64_t nextClientId_ = 1;
+  std::uint64_t leasesIssued_ = 0;
+  std::uint64_t leaseRenewals_ = 0;
+  std::uint64_t leasesExpired_ = 0;
+  std::unique_ptr<sim::PeriodicTask> leaseSweep_;
 };
 
 }  // namespace rc::coordinator

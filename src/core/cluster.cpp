@@ -46,6 +46,11 @@ Cluster::Cluster(ClusterParams params)
       sim_.rng().fork(0xc0));
   coord_->setJournal(&journal_);
   rpc_.bind(0, net::kCoordinatorPort, coord_.get());
+  // Masters consult the coordinator's lease table through the directory
+  // (state side-channel; the timing-bearing RPCs are kOpenLease/kRenewLease).
+  directory_.leaseValid = [this](std::uint64_t clientId) {
+    return coord_->leaseValid(clientId);
+  };
 
   auto planLookup = [this](std::uint64_t id) { return coord_->planById(id); };
 
@@ -155,6 +160,77 @@ void Cluster::registerClusterMetrics() {
           return static_cast<double>(rpc_.timeoutsForOpcode(opcode));
         });
   }
+  // Client-side retries (re-issues of an already-sent RPC), mirroring the
+  // timeout counters above.
+  metrics_.probeCounter("net.rpc.retries.total", "ops", [this] {
+    return static_cast<double>(totalRpcRetries());
+  });
+  for (std::size_t op = 0; op < net::kOpcodeCount; ++op) {
+    const auto opcode = static_cast<net::Opcode>(op);
+    metrics_.probeCounter(
+        std::string("net.rpc.retries.") + net::opcodeName(opcode), "ops",
+        [this, opcode] {
+          std::uint64_t n = 0;
+          for (const auto& c : clients_) {
+            if (c.rc) n += c.rc->retriesForOpcode(opcode);
+          }
+          return static_cast<double>(n);
+        });
+  }
+  // Exactly-once layer, summed over live masters (docs/LINEARIZABILITY.md).
+  const auto sumUnacked =
+      [this](std::uint64_t (server::UnackedRpcResults::*probe)() const) {
+        std::uint64_t n = 0;
+        for (int i = 0; i < serverCount(); ++i) {
+          if (!serverAlive(i)) continue;
+          const auto& u = servers_[static_cast<std::size_t>(i)]
+                              .master->unackedRpcResults();
+          n += (u.*probe)();
+        }
+        return static_cast<double>(n);
+      };
+  metrics_.probeCounter("cluster.linearize.duplicates_suppressed", "ops",
+                        [sumUnacked] {
+                          return sumUnacked(
+                              &server::UnackedRpcResults::duplicatesSuppressed);
+                        });
+  metrics_.probeCounter("cluster.linearize.completion_records", "ops",
+                        [sumUnacked] {
+                          return sumUnacked(
+                              &server::UnackedRpcResults::completionsRecorded);
+                        });
+  metrics_.probeCounter("cluster.linearize.records_recovered", "ops",
+                        [sumUnacked] {
+                          return sumUnacked(
+                              &server::UnackedRpcResults::recordsRecovered);
+                        });
+  metrics_.probeCounter("cluster.linearize.records_gced", "ops", [sumUnacked] {
+    return sumUnacked(&server::UnackedRpcResults::recordsGced);
+  });
+  metrics_.probeGauge("cluster.linearize.tracked_clients", "items", [this] {
+    std::uint64_t n = 0;
+    for (int i = 0; i < serverCount(); ++i) {
+      if (!serverAlive(i)) continue;
+      n += servers_[static_cast<std::size_t>(i)]
+               .master->unackedRpcResults()
+               .trackedClients();
+    }
+    return static_cast<double>(n);
+  });
+  metrics_.probeCounter("coordinator.linearize.leases_issued", "ops", [this] {
+    return static_cast<double>(coord_->leasesIssued());
+  });
+  metrics_.probeCounter("coordinator.linearize.lease_renewals", "ops",
+                        [this] {
+                          return static_cast<double>(coord_->leaseRenewals());
+                        });
+  metrics_.probeCounter("coordinator.linearize.leases_expired", "ops",
+                        [this] {
+                          return static_cast<double>(coord_->leasesExpired());
+                        });
+  metrics_.probeGauge("coordinator.linearize.active_leases", "items", [this] {
+    return static_cast<double>(coord_->activeLeases());
+  });
 }
 
 void Cluster::startStatsSampling() {
@@ -267,6 +343,14 @@ std::uint64_t Cluster::totalRpcTimeouts() const {
   std::uint64_t n = 0;
   for (const auto& c : clients_) {
     if (c.rc) n += c.rc->stats().rpcTimeouts;
+  }
+  return n;
+}
+
+std::uint64_t Cluster::totalRpcRetries() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    if (c.rc) n += c.rc->totalRetries();
   }
   return n;
 }

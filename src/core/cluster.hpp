@@ -135,6 +135,8 @@ class Cluster {
   std::uint64_t totalOpsCompleted() const;
   std::uint64_t totalOpFailures() const;
   std::uint64_t totalRpcTimeouts() const;
+  /// Client-side RPC re-issues summed over all clients (net.rpc.retries.*).
+  std::uint64_t totalRpcRetries() const;
 
   // ----- failure injection
 

@@ -106,6 +106,7 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
 
   r.opFailures = cluster.totalOpFailures();
   r.rpcTimeouts = cluster.totalRpcTimeouts();
+  r.rpcRetries = cluster.totalRpcRetries();
   r.crashed = r.opFailures > 0;
 
   if (!cfg.metricsDir.empty()) cluster.exportMetrics(cfg.metricsDir);

@@ -68,6 +68,10 @@ struct YcsbExperimentResult {
   std::uint64_t opsMeasured = 0;
   std::uint64_t opFailures = 0;
   std::uint64_t rpcTimeouts = 0;
+  /// Client-side RPC re-issues (timeouts, retriable server statuses). With
+  /// exactly-once tracking on, retries of already-applied writes are
+  /// suppressed server-side rather than re-executed.
+  std::uint64_t rpcRetries = 0;
   double measuredSeconds = 0;
 
   /// The run "crashed" in the paper's sense: clients saw failed operations

@@ -34,6 +34,12 @@ const char* faultKindName(FaultKind k) {
       return "cpu_throttle";
     case FaultKind::kCpuRestore:
       return "cpu_restore";
+    case FaultKind::kReplyDrop:
+      return "reply_drop";
+    case FaultKind::kClientStall:
+      return "client_stall";
+    case FaultKind::kCrashBeforeReply:
+      return "crash_before_reply";
   }
   return "unknown";
 }
@@ -67,8 +73,11 @@ void FaultInjector::arm() {
              std::uint64_t /*bytes*/) -> net::Network::FaultVerdict {
         net::Network::FaultVerdict v;
         for (const LinkRule& r : rules_) {
-          const bool match = (inSet(r.a, from) && inSet(r.b, to)) ||
-                             (inSet(r.a, to) && inSet(r.b, from));
+          const bool forward = inSet(r.a, from) && inSet(r.b, to);
+          const bool match =
+              r.directional
+                  ? forward
+                  : forward || (inSet(r.a, to) && inSet(r.b, from));
           if (!match) continue;
           if (r.loss > 0 && rng_.bernoulli(r.loss)) v.drop = true;
           v.extraLatency += r.extra;
@@ -128,7 +137,14 @@ void FaultInjector::fire(const FaultEvent& ev) {
     case FaultKind::kNetworkLoss:
     case FaultKind::kNetworkDelay:
     case FaultKind::kPartition:
+    case FaultKind::kReplyDrop:
       fireNetwork(ev);
+      return;
+    case FaultKind::kClientStall:
+      fireClientStall(ev);
+      return;
+    case FaultKind::kCrashBeforeReply:
+      fireCrashBeforeReply(ev);
       return;
     case FaultKind::kHealNetwork:
       record(ev);
@@ -178,6 +194,17 @@ void FaultInjector::fireNetwork(const FaultEvent& ev) {
     case FaultKind::kPartition:
       r.loss = 1.0;
       break;
+    case FaultKind::kReplyDrop: {
+      // Directional server -> clients: requests, replication and recovery
+      // traffic still flow; only client-bound replies are lost.
+      r.loss = std::clamp(ev.magnitude, 0.0, 1.0);
+      r.directional = true;
+      r.b.clear();
+      for (int i = 0; i < cluster_.clientCount(); ++i) {
+        r.b.push_back(cluster_.clientNodeId(i));
+      }
+      break;
+    }
     default:
       return;
   }
@@ -296,6 +323,30 @@ void FaultInjector::fireCpu(const FaultEvent& ev) {
       if (cluster_.serverAlive(idx)) journalEvent(*evp, "heal_");
     });
   }
+}
+
+void FaultInjector::fireClientStall(const FaultEvent& ev) {
+  const int idx = ev.client;
+  if (idx < 0 || idx >= cluster_.clientCount()) return;
+  record(ev);
+  cluster_.journal().event("fault_client_stall", cluster_.clientNodeId(idx));
+  cluster_.clientHost(idx).rc->stallFor(ev.duration);
+}
+
+void FaultInjector::fireCrashBeforeReply(const FaultEvent& ev) {
+  const int idx = ev.server;
+  if (idx < 0 || idx >= cluster_.serverCount()) return;
+  if (!cluster_.serverAlive(idx)) return;
+  // Arm now; the ledger line and the crash happen when the master's next
+  // write reaches its reply point (the hook runs inside the reply path, so
+  // the crash itself goes through a fresh event to avoid re-entrancy).
+  const FaultEvent* evp = &ev;
+  cluster_.server(idx).master->armCrashBeforeReply([this, idx, evp] {
+    record(*evp);
+    journalEvent(*evp, "fault_");
+    ++crashes_;
+    cluster_.sim().schedule(0, [this, idx] { cluster_.crashServer(idx); });
+  });
 }
 
 void FaultInjector::restoreCpu(int serverIdx) {

@@ -60,6 +60,9 @@ class FaultInjector {
     std::vector<node::NodeId> b;  ///< empty = match any node
     double loss = 0;
     sim::Duration extra = 0;
+    /// false: match (a,b) in either direction. true: only a -> b — used by
+    /// kReplyDrop so requests get through while replies vanish.
+    bool directional = false;
     std::string tag;
   };
 
@@ -75,6 +78,8 @@ class FaultInjector {
   void fireFrames(const FaultEvent& ev);
   void fireCpu(const FaultEvent& ev);
   void restoreCpu(int serverIdx);
+  void fireClientStall(const FaultEvent& ev);
+  void fireCrashBeforeReply(const FaultEvent& ev);
 
   /// Map the event's setA/setB (server indexes; empty A -> {ev.server},
   /// empty B -> wildcard) to node ids.

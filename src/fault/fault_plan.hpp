@@ -25,6 +25,11 @@ enum class FaultKind {
                    ///< failing on read — the nasty kind)
   kCpuThrottle,    ///< gray failure: cap worker capacity at `magnitude`
   kCpuRestore,     ///< give stolen workers back
+  kReplyDrop,       ///< drop server->client traffic only (lost replies force
+                    ///< retries of already-applied ops — the RIFL scenario)
+  kClientStall,     ///< freeze a client (no RPCs, no lease renewals)
+  kCrashBeforeReply,  ///< arm a master to crash after its next write is
+                      ///< durable but before the reply is sent
 };
 
 /// Stable lower-case name, used for journal events ("fault_<name>").
@@ -54,6 +59,7 @@ struct FaultEvent {
   FaultTrigger trigger;
 
   int server = -1;         ///< target server index (crash/disk/cpu/frames)
+  int client = -1;         ///< target client index (kClientStall)
   std::vector<int> setA;   ///< network rule side A (empty -> {server})
   std::vector<int> setB;   ///< network rule side B (empty -> everyone else)
 
@@ -190,6 +196,50 @@ struct FaultPlan {
     e.trigger.at = at;
     e.server = serverIdx;
     e.magnitude = count;
+    events.push_back(std::move(e));
+    return *this;
+  }
+
+  /// Drop each reply leaving server `serverIdx` toward any client with
+  /// `probability`, for `duration`. Directional: requests still arrive and
+  /// are applied, only the acks vanish — every loss forces a client retry
+  /// of an op the master already executed (docs/LINEARIZABILITY.md).
+  FaultPlan& replyDrop(sim::SimTime at, int serverIdx, double probability,
+                       sim::Duration duration, std::string tag = "replydrop") {
+    FaultEvent e;
+    e.kind = FaultKind::kReplyDrop;
+    e.trigger.at = at;
+    e.server = serverIdx;
+    e.magnitude = probability;
+    e.duration = duration;
+    e.tag = std::move(tag);
+    events.push_back(std::move(e));
+    return *this;
+  }
+
+  /// Freeze client `clientIdx` for `duration`: no new RPCs, no lease
+  /// renewals. A stall longer than the lease term drives the client into
+  /// lease expiry deterministically.
+  FaultPlan& clientStall(sim::SimTime at, int clientIdx,
+                         sim::Duration duration) {
+    FaultEvent e;
+    e.kind = FaultKind::kClientStall;
+    e.trigger.at = at;
+    e.client = clientIdx;
+    e.duration = duration;
+    events.push_back(std::move(e));
+    return *this;
+  }
+
+  /// Arm master `serverIdx` to crash at the worst possible moment: its next
+  /// write completes durably (object + completion record replicated) but
+  /// the reply never leaves. The client's retry must be suppressed by the
+  /// recovered completion record on the new owner.
+  FaultPlan& crashBeforeReply(sim::SimTime at, int serverIdx) {
+    FaultEvent e;
+    e.kind = FaultKind::kCrashBeforeReply;
+    e.trigger.at = at;
+    e.server = serverIdx;
     events.push_back(std::move(e));
     return *this;
   }

@@ -29,6 +29,7 @@ void Log::adopt(std::shared_ptr<Segment> seg) {
   if (head_ == seg.get()) head_ = nullptr;
   appendedBytes_ += seg->appendedBytes();
   liveBytes_ += seg->liveBytes();
+  for (const LogEntry& e : seg->entries()) noteVersion(e.version);
   segments_.emplace(id, std::move(seg));
 }
 
@@ -48,6 +49,7 @@ LogRef Log::append(const LogEntry& e, sim::SimTime now) {
   const std::uint32_t idx = head_->append(e);
   appendedBytes_ += e.sizeBytes;
   if (e.live) liveBytes_ += e.sizeBytes;
+  noteVersion(e.version);
   return LogRef{head_->id(), idx};
 }
 

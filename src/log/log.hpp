@@ -83,6 +83,14 @@ class Log {
 
   std::uint64_t nextVersion() { return nextVersion_++; }
 
+  /// Keep the version counter ahead of an entry that carries a version
+  /// assigned elsewhere (recovery replay, migration batches). Without this
+  /// a destination log could hand a key the same version twice — an ABA
+  /// hazard for conditional writes.
+  void noteVersion(std::uint64_t v) {
+    if (v >= nextVersion_) nextVersion_ = v + 1;
+  }
+
  private:
   Segment& openNewHead(sim::SimTime now);
 

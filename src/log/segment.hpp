@@ -12,7 +12,9 @@ constexpr SegmentId kInvalidSegment = 0xffffffffu;
 
 enum class EntryType : std::uint8_t {
   kObject,
-  kTombstone,  ///< records a deletion so replay does not resurrect the key
+  kTombstone,   ///< records a deletion so replay does not resurrect the key
+  kCompletion,  ///< durable record of a tracked RPC's outcome (RIFL); lets a
+                ///< recovery master suppress retries of already-applied ops
 };
 
 /// One record in the log. Object *contents* are not materialised — the
@@ -28,6 +30,13 @@ struct LogEntry {
   /// For tombstones: the segment that held the deleted object. The
   /// tombstone may be dropped once that segment has been cleaned.
   SegmentId refSegment = kInvalidSegment;
+  /// For kCompletion entries: which tracked RPC this records. tableId/keyId
+  /// keep the *object's* identity so partition filtering and migration range
+  /// collection treat completions like the objects they describe.
+  std::uint64_t clientId = 0;
+  std::uint64_t rpcSeq = 0;
+  std::uint8_t opStatus = 0;  ///< net::Status of the recorded outcome
+  bool found = true;          ///< kRemove result: object existed
 };
 
 /// Reference to an entry in a specific segment.

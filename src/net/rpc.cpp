@@ -25,6 +25,8 @@ const char* opcodeName(Opcode op) {
     case Opcode::kMigrationData: return "migration_data";
     case Opcode::kMigrationDone: return "migration_done";
     case Opcode::kServerListUpdate: return "server_list_update";
+    case Opcode::kOpenLease: return "open_lease";
+    case Opcode::kRenewLease: return "renew_lease";
   }
   return "unknown";
 }

@@ -34,10 +34,12 @@ enum class Opcode : std::uint8_t {
   kMigrationData,      ///< source master -> destination master: batch
   kMigrationDone,      ///< source master -> coordinator
   kServerListUpdate,   ///< coordinator -> masters: a server was declared dead
+  kOpenLease,          ///< client -> coordinator: obtain a client id + lease
+  kRenewLease,         ///< client -> coordinator: extend an existing lease
 };
 
 constexpr std::size_t kOpcodeCount =
-    static_cast<std::size_t>(Opcode::kServerListUpdate) + 1;
+    static_cast<std::size_t>(Opcode::kRenewLease) + 1;
 
 /// Stable lower-case name for metric paths ("net.rpc.timeouts.<opcode>").
 const char* opcodeName(Opcode op);
@@ -49,6 +51,10 @@ enum class Status : std::uint8_t {
   kRecovering,     ///< tablet currently being recovered: back off and retry
   kError,
   kOverloaded,
+  kVersionMismatch,  ///< conditional write rejected: reply carries current
+                     ///< version in `b`
+  kExpiredLease,     ///< master no longer tracks this client: reopen lease
+  kStaleRpc,         ///< rpcSeq below the client's own firstUnacked watermark
 };
 
 /// Compact wire format: an opcode plus a few op-specific integer fields and
@@ -64,6 +70,13 @@ struct RpcRequest {
   /// obs::TimeTrace span carried with the request (0 = untraced). Servers
   /// stamp pipeline stages against it; costs nothing on the wire.
   std::uint64_t traceSpan = 0;
+  /// Linearizability header (docs/LINEARIZABILITY.md). clientId == 0 means
+  /// the RPC is untracked (at-least-once, the pre-RIFL behaviour); batched
+  /// and bulk-load paths stay untracked. A retried RPC carries the *same*
+  /// (clientId, rpcSeq), which is what lets the owner suppress duplicates.
+  std::uint64_t clientId = 0;
+  std::uint64_t rpcSeq = 0;
+  std::uint64_t firstUnacked = 0;  ///< master may GC results below this
   /// Batched-op key list (kMultiRead/kMultiWrite). Shared so the copy in
   /// flight costs nothing; the wire bytes are charged via payloadBytes.
   std::shared_ptr<const std::vector<std::uint64_t>> keys;

@@ -37,6 +37,10 @@ struct ServiceDirectory {
   std::function<BackupService*(node::NodeId)> backupOn;
   /// Nodes with a live backup service (replica-placement candidates).
   std::function<std::vector<node::NodeId>()> liveBackups;
+  /// Coordinator lease check: is this client id's lease still valid?
+  /// Masters consult it on every tracked RPC and in the reclamation sweep
+  /// (content-plane side channel; lease *grants* still travel as RPCs).
+  std::function<bool(std::uint64_t)> leaseValid;
 };
 
 /// Default RPC deadlines.

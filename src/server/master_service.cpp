@@ -27,6 +27,12 @@ MasterService::MasterService(
       cleaner_(
           log_,
           [this](const log::LogEntry& e, log::LogRef newRef) {
+            if (e.type == log::EntryType::kCompletion) {
+              // The backing record moved; keep the suppression table's ref
+              // fresh so GC marks the relocated copy dead, not the old slot.
+              unacked_.updateRecordRef(e.clientId, e.rpcSeq, newRef);
+              return;
+            }
             if (e.type != log::EntryType::kObject) return;
             const hash::Key k{e.tableId, e.keyId};
             if (auto* loc = map_.getMutable(k);
@@ -141,6 +147,11 @@ void MasterService::crash() {
   migrations_.clear();
   logLock_.reset();
   cleanerActive_ = false;
+  // DRAM state dies with the node; suppression state is rebuilt from the
+  // replicated kCompletion records by whichever master recovers the tablets.
+  unacked_.clear();
+  crashBeforeReplyHook_ = nullptr;
+  leaseReclaim_.reset();
 }
 
 void MasterService::addTablet(const Tablet& t) {
@@ -172,6 +183,50 @@ MasterService::ApplyResult MasterService::applyWrite(std::uint64_t tableId,
   if (const auto* old = map_.get(k)) log_.markDead(old->ref);
   map_.put(k, hash::ObjectLocation{ref, e.version, e.sizeBytes});
   return ApplyResult{ref, e.version, e.sizeBytes};
+}
+
+log::LogRef MasterService::appendCompletion(std::uint64_t tableId,
+                                            std::uint64_t keyId,
+                                            std::uint64_t clientId,
+                                            std::uint64_t seq,
+                                            std::uint64_t version,
+                                            net::Status status, bool found) {
+  log::LogEntry c;
+  c.tableId = tableId;
+  c.keyId = keyId;
+  c.sizeBytes = params_.completionRecordBytes;
+  c.version = version;
+  c.type = log::EntryType::kCompletion;
+  c.clientId = clientId;
+  c.rpcSeq = seq;
+  c.opStatus = static_cast<std::uint8_t>(status);
+  c.found = found;
+  return log_.append(c, node_.sim().now());
+}
+
+void MasterService::ensureHeadRoom(std::uint32_t bytes) {
+  log::Segment* head = log_.head();
+  if (head != nullptr && !head->hasRoom(bytes)) log_.sealHead();
+}
+
+void MasterService::releaseCompletionRecords(
+    const std::vector<log::LogRef>& freed) {
+  for (const log::LogRef& ref : freed) {
+    if (ref.valid() && log_.segment(ref.segment) != nullptr) {
+      log_.markDead(ref);
+    }
+  }
+}
+
+void MasterService::startLeaseReclaim() {
+  if (leaseReclaim_ != nullptr || !directory_.leaseValid) return;
+  leaseReclaim_ = std::make_unique<sim::PeriodicTask>(
+      node_.sim(), params_.leaseReclaimInterval, [this](sim::SimTime) {
+        if (!node_.cpu().poweredOn()) return;
+        std::vector<log::LogRef> freed;
+        unacked_.reclaimExpired(directory_.leaseValid, &freed);
+        releaseCompletionRecords(freed);
+      });
 }
 
 void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
@@ -218,36 +273,92 @@ void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
 }
 
 void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
-  const std::uint64_t tableId = req.a;
-  const std::uint64_t keyId = req.b;
-  const auto valueBytes = static_cast<std::uint32_t>(req.payloadBytes);
-  const std::uint64_t span = req.traceSpan;
-  const sim::SimTime arrival = node_.sim().now();
+  struct WriteCtx {
+    std::uint64_t tableId = 0;
+    std::uint64_t keyId = 0;
+    std::uint32_t valueBytes = 0;
+    std::uint64_t expected = 0;  ///< conditional write (0 = unconditional)
+    std::uint64_t clientId = 0;  ///< 0 = untracked (no exactly-once)
+    std::uint64_t rpcSeq = 0;
+    std::uint64_t firstUnacked = 0;
+    std::uint64_t span = 0;
+    sim::SimTime arrival = 0;
+    Responder respond;
+  };
+  auto cx = std::make_shared<WriteCtx>();
+  cx->tableId = req.a;
+  cx->keyId = req.b;
+  cx->valueBytes = static_cast<std::uint32_t>(req.payloadBytes);
+  cx->expected = req.c;
+  cx->clientId = req.clientId;
+  cx->rpcSeq = req.rpcSeq;
+  cx->firstUnacked = req.firstUnacked;
+  cx->span = req.traceSpan;
+  cx->arrival = node_.sim().now();
+  cx->respond = std::move(respond);
 
-  dispatch_.enqueue(guard([this, tableId, keyId, valueBytes, span, arrival,
-                           respond = std::move(respond)]() mutable {
-    stampTrace(span, obs::TimeTrace::Stage::kDispatchWait);
-    if (!ownsKey(tableId, keyId)) {
+  dispatch_.enqueue(guard([this, cx]() mutable {
+    stampTrace(cx->span, obs::TimeTrace::Stage::kDispatchWait);
+    if (!ownsKey(cx->tableId, cx->keyId)) {
       ++stats_.unknownTablet;
       net::RpcResponse r;
       r.status = net::Status::kUnknownTablet;
-      respond(std::move(r));
+      cx->respond(std::move(r));
       return;
     }
-    if (isMigratingRange(tableId, hash::keyHash(hash::Key{tableId, keyId}))) {
+    if (isMigratingRange(cx->tableId,
+                         hash::keyHash(hash::Key{cx->tableId, cx->keyId}))) {
       // The range is being shipped elsewhere; the client backs off and
       // re-routes once the coordinator flips the tablet map.
       net::RpcResponse r;
       r.status = net::Status::kRecovering;
-      respond(std::move(r));
+      cx->respond(std::move(r));
       return;
     }
-    node_.cpu().acquireWorker(guard([this, tableId, keyId, valueBytes, span,
-                                     arrival,
-                                     respond =
-                                         std::move(respond)](int w) mutable {
-      logLock_.acquire(guard([this, tableId, keyId, valueBytes, span, arrival,
-                              w, respond = std::move(respond)]() mutable {
+    if (cx->clientId != 0) {
+      // RIFL admission: reject expired leases, then check the suppression
+      // table before burning a worker on a duplicate.
+      if (directory_.leaseValid && !directory_.leaseValid(cx->clientId)) {
+        net::RpcResponse r;
+        r.status = net::Status::kExpiredLease;
+        cx->respond(std::move(r));
+        return;
+      }
+      startLeaseReclaim();
+      std::vector<log::LogRef> freed;
+      const auto adm =
+          unacked_.begin(cx->clientId, cx->rpcSeq, cx->firstUnacked, &freed);
+      releaseCompletionRecords(freed);
+      switch (adm.check) {
+        case UnackedRpcResults::Check::kCompleted: {
+          // Duplicate of a finished op: replay the recorded outcome, never
+          // re-execute (the original may have been a different value).
+          net::RpcResponse r;
+          r.status = static_cast<net::Status>(adm.result.status);
+          r.b = adm.result.version;
+          cx->respond(std::move(r));
+          return;
+        }
+        case UnackedRpcResults::Check::kInProgress: {
+          // First attempt still replicating; the retry backs off like a
+          // recovery wait and re-probes.
+          net::RpcResponse r;
+          r.status = net::Status::kRecovering;
+          cx->respond(std::move(r));
+          return;
+        }
+        case UnackedRpcResults::Check::kStale: {
+          net::RpcResponse r;
+          r.status = net::Status::kStaleRpc;
+          cx->respond(std::move(r));
+          return;
+        }
+        case UnackedRpcResults::Check::kNew:
+          break;
+      }
+    }
+    node_.cpu().acquireWorker(guard([this, cx](int w) mutable {
+      logLock_.acquire(guard([this, cx, w]() mutable {
         // Thread-handling cost under concurrency (Finding 2's root cause):
         // the more distinct streams hammer this server, the more futile
         // context switches each synced update eats. sqrt keeps the penalty
@@ -256,26 +367,82 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
         const sim::Duration penalty = sim::usecF(
             params_.convoyPenaltyUs * std::sqrt(static_cast<double>(streams)));
         node_.sim().schedule(
-            params_.writeAppendCpu + penalty,
-            guard([this, tableId, keyId, valueBytes, span, arrival, w,
-                   respond = std::move(respond)]() mutable {
-              const ApplyResult res = applyWrite(tableId, keyId, valueBytes);
+            params_.writeAppendCpu + penalty, guard([this, cx, w]() mutable {
+              const bool tracked = cx->clientId != 0;
+              if (cx->expected != 0) {
+                // Conditional check under the append lock: an interleaved
+                // writer cannot slip between check and apply.
+                const auto* loc =
+                    map_.get(hash::Key{cx->tableId, cx->keyId});
+                const std::uint64_t cur = loc != nullptr ? loc->version : 0;
+                if (cur != cx->expected) {
+                  onWriteVersionMismatch(cx->tableId, cx->keyId, cx->clientId,
+                                         cx->rpcSeq, cur, cx->span,
+                                         cx->arrival, w,
+                                         std::move(cx->respond));
+                  return;
+                }
+              }
+              if (tracked) {
+                // The completion record must land in the same segment as
+                // the object so both replicate (and recover) atomically.
+                ensureHeadRoom(cx->valueBytes + params_.objectOverheadBytes +
+                               params_.completionRecordBytes);
+              }
+              const ApplyResult res =
+                  applyWrite(cx->tableId, cx->keyId, cx->valueBytes);
+              log::LogRef rec;
+              std::uint32_t entryBytes = res.entryBytes;
+              if (tracked) {
+                rec = appendCompletion(cx->tableId, cx->keyId, cx->clientId,
+                                       cx->rpcSeq, res.version,
+                                       net::Status::kOk, true);
+                entryBytes += params_.completionRecordBytes;
+              }
               // Hash/log work done; what follows is the log-sync /
               // replication fan-out the paper's Finding 3 is about.
-              stampTrace(span, obs::TimeTrace::Stage::kWorkerService);
-              auto finish = guard([this, span, arrival, w,
-                                   respond = std::move(respond)](
-                                      bool ok) mutable {
+              stampTrace(cx->span, obs::TimeTrace::Stage::kWorkerService);
+              auto finish = guard([this, cx, w, res, rec,
+                                   tracked](bool ok) mutable {
                 logLock_.release();
                 net::RpcResponse r;
                 if (!ok) {
                   r.status = net::Status::kError;
                   ++stats_.replicationFailures;
+                  if (tracked) {
+                    // Nothing durably recorded: the retry re-executes.
+                    unacked_.abortInProgress(cx->clientId, cx->rpcSeq);
+                    log_.markDead(rec);
+                  }
+                } else {
+                  r.b = res.version;
+                  if (tracked) {
+                    UnackedRpcResults::Result rr;
+                    rr.status =
+                        static_cast<std::uint8_t>(net::Status::kOk);
+                    rr.version = res.version;
+                    rr.found = true;
+                    rr.tableId = cx->tableId;
+                    rr.keyId = cx->keyId;
+                    rr.record = rec;
+                    unacked_.recordCompletion(cx->clientId, cx->rpcSeq, rr);
+                  }
                 }
                 ++stats_.writes;
-                stats_.writeServiceLatency.add(node_.sim().now() - arrival);
-                stampTrace(span, obs::TimeTrace::Stage::kReplicationWait);
-                respond(std::move(r));
+                stats_.writeServiceLatency.add(node_.sim().now() -
+                                               cx->arrival);
+                stampTrace(cx->span, obs::TimeTrace::Stage::kReplicationWait);
+                if (ok && crashBeforeReplyHook_) {
+                  // Fault point: the op is durable (and recorded) but the
+                  // reply never leaves — the injector crashes us from the
+                  // hook and the client's retry lands on the new owner.
+                  auto hook = std::move(crashBeforeReplyHook_);
+                  crashBeforeReplyHook_ = nullptr;
+                  node_.cpu().releaseWorker(w);
+                  hook();
+                  return;
+                }
+                cx->respond(std::move(r));
                 node_.cpu().releaseWorker(w);
                 maybeStartCleaner();
               });
@@ -288,7 +455,9 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
                       finish(true);
                     }));
               } else {
-                replicaMgr_.replicateAppend(res.ref.segment, res.entryBytes,
+                // Object + completion record sync as one append (they are
+                // in one segment, see ensureHeadRoom above).
+                replicaMgr_.replicateAppend(res.ref.segment, entryBytes,
                                             std::move(finish));
               }
             }));
@@ -297,68 +466,209 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
   }));
 }
 
-void MasterService::onRemove(const net::RpcRequest& req, Responder respond) {
-  const std::uint64_t tableId = req.a;
-  const std::uint64_t keyId = req.b;
+void MasterService::onWriteVersionMismatch(
+    std::uint64_t tableId, std::uint64_t keyId, std::uint64_t clientId,
+    std::uint64_t seq, std::uint64_t currentVersion, std::uint64_t span,
+    sim::SimTime arrival, int w, Responder respond) {
+  const bool tracked = clientId != 0;
+  log::LogRef rec;
+  if (tracked) {
+    // The rejection is an outcome too: record it durably so a duplicate
+    // retry replays kVersionMismatch instead of re-running the check
+    // against whatever version exists by then.
+    rec = appendCompletion(tableId, keyId, clientId, seq, currentVersion,
+                           net::Status::kVersionMismatch, true);
+  }
+  auto finish = guard([this, tableId, keyId, clientId, seq, currentVersion,
+                       span, arrival, w, rec, tracked,
+                       respond = std::move(respond)](bool ok) mutable {
+    logLock_.release();
+    net::RpcResponse r;
+    if (!ok) {
+      r.status = net::Status::kError;
+      ++stats_.replicationFailures;
+      if (tracked) {
+        unacked_.abortInProgress(clientId, seq);
+        log_.markDead(rec);
+      }
+    } else {
+      r.status = net::Status::kVersionMismatch;
+      r.b = currentVersion;
+      if (tracked) {
+        UnackedRpcResults::Result rr;
+        rr.status = static_cast<std::uint8_t>(net::Status::kVersionMismatch);
+        rr.version = currentVersion;
+        rr.found = true;
+        rr.tableId = tableId;
+        rr.keyId = keyId;
+        rr.record = rec;
+        unacked_.recordCompletion(clientId, seq, rr);
+      }
+    }
+    ++stats_.writes;
+    stats_.writeServiceLatency.add(node_.sim().now() - arrival);
+    stampTrace(span, obs::TimeTrace::Stage::kReplicationWait);
+    respond(std::move(r));
+    node_.cpu().releaseWorker(w);
+    maybeStartCleaner();
+  });
+  if (!tracked || params_.replication.factor <= 0) {
+    finish(true);
+  } else {
+    replicaMgr_.replicateAppend(rec.segment, params_.completionRecordBytes,
+                                std::move(finish));
+  }
+}
 
-  dispatch_.enqueue(guard([this, tableId, keyId,
-                           respond = std::move(respond)]() mutable {
-    if (!ownsKey(tableId, keyId)) {
+void MasterService::onRemove(const net::RpcRequest& req, Responder respond) {
+  struct RemoveCtx {
+    std::uint64_t tableId = 0;
+    std::uint64_t keyId = 0;
+    std::uint64_t clientId = 0;
+    std::uint64_t rpcSeq = 0;
+    std::uint64_t firstUnacked = 0;
+    Responder respond;
+  };
+  auto cx = std::make_shared<RemoveCtx>();
+  cx->tableId = req.a;
+  cx->keyId = req.b;
+  cx->clientId = req.clientId;
+  cx->rpcSeq = req.rpcSeq;
+  cx->firstUnacked = req.firstUnacked;
+  cx->respond = std::move(respond);
+
+  dispatch_.enqueue(guard([this, cx]() mutable {
+    if (!ownsKey(cx->tableId, cx->keyId)) {
       ++stats_.unknownTablet;
       net::RpcResponse r;
       r.status = net::Status::kUnknownTablet;
-      respond(std::move(r));
+      cx->respond(std::move(r));
       return;
     }
-    if (isMigratingRange(tableId, hash::keyHash(hash::Key{tableId, keyId}))) {
+    if (isMigratingRange(cx->tableId,
+                         hash::keyHash(hash::Key{cx->tableId, cx->keyId}))) {
       net::RpcResponse r;
       r.status = net::Status::kRecovering;
-      respond(std::move(r));
+      cx->respond(std::move(r));
       return;
     }
-    node_.cpu().acquireWorker(guard([this, tableId, keyId,
-                                     respond =
-                                         std::move(respond)](int w) mutable {
-      logLock_.acquire(guard([this, tableId, keyId, w,
-                              respond = std::move(respond)]() mutable {
+    if (cx->clientId != 0) {
+      if (directory_.leaseValid && !directory_.leaseValid(cx->clientId)) {
+        net::RpcResponse r;
+        r.status = net::Status::kExpiredLease;
+        cx->respond(std::move(r));
+        return;
+      }
+      startLeaseReclaim();
+      std::vector<log::LogRef> freed;
+      const auto adm =
+          unacked_.begin(cx->clientId, cx->rpcSeq, cx->firstUnacked, &freed);
+      releaseCompletionRecords(freed);
+      switch (adm.check) {
+        case UnackedRpcResults::Check::kCompleted: {
+          net::RpcResponse r;
+          r.status = static_cast<net::Status>(adm.result.status);
+          r.a = adm.result.found ? 1 : 0;
+          r.b = adm.result.version;
+          cx->respond(std::move(r));
+          return;
+        }
+        case UnackedRpcResults::Check::kInProgress: {
+          net::RpcResponse r;
+          r.status = net::Status::kRecovering;
+          cx->respond(std::move(r));
+          return;
+        }
+        case UnackedRpcResults::Check::kStale: {
+          net::RpcResponse r;
+          r.status = net::Status::kStaleRpc;
+          cx->respond(std::move(r));
+          return;
+        }
+        case UnackedRpcResults::Check::kNew:
+          break;
+      }
+    }
+    node_.cpu().acquireWorker(guard([this, cx](int w) mutable {
+      logLock_.acquire(guard([this, cx, w]() mutable {
         node_.sim().schedule(
-            params_.removeServiceTime,
-            guard([this, tableId, keyId, w,
-                   respond = std::move(respond)]() mutable {
-              const hash::Key k{tableId, keyId};
+            params_.removeServiceTime, guard([this, cx, w]() mutable {
+              const bool tracked = cx->clientId != 0;
+              const hash::Key k{cx->tableId, cx->keyId};
               const auto* loc = map_.get(k);
               net::RpcResponse r;
               std::uint32_t entryBytes = 0;
-              log::LogRef tombRef;
-              if (loc == nullptr) {
-                r.a = 0;
-              } else {
+              log::LogRef lastRef;
+              std::uint64_t version = 0;
+              const bool found = loc != nullptr;
+              if (found) {
+                if (tracked) {
+                  ensureHeadRoom(params_.tombstoneBytes +
+                                 params_.completionRecordBytes);
+                }
                 log::LogEntry t;
-                t.tableId = tableId;
-                t.keyId = keyId;
+                t.tableId = cx->tableId;
+                t.keyId = cx->keyId;
                 t.sizeBytes = params_.tombstoneBytes;
                 t.version = log_.nextVersion();
                 t.type = log::EntryType::kTombstone;
                 t.refSegment = loc->ref.segment;
-                tombRef = log_.append(t, node_.sim().now());
+                lastRef = log_.append(t, node_.sim().now());
                 entryBytes = t.sizeBytes;
+                version = t.version;
                 log_.markDead(loc->ref);
                 map_.erase(k);
                 r.a = 1;
+              } else {
+                r.a = 0;
               }
-              auto finish = guard([this, w,
-                                   respond = std::move(respond),
-                                   r](bool ok) mutable {
+              log::LogRef rec;
+              if (tracked) {
+                // Even a not-found remove gets a record: the retry must
+                // see the original answer, not whatever a later write put
+                // there.
+                rec = appendCompletion(cx->tableId, cx->keyId, cx->clientId,
+                                       cx->rpcSeq, version, net::Status::kOk,
+                                       found);
+                entryBytes += params_.completionRecordBytes;
+                lastRef = rec;
+              }
+              r.b = version;
+              auto finish = guard([this, cx, w, r, rec, version, found,
+                                   tracked](bool ok) mutable {
                 logLock_.release();
-                if (!ok) r.status = net::Status::kError;
+                if (!ok) {
+                  r.status = net::Status::kError;
+                  if (tracked) {
+                    unacked_.abortInProgress(cx->clientId, cx->rpcSeq);
+                    log_.markDead(rec);
+                  }
+                } else if (tracked) {
+                  UnackedRpcResults::Result rr;
+                  rr.status = static_cast<std::uint8_t>(net::Status::kOk);
+                  rr.version = version;
+                  rr.found = found;
+                  rr.tableId = cx->tableId;
+                  rr.keyId = cx->keyId;
+                  rr.record = rec;
+                  unacked_.recordCompletion(cx->clientId, cx->rpcSeq, rr);
+                }
                 ++stats_.removes;
-                respond(std::move(r));
+                if (ok && crashBeforeReplyHook_) {
+                  auto hook = std::move(crashBeforeReplyHook_);
+                  crashBeforeReplyHook_ = nullptr;
+                  node_.cpu().releaseWorker(w);
+                  hook();
+                  return;
+                }
+                cx->respond(std::move(r));
                 node_.cpu().releaseWorker(w);
+                maybeStartCleaner();
               });
               if (entryBytes == 0 || params_.replication.factor <= 0) {
                 finish(true);
               } else {
-                replicaMgr_.replicateAppend(tombRef.segment, entryBytes,
+                replicaMgr_.replicateAppend(lastRef.segment, entryBytes,
                                             std::move(finish));
               }
             }));
@@ -600,10 +910,24 @@ void MasterService::onMigrationData(const net::RpcRequest& req,
           log::LogEntry copy = e;
           copy.live = true;
           const log::LogRef ref = log_.append(copy, node_.sim().now());
-          map_.put(hash::Key{e.tableId, e.keyId},
-                   hash::ObjectLocation{ref, e.version, e.sizeBytes});
           bytes += e.sizeBytes;
           lastSeg = ref.segment;
+          if (e.type == log::EntryType::kCompletion) {
+            // Migrated suppression state: install, never index.
+            UnackedRpcResults::Result rr;
+            rr.status = e.opStatus;
+            rr.version = e.version;
+            rr.found = e.found;
+            rr.tableId = e.tableId;
+            rr.keyId = e.keyId;
+            rr.record = ref;
+            if (!unacked_.recover(e.clientId, e.rpcSeq, rr)) {
+              log_.markDead(ref);
+            }
+            continue;
+          }
+          map_.put(hash::Key{e.tableId, e.keyId},
+                   hash::ObjectLocation{ref, e.version, e.sizeBytes});
         }
         r.a = batch.size();
         auto finish = guard([this, w, r,
@@ -767,6 +1091,27 @@ void MasterService::registerMetrics(obs::MetricRegistry& reg,
   });
   reg.probeGauge(prefix + ".replication.pending_async", "items", [this] {
     return static_cast<double>(replicaMgr_.pendingAsyncWrites());
+  });
+  reg.probeCounter(prefix + ".linearize.duplicates_suppressed", "ops", [this] {
+    return static_cast<double>(unacked_.duplicatesSuppressed());
+  });
+  reg.probeCounter(prefix + ".linearize.completion_records", "ops", [this] {
+    return static_cast<double>(unacked_.completionsRecorded());
+  });
+  reg.probeCounter(prefix + ".linearize.records_recovered", "ops", [this] {
+    return static_cast<double>(unacked_.recordsRecovered());
+  });
+  reg.probeCounter(prefix + ".linearize.records_gced", "ops", [this] {
+    return static_cast<double>(unacked_.recordsGced());
+  });
+  reg.probeCounter(prefix + ".linearize.stale_rejected", "ops", [this] {
+    return static_cast<double>(unacked_.staleRejected());
+  });
+  reg.probeCounter(prefix + ".linearize.expired_clients", "ops", [this] {
+    return static_cast<double>(unacked_.clientsExpired());
+  });
+  reg.probeGauge(prefix + ".linearize.tracked_clients", "items", [this] {
+    return static_cast<double>(unacked_.trackedClients());
   });
 }
 

@@ -18,6 +18,7 @@
 #include "server/migration.hpp"
 #include "server/recovery_plan.hpp"
 #include "server/replica_manager.hpp"
+#include "server/unacked_rpc_results.hpp"
 #include "sim/fifo_lock.hpp"
 #include "sim/stats.hpp"
 
@@ -86,6 +87,12 @@ struct MasterParams {
   /// Per-object log metadata footprint added to the value size.
   std::uint32_t objectOverheadBytes = 100;
   std::uint32_t tombstoneBytes = 60;
+  /// In-log footprint of a RIFL completion record (compact: clientId, seq,
+  /// status, version — docs/LINEARIZABILITY.md).
+  std::uint32_t completionRecordBytes = 32;
+  /// Cadence of the sweep that drops duplicate-suppression state for
+  /// clients whose coordinator lease expired.
+  sim::Duration leaseReclaimInterval = sim::seconds(1);
 
   log::LogParams log;
   ReplicationParams replication;
@@ -178,6 +185,26 @@ class MasterService : public net::RpcService {
   std::size_t activeRecoveries() const { return recoveries_.size(); }
   std::size_t logLockWaiters() const { return logLock_.waiters(); }
 
+  // ----- exactly-once (RIFL) support
+
+  UnackedRpcResults& unackedRpcResults() { return unacked_; }
+  const UnackedRpcResults& unackedRpcResults() const { return unacked_; }
+
+  /// Mark dead the kCompletion log entries freed by watermark advance,
+  /// lease reclamation or migration handoff, so the cleaner reclaims them.
+  void releaseCompletionRecords(const std::vector<log::LogRef>& freed);
+
+  /// Fault hook (FaultPlan crash_before_reply): the next successful
+  /// tracked-or-untracked write completes durably — object and completion
+  /// record replicated — but the reply never leaves the node; `hook` runs
+  /// instead (the injector crashes the server from it).
+  void armCrashBeforeReply(std::function<void()> hook) {
+    crashBeforeReplyHook_ = std::move(hook);
+  }
+  bool crashBeforeReplyArmed() const {
+    return static_cast<bool>(crashBeforeReplyHook_);
+  }
+
   // ----- observability
 
   /// Attach the cluster's per-RPC time trace; read/write/remove handlers
@@ -239,6 +266,26 @@ class MasterService : public net::RpcService {
 
   ApplyResult applyWrite(std::uint64_t tableId, std::uint64_t keyId,
                          std::uint32_t valueBytes);
+
+  /// Conditional-write rejection: record (tracked) and reply
+  /// kVersionMismatch with the current version. Runs under logLock_.
+  void onWriteVersionMismatch(std::uint64_t tableId, std::uint64_t keyId,
+                              std::uint64_t clientId, std::uint64_t seq,
+                              std::uint64_t currentVersion,
+                              std::uint64_t span, sim::SimTime arrival, int w,
+                              Responder respond);
+
+  /// Append a kCompletion record for a tracked RPC's outcome.
+  log::LogRef appendCompletion(std::uint64_t tableId, std::uint64_t keyId,
+                               std::uint64_t clientId, std::uint64_t seq,
+                               std::uint64_t version, net::Status status,
+                               bool found);
+  /// Seal the head early if `bytes` would not fit: entries that must be
+  /// recovered atomically (object + completion) may not straddle segments.
+  void ensureHeadRoom(std::uint32_t bytes);
+  /// Lazily start the periodic lease-expiry reclamation sweep.
+  void startLeaseReclaim();
+
   void maybeStartCleaner();
   void cleanerLoop();
   void onRecoveryTaskFinished(RecoveryTask* task);
@@ -265,6 +312,9 @@ class MasterService : public net::RpcService {
 
   std::vector<std::unique_ptr<RecoveryTask>> recoveries_;
   std::vector<std::unique_ptr<MigrationTask>> migrations_;
+  UnackedRpcResults unacked_;
+  std::function<void()> crashBeforeReplyHook_;
+  std::unique_ptr<sim::PeriodicTask> leaseReclaim_;
   mutable std::unordered_map<node::NodeId, sim::SimTime> recentStreams_;
   MasterStats stats_;
   obs::TimeTrace* trace_ = nullptr;

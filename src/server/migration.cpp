@@ -44,6 +44,33 @@ void MigrationTask::collectKeys() {
     e.type = log::EntryType::kObject;
     pending_.push_back(e);
   });
+  // Duplicate-suppression state travels with the tablet: ship the retained
+  // completion records too, so a retry that lands on the new owner after
+  // the map flips is still suppressed (docs/LINEARIZABILITY.md).
+  const auto completions = source_.unackedRpcResults().collectForRange(
+      [this](std::uint64_t tableId, std::uint64_t keyId) {
+        return keyInRange(tableId, keyId);
+      });
+  for (const auto& r : completions) {
+    log::LogEntry e;
+    e.tableId = r.result.tableId;
+    e.keyId = r.result.keyId;
+    e.sizeBytes = source_.params().completionRecordBytes;
+    e.version = r.result.version;
+    e.type = log::EntryType::kCompletion;
+    e.clientId = r.clientId;
+    e.rpcSeq = r.seq;
+    e.opStatus = r.result.status;
+    e.found = r.result.found;
+    pending_.push_back(e);
+  }
+}
+
+bool MigrationTask::keyInRange(std::uint64_t tableId,
+                               std::uint64_t keyId) const {
+  if (tableId != tablet_.tableId) return false;
+  const std::uint64_t h = hash::keyHash(hash::Key{tableId, keyId});
+  return h >= tablet_.startHash && h <= tablet_.endHash;
 }
 
 std::vector<log::LogEntry> MigrationTask::takeBatch(std::uint64_t batchId) {
@@ -115,12 +142,22 @@ void MigrationTask::finish(bool ok) {
     // Drop the moved objects and the tablet; the coordinator flips the map
     // when it receives kMigrationDone.
     for (const auto& e : pending_) {
+      if (e.type != log::EntryType::kObject) continue;
       const hash::Key k{e.tableId, e.keyId};
       if (const auto* loc = source_.objectMap().get(k);
           loc != nullptr && loc->version == e.version) {
         source_.dropObjectForMigration(k);
       }
     }
+    // The new owner answers retries now; drop the handed-off suppression
+    // state and let the cleaner reclaim its records.
+    std::vector<log::LogRef> freed;
+    source_.unackedRpcResults().eraseForRange(
+        [this](std::uint64_t tableId, std::uint64_t keyId) {
+          return keyInRange(tableId, keyId);
+        },
+        &freed);
+    source_.releaseCompletionRecords(freed);
     source_.removeTablet(tablet_);
   }
 

@@ -57,6 +57,8 @@ class MigrationTask {
   void collectKeys();
   void sendNextBatch();
   void finish(bool ok);
+  /// Does (tableId, keyId) hash into the migrating range?
+  bool keyInRange(std::uint64_t tableId, std::uint64_t keyId) const;
 
   MasterService& source_;
   Tablet tablet_;

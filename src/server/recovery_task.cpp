@@ -292,6 +292,19 @@ void RecoveryTask::replayChunk(std::vector<log::LogEntry> entries,
 }
 
 void RecoveryTask::applyEntry(const log::LogEntry& e) {
+  if (e.type == log::EntryType::kCompletion) {
+    // Completion records bypass the object staging table: they share the
+    // object's (tableId, keyId) but are keyed by (clientId, seq), and the
+    // version-dedup below would drop them against the object itself.
+    const auto key = std::make_pair(e.clientId, e.rpcSeq);
+    if (!seenCompletions_.insert(key).second) return;
+    log::LogEntry copy = e;
+    copy.live = true;
+    const log::LogRef ref =
+        sideLog_->append(copy, master_.node().sim().now());
+    recoveredCompletions_.emplace_back(copy, ref);
+    return;
+  }
   const hash::Key k{e.tableId, e.keyId};
   Staged& st = staging_[k];
   if (e.version <= st.version) return;  // stale duplicate from another copy
@@ -375,6 +388,20 @@ void RecoveryTask::commit() {
   for (const Tablet& t :
        plan_->partitions[static_cast<std::size_t>(part_)].ranges) {
     master_.addTablet(t);
+  }
+  for (const auto& [e, ref] : recoveredCompletions_) {
+    UnackedRpcResults::Result rr;
+    rr.status = e.opStatus;
+    rr.version = e.version;
+    rr.found = e.found;
+    rr.tableId = e.tableId;
+    rr.keyId = e.keyId;
+    rr.record = ref;
+    if (!master_.unackedRpcResults().recover(e.clientId, e.rpcSeq, rr)) {
+      // Already known (an earlier partition of the same crash carried it,
+      // or the client's watermark has passed): drop the duplicate copy.
+      master_.log().markDead(ref);
+    }
   }
 
   net::RpcRequest req;

@@ -4,8 +4,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "log/log.hpp"
@@ -92,6 +94,13 @@ class RecoveryTask {
   std::unique_ptr<log::Log> sideLog_;
   std::unique_ptr<ReplicaManager> sideRepl_;
   std::unordered_map<hash::Key, Staged, KeyHasher> staging_;
+
+  /// kCompletion entries seen during replay: deduped by (clientId, seq) —
+  /// several backup copies of a segment replay the same record — then
+  /// installed into the new owner's UnackedRpcResults at commit so retries
+  /// of already-applied ops are suppressed, not re-executed.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seenCompletions_;
+  std::vector<std::pair<log::LogEntry, log::LogRef>> recoveredCompletions_;
 
   /// Worker slots pinned for the task's lifetime: RAMCloud recovery
   /// masters dedicate a replay thread and a replication/sync thread that

@@ -1,0 +1,156 @@
+#include "server/unacked_rpc_results.hpp"
+
+#include <algorithm>
+
+namespace rc::server {
+
+void UnackedRpcResults::advanceWatermark(ClientState& st,
+                                         std::uint64_t firstUnacked,
+                                         std::vector<log::LogRef>* freed) {
+  if (firstUnacked <= st.firstUnacked) return;
+  st.firstUnacked = firstUnacked;
+  auto it = st.results.begin();
+  while (it != st.results.end() && it->first < firstUnacked) {
+    if (freed != nullptr && it->second.record.valid()) {
+      freed->push_back(it->second.record);
+    }
+    ++recordsGced_;
+    it = st.results.erase(it);
+  }
+  auto ip = st.inProgress.begin();
+  while (ip != st.inProgress.end() && ip->first < firstUnacked) {
+    ip = st.inProgress.erase(ip);
+  }
+}
+
+UnackedRpcResults::BeginResult UnackedRpcResults::begin(
+    std::uint64_t clientId, std::uint64_t seq, std::uint64_t firstUnacked,
+    std::vector<log::LogRef>* freed) {
+  ClientState& st = clients_[clientId];
+  advanceWatermark(st, firstUnacked, freed);
+
+  BeginResult r;
+  if (seq < st.firstUnacked) {
+    // The client itself acknowledged this seq already; replaying it would
+    // be a protocol error (its record may already be garbage-collected).
+    ++staleRejected_;
+    r.check = Check::kStale;
+    return r;
+  }
+  if (auto it = st.results.find(seq); it != st.results.end()) {
+    ++duplicatesSuppressed_;
+    r.check = Check::kCompleted;
+    r.result = it->second;
+    return r;
+  }
+  if (st.inProgress.count(seq) > 0) {
+    r.check = Check::kInProgress;
+    return r;
+  }
+  st.inProgress[seq] = true;
+  r.check = Check::kNew;
+  return r;
+}
+
+void UnackedRpcResults::recordCompletion(std::uint64_t clientId,
+                                         std::uint64_t seq,
+                                         const Result& result) {
+  ClientState& st = clients_[clientId];
+  st.inProgress.erase(seq);
+  st.results[seq] = result;
+  ++completionsRecorded_;
+}
+
+void UnackedRpcResults::abortInProgress(std::uint64_t clientId,
+                                        std::uint64_t seq) {
+  auto it = clients_.find(clientId);
+  if (it == clients_.end()) return;
+  it->second.inProgress.erase(seq);
+}
+
+bool UnackedRpcResults::recover(std::uint64_t clientId, std::uint64_t seq,
+                                const Result& result) {
+  ClientState& st = clients_[clientId];
+  if (seq < st.firstUnacked) return false;
+  if (st.results.count(seq) > 0) return false;  // duplicate replica copy
+  st.results[seq] = result;
+  st.inProgress.erase(seq);
+  ++recordsRecovered_;
+  return true;
+}
+
+std::size_t UnackedRpcResults::reclaimExpired(
+    const std::function<bool(std::uint64_t)>& leaseValid,
+    std::vector<log::LogRef>* freed) {
+  std::size_t reclaimed = 0;
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if (leaseValid && leaseValid(it->first)) {
+      ++it;
+      continue;
+    }
+    for (const auto& [seq, res] : it->second.results) {
+      if (freed != nullptr && res.record.valid()) {
+        freed->push_back(res.record);
+      }
+      ++recordsGced_;
+    }
+    it = clients_.erase(it);
+    ++reclaimed;
+    ++clientsExpired_;
+  }
+  return reclaimed;
+}
+
+std::vector<UnackedRpcResults::Retained> UnackedRpcResults::collectForRange(
+    const std::function<bool(std::uint64_t, std::uint64_t)>& inRange) const {
+  std::vector<Retained> out;
+  for (const auto& [cid, st] : clients_) {
+    for (const auto& [seq, res] : st.results) {
+      if (inRange(res.tableId, res.keyId)) {
+        out.push_back(Retained{cid, seq, res});
+      }
+    }
+  }
+  // clients_ is an unordered_map; sort so migration batches are
+  // deterministic regardless of hash-table iteration order.
+  std::sort(out.begin(), out.end(), [](const Retained& a, const Retained& b) {
+    return a.clientId != b.clientId ? a.clientId < b.clientId
+                                    : a.seq < b.seq;
+  });
+  return out;
+}
+
+void UnackedRpcResults::eraseForRange(
+    const std::function<bool(std::uint64_t, std::uint64_t)>& inRange,
+    std::vector<log::LogRef>* freed) {
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    ClientState& st = it->second;
+    for (auto rit = st.results.begin(); rit != st.results.end();) {
+      if (inRange(rit->second.tableId, rit->second.keyId)) {
+        if (freed != nullptr && rit->second.record.valid()) {
+          freed->push_back(rit->second.record);
+        }
+        rit = st.results.erase(rit);
+      } else {
+        ++rit;
+      }
+    }
+    if (st.results.empty() && st.inProgress.empty()) {
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void UnackedRpcResults::updateRecordRef(std::uint64_t clientId,
+                                        std::uint64_t seq,
+                                        const log::LogRef& newRef) {
+  auto it = clients_.find(clientId);
+  if (it == clients_.end()) return;
+  auto rit = it->second.results.find(seq);
+  if (rit == it->second.results.end()) return;
+  rit->second.record = newRef;
+}
+
+}  // namespace rc::server

@@ -12,7 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -35,7 +38,10 @@ constexpr int kTableSpan = 6;  // servers 6 and 7 stay tablet-less (pure
                                // attacks durability, not availability
 
 // The standing fault matrix. Two crashes total (== rf - 1): the tablet
-// owner at t=2s, then a pure backup 50 ms into the ensuing recovery. The
+// owner at t=2s — timed so it lands *between* a write's durable apply and
+// its reply (the RIFL worst case) — then a pure backup 50 ms into the
+// ensuing recovery. A window of pure reply loss plus a client stall long
+// enough to expire its lease exercise the exactly-once layer; the
 // surrounding loss/latency/disk/CPU/corruption faults make every hardened
 // path fire on the same run.
 fault::FaultPlan chaosPlan() {
@@ -45,10 +51,14 @@ fault::FaultPlan chaosPlan() {
   plan.diskDegrade(seconds(1), /*serverIdx=*/4, /*factor=*/2.0, seconds(2));
   plan.cpuThrottle(seconds(1), /*serverIdx=*/5, /*fraction=*/0.34,
                    seconds(2));
+  // Before the 2% loss window opens, so the probe chain on server 1 is
+  // guaranteed to have a write in flight when replies start vanishing.
+  plan.replyDrop(msec(500), /*serverIdx=*/1, /*probability=*/1.0, msec(400));
   plan.corruptFrames(msec(1800), /*serverIdx=*/2, /*count=*/2);
-  plan.crashServer(seconds(2), /*serverIdx=*/0);
+  plan.crashBeforeReply(seconds(2), /*serverIdx=*/0);
   plan.crashOnRecovery(/*ordinal=*/1, msec(50), /*serverIdx=*/7);
   plan.diskStall(msec(2500), /*serverIdx=*/3, msec(300));
+  plan.clientStall(msec(2500), /*clientIdx=*/1, msec(2500));
   return plan;
 }
 
@@ -62,10 +72,98 @@ struct ChaosResult {
   std::size_t rereplicationSpans = 0;
   std::size_t rereplicationWithBytes = 0;
   std::size_t faultEvents = 0;
+  std::size_t crashBeforeReplyEvents = 0;
+  std::size_t replyDropEvents = 0;
+  std::size_t clientStallEvents = 0;
   int crashesInjected = 0;
   std::size_t activeNetworkRules = 0;
   std::uint64_t opsCompleted = 0;
   bool backupCrashLandedMidRecovery = false;
+  double duplicatesSuppressed = 0;
+  std::uint64_t leasesExpired = 0;
+  // Read-your-write checker outcome per client (see RywChecker).
+  std::array<std::uint64_t, 2> rywRounds{};
+  std::array<std::uint64_t, 2> rywMismatches{};
+  bool rywViolation = false;
+  // Client 0's write-only probe on the reply-drop server.
+  std::uint64_t probeRounds = 0;
+  std::uint64_t probeMismatches = 0;
+};
+
+/// Per-client exactly-once probe on a private key nobody else writes: a
+/// chain of conditional writes, each expecting the last version this client
+/// itself produced, each followed by a read-your-write verification. If a
+/// retried write ever applied twice, the next conditional write (or the
+/// read) sees a version this client never acked — under a valid lease
+/// that is an exactly-once violation. After an indeterminate terminal
+/// failure (retry budget, recovery deadline) or a kVersionMismatch (legal
+/// only once the lease expired and the tracking state was reclaimed) the
+/// checker resyncs from a read and keeps going.
+struct RywChecker {
+  struct State {
+    std::uint64_t confirmedVersion = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t mismatches = 0;
+    bool violation = false;
+    bool stop = false;
+  };
+
+  /// `readBack` false runs a write-only chain (duplicate application still
+  /// trips the conditional check as a mismatch); true verifies each acked
+  /// write with a read before the next round.
+  static std::shared_ptr<State> start(core::Cluster& c, std::uint64_t table,
+                                      int clientIdx, std::uint64_t key,
+                                      bool readBack = true) {
+    auto st = std::make_shared<State>();
+    auto& rc = *c.clientHost(clientIdx).rc;
+    auto step = std::make_shared<std::function<void()>>();
+    auto again = [&c, step](sim::Duration d) {
+      c.sim().schedule(d, [step] { (*step)(); });
+    };
+    auto resync = [&c, &rc, table, key, st, again] {
+      rc.readV(table, key,
+               [st, again](net::Status s, std::uint64_t v, sim::Duration) {
+                 if (st->stop) return;
+                 if (s == net::Status::kOk && v != 0) {
+                   st->confirmedVersion = v;
+                 }
+                 again(msec(50));
+               });
+    };
+    *step = [&c, &rc, table, key, st, again, resync, readBack] {
+      if (st->stop) return;
+      rc.writeV(
+          table, key, 64, st->confirmedVersion,
+          [&rc, table, key, st, again, resync, readBack](
+              net::Status s, std::uint64_t v, sim::Duration) {
+            if (st->stop) return;
+            if (s == net::Status::kOk) {
+              if (!readBack) {
+                st->confirmedVersion = v;
+                ++st->rounds;
+                again(msec(5));
+                return;
+              }
+              rc.readV(table, key,
+                       [st, again, v](net::Status rs, std::uint64_t rv,
+                                      sim::Duration) {
+                         if (st->stop) return;
+                         if (rs == net::Status::kOk) {
+                           if (rv != v) st->violation = true;
+                           st->confirmedVersion = v;
+                           ++st->rounds;
+                         }
+                         again(msec(20));
+                       });
+              return;
+            }
+            if (s == net::Status::kVersionMismatch) ++st->mismatches;
+            resync();
+          });
+    };
+    (*step)();
+    return st;
+  }
 };
 
 ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
@@ -74,6 +172,10 @@ ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
   p.clients = 2;
   p.seed = seed;
   p.replicationFactor = kRf;
+  // Short lease so client 1's 2.5 s stall runs out the clock: the sweep
+  // expires it, masters reclaim its tracking state, and the client has to
+  // reopen on resume.
+  p.coordinator.leaseTerm = seconds(2);
   core::Cluster c(p);
   const auto table = c.createTable("chaos", kTableSpan);
   c.bulkLoad(table, kRecords, 256);
@@ -83,6 +185,26 @@ ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
   spec.valueBytes = 256;
   c.configureYcsb(table, spec, ycsb::YcsbClientParams{});
   c.startYcsb();
+
+  // Exactly-once probes on keys outside the YCSB range. The write-only
+  // probe runs on client 0 (which never stalls, so its lease never lapses)
+  // against a key owned by server 1 — the reply-drop target — so the drop
+  // window is guaranteed to catch a tracked write and force a suppressed
+  // duplicate. The two read-your-write checkers live away from the drop.
+  auto keyOwnedBy = [&c, table](int serverIdx, std::uint64_t from) {
+    std::uint64_t k = from;
+    while (c.ownerOfKey(table, k) != c.serverNodeId(serverIdx)) ++k;
+    return k;
+  };
+  const std::uint64_t probeKey = keyOwnedBy(1, kRecords + 1);
+  const std::uint64_t key0 = keyOwnedBy(2, probeKey + 1);
+  const std::uint64_t key1 = keyOwnedBy(3, key0 + 1);
+  auto probe =
+      RywChecker::start(c, table, 0, probeKey, /*readBack=*/false);
+  std::array<std::shared_ptr<RywChecker::State>, 2> ryw = {
+      RywChecker::start(c, table, 0, key0),
+      RywChecker::start(c, table, 1, key1),
+  };
 
   fault::FaultInjector injector(c, chaosPlan(),
                                 c.sim().rng().fork(0xFA171));
@@ -124,6 +246,8 @@ ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
           rfDeficit() > 0 || !mapHealthy())) {
     c.sim().runFor(msec(100));
   }
+  probe->stop = true;
+  for (auto& st : ryw) st->stop = true;
   c.sim().runFor(seconds(2));  // let trailing RPCs and spans settle
 
   ChaosResult r;
@@ -145,11 +269,25 @@ ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
     }
   }
   r.faultEvents = c.journal().spansNamed("fault_crash_server").size();
+  r.crashBeforeReplyEvents =
+      c.journal().spansNamed("fault_crash_before_reply").size();
+  r.replyDropEvents = c.journal().spansNamed("fault_reply_drop").size();
+  r.clientStallEvents = c.journal().spansNamed("fault_client_stall").size();
   r.crashesInjected = injector.crashesInjected();
   r.activeNetworkRules = injector.activeNetworkRules();
   for (int i = 0; i < c.clientCount(); ++i) {
     r.opsCompleted += c.clientHost(i).ycsb->stats().opsCompleted;
   }
+  r.duplicatesSuppressed =
+      c.metrics().value("cluster.linearize.duplicates_suppressed");
+  r.leasesExpired = c.coord().leasesExpired();
+  for (std::size_t i = 0; i < ryw.size(); ++i) {
+    r.rywRounds[i] = ryw[i]->rounds;
+    r.rywMismatches[i] = ryw[i]->mismatches;
+    r.rywViolation = r.rywViolation || ryw[i]->violation;
+  }
+  r.probeRounds = probe->rounds;
+  r.probeMismatches = probe->mismatches;
   // The conditional crash must actually land inside the first recovery's
   // window — otherwise the mid-recovery failover paths went unexercised.
   for (const auto& inj : injector.injections()) {
@@ -165,6 +303,33 @@ ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
   }
   if (!exportDir.empty()) {
     EXPECT_TRUE(c.exportMetrics(exportDir));
+  }
+  if (std::getenv("CHAOS_DEBUG") != nullptr) {
+    for (int i = 0; i < c.serverCount(); ++i) {
+      if (!c.serverAlive(i)) { std::printf("srv%d dead\n", i); continue; }
+      const auto& u = c.server(i).master->unackedRpcResults();
+      std::printf("srv%d suppressed=%llu completions=%llu recovered=%llu\n",
+                  i, (unsigned long long)u.duplicatesSuppressed(),
+                  (unsigned long long)u.completionsRecorded(),
+                  (unsigned long long)u.recordsRecovered());
+    }
+    for (int i = 0; i < c.clientCount(); ++i) {
+      std::printf("cli%d retries(write)=%llu retries(read)=%llu lease=%llu "
+                  "expiries=%llu\n",
+                  i,
+                  (unsigned long long)c.clientHost(i).rc->retriesForOpcode(
+                      net::Opcode::kWrite),
+                  (unsigned long long)c.clientHost(i).rc->retriesForOpcode(
+                      net::Opcode::kRead),
+                  (unsigned long long)c.clientHost(i).rc->clientId(),
+                  (unsigned long long)c.clientHost(i).rc->stats().leaseExpiries);
+    }
+    for (std::size_t i = 0; i < ryw.size(); ++i) {
+      std::printf("ryw%zu rounds=%llu mismatches=%llu key=%llu\n", i,
+                  (unsigned long long)ryw[i]->rounds,
+                  (unsigned long long)ryw[i]->mismatches,
+                  (unsigned long long)(i == 0 ? key0 : key1));
+    }
   }
   return r;
 }
@@ -182,11 +347,33 @@ void expectInvariants(const ChaosResult& r) {
   // payload bytes.
   EXPECT_GT(r.rereplicationSpans, 0u);
   EXPECT_GT(r.rereplicationWithBytes, 0u);
-  EXPECT_EQ(r.faultEvents, 2u);  // both crashes journaled
+  // Server 0 dies via the crash-before-reply hook, server 7 via a plain
+  // crash: one journal span of each kind, two crashes total (== rf - 1).
+  EXPECT_EQ(r.faultEvents, 1u);
+  EXPECT_EQ(r.crashBeforeReplyEvents, 1u);
+  EXPECT_EQ(r.replyDropEvents, 1u);
+  EXPECT_EQ(r.clientStallEvents, 1u);
   EXPECT_EQ(r.crashesInjected, 2);
   EXPECT_EQ(r.activeNetworkRules, 0u);  // every network fault healed
   EXPECT_GT(r.opsCompleted, 0u);
   EXPECT_TRUE(r.backupCrashLandedMidRecovery);
+  // Exactly-once layer under fire: lost replies forced retries that were
+  // answered from completion records, not re-executed...
+  EXPECT_GE(r.duplicatesSuppressed, 1.0);
+  // ...the stalled client's lease ran out and was reclaimed...
+  EXPECT_GE(r.leasesExpired, 1u);
+  // ...and every acked conditional write applied exactly once. Client 0
+  // held its lease throughout, so it may never observe a version it did
+  // not produce; client 1's mismatches (if any) are the documented
+  // post-expiry loss of the guarantee.
+  EXPECT_FALSE(r.rywViolation);
+  EXPECT_EQ(r.rywMismatches[0], 0u);
+  EXPECT_GT(r.rywRounds[0], 0u);
+  EXPECT_GT(r.rywRounds[1], 0u);
+  // The write-only probe holds a valid lease throughout: a version mismatch
+  // there would mean a retried write applied twice.
+  EXPECT_EQ(r.probeMismatches, 0u);
+  EXPECT_GT(r.probeRounds, 0u);
 }
 
 class ChaosSeed : public ::testing::TestWithParam<std::uint64_t> {};

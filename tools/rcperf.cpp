@@ -143,6 +143,10 @@ int cmdYcsb(const Args& a) {
         "repl-wait %.1f/%.1fus (mean/p99)\n",
         r.dispatchWaitMeanUs, r.dispatchWaitP99Us, r.workerServiceMeanUs,
         r.workerServiceP99Us, r.replicationWaitMeanUs, r.replicationWaitP99Us);
+    std::printf("  rpc: timeouts %llu  retries %llu "
+                "(per-opcode: net.rpc.retries.*)\n",
+                static_cast<unsigned long long>(r.rpcTimeouts),
+                static_cast<unsigned long long>(r.rpcRetries));
     std::printf("  metrics: %s/metrics.jsonl, %s/series.csv\n",
                 cfg.metricsDir.c_str(), cfg.metricsDir.c_str());
   }
