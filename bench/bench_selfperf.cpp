@@ -1,0 +1,73 @@
+// bench_selfperf — wall-clock performance of the simulator itself.
+//
+// Unlike the fig/table benches (which reproduce the paper's *modelled*
+// numbers), this harness measures how fast the host turns over simulated
+// events on three canonical scenarios; sweep density — and therefore CI
+// wall time — is directly proportional to it. See docs/PERF.md.
+//
+//   bench_selfperf [--quick] [--repeat N] [--json FILE]
+//                  [--check BASELINE] [--tolerance FRAC]
+//
+// --check gates the process exit code: any scenario whose events/sec drops
+// more than --tolerance (default 0.25) below the recorded baseline fails.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fault/selfperf.hpp"
+
+int main(int argc, char** argv) {
+  rc::fault::selfperf::Options opt;
+  std::string jsonPath = "BENCH_selfperf.json";
+  std::string checkPath;
+  double tolerance = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
+    if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      opt.repeat = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      checkPath = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    }
+  }
+  if (opt.repeat < 1) opt.repeat = 1;
+
+  std::printf("selfperf: simulator hot-path throughput (%s scale, "
+              "best of %d)\n", opt.quick ? "quick" : "default", opt.repeat);
+  const auto results = rc::fault::selfperf::runAll(opt);
+  for (const auto& r : results) {
+    std::printf("  %-14s %12llu events  %6.2f sim-s  %7.3f wall-s  "
+                "%10.0f ev/s  %.4f wall-s/sim-s\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.events),
+                r.simSeconds, r.wallSeconds, r.eventsPerSec(),
+                r.wallPerSimSecond());
+  }
+
+  if (!rc::fault::selfperf::writeJson(results, opt, jsonPath)) {
+    std::fprintf(stderr, "selfperf: cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::printf("selfperf: wrote %s\n", jsonPath.c_str());
+
+  if (!checkPath.empty()) {
+    const auto check = rc::fault::selfperf::checkAgainstBaseline(
+        results, checkPath, tolerance);
+    for (const auto& m : check.messages) {
+      std::printf("baseline-check: %s\n", m.c_str());
+    }
+    if (!check.ok) {
+      std::fprintf(stderr, "selfperf: events/sec regression vs %s\n",
+                   checkPath.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

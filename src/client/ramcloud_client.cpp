@@ -138,7 +138,11 @@ void RamCloudClient::issueMulti(net::Opcode op, std::uint64_t tableId,
         anyUnknown = true;
         continue;
       }
-      groups[target].push_back(k);
+      auto& group = groups[target];
+      // Upper-bound reservation: a batch usually routes to few masters,
+      // and the per-group growth reallocations dominated this loop.
+      if (group.empty()) group.reserve(keys.size());
+      group.push_back(k);
     }
     if (groups.empty() || anyUnknown) {
       if (retriesLeft > 0) {

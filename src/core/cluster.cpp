@@ -29,6 +29,7 @@ Cluster::Cluster(ClusterParams params)
   };
   directory_.liveBackups = [this] {
     std::vector<node::NodeId> out;
+    out.reserve(static_cast<std::size_t>(serverCount()));
     for (int i = 0; i < serverCount(); ++i) {
       if (serverAlive(i)) out.push_back(serverNodeId(i));
     }

@@ -58,13 +58,17 @@ FaultInjector::FaultInjector(core::Cluster& cluster, FaultPlan plan,
     : cluster_(cluster), plan_(std::move(plan)), rng_(rng) {}
 
 FaultInjector::~FaultInjector() {
-  if (armed_) cluster_.network().setFaultFilter({});
+  if (filterInstalled_) cluster_.network().setFaultFilter({});
 }
 
-void FaultInjector::arm() {
-  if (armed_) return;
-  armed_ = true;
-
+void FaultInjector::syncFilter() {
+  const bool want = armed_ && !rules_.empty();
+  if (want == filterInstalled_) return;
+  filterInstalled_ = want;
+  if (!want) {
+    cluster_.network().setFaultFilter({});
+    return;
+  }
   // One choke point for every network fault: the filter consults the live
   // rule list on each message. The rng_ draw order is a deterministic
   // function of the message sequence, which is itself deterministic.
@@ -84,6 +88,11 @@ void FaultInjector::arm() {
         }
         return v;
       });
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
 
   // Chain (don't clobber) any hook a harness already installed.
   auto prev = cluster_.coord().onRecoveryStarted;
@@ -210,6 +219,7 @@ void FaultInjector::fireNetwork(const FaultEvent& ev) {
   }
   const std::uint64_t ruleId = r.id;
   rules_.push_back(std::move(r));
+  syncFilter();
   if (ev.duration > 0) {
     const FaultEvent* evp = &ev;
     cluster_.sim().schedule(ev.duration, [this, ruleId, evp] {
@@ -225,6 +235,7 @@ void FaultInjector::healTag(const std::string& tag) {
                                 return r.tag == tag;
                               }),
                rules_.end());
+  syncFilter();
 }
 
 void FaultInjector::removeRule(std::uint64_t ruleId) {
@@ -233,6 +244,7 @@ void FaultInjector::removeRule(std::uint64_t ruleId) {
                                 return r.id == ruleId;
                               }),
                rules_.end());
+  syncFilter();
 }
 
 void FaultInjector::fireDisk(const FaultEvent& ev) {

@@ -74,6 +74,12 @@ class FaultInjector {
   void fireNetwork(const FaultEvent& ev);
   void healTag(const std::string& tag);
   void removeRule(std::uint64_t ruleId);
+
+  /// Install the Network fault filter only while link rules exist. Every
+  /// message otherwise pays a filter call that scans an empty rule list —
+  /// with no rule armed the filter draws no randomness, so adding and
+  /// removing it as rules come and go is draw-order-identical.
+  void syncFilter();
   void fireDisk(const FaultEvent& ev);
   void fireFrames(const FaultEvent& ev);
   void fireCpu(const FaultEvent& ev);
@@ -92,6 +98,7 @@ class FaultInjector {
   FaultPlan plan_;
   sim::Rng rng_;
   bool armed_ = false;
+  bool filterInstalled_ = false;
 
   std::vector<LinkRule> rules_;
   std::uint64_t nextRuleId_ = 1;

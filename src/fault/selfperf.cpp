@@ -1,0 +1,240 @@
+#include "fault/selfperf.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/cluster.hpp"
+#include "fault/fault_injector.hpp"
+#include "ycsb/workload.hpp"
+#include "ycsb/ycsb_client.hpp"
+
+namespace rc::fault::selfperf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Measure `body(cluster)` — wall-clock and sim-events — after `setup` has
+/// built the scenario. Only the body is timed: bulk loads and wiring are
+/// one-off costs that no sweep pays per simulated second.
+template <typename Setup, typename Body>
+ScenarioResult measure(const std::string& name, Setup setup, Body body) {
+  auto cluster = setup();
+  core::Cluster& c = *cluster;
+  const std::uint64_t events0 = c.sim().eventsExecuted();
+  const sim::SimTime sim0 = c.sim().now();
+  const auto wall0 = Clock::now();
+  body(c);
+  ScenarioResult r;
+  r.name = name;
+  r.events = c.sim().eventsExecuted() - events0;
+  r.simSeconds = sim::toSeconds(c.sim().now() - sim0);
+  r.wallSeconds = secondsSince(wall0);
+  return r;
+}
+
+template <typename RunOnce>
+ScenarioResult bestOf(int repeat, RunOnce runOnce) {
+  ScenarioResult best = runOnce();
+  for (int i = 1; i < repeat; ++i) {
+    ScenarioResult r = runOnce();
+    if (r.eventsPerSec() > best.eventsPerSec()) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+ScenarioResult runYcsbB(const Options& opt) {
+  const std::uint64_t records = opt.quick ? 20'000 : 100'000;
+  const sim::Duration warmup = sim::msec(500);
+  const sim::Duration window = opt.quick ? sim::seconds(1) : sim::seconds(3);
+  return bestOf(opt.repeat, [&] {
+    return measure(
+        "ycsb_b",
+        [&] {
+          core::ClusterParams p;
+          p.servers = 10;
+          p.clients = 10;
+          p.replicationFactor = 3;
+          p.seed = 42;
+          auto c = std::make_unique<core::Cluster>(p);
+          const auto table = c->createTable("usertable");
+          c->bulkLoad(table, records, 1000);
+          c->startPduSampling();
+          const ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::B(records);
+          c->configureYcsb(table, spec, ycsb::YcsbClientParams{});
+          c->startYcsb();
+          c->sim().runFor(warmup);
+          return c;
+        },
+        [&](core::Cluster& c) {
+          c.sim().runFor(window);
+          c.stopYcsb();
+        });
+  });
+}
+
+ScenarioResult runRecoveryRf3(const Options& opt) {
+  const std::uint64_t records = opt.quick ? 100'000 : 1'000'000;
+  return bestOf(opt.repeat, [&] {
+    bool recovered = false;
+    return measure(
+        "recovery_rf3",
+        [&] {
+          core::ClusterParams p;
+          p.servers = 9;
+          p.clients = 1;
+          p.replicationFactor = 3;
+          p.seed = 42;
+          auto c = std::make_unique<core::Cluster>(p);
+          const auto table = c->createTable("usertable");
+          c->bulkLoad(table, records, 1000);
+          c->startPduSampling();
+          c->coord().onRecoveryFinished =
+              [&recovered](const coordinator::RecoveryRecord&) {
+                recovered = true;
+              };
+          core::Cluster* cp = c.get();
+          c->sim().schedule(sim::seconds(1), [cp] { cp->crashServer(3); });
+          return c;
+        },
+        [&](core::Cluster& c) {
+          // Run until the coordinator reports the recovery finished (plus a
+          // short settle for trailing re-replication), capped defensively.
+          const sim::SimTime deadline = c.sim().now() + sim::seconds(120);
+          while (!recovered && c.sim().now() < deadline) {
+            c.sim().runFor(sim::msec(250));
+          }
+          c.sim().runFor(sim::seconds(1));
+        });
+  });
+}
+
+ScenarioResult runChaosSeed101(const Options& opt) {
+  const std::uint64_t records = 8'000;
+  const sim::Duration window = opt.quick ? sim::seconds(3) : sim::seconds(6);
+  return bestOf(opt.repeat, [&] {
+    // Mirrors tests/chaos_test.cpp's standing matrix (minus the RIFL
+    // probes): loss + latency + disk + gray-CPU faults around a master
+    // crash, then a pure-backup crash mid-recovery.
+    FaultPlan plan;
+    plan.networkLoss(sim::seconds(1), 0.02, sim::seconds(1));
+    plan.latencySpike(sim::msec(1500), sim::usec(200), sim::seconds(1));
+    plan.diskDegrade(sim::seconds(1), /*serverIdx=*/4, /*factor=*/2.0,
+                     sim::seconds(2));
+    plan.cpuThrottle(sim::seconds(1), /*serverIdx=*/5, /*fraction=*/0.34,
+                     sim::seconds(2));
+    plan.diskStall(sim::msec(2500), /*serverIdx=*/3, sim::msec(300));
+    plan.crashServer(sim::seconds(2), /*serverIdx=*/0);
+    plan.crashOnRecovery(/*ordinal=*/1, sim::msec(50), /*serverIdx=*/7);
+
+    std::unique_ptr<FaultInjector> injector;
+    ScenarioResult r = measure(
+        "chaos_101",
+        [&] {
+          core::ClusterParams p;
+          p.servers = 8;
+          p.clients = 2;
+          p.replicationFactor = 3;
+          p.seed = 101;
+          auto c = std::make_unique<core::Cluster>(p);
+          // Servers 6 and 7 stay tablet-less pure backups so the
+          // mid-recovery crash attacks durability, not availability.
+          const auto table = c->createTable("chaos", /*serverSpan=*/6);
+          c->bulkLoad(table, records, 256);
+          ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::A(records);
+          spec.valueBytes = 256;
+          c->configureYcsb(table, spec, ycsb::YcsbClientParams{});
+          c->startYcsb();
+          injector = std::make_unique<FaultInjector>(
+              *c, plan, c->sim().rng().fork(0xFA171));
+          injector->arm();
+          return c;
+        },
+        [&](core::Cluster& c) {
+          c.sim().runFor(window);
+          c.stopYcsb();
+          c.sim().runFor(sim::seconds(2));  // trailing RPCs + repair settle
+        });
+    injector.reset();
+    return r;
+  });
+}
+
+std::vector<ScenarioResult> runAll(const Options& opt) {
+  return {runYcsbB(opt), runRecoveryRf3(opt), runChaosSeed101(opt)};
+}
+
+bool writeJson(const std::vector<ScenarioResult>& results,
+               const Options& opt, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n  \"bench\": \"selfperf\",\n  \"schema\": 1,\n"
+     << "  \"quick\": " << (opt.quick ? "true" : "false") << ",\n"
+     << "  \"repeat\": " << opt.repeat << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"events\": %llu, "
+                  "\"sim_s\": %.6f, \"wall_s\": %.6f, "
+                  "\"events_per_sec\": %.1f, \"wall_per_sim_s\": %.6f}%s\n",
+                  r.name.c_str(), static_cast<unsigned long long>(r.events),
+                  r.simSeconds, r.wallSeconds, r.eventsPerSec(),
+                  r.wallPerSimSecond(), i + 1 < results.size() ? "," : "");
+    os << line;
+  }
+  os << "  ]\n}\n";
+  return static_cast<bool>(os);
+}
+
+BaselineCheck checkAgainstBaseline(const std::vector<ScenarioResult>& results,
+                                   const std::string& baselinePath,
+                                   double tolerance) {
+  BaselineCheck out;
+  std::ifstream is(baselinePath);
+  if (!is) {
+    out.ok = false;
+    out.messages.push_back("cannot read baseline: " + baselinePath);
+    return out;
+  }
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string text = ss.str();
+
+  for (const ScenarioResult& r : results) {
+    const std::string namePat = "\"name\": \"" + r.name + "\"";
+    const auto at = text.find(namePat);
+    if (at == std::string::npos) {
+      out.messages.push_back(r.name + ": not in baseline, skipped");
+      continue;
+    }
+    const std::string keyPat = "\"events_per_sec\": ";
+    const auto kat = text.find(keyPat, at);
+    if (kat == std::string::npos) {
+      out.messages.push_back(r.name + ": baseline has no events_per_sec");
+      continue;
+    }
+    const double base = std::strtod(text.c_str() + kat + keyPat.size(),
+                                    nullptr);
+    const double cur = r.eventsPerSec();
+    const double floor = base * (1.0 - tolerance);
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "%s: %.0f ev/s vs baseline %.0f (floor %.0f) -> %s",
+                  r.name.c_str(), cur, base, floor,
+                  cur >= floor ? "ok" : "REGRESSION");
+    out.messages.push_back(msg);
+    if (cur < floor) out.ok = false;
+  }
+  return out;
+}
+
+}  // namespace rc::fault::selfperf

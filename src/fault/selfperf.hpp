@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rc::fault::selfperf {
+
+/// Host-side (wall-clock) performance of the simulator itself, measured on
+/// three canonical scenarios (docs/PERF.md):
+///
+///   ycsb_b        closed-loop YCSB-B steady state, 10 servers, rf=3
+///   recovery_rf3  crash recovery of a loaded master at rf=3
+///   chaos_101     the chaos fault matrix (seed 101) under YCSB-A load
+///
+/// The metric that matters is host events/sec: every figure, chaos seed and
+/// CI job is bounded by how many simulated events per second the host can
+/// turn over. wall_per_sim_s is the complementary "how long does one
+/// simulated second take me" view.
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t events = 0;  ///< sim events executed in the measured window
+  double simSeconds = 0;     ///< simulated time covered by the window
+  double wallSeconds = 0;    ///< host wall-clock spent on the window
+
+  double eventsPerSec() const {
+    return wallSeconds > 0 ? static_cast<double>(events) / wallSeconds : 0;
+  }
+  double wallPerSimSecond() const {
+    return simSeconds > 0 ? wallSeconds / simSeconds : 0;
+  }
+};
+
+struct Options {
+  bool quick = false;  ///< smaller windows / data (CI smoke)
+  int repeat = 1;      ///< run each scenario N times, keep the fastest
+};
+
+ScenarioResult runYcsbB(const Options& opt);
+ScenarioResult runRecoveryRf3(const Options& opt);
+ScenarioResult runChaosSeed101(const Options& opt);
+
+/// All three canonical scenarios, in the order above.
+std::vector<ScenarioResult> runAll(const Options& opt);
+
+/// Write BENCH_selfperf.json (one JSON object; schema in docs/PERF.md).
+bool writeJson(const std::vector<ScenarioResult>& results,
+               const Options& opt, const std::string& path);
+
+/// Compare against a recorded baseline (same JSON schema). A scenario fails
+/// when its events/sec drops more than `tolerance` (fraction) below the
+/// baseline's; scenarios missing from the baseline are ignored. Returns
+/// human-readable verdict lines in `messages`.
+struct BaselineCheck {
+  bool ok = true;
+  std::vector<std::string> messages;
+};
+BaselineCheck checkAgainstBaseline(const std::vector<ScenarioResult>& results,
+                                   const std::string& baselinePath,
+                                   double tolerance);
+
+}  // namespace rc::fault::selfperf

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "node/node.hpp"
+#include "sim/inline_task.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
@@ -37,7 +38,7 @@ struct TransportParams {
 /// the services themselves (dispatch thread), not here.
 class Network {
  public:
-  using DeliverFn = std::function<void()>;
+  using DeliverFn = sim::InlineTask;
 
   /// Fault-injection verdict for one message (see fault::FaultInjector).
   /// drop: the message vanishes after the sender serialised it — the

@@ -46,6 +46,25 @@ bool RpcSystem::isBound(node::NodeId node, int port) const {
   return services_.count(addrKey(node, port)) > 0;
 }
 
+RpcSystem::TxSlot* RpcSystem::TxArena::acquire(RpcRequest req) {
+  TxSlot* slot = free;
+  if (slot != nullptr) {
+    free = slot->next;
+    slot->next = nullptr;
+  } else {
+    slots.push_back(std::make_unique<TxSlot>());
+    slot = slots.back().get();
+  }
+  slot->req = std::move(req);
+  return slot;
+}
+
+void RpcSystem::TxArena::release(TxSlot* slot) {
+  slot->req = RpcRequest{};  // drop the shared key list promptly
+  slot->next = free;
+  free = slot;
+}
+
 void RpcSystem::call(node::NodeId from, node::NodeId to, int port,
                      RpcRequest req, sim::Duration timeout, ResponseFn cb) {
   const std::uint64_t rpcId = nextRpcId_++;
@@ -61,10 +80,12 @@ void RpcSystem::call(node::NodeId from, node::NodeId to, int port,
     resp.status = Status::kTimeout;
     cb(resp);
   });
+  const std::uint64_t wireBytes = kRpcHeaderBytes + req.payloadBytes;
   outstanding_[rpcId] = Pending{std::move(cb), timeoutEvent, req.op};
 
-  net_.send(from, to, kRpcHeaderBytes + req.payloadBytes,
-            [this, rpcId, from, to, port, req] {
+  TxHandle tx(txArena_, txArena_->acquire(std::move(req)));
+  net_.send(from, to, wireBytes,
+            [this, rpcId, from, to, port, tx = std::move(tx)] {
     auto it = services_.find(addrKey(to, port));
     if (it == services_.end()) return;  // dead service: caller times out
     RpcService* service = it->second;
@@ -79,7 +100,7 @@ void RpcSystem::call(node::NodeId from, node::NodeId to, int port,
         cb(resp);
       });
     };
-    service->handleRpc(req, from, std::move(respond));
+    service->handleRpc(tx.req(), from, std::move(respond));
   });
 }
 

@@ -103,7 +103,9 @@ constexpr int kCoordinatorPort = 3;
 class RpcService {
  public:
   virtual ~RpcService() = default;
-  using Responder = std::function<void(RpcResponse)>;
+  /// Move-only so continuations can own it without heap allocation; may
+  /// capture pooled request state.
+  using Responder = sim::InlineFunction<void(RpcResponse)>;
   virtual void handleRpc(const RpcRequest& req, node::NodeId from,
                          Responder respond) = 0;
 };
@@ -111,7 +113,7 @@ class RpcService {
 /// Cluster-wide RPC fabric with timeouts.
 class RpcSystem {
  public:
-  using ResponseFn = std::function<void(const RpcResponse&)>;
+  using ResponseFn = sim::InlineFunction<void(const RpcResponse&)>;
 
   RpcSystem(sim::Simulation& sim, Network& net);
 
@@ -143,10 +145,49 @@ class RpcSystem {
            static_cast<std::uint64_t>(port);
   }
 
+  /// Pooled in-flight request storage: the request travels the wire as a
+  /// pointer into this free-list arena instead of being copied into (and
+  /// heap-allocated by) the delivery closure. Released when the delivery
+  /// event runs — or when it is destroyed undelivered (message dropped).
+  /// The arena is shared-owned: pending delivery events can outlive the
+  /// RpcSystem (the Simulation's event heap drains last at teardown), so
+  /// each handle keeps the arena alive until it has released its slot.
+  struct TxSlot {
+    RpcRequest req;
+    TxSlot* next = nullptr;
+  };
+  struct TxArena {
+    std::vector<std::unique_ptr<TxSlot>> slots;
+    TxSlot* free = nullptr;
+    TxSlot* acquire(RpcRequest req);
+    void release(TxSlot* slot);
+  };
+  class TxHandle {
+   public:
+    TxHandle(std::shared_ptr<TxArena> arena, TxSlot* slot)
+        : arena_(std::move(arena)), slot_(slot) {}
+    TxHandle(TxHandle&& o) noexcept
+        : arena_(std::move(o.arena_)), slot_(o.slot_) {
+      o.slot_ = nullptr;
+    }
+    TxHandle(const TxHandle&) = delete;
+    TxHandle& operator=(const TxHandle&) = delete;
+    TxHandle& operator=(TxHandle&&) = delete;
+    ~TxHandle() {
+      if (slot_ != nullptr) arena_->release(slot_);
+    }
+    const RpcRequest& req() const { return slot_->req; }
+
+   private:
+    std::shared_ptr<TxArena> arena_;
+    TxSlot* slot_;
+  };
+
   sim::Simulation& sim_;
   Network& net_;
   std::unordered_map<std::uint64_t, RpcService*> services_;
   std::unordered_map<std::uint64_t, Pending> outstanding_;
+  std::shared_ptr<TxArena> txArena_ = std::make_shared<TxArena>();
   std::uint64_t nextRpcId_ = 1;
   std::uint64_t timeouts_ = 0;
   std::array<std::uint64_t, kOpcodeCount> opTimeouts_{};

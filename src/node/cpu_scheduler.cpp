@@ -14,6 +14,7 @@ CpuScheduler::CpuScheduler(sim::Simulation& sim, CpuParams params)
   state_.assign(static_cast<std::size_t>(params_.workerThreads),
                 WorkerState::Sleeping);
   spinEnd_.assign(state_.size(), sim::kInvalidEvent);
+  pendingAssign_.resize(state_.size());
   for (int w = params_.workerThreads - 1; w >= 0; --w) {
     sleepingStack_.push_back(w);
   }
@@ -43,6 +44,7 @@ void CpuScheduler::powerOff() {
       sim_.cancel(spinEnd_[w]);
       spinEnd_[w] = sim::kInvalidEvent;
     }
+    pendingAssign_[w] = nullptr;  // wakeups in flight are orphaned
     state_[w] = WorkerState::Sleeping;
   }
   spinningStack_.clear();
@@ -61,9 +63,15 @@ void CpuScheduler::assign(WorkerId w, AcquireFn fn, bool fromSleep) {
   ++tasksStarted_;
   setBusyCores();
   if (fromSleep && params_.wakeupLatency > 0) {
+    // Park the grant in the worker's slot: the wakeup event then captures
+    // only (this, epoch, w) and stays within InlineTask's inline buffer.
+    // The slot is free — a Busy worker cannot be re-assigned until the
+    // grant has run and released it.
+    pendingAssign_[static_cast<std::size_t>(w)] = std::move(fn);
     const std::uint64_t epoch = epoch_;
-    sim_.schedule(params_.wakeupLatency, [this, epoch, w, fn = std::move(fn)] {
+    sim_.schedule(params_.wakeupLatency, [this, epoch, w] {
       if (epoch_ != epoch) return;
+      AcquireFn fn = std::move(pendingAssign_[static_cast<std::size_t>(w)]);
       fn(w);
     });
   } else {
@@ -127,9 +135,9 @@ void CpuScheduler::startSpin(WorkerId w) {
       });
 }
 
-void CpuScheduler::run(sim::Duration cpuTime, std::function<void()> done) {
+void CpuScheduler::run(sim::Duration cpuTime, sim::InlineTask done) {
   const std::uint64_t epoch = epoch_;
-  acquireWorker([this, epoch, cpuTime, done = std::move(done)](WorkerId w) {
+  acquireWorker([this, epoch, cpuTime, done = std::move(done)](WorkerId w) mutable {
     sim_.schedule(cpuTime, [this, epoch, w, done = std::move(done)] {
       if (epoch_ != epoch) return;  // node crashed meanwhile
       releaseWorker(w);

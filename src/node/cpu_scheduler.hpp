@@ -2,9 +2,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
+#include "sim/inline_task.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -45,7 +45,7 @@ struct CpuParams {
 class CpuScheduler {
  public:
   using WorkerId = int;
-  using AcquireFn = std::function<void(WorkerId)>;
+  using AcquireFn = sim::InlineFunction<void(WorkerId)>;
 
   CpuScheduler(sim::Simulation& sim, CpuParams params);
 
@@ -73,7 +73,7 @@ class CpuScheduler {
   void releaseWorker(WorkerId id);
 
   /// Convenience: occupy a worker for `cpuTime`, then call `done`.
-  void run(sim::Duration cpuTime, std::function<void()> done);
+  void run(sim::Duration cpuTime, sim::InlineTask done);
 
   /// Epoch increments on every powerOff/powerOn; continuations captured
   /// before a crash must check it before touching the scheduler.
@@ -122,6 +122,7 @@ class CpuScheduler {
 
   std::vector<WorkerState> state_;
   std::vector<sim::EventId> spinEnd_;     // pending spin-end per worker
+  std::vector<AcquireFn> pendingAssign_;  // parked across wakeupLatency
   std::vector<WorkerId> spinningStack_;   // LIFO: hottest worker on top
   std::vector<WorkerId> sleepingStack_;
   std::deque<AcquireFn> queue_;

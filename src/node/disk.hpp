@@ -2,8 +2,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
+#include "sim/inline_task.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -33,7 +33,7 @@ struct DiskParams {
 /// paper's recovery-time findings.
 class Disk {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::InlineTask;
 
   Disk(sim::Simulation& sim, DiskParams params);
 

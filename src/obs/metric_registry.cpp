@@ -111,6 +111,15 @@ void MetricRegistry::forEach(
   for (const auto& e : entries_) fn(e->info);
 }
 
+const MetricInfo& MetricRegistry::infoAt(std::size_t idx) const {
+  return entries_[idx]->info;
+}
+
+double MetricRegistry::valueAt(std::size_t idx) const {
+  const Entry& e = *entries_[idx];
+  return e.read ? e.read() : 0;
+}
+
 double MetricRegistry::value(const std::string& name) const {
   auto it = index_.find(name);
   if (it == index_.end()) return 0;

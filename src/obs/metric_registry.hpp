@@ -98,6 +98,12 @@ class MetricRegistry {
   /// Visit every metric in registration order.
   void forEach(const std::function<void(const MetricInfo&)>& fn) const;
 
+  /// Indexed access in registration order — lets samplers cache a metric's
+  /// position at wiring time and read it each tick without any name lookup.
+  const MetricInfo& infoAt(std::size_t idx) const;
+  /// Value of the idx-th metric (0 for histograms).
+  double valueAt(std::size_t idx) const;
+
   /// Current value of a counter or gauge (0 if absent or a histogram).
   double value(const std::string& name) const;
 

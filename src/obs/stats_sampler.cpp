@@ -8,22 +8,14 @@ StatsSampler::StatsSampler(sim::Simulation& sim,
     : sim_(sim),
       registry_(registry),
       interval_(interval),
-      lastTick_(sim.now()),
-      prev_(registry.snapshotValues()) {
+      lastTick_(sim.now()) {
+  syncSlots(/*primePrev=*/true);
   task_ = std::make_unique<sim::PeriodicTask>(
       sim_, interval_, [this](sim::SimTime now) { tick(now); });
 }
 
 void StatsSampler::stop() {
   if (task_) task_->cancel();
-}
-
-sim::TimeSeries& StatsSampler::seriesFor(const std::string& name) {
-  for (auto& [n, ts] : series_) {
-    if (n == name) return ts;
-  }
-  series_.emplace_back(name, sim::TimeSeries{});
-  return series_.back().second;
 }
 
 const sim::TimeSeries* StatsSampler::find(const std::string& name) const {
@@ -33,25 +25,48 @@ const sim::TimeSeries* StatsSampler::find(const std::string& name) const {
   return nullptr;
 }
 
-void StatsSampler::tick(sim::SimTime now) {
-  const MetricRegistry::Snapshot cur = registry_.snapshotValues();
-  registry_.forEach([&](const MetricInfo& info) {
+void StatsSampler::syncSlots(bool primePrev) {
+  while (slots_.size() < registry_.size()) {
+    const std::size_t i = slots_.size();
+    const MetricInfo& info = registry_.infoAt(i);
+    Slot s;
+    s.kind = info.kind;
     switch (info.kind) {
       case MetricKind::kCounter:
-        seriesFor(info.name + ".rate")
-            .add(now, MetricRegistry::rate(prev_, cur, info.name, lastTick_,
-                                           now));
+        s.seriesName = info.name + ".rate";
+        if (primePrev) s.prev = registry_.valueAt(i);
         break;
-      case MetricKind::kGauge: {
-        const auto it = cur.find(info.name);
-        seriesFor(info.name).add(now, it == cur.end() ? 0 : it->second);
+      case MetricKind::kGauge:
+        s.seriesName = info.name;
         break;
-      }
       case MetricKind::kHistogram:
         break;  // distributions are exported whole, not sampled
     }
-  });
-  prev_ = cur;
+    slots_.push_back(std::move(s));
+  }
+}
+
+void StatsSampler::tick(sim::SimTime now) {
+  syncSlots(/*primePrev=*/false);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (s.kind == MetricKind::kHistogram) continue;
+    const double cur = registry_.valueAt(i);
+    double sample = cur;
+    if (s.kind == MetricKind::kCounter) {
+      sample = now <= lastTick_
+                   ? 0
+                   : (cur - s.prev) / sim::toSeconds(now - lastTick_);
+      s.prev = cur;
+    }
+    if (s.seriesIdx == kUnset) {
+      // First sampled point: series appear in the same first-seen order
+      // the export format has always used.
+      s.seriesIdx = series_.size();
+      series_.emplace_back(s.seriesName, sim::TimeSeries{});
+    }
+    series_[s.seriesIdx].second.add(now, sample);
+  }
   lastTick_ = now;
   ++ticks_;
 }

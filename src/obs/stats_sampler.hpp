@@ -40,15 +40,31 @@ class StatsSampler {
   const sim::TimeSeries* find(const std::string& name) const;
 
  private:
+  /// Per-metric sampling state, cached at wiring time so the 1 Hz tick
+  /// reads values by index — no per-tick snapshot map, no name lookups,
+  /// no string concatenation on the data path.
+  struct Slot {
+    MetricKind kind = MetricKind::kGauge;
+    std::string seriesName;           ///< "<metric>.rate" for counters
+    std::size_t seriesIdx = kUnset;   ///< created on first sampled point
+    double prev = 0;                  ///< counter value at the last tick
+  };
+  static constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+
   void tick(sim::SimTime now);
-  sim::TimeSeries& seriesFor(const std::string& name);
+
+  /// Append slots for metrics registered since the last call. `primePrev`
+  /// seeds counter baselines from current values (construction time); at
+  /// tick time new counters baseline from 0, matching snapshot-delta
+  /// semantics for metrics that appeared mid-run.
+  void syncSlots(bool primePrev);
 
   sim::Simulation& sim_;
   const MetricRegistry& registry_;
   sim::Duration interval_;
   sim::SimTime lastTick_;
   std::uint64_t ticks_ = 0;
-  MetricRegistry::Snapshot prev_;
+  std::vector<Slot> slots_;
   std::vector<std::pair<std::string, sim::TimeSeries>> series_;
   std::unique_ptr<sim::PeriodicTask> task_;
 };

@@ -366,6 +366,9 @@ std::vector<log::LogEntry> BackupService::filteredEntries(
     return out;
   }
   const Frame& f = it->second;
+  // Recovery replay batches run thousands of entries; one upfront
+  // reservation beats log2(n) growth reallocations per segment.
+  out.reserve(f.data->entries().size());
   std::uint64_t seen = 0;
   for (const auto& e : f.data->entries()) {
     if (seen + e.sizeBytes > f.ackedBytes) break;

@@ -124,7 +124,7 @@ class BackupService : public net::RpcService {
     bool inMemory = true;   ///< buffered copy still present
     bool loading = false;   ///< recovery read from disk in progress
     bool corrupt = false;   ///< injected fault: reads fail, listing works
-    std::vector<std::function<void()>> loadWaiters;
+    std::vector<sim::InlineTask> loadWaiters;
   };
 
   /// Frame keys sorted by (master, segment) — deterministic fault picks.

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <string>
 
 #include "obs/metric_registry.hpp"
+#include "sim/inline_task.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
@@ -36,16 +37,24 @@ class Dispatch {
   /// can never deadlock against worker-holding updates — this is exactly
   /// the "CPU contention between replication requests and normal requests"
   /// of the paper's Finding 3).
-  void enqueue(std::function<void()> fn, sim::Duration extraCost = 0) {
+  void enqueue(sim::InlineTask fn, sim::Duration extraCost = 0) {
     if (!alive_) return;
     const sim::SimTime start = std::max(sim_.now(), nextFree_);
     nextFree_ = start + params_.perItem + extraCost;
     ++queued_;
     maxQueueDepth_ = std::max(maxQueueDepth_, queued_);
+    // Items wait in the dispatch's own FIFO; the scheduled hand-off event
+    // captures only (this, epoch), so it always fits an InlineTask's inline
+    // buffer — no nested-closure overflow. Hand-off events fire at strictly
+    // increasing times within an epoch, so the front item is always the one
+    // whose event is firing.
+    items_.push_back(std::move(fn));
     const std::uint64_t epoch = epoch_;
-    sim_.scheduleAt(nextFree_, [this, epoch, fn = std::move(fn)] {
+    sim_.scheduleAt(nextFree_, [this, epoch] {
       if (epoch_ != epoch) return;  // crashed/restarted: item was dropped
       if (queued_ > 0) --queued_;
+      sim::InlineTask fn = std::move(items_.front());
+      items_.pop_front();
       fn();
     });
     ++itemsDispatched_;
@@ -56,6 +65,7 @@ class Dispatch {
     alive_ = false;
     ++epoch_;
     queued_ = 0;
+    items_.clear();
   }
 
   void restart() {
@@ -63,6 +73,7 @@ class Dispatch {
     ++epoch_;
     nextFree_ = sim_.now();
     queued_ = 0;
+    items_.clear();
   }
 
   bool alive() const { return alive_; }
@@ -95,6 +106,7 @@ class Dispatch {
  private:
   sim::Simulation& sim_;
   DispatchParams params_;
+  std::deque<sim::InlineTask> items_;
   sim::SimTime nextFree_ = 0;
   bool alive_ = true;
   std::uint64_t epoch_ = 0;

@@ -17,9 +17,14 @@ ReplicaManager::ReplicaManager(sim::Simulation& sim, net::RpcSystem& rpc,
       segmentLookup_(std::move(segmentLookup)),
       rng_(rng) {}
 
+ReplicaManager::~ReplicaManager() {
+  if (repairEvent_ != sim::kInvalidEvent) sim_.cancel(repairEvent_);
+}
+
 void ReplicaManager::onSegmentOpened(const log::Segment& seg) {
   if (params_.factor <= 0) return;
   SegmentState st;
+  st.backups.reserve(static_cast<std::size_t>(params_.factor));
   std::vector<node::NodeId> pool = candidates_();
   // Random distinct backups; RAMCloud scatters every segment independently.
   for (int r = 0; r < params_.factor && !pool.empty(); ++r) {
@@ -248,12 +253,13 @@ void ReplicaManager::scheduleRepair() {
   if (repairAttempt_ < 30) ++repairAttempt_;
   const std::uint64_t salt =
       (static_cast<std::uint64_t>(self_) << 32) ^ 0x5eedULL;
-  sim_.schedule(params_.retryBackoff.delay(attempt, salt),
-                [this] { repairTick(); });
+  repairEvent_ = sim_.schedule(params_.retryBackoff.delay(attempt, salt),
+                               [this] { repairTick(); });
 }
 
 void ReplicaManager::repairTick() {
   repairScheduled_ = false;
+  repairEvent_ = sim::kInvalidEvent;
   if (stillAlive && !stillAlive()) return;
   // Deterministic order regardless of hash-map layout.
   std::vector<log::SegmentId> damaged;

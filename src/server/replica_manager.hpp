@@ -10,6 +10,7 @@
 #include "node/node.hpp"
 #include "obs/event_journal.hpp"
 #include "server/common.hpp"
+#include "sim/inline_task.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 
@@ -52,7 +53,7 @@ struct ReplicationParams {
 /// master (RAMCloud's ReplicaManager + ReplicatedSegment).
 class ReplicaManager {
  public:
-  using DoneFn = std::function<void(bool ok)>;
+  using DoneFn = sim::InlineFunction<void(bool ok)>;
   /// Candidate backup nodes (alive, backup service up, excluding self).
   using CandidatesFn = std::function<std::vector<node::NodeId>()>;
   /// Resolve one of this master's segments (for watermark resends).
@@ -63,6 +64,10 @@ class ReplicaManager {
                  node::NodeId self, ReplicationParams params,
                  CandidatesFn candidates, SegmentLookupFn segmentLookup,
                  sim::Rng rng);
+
+  /// Recovery tasks destroy their ReplicaManager mid-run; the pending
+  /// repair-tick event must not outlive `this` (eager O(log n) cancel).
+  ~ReplicaManager();
 
   /// Pick `factor` distinct backups for a fresh segment (random scatter —
   /// RAMCloud's placement, chosen so recovery can enlist many machines).
@@ -150,6 +155,7 @@ class ReplicaManager {
   std::uint64_t repairsCompleted_ = 0;
   std::uint64_t bytesReplicated_ = 0;
   bool repairScheduled_ = false;
+  sim::EventId repairEvent_ = sim::kInvalidEvent;
   int repairAttempt_ = 0;
   obs::EventJournal* journal_ = nullptr;
   std::uint64_t journalCtx_ = 0;

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/inline_task.hpp"
+#include "sim/time.hpp"
+
+namespace rc::sim {
+
+/// Identifier of a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+constexpr EventId kInvalidEvent = 0;
+
+/// Indexed 4-ary min-heap of timer events, keyed on (time, seq).
+///
+/// seq is a monotone scheduling counter, so ties on time break in FIFO
+/// scheduling order — the exact ordering contract the old
+/// priority_queue<Entry> comparator implemented, which keeps event
+/// execution order (and therefore every seeded run) bit-identical.
+///
+/// Each event's callback lives in a slot arena; the heap array holds only
+/// (time, seq, slot) triples, and each slot remembers its heap position.
+/// That index makes cancel() O(log n): the dominant schedule-then-cancel
+/// pattern (RPC timeouts, worker spin-ends) removes its entry eagerly
+/// instead of leaving a tombstone to be re-popped later. A 4-ary layout
+/// halves the tree depth of a binary heap and keeps hot comparisons within
+/// one cache line of children.
+///
+/// EventIds encode (generation << 32 | slot); generations bump on every
+/// slot reuse, so cancelling an id that already ran is a harmless no-op.
+class EventHeap {
+ public:
+  /// Insert a callback at `time`; FIFO among equal times.
+  EventId push(SimTime time, InlineTask cb) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.cb = std::move(cb);
+    const std::size_t i = heap_.size();
+    heap_.push_back(Item{time, nextSeq_++, slot});
+    s.pos = static_cast<std::int32_t>(i);
+    siftUp(i);
+    return makeId(s.gen, slot);
+  }
+
+  /// Remove a pending event. Returns false (no-op) if the id already ran,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+    const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slots_.size()) return false;
+    Slot& s = slots_[slot];
+    if (s.gen != gen || s.pos < 0) return false;
+    removeAt(static_cast<std::size_t>(s.pos));
+    releaseSlot(slot);
+    return true;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Precondition: !empty().
+  SimTime topTime() const { return heap_[0].time; }
+
+  /// Pop the earliest event; precondition: !empty().
+  InlineTask popTop(SimTime* timeOut) {
+    const Item top = heap_[0];
+    if (timeOut != nullptr) *timeOut = top.time;
+    InlineTask cb = std::move(slots_[top.slot].cb);
+    removeAt(0);
+    releaseSlot(top.slot);
+    return cb;
+  }
+
+ private:
+  struct Item {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct Slot {
+    InlineTask cb;
+    std::uint32_t gen = 1;
+    std::int32_t pos = -1;
+  };
+
+  static EventId makeId(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  static bool before(const Item& a, const Item& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void place(std::size_t i, const Item& item) {
+    heap_[i] = item;
+    slots_[item.slot].pos = static_cast<std::int32_t>(i);
+  }
+
+  void releaseSlot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.cb = nullptr;
+    s.pos = -1;
+    if (++s.gen == 0) s.gen = 1;  // keep ids != kInvalidEvent
+    free_.push_back(slot);
+  }
+
+  void removeAt(std::size_t i) {
+    const std::size_t last = heap_.size() - 1;
+    slots_[heap_[i].slot].pos = -1;
+    if (i != last) {
+      const Item moved = heap_[last];
+      heap_.pop_back();
+      place(i, moved);
+      if (i > 0 && before(heap_[i], heap_[(i - 1) / 4])) {
+        siftUp(i);
+      } else {
+        siftDown(i);
+      }
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  void siftUp(std::size_t i) {
+    const Item item = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(item, heap_[parent])) break;
+      place(i, heap_[parent]);
+      i = parent;
+    }
+    place(i, item);
+  }
+
+  void siftDown(std::size_t i) {
+    const Item item = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], item)) break;
+      place(i, heap_[best]);
+      i = best;
+    }
+    place(i, item);
+  }
+
+  std::vector<Item> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::uint64_t nextSeq_ = 1;
+};
+
+}  // namespace rc::sim

@@ -3,7 +3,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <functional>
+
+#include "sim/inline_task.hpp"
 
 namespace rc::sim {
 
@@ -15,7 +16,7 @@ namespace rc::sim {
 /// queued — that is modelled in the CpuScheduler, not here).
 class FifoLock {
  public:
-  using Grant = std::function<void()>;
+  using Grant = InlineTask;
 
   /// Returns true if the lock was free and granted synchronously; otherwise
   /// queues `grant` and returns false.

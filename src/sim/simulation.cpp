@@ -14,33 +14,21 @@ EventId Simulation::schedule(Duration delay, Callback cb) {
 
 EventId Simulation::scheduleAt(SimTime t, Callback cb) {
   if (t < now_) t = now_;
-  const EventId id = nextId_++;
-  queue_.push(Entry{t, id, std::move(cb)});
-  return id;
+  return heap_.push(t, std::move(cb));
 }
 
 void Simulation::cancel(EventId id) {
-  if (id != kInvalidEvent) cancelled_.insert(id);
+  if (id != kInvalidEvent) heap_.cancel(id);
 }
 
 bool Simulation::popAndRunOne(SimTime limit) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.time > limit) return false;
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    // Move the callback out before popping so it survives the pop.
-    Callback cb = std::move(const_cast<Entry&>(top).cb);
-    now_ = top.time;
-    queue_.pop();
-    ++executed_;
-    cb();
-    return true;
-  }
-  return false;
+  if (heap_.empty() || heap_.topTime() > limit) return false;
+  SimTime t;
+  Callback cb = heap_.popTop(&t);
+  now_ = t;
+  ++executed_;
+  cb();
+  return true;
 }
 
 std::uint64_t Simulation::run() {

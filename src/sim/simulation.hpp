@@ -2,28 +2,24 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "sim/event_heap.hpp"
+#include "sim/inline_task.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace rc::sim {
 
-/// Identifier of a scheduled event; usable to cancel it.
-using EventId = std::uint64_t;
-
-constexpr EventId kInvalidEvent = 0;
-
 /// Deterministic discrete-event simulation kernel.
 ///
 /// Events are (time, callback) pairs executed in nondecreasing time order;
 /// ties are broken by scheduling order, which makes runs fully deterministic.
-/// Cancellation is lazy: cancelled ids are skipped when popped.
+/// Callbacks are InlineTasks (no heap allocation for common lambda sizes)
+/// stored in an indexed 4-ary heap, so cancellation removes the event
+/// eagerly in O(log n) instead of tombstoning it.
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineTask;
 
   explicit Simulation(std::uint64_t seed = 1);
 
@@ -62,8 +58,9 @@ class Simulation {
   /// Clear the stop flag so the simulation can be resumed.
   void clearStop() { stopped_ = false; }
 
-  /// Number of events still pending (including lazily-cancelled ones).
-  std::size_t pendingEvents() const { return queue_.size(); }
+  /// Number of events still pending. Cancelled events are removed eagerly,
+  /// so they never count here.
+  std::size_t pendingEvents() const { return heap_.size(); }
 
   /// Total events executed since construction.
   std::uint64_t eventsExecuted() const { return executed_; }
@@ -72,26 +69,12 @@ class Simulation {
   Rng& rng() { return rng_; }
 
  private:
-  struct Entry {
-    SimTime time;
-    EventId id;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
-  };
-
   bool popAndRunOne(SimTime limit);
 
   SimTime now_ = 0;
-  EventId nextId_ = 1;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  EventHeap heap_;
   Rng rng_;
 };
 

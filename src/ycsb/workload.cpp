@@ -69,6 +69,7 @@ KeyChooser::KeyChooser(const WorkloadSpec& spec, sim::Rng rng)
     alpha_ = 1.0 / (1.0 - theta_);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
            (1.0 - zeta2_ / zetan_);
+    halfPowTheta_ = std::pow(0.5, theta_);
   }
 }
 
@@ -94,7 +95,7 @@ std::uint64_t KeyChooser::nextZipfian() {
   const double u = rng_.uniformDouble();
   const double uz = u * zetan_;
   if (uz < 1.0) return 0;
-  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  if (uz < 1.0 + halfPowTheta_) return 1;
   const auto rank = static_cast<std::uint64_t>(
       static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
   return rank >= n_ ? n_ - 1 : rank;

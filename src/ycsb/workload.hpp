@@ -65,6 +65,7 @@ class KeyChooser {
   double zeta2_ = 0;
   double alpha_ = 0;
   double eta_ = 0;
+  double halfPowTheta_ = 0;  ///< pow(0.5, theta): loop-invariant, hoisted
 };
 
 }  // namespace rc::ycsb

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <vector>
 
+#include "sim/event_heap.hpp"
 #include "sim/fifo_lock.hpp"
+#include "sim/inline_task.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
@@ -332,6 +336,213 @@ TEST_P(SimDeterminism, SameSeedSameTrace) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimDeterminism,
                          ::testing::Values(1, 42, 1337, 0xdeadbeef));
+
+// ---------------------------------------------------------------------------
+// InlineFunction / InlineTask
+
+struct DtorCounter {
+  int* ctors;
+  int* dtors;
+  DtorCounter(int* c, int* d) : ctors(c), dtors(d) { ++*ctors; }
+  DtorCounter(const DtorCounter& o) : ctors(o.ctors), dtors(o.dtors) {
+    ++*ctors;
+  }
+  DtorCounter(DtorCounter&& o) noexcept : ctors(o.ctors), dtors(o.dtors) {
+    ++*ctors;
+  }
+  ~DtorCounter() { ++*dtors; }
+};
+
+TEST(InlineTask, SmallCaptureStoresInline) {
+  int x = 0;
+  InlineTask t([&x] { x = 7; });
+  EXPECT_TRUE(t.isInline());
+  t();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(InlineTask, LargeCaptureOverflowsToPoolAndStillRuns) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kInlineBytes
+  big[15] = 99;
+  std::uint64_t out = 0;
+  InlineTask t([big, &out] { out = big[15]; });
+  EXPECT_FALSE(t.isInline());
+  t();
+  EXPECT_EQ(out, 99u);
+}
+
+TEST(InlineTask, MoveTransfersTargetAndEmptiesSource) {
+  int calls = 0;
+  InlineTask a([&calls] { ++calls; });
+  InlineTask b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InlineTask c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineTask, DestroysInlineTargetExactlyOnce) {
+  int ctors = 0;
+  int dtors = 0;
+  {
+    DtorCounter probe(&ctors, &dtors);
+    InlineTask t([probe] {});
+    EXPECT_TRUE(t.isInline());
+    InlineTask moved(std::move(t));
+    InlineTask assigned;
+    assigned = std::move(moved);
+  }
+  EXPECT_EQ(ctors, dtors);
+  EXPECT_GT(dtors, 0);
+}
+
+TEST(InlineTask, DestroysOverflowTargetExactlyOnce) {
+  int ctors = 0;
+  int dtors = 0;
+  {
+    std::array<std::uint64_t, 16> pad{};
+    DtorCounter probe(&ctors, &dtors);
+    InlineTask t([probe, pad] {});
+    EXPECT_FALSE(t.isInline());
+    // Overflow moves are pointer swaps: no extra target copies.
+    const int ctorsBeforeMove = ctors;
+    InlineTask moved(std::move(t));
+    EXPECT_EQ(ctors, ctorsBeforeMove);
+    moved.reset();
+  }
+  EXPECT_EQ(ctors, dtors);
+  EXPECT_GT(dtors, 0);
+}
+
+TEST(InlineTask, ReassignmentDestroysPreviousTarget) {
+  int ctors = 0;
+  int dtors = 0;
+  DtorCounter probe(&ctors, &dtors);
+  InlineTask t([probe] {});
+  const int dtorsBefore = dtors;
+  t = nullptr;
+  EXPECT_EQ(dtors, dtorsBefore + 1);
+  EXPECT_FALSE(static_cast<bool>(t));
+}
+
+TEST(InlineFunction, ForwardsArgumentsAndReturnValue) {
+  InlineFunction<int(int, int)> f([](int a, int b) { return a * 10 + b; });
+  EXPECT_EQ(f(3, 4), 34);
+}
+
+// ---------------------------------------------------------------------------
+// EventHeap
+
+TEST(EventHeap, PopsInTimeOrder) {
+  EventHeap h;
+  std::vector<int> order;
+  h.push(msec(30), [&order] { order.push_back(30); });
+  h.push(msec(10), [&order] { order.push_back(10); });
+  h.push(msec(20), [&order] { order.push_back(20); });
+  while (!h.empty()) {
+    SimTime t = 0;
+    h.popTop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventHeap, EqualTimesPopFifo) {
+  EventHeap h;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    h.push(msec(5), [&order, i] { order.push_back(i); });
+  }
+  while (!h.empty()) {
+    SimTime t = 0;
+    h.popTop(&t)();
+    EXPECT_EQ(t, msec(5));
+  }
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventHeap, CancelInMiddleRemovesEagerlyAndPreservesOrder) {
+  EventHeap h;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(h.push(msec(i + 1), [&order, i] { order.push_back(i); }));
+  }
+  // Cancel every third event, scattered through the middle of the heap.
+  for (int i = 2; i < 20; i += 3) {
+    EXPECT_TRUE(h.cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(h.size(), 20u - 6u);  // removed immediately, not tombstoned
+  SimTime prev = 0;
+  while (!h.empty()) {
+    SimTime t = 0;
+    h.popTop(&t)();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  for (int i : order) EXPECT_NE(i % 3, 2);
+  EXPECT_EQ(order.size(), 14u);
+}
+
+TEST(EventHeap, CancelledIdIsNoOpAfterPopOrSecondCancel) {
+  EventHeap h;
+  const EventId id = h.push(msec(1), [] {});
+  EXPECT_TRUE(h.cancel(id));
+  EXPECT_FALSE(h.cancel(id));  // slot generation bumped
+
+  int runs = 0;
+  const EventId id2 = h.push(msec(2), [&runs] { ++runs; });
+  SimTime t = 0;
+  h.popTop(&t)();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(h.cancel(id2));  // already ran
+}
+
+TEST(EventHeap, SlotReuseInvalidatesStaleIds) {
+  EventHeap h;
+  const EventId stale = h.push(msec(1), [] {});
+  SimTime t = 0;
+  h.popTop(&t)();
+  // The freed slot is reused; the stale id must not cancel the new event.
+  int runs = 0;
+  const EventId fresh = h.push(msec(2), [&runs] { ++runs; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(h.cancel(stale));
+  EXPECT_EQ(h.size(), 1u);
+  h.popTop(&t)();
+  EXPECT_TRUE(h.cancel(fresh) == false);
+}
+
+TEST(EventHeap, InterleavedPushPopCancelKeepsOrdering) {
+  EventHeap h;
+  Rng rng(99);
+  std::vector<EventId> live;
+  SimTime prev = 0;
+  std::uint64_t popped = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const auto roll = rng.uniformInt(10);
+    if (roll < 6 || h.empty()) {
+      live.push_back(
+          h.push(prev + static_cast<Duration>(rng.uniformInt(5000)), [] {}));
+    } else if (roll < 8 && !live.empty()) {
+      const std::size_t pick = rng.uniformInt(live.size());
+      h.cancel(live[pick]);  // may already have run: no-op then
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      SimTime t = 0;
+      h.popTop(&t)();
+      ++popped;
+      EXPECT_GE(t, prev);
+      prev = t;
+    }
+  }
+  EXPECT_GT(popped, 100u);
+}
 
 }  // namespace
 }  // namespace rc::sim

@@ -161,6 +161,25 @@ TEST(KeyChooser, LatestPrefersNewestKeys) {
   EXPECT_GT(newestHits, draws / 20);
 }
 
+// Golden sequence: pins the zipfian generator's exact arithmetic. Any
+// change to the draw path (e.g. reordering the pow() hoist, switching
+// float widths) shifts these values and must be caught — seeded runs
+// across the whole simulator depend on them bit-for-bit.
+TEST(KeyChooser, ZipfianGoldenSequenceIsStable) {
+  WorkloadSpec s = WorkloadSpec::C(10'000);
+  s.distribution = WorkloadSpec::Distribution::kZipfian;
+  KeyChooser kc(s, sim::Rng(7));
+  const std::uint64_t golden[32] = {
+      1818, 427,  1728, 36,   5927, 85, 136,  771,   //
+      90,   1,    95,   4867, 1988, 2,  2030, 1005,  //
+      5,    9090, 0,    839,  0,    0,  7854, 4,     //
+      0,    50,   4,    7516, 0,    3,  2079, 1,
+  };
+  for (std::uint64_t expected : golden) {
+    EXPECT_EQ(kc.next(), expected);
+  }
+}
+
 TEST(YcsbClient, WorkloadDInsertsGrowKeyspace) {
   core::Cluster c(tiny());
   const auto table = c.createTable("t");

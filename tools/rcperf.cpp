@@ -21,6 +21,7 @@
 #include "core/experiment.hpp"
 #include "core/recovery_experiment.hpp"
 #include "core/table_format.hpp"
+#include "fault/selfperf.hpp"
 
 using namespace rc;
 
@@ -217,6 +218,27 @@ int cmdRecovery(const Args& a) {
   return r.recovered ? 0 : 1;
 }
 
+int cmdSelfperf(const Args& a) {
+  fault::selfperf::Options opt;
+  opt.quick = a.has("quick");
+  opt.repeat = std::max(1, static_cast<int>(a.num("repeat", 1)));
+  const auto results = fault::selfperf::runAll(opt);
+  for (const auto& r : results) {
+    std::printf("%-14s %12llu events  %6.2f sim-s  %7.3f wall-s  "
+                "%10.0f ev/s  %.4f wall-s/sim-s\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.events),
+                r.simSeconds, r.wallSeconds, r.eventsPerSec(),
+                r.wallPerSimSecond());
+  }
+  const std::string jsonPath = a.str("json", "BENCH_selfperf.json");
+  if (!fault::selfperf::writeJson(results, opt, jsonPath)) {
+    std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", jsonPath.c_str());
+  return 0;
+}
+
 void usage() {
   std::puts(
       "rcperf — simulated-RAMCloud experiment runner\n"
@@ -232,7 +254,11 @@ void usage() {
       "  rcperf recovery [--servers N] [--rf N] [--records N] [--kill-at S]\n"
       "                  [--segment-mb N] [--probe-clients] [--seed N] [--csv]\n"
       "                  [--metrics-dir DIR]  (also writes events.jsonl —\n"
-      "                  the recovery span tree; analyze with rcdiag)\n");
+      "                  the recovery span tree; analyze with rcdiag)\n"
+      "  rcperf selfperf [--quick] [--repeat N] [--json FILE]\n"
+      "                  (host events/sec of the simulator itself on the\n"
+      "                  canonical scenarios; writes BENCH_selfperf.json —\n"
+      "                  see docs/PERF.md; also: rcperf --selfperf)\n");
 }
 
 }  // namespace
@@ -243,6 +269,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "selfperf" || cmd == "--selfperf") {
+    return cmdSelfperf(Args::parse(argc, argv, 2));
+  }
   if (cmd == "ycsb") return cmdYcsb(Args::parse(argc, argv, 2));
   if (cmd == "recovery") return cmdRecovery(Args::parse(argc, argv, 2));
   if (cmd == "sweep" && argc >= 3) {
