@@ -5,7 +5,9 @@
 // clients rf=4 lands around 41-50 K — replication is a first-order
 // performance cost (Finding 3).
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
@@ -20,6 +22,12 @@ int main(int argc, char** argv) {
   const int clientCounts[] = {10, 30, 60};
   double thr[3][4];
   double replWaitUs[3][4];
+  // Exemplar integrity, collected from the 10-client runs (SLO tracking
+  // on): every captured exemplar's stage durations must sum to its span
+  // total within 1 us — the decomposition accounts for the whole RPC.
+  std::uint64_t exemplars = 0;
+  std::uint64_t exemplarsWithStages = 0;
+  std::uint64_t exemplarSumViolations = 0;
   for (int ci = 0; ci < 3; ++ci) {
     for (int rf = 1; rf <= 4; ++rf) {
       core::YcsbExperimentConfig cfg;
@@ -31,9 +39,28 @@ int main(int argc, char** argv) {
       cfg.timeScale = opt.timeScale();
       cfg.metricsDir = opt.runDir("cl" + std::to_string(clientCounts[ci]) +
                                   "_rf" + std::to_string(rf));
+      if (ci == 0) {
+        cfg.tenant = "fig05";
+        cfg.readSlo = obs::SloTarget{sim::usec(250), sim::msec(1)};
+        cfg.updateSlo = obs::SloTarget{sim::usec(800), sim::msec(4)};
+      }
       const auto r = core::runYcsbExperiment(cfg);
       thr[ci][rf - 1] = r.throughputOpsPerSec;
       replWaitUs[ci][rf - 1] = r.replicationWaitMeanUs;
+      for (const auto& row : r.sloWindows) {
+        for (const auto& ex : row.exemplars) {
+          ++exemplars;
+          if (ex.detail.numStages == 0) continue;
+          ++exemplarsWithStages;
+          sim::Duration sum = 0;
+          for (std::uint8_t si = 0; si < ex.detail.numStages; ++si) {
+            sum += ex.detail.stages[si].elapsed;
+          }
+          const auto diff = sum > ex.detail.total ? sum - ex.detail.total
+                                                  : ex.detail.total - sum;
+          if (diff > sim::usec(1)) ++exemplarSumViolations;
+        }
+      }
     }
   }
 
@@ -63,5 +90,14 @@ int main(int argc, char** argv) {
   }
   v.check(replWaitUs[0][3] > replWaitUs[0][0],
           "per-RPC replication wait grows rf 1->4 (10 clients)");
+  std::printf("exemplars: %llu captured, %llu with stage decompositions, "
+              "%llu sum violations\n",
+              static_cast<unsigned long long>(exemplars),
+              static_cast<unsigned long long>(exemplarsWithStages),
+              static_cast<unsigned long long>(exemplarSumViolations));
+  v.check(exemplarsWithStages > 0,
+          "10-client runs captured staged exemplars");
+  v.check(exemplarSumViolations == 0,
+          "every exemplar's stages sum to its span total (within 1us)");
   return v.exitCode();
 }

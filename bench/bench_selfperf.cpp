@@ -7,14 +7,23 @@
 //
 //   bench_selfperf [--quick] [--repeat N] [--json FILE]
 //                  [--check BASELINE] [--tolerance FRAC]
+//                  [--slo-overhead [--slo-tolerance FRAC]]
 //
 // --check gates the process exit code: any scenario whose events/sec drops
 // more than --tolerance (default 0.25) below the recorded baseline fails.
+//
+// --slo-overhead runs the ycsb_b scenario twice on this host — SLO tracker
+// off, then on (tenant classes declared, every op recorded, exemplars
+// kept) — and fails if the on-variant's events/sec drops more than
+// --slo-tolerance (default 0.05) below the off-variant's. Same-machine
+// A/B, so the gate is immune to host speed differences.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "fault/selfperf.hpp"
 
@@ -23,6 +32,8 @@ int main(int argc, char** argv) {
   std::string jsonPath = "BENCH_selfperf.json";
   std::string checkPath;
   double tolerance = 0.25;
+  bool sloOverhead = false;
+  double sloTolerance = 0.05;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
     if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
@@ -37,8 +48,50 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
       tolerance = std::strtod(argv[++i], nullptr);
     }
+    if (std::strcmp(argv[i], "--slo-overhead") == 0) sloOverhead = true;
+    if (std::strcmp(argv[i], "--slo-tolerance") == 0 && i + 1 < argc) {
+      sloTolerance = std::strtod(argv[++i], nullptr);
+    }
   }
   if (opt.repeat < 1) opt.repeat = 1;
+
+  if (sloOverhead) {
+    // A/B the SLO tracker's hot-path cost on ycsb_b (docs/SLO.md gate).
+    // Wall-clock A/B on a shared host is noisy (~+-5% run to run), so:
+    // one discarded warmup, then N reps per side with the off/on order
+    // alternating each rep (cancels cache/allocator warmup bias), and
+    // the per-side *best* run as the estimate — the minimum-interference
+    // execution is the stablest proxy for true cost.
+    const int reps = opt.repeat < 5 ? 5 : opt.repeat;
+    auto off = opt;
+    off.slo = false;
+    auto on = opt;
+    on.slo = true;
+    (void)rc::fault::selfperf::runYcsbB(off);  // warmup, discarded
+    std::vector<double> offs, ons;
+    for (int r = 0; r < reps; ++r) {
+      if (r % 2 == 0) {
+        offs.push_back(rc::fault::selfperf::runYcsbB(off).eventsPerSec());
+        ons.push_back(rc::fault::selfperf::runYcsbB(on).eventsPerSec());
+      } else {
+        ons.push_back(rc::fault::selfperf::runYcsbB(on).eventsPerSec());
+        offs.push_back(rc::fault::selfperf::runYcsbB(off).eventsPerSec());
+      }
+    }
+    const double evOff = *std::max_element(offs.begin(), offs.end());
+    const double evOn = *std::max_element(ons.begin(), ons.end());
+    const double drop = evOff > 0 ? 1.0 - evOn / evOff : 0.0;
+    std::printf("slo-overhead: ycsb_b off %.0f ev/s, on %.0f ev/s, "
+                "drop %.2f%% (tolerance %.2f%%)\n",
+                evOff, evOn, drop * 100.0, sloTolerance * 100.0);
+    if (drop > sloTolerance) {
+      std::fprintf(stderr,
+                   "selfperf: SLO tracker overhead %.2f%% exceeds %.2f%%\n",
+                   drop * 100.0, sloTolerance * 100.0);
+      return 1;
+    }
+    return 0;
+  }
 
   std::printf("selfperf: simulator hot-path throughput (%s scale, "
               "best of %d)\n", opt.quick ? "quick" : "default", opt.repeat);

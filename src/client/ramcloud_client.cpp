@@ -374,20 +374,26 @@ void RamCloudClient::issue(OpState st) {
   }
   // One span per RPC *attempt*: retries and recovery waits open fresh
   // spans, so stage histograms describe individual RPCs, not op lifetimes.
-  const std::uint64_t span = trace_ != nullptr ? trace_->beginSpan() : 0;
+  const std::uint64_t span = trace_ != nullptr ? trace_->beginSpan(tenant_) : 0;
   req.traceSpan = span;
+  req.tenant = tenant_;
 
   rpc_.call(self_, target, net::kMasterPort, req, params_.opTimeout,
-            [this, span,
+            [this, span, target,
              st = std::move(st)](const net::RpcResponse& resp) mutable {
+    lastOp_.valid = false;
     if (trace_ != nullptr && span != 0) {
       if (resp.status == net::Status::kTimeout) {
         // The server died (or the reply was lost): the RPC never finished,
         // so drop the span rather than charging a timeout-length "reply".
         trace_->abandonSpan(span);
       } else {
-        trace_->stamp(span, obs::TimeTrace::Stage::kNetworkReply);
-        trace_->endSpan(span);
+        trace_->stamp(span, obs::TimeTrace::Stage::kNetworkReply, -1,
+                      static_cast<std::int32_t>(self_));
+        trace_->endSpan(span, &lastOp_.detail);
+        lastOp_.valid = true;
+        lastOp_.span = span;
+        lastOp_.node = static_cast<int>(target);
       }
     }
     switch (resp.status) {

@@ -130,6 +130,25 @@ class RamCloudClient {
   /// synthesised timeouts). nullptr disables tracing.
   void setTimeTrace(obs::TimeTrace* trace) { trace_ = trace; }
 
+  /// Tenant/op-class tag stamped on every traced span and RPC this client
+  /// issues (0 = untagged). The SLO tracker keys windows by tenant; flight
+  /// recorder entries carry it too (docs/SLO.md).
+  void setTenant(std::uint16_t tenant) { tenant_ = tenant; }
+  std::uint16_t tenant() const { return tenant_; }
+
+  /// Span detail of the most recently *completed* RPC attempt, captured at
+  /// endSpan so workload drivers can hand the SLO tracker a full stage
+  /// decomposition without a second lookup. Invalidated by timeouts
+  /// (abandoned spans have no reply leg). Valid only inside the completion
+  /// callback of the op that produced it — the next RPC overwrites it.
+  struct LastOp {
+    bool valid = false;
+    std::uint64_t span = 0;
+    int node = -1;  ///< serving master
+    obs::TimeTrace::SpanDetail detail;
+  };
+  const LastOp& lastOp() const { return lastOp_; }
+
  private:
   struct OpState {
     net::Opcode op;
@@ -197,6 +216,8 @@ class RamCloudClient {
 
   ClientStats stats_;
   obs::TimeTrace* trace_ = nullptr;
+  std::uint16_t tenant_ = 0;
+  LastOp lastOp_;
 };
 
 }  // namespace rc::client

@@ -11,9 +11,18 @@ Cluster::Cluster(ClusterParams params)
       net_(sim_, params.transport),
       rpc_(sim_, net_),
       trace_(sim_),
-      journal_(sim_) {
+      journal_(sim_),
+      slo_(sim_) {
   params_.master.replication.factor = params_.replicationFactor;
   params_.clientNode.metered = false;
+
+  // Every stage stamp mirrors into the flight ring (near-zero cost); the
+  // ring is only *dumped* when something arms it — an SLO breach here, or
+  // a fault injection (FaultInjector::fire).
+  trace_.setFlightRecorder(&flight_);
+  slo_.onBreach = [this](const obs::SloTracker::WindowRow& row) {
+    flight_.trigger(sim_.now(), "slo_breach:" + row.cls);
+  };
 
   directory_.masterOn = [this](node::NodeId n) -> server::MasterService* {
     const int idx = n - 1;
@@ -121,6 +130,8 @@ Cluster::Cluster(ClusterParams params)
 void Cluster::registerClusterMetrics() {
   trace_.registerMetrics(metrics_, "cluster.rpc");
   journal_.registerMetrics(metrics_, "cluster.journal");
+  slo_.registerMetrics(metrics_, "slo");
+  flight_.registerMetrics(metrics_, "cluster.flight");
   metrics_.probeCounter("cluster.client.ops", "ops", [this] {
     return static_cast<double>(totalOpsCompleted());
   });
@@ -240,7 +251,10 @@ void Cluster::startStatsSampling() {
   }
 }
 
-bool Cluster::exportMetrics(const std::string& dir) const {
+bool Cluster::exportMetrics(const std::string& dir) {
+  // Close in-progress SLO windows first so the registry probes sampled by
+  // the exporter agree with slo.jsonl.
+  if (slo_.enabled()) slo_.finish();
   obs::MetricsExporter exporter(metrics_);
   exporter.attachTimeTrace(&trace_);
   if (sampler_) exporter.attachSampler(sampler_.get());
@@ -253,7 +267,14 @@ bool Cluster::exportMetrics(const std::string& dir) const {
     }
   }
   if (!exporter.exportRunDir(dir)) return false;
-  return journal_.writeJsonl(dir + "/events.jsonl");
+  if (!journal_.writeJsonl(dir + "/events.jsonl")) return false;
+  if (slo_.enabled() && !slo_.writeJsonl(dir + "/slo.jsonl")) return false;
+  // flight.jsonl appears only when something armed the recorder: a clean
+  // run's dir stays flight-free by design (acceptance criterion).
+  if (flight_.triggered() && !flight_.writeJsonl(dir + "/flight.jsonl")) {
+    return false;
+  }
+  return true;
 }
 
 Cluster::~Cluster() = default;
@@ -290,18 +311,21 @@ void Cluster::startPduSampling() {
   for (auto& s : servers_) s.node->startPduSampling();
 }
 
-void Cluster::configureYcsb(std::uint64_t tableId,
-                            const ycsb::WorkloadSpec& spec,
-                            const ycsb::YcsbClientParams& clientParams) {
+void Cluster::configureYcsb(
+    std::uint64_t tableId, const ycsb::WorkloadSpec& spec,
+    const ycsb::YcsbClientParams& clientParams,
+    const std::function<void(int, ycsb::YcsbClientParams&)>& perClient) {
   for (int i = 0; i < clientCount(); ++i) {
     ClientHost& c = clients_[static_cast<std::size_t>(i)];
-    ycsb::YcsbClientParams perClient = clientParams;
+    ycsb::YcsbClientParams p = clientParams;
     // Disjoint insert key ranges per client machine (workload D).
-    perClient.insertKeyBase =
+    p.insertKeyBase =
         spec.recordCount + static_cast<std::uint64_t>(i + 1) * (1ULL << 32);
+    if (perClient) perClient(i, p);
     c.ycsb = std::make_unique<ycsb::YcsbClient>(
-        sim_, *c.rc, tableId, spec, perClient,
+        sim_, *c.rc, tableId, spec, p,
         sim_.rng().fork(0x9c5b + static_cast<std::uint64_t>(i)));
+    c.ycsb->setSloTracker(&slo_);
   }
 }
 

@@ -12,8 +12,10 @@
 #include "net/rpc.hpp"
 #include "node/node.hpp"
 #include "obs/event_journal.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metric_registry.hpp"
 #include "obs/metrics_exporter.hpp"
+#include "obs/slo_tracker.hpp"
 #include "obs/stats_sampler.hpp"
 #include "obs/time_trace.hpp"
 #include "server/backup_service.hpp"
@@ -88,6 +90,16 @@ class Cluster {
   obs::EventJournal& journal() { return journal_; }
   const obs::EventJournal& journal() const { return journal_; }
 
+  /// Windowed SLO tracker (docs/SLO.md). Declare tenant classes on it
+  /// before configureYcsb; a breached window arms the flight recorder.
+  obs::SloTracker& sloTracker() { return slo_; }
+  const obs::SloTracker& sloTracker() const { return slo_; }
+
+  /// Always-on ring of fine-grained pipeline stamps, dumped to
+  /// flight.jsonl by exportMetrics only when armed (SLO breach or fault).
+  obs::FlightRecorder& flightRecorder() { return flight_; }
+  const obs::FlightRecorder& flightRecorder() const { return flight_; }
+
   /// Start the 1 Hz registry sampler (same tick cadence as the PDUs; call
   /// it alongside startPduSampling so the series align). Idempotent.
   void startStatsSampling();
@@ -95,8 +107,10 @@ class Cluster {
 
   /// Dump metrics.jsonl + series.csv (registry state, sampler series,
   /// per-node PDU watt traces, time-trace histograms + ring) plus
-  /// events.jsonl (the journal's span tree) into `dir`.
-  bool exportMetrics(const std::string& dir) const;
+  /// events.jsonl (the journal's span tree) into `dir`. When the SLO
+  /// tracker has declared classes, also slo.jsonl (closing any in-progress
+  /// windows first); when the flight recorder was armed, flight.jsonl.
+  bool exportMetrics(const std::string& dir);
 
   int serverCount() const { return static_cast<int>(servers_.size()); }
   int clientCount() const { return static_cast<int>(clients_.size()); }
@@ -126,8 +140,14 @@ class Cluster {
 
   // ----- YCSB run phase
 
-  void configureYcsb(std::uint64_t tableId, const ycsb::WorkloadSpec& spec,
-                     const ycsb::YcsbClientParams& clientParams);
+  /// `perClient` (optional) tweaks the i-th client's params after the
+  /// common copy — fig13's mixed-tenant runs assign tenants/throttles per
+  /// client through it. Every client is attached to the SLO tracker; only
+  /// those whose tenant classes are declared actually record.
+  void configureYcsb(
+      std::uint64_t tableId, const ycsb::WorkloadSpec& spec,
+      const ycsb::YcsbClientParams& clientParams,
+      const std::function<void(int, ycsb::YcsbClientParams&)>& perClient = {});
   void startYcsb();
   void stopYcsb();
   bool allYcsbDone() const;
@@ -188,6 +208,8 @@ class Cluster {
   obs::MetricRegistry metrics_;
   obs::TimeTrace trace_;
   obs::EventJournal journal_;
+  obs::FlightRecorder flight_;
+  obs::SloTracker slo_;
   std::unique_ptr<obs::StatsSampler> sampler_;
   /// Fixed per-node energy origins for the journal's energy probe.
   std::unordered_map<int, node::Node::PowerSnapshot> energyBaselines_;

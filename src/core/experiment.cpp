@@ -13,6 +13,11 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
   cp.replicationFactor = cfg.replicationFactor;
 
   Cluster cluster(cp);
+  if (!cfg.tenant.empty()) {
+    cluster.sloTracker().declareClass(cfg.tenant + "/read", cfg.readSlo);
+    cluster.sloTracker().declareClass(cfg.tenant + "/update", cfg.updateSlo);
+  }
+  if (cfg.clusterHook) cfg.clusterHook(cluster);
   const std::uint64_t table = cluster.createTable("usertable");
   cluster.bulkLoad(table, cfg.workload.recordCount, cfg.workload.valueBytes);
   cluster.startPduSampling();
@@ -22,7 +27,8 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
   ycp.opsTarget = 0;  // run until stopped; we measure a window
   ycp.clientOverheadPerOp = cfg.clientOverheadPerOp;
   ycp.throttleOpsPerSec = cfg.throttleOpsPerSec;
-  cluster.configureYcsb(table, cfg.workload, ycp);
+  ycp.tenant = cfg.tenant;
+  cluster.configureYcsb(table, cfg.workload, ycp, cfg.perClientParams);
   cluster.startYcsb();
 
   const sim::Duration warmup = static_cast<sim::Duration>(
@@ -108,6 +114,12 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
   r.rpcTimeouts = cluster.totalRpcTimeouts();
   r.rpcRetries = cluster.totalRpcRetries();
   r.crashed = r.opFailures > 0;
+
+  if (cluster.sloTracker().enabled()) {
+    cluster.sloTracker().finish();
+    r.sloWindows = cluster.sloTracker().rows();
+    r.sloBreachedWindows = cluster.sloTracker().breachedWindows();
+  }
 
   if (!cfg.metricsDir.empty()) cluster.exportMetrics(cfg.metricsDir);
   return r;

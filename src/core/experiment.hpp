@@ -3,7 +3,11 @@
 #include <cstdint>
 #include <string>
 
+#include <functional>
+#include <vector>
+
 #include "core/cluster.hpp"
+#include "obs/slo_tracker.hpp"
 #include "power/power_model.hpp"
 #include "ycsb/workload.hpp"
 
@@ -36,6 +40,23 @@ struct YcsbExperimentConfig {
   /// When non-empty, start the 1 Hz stats sampler alongside the PDUs and
   /// dump metrics.jsonl + series.csv into this directory after the run.
   std::string metricsDir;
+
+  // ----- SLO attribution (docs/SLO.md)
+
+  /// Tenant name for the whole client fleet ("" = SLO tracking off).
+  /// Declares "<tenant>/read" and "<tenant>/update" classes with the
+  /// targets below before configureYcsb.
+  std::string tenant;
+  obs::SloTarget readSlo;
+  obs::SloTarget updateSlo;
+
+  /// Post-construction hook on the cluster (declare extra SLO classes,
+  /// arm fault injectors, ...). Runs before bulkLoad.
+  std::function<void(Cluster&)> clusterHook;
+
+  /// Per-client params tweak, forwarded to Cluster::configureYcsb
+  /// (fig13's mixed-tenant assignment).
+  std::function<void(int, ycsb::YcsbClientParams&)> perClientParams;
 };
 
 struct YcsbExperimentResult {
@@ -77,6 +98,11 @@ struct YcsbExperimentResult {
   /// The run "crashed" in the paper's sense: clients saw failed operations
   /// / excessive timeouts (Fig. 6a's missing 10-server points).
   bool crashed = false;
+
+  /// SLO attribution results (populated when cfg declared any class):
+  /// every closed window row, plus the breach count across classes.
+  std::vector<obs::SloTracker::WindowRow> sloWindows;
+  std::uint64_t sloBreachedWindows = 0;
 
   /// Total energy the paper would have measured for a run serving
   /// `totalRequests` at this throughput and power (Figs. 4b / 6b).

@@ -139,6 +139,10 @@ void FaultInjector::journalEvent(const FaultEvent& ev, const char* prefix) {
 }
 
 void FaultInjector::fire(const FaultEvent& ev) {
+  // Any injected fault arms the flight recorder: the fine-grained stamp
+  // ring around the fault gets dumped at export (docs/SLO.md).
+  cluster_.flightRecorder().trigger(
+      cluster_.sim().now(), std::string("fault:") + faultKindName(ev.kind));
   switch (ev.kind) {
     case FaultKind::kCrashServer:
       fireCrash(ev);

@@ -65,11 +65,23 @@ ScenarioResult runYcsbB(const Options& opt) {
           p.replicationFactor = 3;
           p.seed = 42;
           auto c = std::make_unique<core::Cluster>(p);
+          ycsb::YcsbClientParams ycp;
+          if (opt.slo) {
+            // SLO-on variant: declared targets + per-op recording, so the
+            // pair (off, on) isolates the tracker's hot-path cost.
+            c->sloTracker().declareClass("bench/read",
+                                         obs::SloTarget{sim::usec(200),
+                                                        sim::usec(500)});
+            c->sloTracker().declareClass("bench/update",
+                                         obs::SloTarget{sim::usec(600),
+                                                        sim::msec(2)});
+            ycp.tenant = "bench";
+          }
           const auto table = c->createTable("usertable");
           c->bulkLoad(table, records, 1000);
           c->startPduSampling();
           const ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::B(records);
-          c->configureYcsb(table, spec, ycsb::YcsbClientParams{});
+          c->configureYcsb(table, spec, ycp);
           c->startYcsb();
           c->sim().runFor(warmup);
           return c;
@@ -178,6 +190,7 @@ bool writeJson(const std::vector<ScenarioResult>& results,
   if (!os) return false;
   os << "{\n  \"bench\": \"selfperf\",\n  \"schema\": 1,\n"
      << "  \"quick\": " << (opt.quick ? "true" : "false") << ",\n"
+     << "  \"slo\": " << (opt.slo ? "true" : "false") << ",\n"
      << "  \"repeat\": " << opt.repeat << ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];

@@ -34,6 +34,10 @@ struct ScenarioResult {
 struct Options {
   bool quick = false;  ///< smaller windows / data (CI smoke)
   int repeat = 1;      ///< run each scenario N times, keep the fastest
+  /// Run ycsb_b with the SLO tracker live (tenant classes declared, every
+  /// op recorded). Used by the <5% overhead gate: compare events/sec of an
+  /// off-vs-on pair on the same host (bench_selfperf --slo-overhead).
+  bool slo = false;
 };
 
 ScenarioResult runYcsbB(const Options& opt);

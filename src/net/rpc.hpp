@@ -70,6 +70,11 @@ struct RpcRequest {
   /// obs::TimeTrace span carried with the request (0 = untraced). Servers
   /// stamp pipeline stages against it; costs nothing on the wire.
   std::uint64_t traceSpan = 0;
+  /// Tenant/op-class tag propagated alongside the span (0 = untagged).
+  /// Lets servers attribute flight-recorder stamps and future QoS
+  /// decisions to the issuing tenant even for RPCs whose span the client
+  /// has already abandoned (docs/SLO.md).
+  std::uint16_t tenant = 0;
   /// Linearizability header (docs/LINEARIZABILITY.md). clientId == 0 means
   /// the RPC is untracked (at-least-once, the pre-RIFL behaviour); batched
   /// and bulk-load paths stay untracked. A retried RPC carries the *same*

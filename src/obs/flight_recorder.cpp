@@ -1,0 +1,71 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/time_trace.hpp"
+
+namespace rc::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)) {}
+
+void FlightRecorder::trigger(sim::SimTime at, const std::string& reason) {
+  triggers_.push_back(Trigger{at, reason});
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::entries() const {
+  std::vector<Entry> out;
+  out.reserve(count_);
+  const std::size_t start = count_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::toJsonl() const {
+  std::ostringstream os;
+  char line[320];
+  for (const Trigger& t : triggers_) {
+    std::snprintf(line, sizeof(line),
+                  "{\"type\":\"flight_trigger\",\"t_us\":%.3f,"
+                  "\"reason\":\"%s\"}\n",
+                  sim::toMicros(t.at), t.reason.c_str());
+    os << line;
+  }
+  for (const Entry& e : entries()) {
+    std::snprintf(
+        line, sizeof(line),
+        "{\"type\":\"flight\",\"t_us\":%.3f,\"span\":%llu,"
+        "\"stage\":\"%s\",\"node\":%d,\"depth\":%d,\"tenant\":%u,"
+        "\"us\":%.3f,\"abandoned\":%d}\n",
+        sim::toMicros(e.at), static_cast<unsigned long long>(e.span),
+        TimeTrace::stageName(static_cast<TimeTrace::Stage>(e.stage)), e.node,
+        e.queueDepth, static_cast<unsigned>(e.tenant),
+        sim::toMicros(e.elapsed), e.abandoned ? 1 : 0);
+    os << line;
+  }
+  return os.str();
+}
+
+bool FlightRecorder::writeJsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << toJsonl();
+  return static_cast<bool>(os);
+}
+
+void FlightRecorder::registerMetrics(MetricRegistry& reg,
+                                     const std::string& prefix) {
+  reg.probeCounter(prefix + ".stamps", "ops", [this] {
+    return static_cast<double>(recorded_);
+  });
+  reg.probeCounter(prefix + ".triggers", "ops", [this] {
+    return static_cast<double>(triggers_.size());
+  });
+}
+
+}  // namespace rc::obs

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metric_registry.hpp"
+#include "sim/time.hpp"
+
+namespace rc::obs {
+
+/// Always-on forensic ring (the "flight recorder"): every fine-grained
+/// TimeTrace stamp — pipeline stage, serving node, dispatch queue depth,
+/// tenant tag — lands in a fixed-size ring of POD entries at O(1) cost.
+/// The ring stays passive until something goes wrong: an SLO breach or an
+/// injected fault arms a trigger, and only then does the run dump
+/// flight.jsonl (the ring's tail plus the trigger list). Fault-free,
+/// breach-free runs write nothing (docs/SLO.md).
+///
+/// Entries with abandoned=true are a span's retained stage records
+/// re-emitted at abandon time (client timeout / server crash): the live
+/// ring may have wrapped past the original stamps, but the re-emission
+/// keeps the dead RPC's stage decomposition dumpable.
+class FlightRecorder {
+ public:
+  struct Entry {
+    sim::SimTime at = 0;
+    std::uint64_t span = 0;
+    std::uint8_t stage = 0;  ///< TimeTrace::Stage
+    bool abandoned = false;
+    std::uint16_t tenant = 0;      ///< RpcRequest tenant tag (0 = untagged)
+    std::int32_t node = -1;        ///< serving node (-1 = client side)
+    std::int32_t queueDepth = -1;  ///< dispatch queue depth (-1 = n/a)
+    sim::Duration elapsed = 0;
+  };
+
+  struct Trigger {
+    sim::SimTime at = 0;
+    std::string reason;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 8192);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// O(1): overwrite the oldest slot. Called from TimeTrace::stamp on the
+  /// hot path, so it must stay allocation-free.
+  void record(const Entry& e) {
+    ring_[next_] = e;
+    next_ = (next_ + 1) % ring_.size();
+    if (count_ < ring_.size()) ++count_;
+    ++recorded_;
+  }
+
+  /// Arm a dump. Called on an SLO window breach or when the fault injector
+  /// fires; the recorder itself stays passive — exporters consult
+  /// triggered() to decide whether flight.jsonl is written.
+  void trigger(sim::SimTime at, const std::string& reason);
+
+  bool triggered() const { return !triggers_.empty(); }
+  const std::vector<Trigger>& triggers() const { return triggers_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Ring contents, oldest first.
+  std::vector<Entry> entries() const;
+
+  /// flight.jsonl: one {"type":"flight_trigger",...} line per trigger,
+  /// then one {"type":"flight",...} line per retained entry, oldest first.
+  std::string toJsonl() const;
+  bool writeJsonl(const std::string& path) const;
+
+  void registerMetrics(MetricRegistry& reg, const std::string& prefix);
+
+ private:
+  std::vector<Entry> ring_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::vector<Trigger> triggers_;
+};
+
+}  // namespace rc::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
+
 namespace rc::obs {
 
 const char* TimeTrace::stageName(Stage s) {
@@ -25,9 +27,12 @@ const char* TimeTrace::stageName(Stage s) {
 TimeTrace::TimeTrace(sim::Simulation& sim, std::size_t ringCapacity)
     : sim_(sim), ring_(std::max<std::size_t>(1, ringCapacity)) {}
 
-std::uint64_t TimeTrace::beginSpan() {
+std::uint64_t TimeTrace::beginSpan(std::uint16_t tenant) {
   const std::uint64_t id = nextSpan_++;
-  active_[id] = SpanState{sim_.now(), sim_.now()};
+  SpanState st;
+  st.begin = st.last = sim_.now();
+  st.tenant = tenant;
+  active_[id] = st;
   ++started_;
   return id;
 }
@@ -40,18 +45,38 @@ void TimeTrace::record(std::uint64_t span, Stage stage,
   ringCount_ = std::min(ringCount_ + 1, ring_.size());
 }
 
-void TimeTrace::stamp(std::uint64_t span, Stage stage) {
+void TimeTrace::stamp(std::uint64_t span, Stage stage,
+                      std::int32_t queueDepth, std::int32_t node) {
   auto it = active_.find(span);
   if (it == active_.end()) return;
+  SpanState& st = it->second;
   const sim::SimTime now = sim_.now();
-  record(span, stage, now - it->second.last);
-  it->second.last = now;
+  const sim::Duration elapsed = now - st.last;
+  record(span, stage, elapsed);
+  if (st.numStages < kMaxStagesPerSpan) {
+    st.stages[st.numStages++] = StageRec{stage, elapsed, queueDepth, node};
+  }
+  if (flight_ != nullptr) {
+    flight_->record(FlightRecorder::Entry{
+        now, span, static_cast<std::uint8_t>(stage), /*abandoned=*/false,
+        st.tenant, node, queueDepth, elapsed});
+  }
+  st.last = now;
 }
 
-void TimeTrace::endSpan(std::uint64_t span) {
+void TimeTrace::endSpan(std::uint64_t span, SpanDetail* detail) {
   auto it = active_.find(span);
   if (it == active_.end()) return;
-  record(span, Stage::kTotal, sim_.now() - it->second.begin);
+  const SpanState& st = it->second;
+  const sim::Duration total = sim_.now() - st.begin;
+  record(span, Stage::kTotal, total);
+  if (detail != nullptr) {
+    detail->begin = st.begin;
+    detail->total = total;
+    detail->tenant = st.tenant;
+    detail->numStages = st.numStages;
+    detail->stages = st.stages;
+  }
   active_.erase(it);
   ++completed_;
 }
@@ -59,6 +84,19 @@ void TimeTrace::endSpan(std::uint64_t span) {
 void TimeTrace::abandonSpan(std::uint64_t span) {
   auto it = active_.find(span);
   if (it == active_.end()) return;
+  if (flight_ != nullptr) {
+    // The RPC never completed, so its stamps reach no histogram and no
+    // exemplar; re-emit the retained records into the flight ring so the
+    // dead request's decomposition (with queue depths) survives a dump
+    // even when the live ring has wrapped past the original entries.
+    const SpanState& st = it->second;
+    for (std::uint8_t i = 0; i < st.numStages; ++i) {
+      const StageRec& r = st.stages[i];
+      flight_->record(FlightRecorder::Entry{
+          sim_.now(), span, static_cast<std::uint8_t>(r.stage),
+          /*abandoned=*/true, st.tenant, r.node, r.queueDepth, r.elapsed});
+    }
+  }
   active_.erase(it);
   ++abandoned_;
 }

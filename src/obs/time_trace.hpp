@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -10,6 +11,8 @@
 #include "sim/stats.hpp"
 
 namespace rc::obs {
+
+class FlightRecorder;
 
 /// Per-RPC time trace (the repro's TimeTrace equivalent).
 ///
@@ -47,25 +50,67 @@ class TimeTrace {
     sim::Duration elapsed = 0;
   };
 
+  /// One stamped stage retained inside the span: the stage, the duration
+  /// charged to it, and the dispatch queue depth / serving node observed at
+  /// stamp time (-1 = not applicable, e.g. client-side stamps).
+  struct StageRec {
+    Stage stage = Stage::kTotal;
+    sim::Duration elapsed = 0;
+    std::int32_t queueDepth = -1;
+    std::int32_t node = -1;
+  };
+
+  /// A span retains up to this many stage records (the read/write pipeline
+  /// stamps at most 5; the cap bounds SpanState's size).
+  static constexpr std::size_t kMaxStagesPerSpan = 8;
+
+  /// A completed span's full decomposition, filled in by endSpan. The stage
+  /// durations sum *exactly* to `total` in integer nanoseconds — every
+  /// stamp charges now-since-last-stamp and endSpan fires at the same
+  /// instant as the final stamp — which is what lets an exemplar waterfall
+  /// account for the whole latency (slo_test asserts < 1 us slack).
+  struct SpanDetail {
+    sim::SimTime begin = 0;
+    sim::Duration total = 0;
+    std::uint16_t tenant = 0;
+    std::uint8_t numStages = 0;
+    std::array<StageRec, kMaxStagesPerSpan> stages{};
+  };
+
   explicit TimeTrace(sim::Simulation& sim, std::size_t ringCapacity = 4096);
 
   TimeTrace(const TimeTrace&) = delete;
   TimeTrace& operator=(const TimeTrace&) = delete;
 
-  /// Open a span at now(); returns its id (never 0).
-  std::uint64_t beginSpan();
+  /// Open a span at now(); returns its id (never 0). `tenant` is the
+  /// issuing client's tenant/op-class tag, carried into flight-recorder
+  /// entries and SpanDetail.
+  std::uint64_t beginSpan(std::uint16_t tenant = 0);
 
-  /// Charge now()-since-last-stamp to `stage`.
-  void stamp(std::uint64_t span, Stage stage);
+  /// Charge now()-since-last-stamp to `stage`. Servers pass the dispatch
+  /// queue depth observed on arrival and their node id so tail exemplars
+  /// retain exact queue positions; client-side stamps leave both at -1.
+  void stamp(std::uint64_t span, Stage stage, std::int32_t queueDepth = -1,
+             std::int32_t node = -1);
 
-  /// Close the span, recording Stage::kTotal since beginSpan().
-  void endSpan(std::uint64_t span);
+  /// Close the span, recording Stage::kTotal since beginSpan(). When
+  /// `detail` is non-null it receives the span's retained decomposition
+  /// (exemplar capture reads it there).
+  void endSpan(std::uint64_t span, SpanDetail* detail = nullptr);
 
-  /// Drop the span *without* recording anything: the RPC never completed
-  /// (its server died and the client timed out). Stage histograms and the
-  /// recent-events ring only ever describe RPCs that finished, so a crash
-  /// mid-recovery cannot leak timeout-length garbage into them.
+  /// Drop the span without recording stage histograms or ring events: the
+  /// RPC never completed (its server died and the client timed out), so
+  /// quantile surfaces only ever describe RPCs that finished. The stamps
+  /// recorded before the abandon are NOT lost, though — they are flushed
+  /// into the attached flight recorder (abandoned=true entries), so a
+  /// crashed server's exemplars stay decomposable even after the live ring
+  /// wrapped past them.
   void abandonSpan(std::uint64_t span);
+
+  /// Attach the always-on flight recorder: every stamp is mirrored into its
+  /// ring, and abandoned spans flush their retained stage records there.
+  /// nullptr detaches.
+  void setFlightRecorder(FlightRecorder* recorder) { flight_ = recorder; }
 
   bool spanActive(std::uint64_t span) const { return active_.count(span) > 0; }
   std::size_t activeSpans() const { return active_.size(); }
@@ -89,11 +134,15 @@ class TimeTrace {
   struct SpanState {
     sim::SimTime begin = 0;
     sim::SimTime last = 0;
+    std::uint16_t tenant = 0;
+    std::uint8_t numStages = 0;
+    std::array<StageRec, kMaxStagesPerSpan> stages{};
   };
 
   void record(std::uint64_t span, Stage stage, sim::Duration elapsed);
 
   sim::Simulation& sim_;
+  FlightRecorder* flight_ = nullptr;
   std::vector<Event> ring_;
   std::size_t ringNext_ = 0;
   std::size_t ringCount_ = 0;

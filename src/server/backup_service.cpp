@@ -72,11 +72,20 @@ void BackupService::onBackupWrite(const net::RpcRequest& req,
     if (close && !f.closed) {
       f.closed = true;
       // Closed-but-unflushed bytes create buffer-pool pressure; open
-      // heads are expected DRAM residents (paper SS II-B) and never gate.
+      // heads are expected DRAM residents (paper SS II-B) and only gate
+      // once the pool is exhausted outright (below).
       unflushedBytes_ += f.ackedBytes;
       maybeStartFlush(key);
       gated = unflushedBytes_ > params_.bufferPoolBytes;
     }
+    // Past 2x the pool the backup is out of (non-volatile) buffer space
+    // entirely: *every* write ack — open-head appends included — waits
+    // for a flush to free room. This is how a stalled/degraded disk
+    // becomes visible to clients: masters sync-replicating an update
+    // block on the gated ack (Finding 5's disk bandwidth, coupled back
+    // into the write tail). Transient backlog between 1x and 2x only
+    // delays segment-close acks, which masters absorb asynchronously.
+    gated = gated || unflushedBytes_ > 2 * params_.bufferPoolBytes;
     if (gated) {
       ++acksDelayed_;
       ackWaiters_.push_back(std::move(respond));

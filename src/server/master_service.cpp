@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <atomic>
+#include <cstdio>
 #include <utility>
 
 #include "server/backup_service.hpp"
@@ -158,6 +159,46 @@ void MasterService::addTablet(const Tablet& t) {
   Tablet owned = t;
   owned.owner = node_.id();
   tablets_.push_back(owned);
+  // Heat slots exist from the moment a tablet is owned (recovery and
+  // migration add tablets mid-run; their probes appear on the next sample).
+  TabletHeat& heat = tabletHeat_[{owned.tableId, owned.startHash}];
+  if (metricReg_ != nullptr && !heat.registered) {
+    registerTabletHeat(owned.tableId, owned.startHash, heat);
+  }
+}
+
+void MasterService::noteTabletOp(std::uint64_t tableId, std::uint64_t keyId,
+                                 bool isWrite) {
+  const std::uint64_t h = hash::keyHash(hash::Key{tableId, keyId});
+  for (const Tablet& t : tablets_) {
+    if (t.covers(tableId, h)) {
+      TabletHeat& heat = tabletHeat_[{t.tableId, t.startHash}];
+      if (isWrite) {
+        ++heat.writes;
+      } else {
+        ++heat.reads;
+      }
+      return;
+    }
+  }
+}
+
+void MasterService::registerTabletHeat(std::uint64_t tableId,
+                                       std::uint64_t startHash,
+                                       TabletHeat& heat) {
+  char slot[64];
+  std::snprintf(slot, sizeof(slot), ".tablet.heat.t%llu.h%llx",
+                static_cast<unsigned long long>(tableId),
+                static_cast<unsigned long long>(startHash));
+  const std::string base = metricPrefix_ + slot;
+  // `heat` lives in the node-keyed std::map: stable address for the probes.
+  metricReg_->probeCounter(base + ".reads", "ops", [&heat] {
+    return static_cast<double>(heat.reads);
+  });
+  metricReg_->probeCounter(base + ".writes", "ops", [&heat] {
+    return static_cast<double>(heat.writes);
+  });
+  heat.registered = true;
 }
 
 bool MasterService::ownsKey(std::uint64_t tableId, std::uint64_t keyId) const {
@@ -245,6 +286,7 @@ void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
       respond(std::move(r));
       return;
     }
+    noteTabletOp(tableId, keyId, /*isWrite=*/false);
     node_.cpu().acquireWorker(guard([this, tableId, keyId, span, arrival,
                                      respond =
                                          std::move(respond)](int w) mutable {
@@ -315,6 +357,7 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
       cx->respond(std::move(r));
       return;
     }
+    noteTabletOp(cx->tableId, cx->keyId, /*isWrite=*/true);
     if (cx->clientId != 0) {
       // RIFL admission: reject expired leases, then check the suppression
       // table before burning a worker on a duplicate.
@@ -1113,6 +1156,13 @@ void MasterService::registerMetrics(obs::MetricRegistry& reg,
   reg.probeGauge(prefix + ".linearize.tracked_clients", "items", [this] {
     return static_cast<double>(unacked_.trackedClients());
   });
+  // Tablet heat: probes for tablets owned now, plus dynamic registration
+  // for tablets gained later (recovery, migration) via addTablet.
+  metricReg_ = &reg;
+  metricPrefix_ = prefix;
+  for (auto& [key, heat] : tabletHeat_) {
+    if (!heat.registered) registerTabletHeat(key.first, key.second, heat);
+  }
 }
 
 void MasterService::maybeStartCleaner() {

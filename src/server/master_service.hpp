@@ -2,7 +2,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "hash/object_map.hpp"
@@ -249,9 +252,30 @@ class MasterService : public net::RpcService {
   int concurrentStreams() const;
   void noteStream(node::NodeId from);
 
+  /// Stamp a pipeline stage against the request's span, annotated with the
+  /// dispatch queue depth *at stamp time* and this node's id — that pair is
+  /// what lets rcdiag decompose an exemplar into "waited behind N requests
+  /// on node M" (docs/SLO.md).
   void stampTrace(std::uint64_t span, obs::TimeTrace::Stage stage) {
-    if (trace_ != nullptr && span != 0) trace_->stamp(span, stage);
+    if (trace_ != nullptr && span != 0) {
+      trace_->stamp(span, stage,
+                    static_cast<std::int32_t>(dispatch_.queueDepth()),
+                    static_cast<std::int32_t>(node_.id()));
+    }
   }
+
+  /// Per-tablet op-rate "heat", keyed (tableId, startKeyHash). Registered
+  /// as tablet.heat.* probes so the stats sampler exposes load skew to the
+  /// (future) autoscaler/rebalancer; migration keeps counters with the
+  /// tablet's new owner starting from zero.
+  struct TabletHeat {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    bool registered = false;
+  };
+  void noteTabletOp(std::uint64_t tableId, std::uint64_t keyId, bool isWrite);
+  void registerTabletHeat(std::uint64_t tableId, std::uint64_t startHash,
+                          TabletHeat& heat);
 
   void onRead(const net::RpcRequest& req, Responder respond);
   void onWrite(const net::RpcRequest& req, Responder respond);
@@ -317,8 +341,11 @@ class MasterService : public net::RpcService {
   std::unique_ptr<sim::PeriodicTask> leaseReclaim_;
   mutable std::unordered_map<node::NodeId, sim::SimTime> recentStreams_;
   MasterStats stats_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, TabletHeat> tabletHeat_;
   obs::TimeTrace* trace_ = nullptr;
   obs::EventJournal* journal_ = nullptr;
+  obs::MetricRegistry* metricReg_ = nullptr;  ///< for late-added tablets
+  std::string metricPrefix_;
 };
 
 }  // namespace rc::server

@@ -44,9 +44,9 @@ constexpr std::size_t kSubBuckets = 32;
 constexpr std::size_t kNumBuckets = 64 * kSubBuckets;
 }  // namespace
 
-Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+LatencyDigest::LatencyDigest() : buckets_(kNumBuckets, 0) {}
 
-std::size_t Histogram::bucketFor(Duration v) {
+std::size_t LatencyDigest::bucketFor(Duration v) {
   if (v < 0) v = 0;
   const auto u = static_cast<std::uint64_t>(v);
   if (u < kSubBuckets) return static_cast<std::size_t>(u);
@@ -58,7 +58,7 @@ std::size_t Histogram::bucketFor(Duration v) {
   return std::min(idx, kNumBuckets - 1);
 }
 
-Duration Histogram::bucketUpper(std::size_t b) {
+Duration LatencyDigest::bucketUpper(std::size_t b) {
   if (b < kSubBuckets) return static_cast<Duration>(b);
   const std::size_t log = b / kSubBuckets + 4;
   const std::size_t sub = b % kSubBuckets;
@@ -67,7 +67,7 @@ Duration Histogram::bucketUpper(std::size_t b) {
   return static_cast<Duration>(base + (sub + 1) * width - 1);
 }
 
-void Histogram::add(Duration v) {
+void LatencyDigest::add(Duration v) {
   if (count_ == 0) {
     min_ = max_ = v;
   } else {
@@ -79,7 +79,7 @@ void Histogram::add(Duration v) {
   ++buckets_[bucketFor(v)];
 }
 
-void Histogram::merge(const Histogram& other) {
+void LatencyDigest::merge(const LatencyDigest& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {
     min_ = other.min_;
@@ -93,18 +93,18 @@ void Histogram::merge(const Histogram& other) {
   count_ += other.count_;
 }
 
-void Histogram::reset() {
+void LatencyDigest::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0;
   min_ = max_ = 0;
 }
 
-double Histogram::mean() const {
+double LatencyDigest::mean() const {
   return count_ ? sum_ / static_cast<double>(count_) : 0;
 }
 
-Duration Histogram::percentile(double q) const {
+Duration LatencyDigest::percentile(double q) const {
   if (count_ == 0) return 0;
   // Degenerate quantiles answer exactly, without touching the buckets: q=0
   // is the minimum and q=1 the maximum by definition.

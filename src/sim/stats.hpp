@@ -28,14 +28,18 @@ class MinMaxMean {
   double max_ = 0;
 };
 
-/// Log-bucketed latency histogram (nanosecond resolution, ~2.4% bucket
-/// width). Suitable for microsecond..minute latencies.
-class Histogram {
+/// Fixed-size log-bucketed quantile digest: 64 powers of two, each split
+/// into 32 linear sub-buckets (~2.4% relative bucket width), nanosecond
+/// domain. O(1) record, O(buckets) merge, O(buckets) memory regardless of
+/// sample count — every percentile surface in the repo (stage histograms,
+/// the SLO tracker's sliding windows) is backed by this representation, so
+/// million-op runs never retain raw samples.
+class LatencyDigest {
  public:
-  Histogram();
+  LatencyDigest();
 
   void add(Duration v);
-  void merge(const Histogram& other);
+  void merge(const LatencyDigest& other);
   void reset();
 
   std::uint64_t count() const { return count_; }
@@ -44,7 +48,9 @@ class Histogram {
   Duration max() const { return count_ ? max_ : 0; }
 
   /// q in [0,1]; returns an upper bound of the bucket containing the
-  /// q-quantile. percentile(0.5) is the median.
+  /// q-quantile, clamped into [min, max]. percentile(0.5) is the median;
+  /// tail quantiles (0.99, 0.999) resolve to the same ~2.4% bucket width
+  /// as any other quantile.
   Duration percentile(double q) const;
 
  private:
@@ -57,6 +63,12 @@ class Histogram {
   Duration min_ = 0;
   Duration max_ = 0;
 };
+
+/// Log-bucketed latency histogram (nanosecond resolution, ~2.4% bucket
+/// width). Suitable for microsecond..minute latencies. The histogram *is*
+/// a LatencyDigest — same buckets, same percentile math — the name only
+/// marks long-lived whole-run aggregates apart from windowed digests.
+class Histogram : public LatencyDigest {};
 
 /// A sampled time series: (time, value) points in append order.
 /// Used for PDU power traces, CPU-usage traces, disk I/O traces.

@@ -16,6 +16,18 @@ YcsbClient::YcsbClient(sim::Simulation& sim, client::RamCloudClient& client,
       keys_(spec_, rng_.fork(1)),
       bucket_(params.throttleOpsPerSec) {}
 
+void YcsbClient::setSloTracker(obs::SloTracker* slo) {
+  slo_ = slo;
+  readClass_ = updateClass_ = -1;
+  if (slo_ == nullptr || params_.tenant.empty()) return;
+  readClass_ = slo_->classId(params_.tenant + "/read");
+  updateClass_ = slo_->classId(params_.tenant + "/update");
+  // Tag outgoing RPCs so server-side flight stamps attribute to us. 0 is
+  // reserved for "untagged"; shift the dense class id by one.
+  const int base = readClass_ >= 0 ? readClass_ : updateClass_;
+  if (base >= 0) client_.setTenant(static_cast<std::uint16_t>(base + 1));
+}
+
 void YcsbClient::start() {
   if (running_) return;
   running_ = true;
@@ -61,8 +73,11 @@ void YcsbClient::issueNext() {
   if (!running_ || done()) return;
   const std::uint64_t gen = generation_;
 
+  // SLO latency runs from here — the moment the op *wants* to go — so a
+  // token-bucket throttle wait counts against the tenant's budget.
+  const sim::SimTime intent = sim_.now();
   const sim::Duration wait = bucket_.reserve(sim_.now());
-  auto fire = [this, gen] {
+  auto fire = [this, gen, intent] {
     if (generation_ != gen || !running_) return;
     const OpKind op = pickOp();
     const bool isRead = op == OpKind::kRead;
@@ -73,10 +88,21 @@ void YcsbClient::issueNext() {
       key = pickKey();
     }
 
-    auto complete = [this, gen, op, isRead](net::Status status,
-                                            sim::Duration latency) {
+    auto complete = [this, gen, op, isRead, intent](net::Status status,
+                                                    sim::Duration latency) {
       if (generation_ != gen) return;
       if (status == net::Status::kOk) {
+        if (slo_ != nullptr) {
+          const int cls = isRead ? readClass_ : updateClass_;
+          if (cls >= 0) {
+            // Stage decomposition of the op's final RPC attempt, when the
+            // trace captured one (timeouts leave lastOp invalid).
+            const auto& last = client_.lastOp();
+            slo_->record(cls, last.valid ? last.node : -1,
+                         last.valid ? last.span : 0, sim_.now() - intent,
+                         last.valid ? &last.detail : nullptr);
+          }
+        }
         ++stats_.opsCompleted;
         switch (op) {
           case OpKind::kRead:

@@ -4,8 +4,11 @@
 #include <functional>
 #include <optional>
 
+#include <string>
+
 #include "client/ramcloud_client.hpp"
 #include "client/token_bucket.hpp"
+#include "obs/slo_tracker.hpp"
 #include "sim/stats.hpp"
 #include "ycsb/workload.hpp"
 
@@ -35,6 +38,11 @@ struct YcsbClientParams {
   /// Fig. 10's "client 1 requests exclusively the killed server's data" /
   /// "client 2 requests the rest". Null = accept all keys.
   std::function<bool(std::uint64_t)> keyPredicate;
+
+  /// Tenant name for SLO attribution ("" = untracked). Ops record into the
+  /// tracker's "<tenant>/read" and "<tenant>/update" classes; the client
+  /// also tags its RPCs with the tenant's dense id + 1 (docs/SLO.md).
+  std::string tenant;
 };
 
 struct YcsbStats {
@@ -67,6 +75,14 @@ class YcsbClient {
 
   const YcsbStats& stats() const { return stats_; }
 
+  /// Attach the cluster's SLO tracker. Resolves this client's tenant
+  /// classes ("<tenant>/read", "<tenant>/update") to dense ids once, so the
+  /// per-op record path is id-indexed. The classes must already be
+  /// declared; a client with an empty tenant stays untracked. SLO latency
+  /// is measured from op *intent* (before any token-bucket throttle wait),
+  /// so an over-admitted throttled tenant visibly burns its budget.
+  void setSloTracker(obs::SloTracker* slo);
+
   /// Called on every completed op (for latency timelines): (now, latency).
   std::function<void(sim::SimTime, sim::Duration, bool isRead)> onOpComplete;
 
@@ -96,6 +112,9 @@ class YcsbClient {
   std::uint64_t generation_ = 0;  ///< invalidates in-flight loops on stop()
   std::uint64_t inserted_ = 0;    ///< grows the keyspace (workload D)
   YcsbStats stats_;
+  obs::SloTracker* slo_ = nullptr;
+  int readClass_ = -1;
+  int updateClass_ = -1;
 };
 
 }  // namespace rc::ycsb

@@ -17,7 +17,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -292,6 +294,204 @@ void printPhases(const RunData& run) {
   }
 }
 
+// --------------------------------------------------------------------- slo
+
+/// Minimal flat-JSONL field access (every slo.jsonl line is one flat
+/// object, the same convention metrics.jsonl uses).
+bool jsonNum(const std::string& line, const std::string& key, double* out) {
+  const std::string pat = "\"" + key + "\":";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + at + pat.size(), nullptr);
+  return true;
+}
+
+bool jsonStr(const std::string& line, const std::string& key,
+             std::string* out) {
+  const std::string pat = "\"" + key + "\":\"";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return false;
+  const auto from = at + pat.size();
+  const auto end = line.find('"', from);
+  if (end == std::string::npos) return false;
+  *out = line.substr(from, end - from);
+  return true;
+}
+
+struct SloWindow {
+  std::uint64_t window = 0;
+  double t0 = 0, t1 = 0;  ///< seconds
+  std::string cls;
+  std::uint64_t count = 0;
+  double p50 = 0, p99 = 0, p999 = 0;      ///< us
+  double targetP99 = 0, targetP999 = 0;   ///< us
+  double burn = 0;
+  bool breached = false;
+};
+
+struct SloExemplar {
+  std::uint64_t window = 0;
+  std::string cls;
+  int rank = 0;
+  std::uint64_t span = 0;
+  int node = -1;
+  double us = 0;
+};
+
+struct SloStage {
+  std::uint64_t span = 0;
+  int seq = 0;
+  std::string stage;
+  double us = 0;
+  int depth = -1;
+  int node = -1;
+};
+
+int sloCmd(const std::string& dir) {
+  std::ifstream is(dir + "/slo.jsonl");
+  if (!is) {
+    std::fprintf(stderr, "rcdiag: no slo.jsonl in %s (SLO tracking off?)\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::vector<SloWindow> windows;
+  std::vector<SloExemplar> exemplars;
+  std::vector<SloStage> stages;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::string type;
+    if (!jsonStr(line, "type", &type)) continue;
+    double v = 0;
+    if (type == "slo_window") {
+      SloWindow w;
+      if (jsonNum(line, "window", &v)) w.window = static_cast<std::uint64_t>(v);
+      if (jsonNum(line, "t0_us", &v)) w.t0 = v / 1e6;
+      if (jsonNum(line, "t1_us", &v)) w.t1 = v / 1e6;
+      jsonStr(line, "class", &w.cls);
+      if (jsonNum(line, "count", &v)) w.count = static_cast<std::uint64_t>(v);
+      jsonNum(line, "p50_us", &w.p50);
+      jsonNum(line, "p99_us", &w.p99);
+      jsonNum(line, "p999_us", &w.p999);
+      jsonNum(line, "target_p99_us", &w.targetP99);
+      jsonNum(line, "target_p999_us", &w.targetP999);
+      jsonNum(line, "burn_rate", &w.burn);
+      if (jsonNum(line, "breached", &v)) w.breached = v != 0;
+      windows.push_back(std::move(w));
+    } else if (type == "exemplar") {
+      SloExemplar e;
+      if (jsonNum(line, "window", &v)) e.window = static_cast<std::uint64_t>(v);
+      jsonStr(line, "class", &e.cls);
+      if (jsonNum(line, "rank", &v)) e.rank = static_cast<int>(v);
+      if (jsonNum(line, "span", &v)) e.span = static_cast<std::uint64_t>(v);
+      if (jsonNum(line, "node", &v)) e.node = static_cast<int>(v);
+      jsonNum(line, "us", &e.us);
+      exemplars.push_back(std::move(e));
+    } else if (type == "exemplar_stage") {
+      SloStage s;
+      if (jsonNum(line, "span", &v)) s.span = static_cast<std::uint64_t>(v);
+      if (jsonNum(line, "seq", &v)) s.seq = static_cast<int>(v);
+      jsonStr(line, "stage", &s.stage);
+      jsonNum(line, "us", &s.us);
+      if (jsonNum(line, "depth", &v)) s.depth = static_cast<int>(v);
+      if (jsonNum(line, "node", &v)) s.node = static_cast<int>(v);
+      stages.push_back(std::move(s));
+    }
+  }
+  if (windows.empty()) {
+    std::fprintf(stderr, "rcdiag: slo.jsonl has no slo_window lines\n");
+    return 1;
+  }
+
+  // ---- per-class SLO table
+  struct ClassAgg {
+    std::uint64_t windows = 0, breached = 0, requests = 0;
+    double worstBurn = 0;
+    std::uint64_t worstWindow = 0;
+  };
+  std::map<std::string, ClassAgg> byClass;
+  for (const SloWindow& w : windows) {
+    ClassAgg& a = byClass[w.cls];
+    ++a.windows;
+    a.requests += w.count;
+    if (w.breached) ++a.breached;
+    if (w.burn > a.worstBurn) {
+      a.worstBurn = w.burn;
+      a.worstWindow = w.window;
+    }
+  }
+  std::printf("SLO summary (%zu windows, %zu classes)\n", windows.size(),
+              byClass.size());
+  std::printf("  %-24s %8s %9s %10s %11s\n", "class", "windows", "breached",
+              "requests", "worst_burn");
+  for (const auto& [cls, a] : byClass) {
+    std::printf("  %-24s %8llu %9llu %10llu %11.2f%s\n", cls.c_str(),
+                static_cast<unsigned long long>(a.windows),
+                static_cast<unsigned long long>(a.breached),
+                static_cast<unsigned long long>(a.requests), a.worstBurn,
+                a.breached > 0 ? "  BREACHED" : "");
+  }
+
+  // ---- burn-rate timeline: one char per window per class.
+  //   '.' burn < 0.5   '+' [0.5, 1)   'X' >= 1 (breached)
+  std::uint64_t wMin = windows.front().window;
+  std::uint64_t wMax = windows.front().window;
+  for (const SloWindow& w : windows) {
+    wMin = std::min(wMin, w.window);
+    wMax = std::max(wMax, w.window);
+  }
+  std::printf("\nburn-rate timeline (windows %llu..%llu; . <0.5, + <1, X "
+              "breached, ' ' idle)\n",
+              static_cast<unsigned long long>(wMin),
+              static_cast<unsigned long long>(wMax));
+  for (const auto& [cls, a] : byClass) {
+    std::string bar(static_cast<std::size_t>(wMax - wMin + 1), ' ');
+    for (const SloWindow& w : windows) {
+      if (w.cls != cls) continue;
+      bar[static_cast<std::size_t>(w.window - wMin)] =
+          w.breached ? 'X' : (w.burn >= 0.5 ? '+' : '.');
+    }
+    std::printf("  %-24s |%s|\n", cls.c_str(), bar.c_str());
+  }
+
+  // ---- breached windows, slowest exemplar of each with its waterfall.
+  std::puts("");
+  bool anyBreach = false;
+  for (const SloWindow& w : windows) {
+    if (!w.breached) continue;
+    anyBreach = true;
+    std::printf(
+        "breached window %llu [%.3fs..%.3fs] class %s: count=%llu "
+        "p99=%.1fus (target %.1fus) p999=%.1fus (target %.1fus) burn=%.2f\n",
+        static_cast<unsigned long long>(w.window), w.t0, w.t1, w.cls.c_str(),
+        static_cast<unsigned long long>(w.count), w.p99, w.targetP99, w.p999,
+        w.targetP999, w.burn);
+    for (const SloExemplar& e : exemplars) {
+      if (e.window != w.window || e.cls != w.cls) continue;
+      std::printf("  exemplar #%d  span %llu  node %d  %.3fus\n", e.rank,
+                  static_cast<unsigned long long>(e.span), e.node, e.us);
+      // Waterfall: the span's stages in stamp order, bar-scaled to the
+      // exemplar total; their sum must equal the span duration (the
+      // exemplar-sum acceptance check in bench_fig05 asserts <1us slack).
+      double sum = 0;
+      for (const SloStage& s : stages) {
+        if (s.span != e.span) continue;
+        sum += s.us;
+        const int bars =
+            e.us > 0 ? static_cast<int>(32.0 * s.us / e.us + 0.5) : 0;
+        std::printf("    %-18s %10.3fus  depth=%-3d node=%-3d |%s\n",
+                    s.stage.c_str(), s.us, s.depth, s.node,
+                    std::string(static_cast<std::size_t>(bars), '#').c_str());
+      }
+      if (sum > 0) {
+        std::printf("    %-18s %10.3fus  (vs span %.3fus, delta %.3fus)\n",
+                    "SUM", sum, e.us, e.us - sum);
+      }
+    }
+  }
+  if (!anyBreach) std::puts("no breached windows — all SLOs held");
+  return 0;
+}
+
 // ------------------------------------------------------------------- check
 
 int checkRun(const std::string& dir) {
@@ -363,9 +563,10 @@ void usage() {
   std::puts(
       "rcdiag — recovery/migration journal analyzer\n"
       "\n"
-      "  rcdiag [timeline|critical|phases|check|report] DIR\n"
+      "  rcdiag [timeline|critical|phases|check|slo|report] DIR\n"
       "\n"
       "DIR is a --metrics-dir run directory (events.jsonl [+ metrics.jsonl]).\n"
+      "slo reads DIR/slo.jsonl (runs with declared SLO classes).\n"
       "Default command is report (timeline + critical + phases).\n");
 }
 
@@ -384,6 +585,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (cmd == "check") return checkRun(dir);
+  if (cmd == "slo") return sloCmd(dir);
 
   RunData run;
   if (!loadRun(dir, &run)) return 1;

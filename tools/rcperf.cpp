@@ -10,10 +10,12 @@
 // Output: one human-readable row per run; --csv switches to a header+rows
 // CSV stream for plotting.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "core/recovery_experiment.hpp"
 #include "core/table_format.hpp"
 #include "fault/selfperf.hpp"
+#include "obs/slo_tracker.hpp"
 
 using namespace rc;
 
@@ -218,9 +221,79 @@ int cmdRecovery(const Args& a) {
   return r.recovered ? 0 : 1;
 }
 
+/// `rcperf top` — live tail-latency display: runs a YCSB experiment with
+/// the SLO tracker on and prints, once per simulated second, the
+/// in-progress window's per-class quantiles/burn and the hottest tablets
+/// (per-tablet op rates from the masters' heat probes). The same numbers a
+/// live cluster dashboard would poll, demonstrated against the simulator.
+int cmdTop(const Args& a) {
+  auto cfg = ycsbConfig(a);
+  cfg.tenant = a.str("tenant", "ycsb");
+  cfg.readSlo = obs::SloTarget{sim::usecF(a.num("read-p99-us", 250)),
+                               sim::usecF(a.num("read-p999-us", 1000))};
+  cfg.updateSlo = obs::SloTarget{sim::usecF(a.num("update-p99-us", 600)),
+                                 sim::usecF(a.num("update-p999-us", 2500))};
+  const int heatTop = static_cast<int>(a.num("heat", 5));
+
+  // The ticker lives in this holder so it survives until the experiment
+  // returns (the hook runs inside runYcsbExperiment, before load).
+  auto ticker = std::make_shared<std::unique_ptr<sim::PeriodicTask>>();
+  auto prevHeat = std::make_shared<obs::MetricRegistry::Snapshot>();
+  cfg.clusterHook = [ticker, prevHeat, heatTop](core::Cluster& c) {
+    *ticker = std::make_unique<sim::PeriodicTask>(
+        c.sim(), sim::seconds(1), [&c, prevHeat, heatTop](sim::SimTime now) {
+          std::printf("-- t=%.0fs --------------------------------------\n",
+                      sim::toSeconds(now));
+          std::printf("%-16s %10s %9s %9s %9s %7s\n", "class", "count",
+                      "p50_us", "p99_us", "p999_us", "burn");
+          for (const auto& lc : c.sloTracker().liveSnapshot()) {
+            std::printf("%-16s %10llu %9.1f %9.1f %9.1f %7.2f\n",
+                        lc.cls.c_str(),
+                        static_cast<unsigned long long>(lc.count),
+                        sim::toMicros(lc.p50), sim::toMicros(lc.p99),
+                        sim::toMicros(lc.p999), lc.burnRate);
+          }
+          // Tablet heat: windowed rate of the masters' cumulative
+          // per-tablet op counters, hottest first.
+          std::vector<std::pair<double, std::string>> hot;
+          obs::MetricRegistry::Snapshot cur;
+          c.metrics().forEach([&](const obs::MetricInfo& info) {
+            if (info.name.find(".tablet.heat.") == std::string::npos) return;
+            const double v = c.metrics().value(info.name);
+            cur[info.name] = v;
+            const auto it = prevHeat->find(info.name);
+            const double rate = v - (it == prevHeat->end() ? 0.0 : it->second);
+            if (rate > 0) hot.emplace_back(rate, info.name);
+          });
+          *prevHeat = std::move(cur);
+          std::sort(hot.begin(), hot.end(),
+                    [](const auto& x, const auto& y) {
+                      return x.first != y.first ? x.first > y.first
+                                                : x.second < y.second;
+                    });
+          for (int i = 0; i < heatTop && i < static_cast<int>(hot.size());
+               ++i) {
+            std::printf("  heat %-52s %9.0f op/s\n", hot[i].second.c_str(),
+                        hot[i].first);
+          }
+        });
+  };
+
+  const auto r = core::runYcsbExperiment(cfg);
+  ticker->reset();
+  std::printf("\n");
+  printYcsbRow(cfg, r, false);
+  std::printf("  slo: %llu windows, %llu breached (full rows: run with "
+              "--metrics-dir and `rcdiag slo DIR`)\n",
+              static_cast<unsigned long long>(r.sloWindows.size()),
+              static_cast<unsigned long long>(r.sloBreachedWindows));
+  return r.crashed ? 1 : 0;
+}
+
 int cmdSelfperf(const Args& a) {
   fault::selfperf::Options opt;
   opt.quick = a.has("quick");
+  opt.slo = a.has("slo");
   opt.repeat = std::max(1, static_cast<int>(a.num("repeat", 1)));
   const auto results = fault::selfperf::runAll(opt);
   for (const auto& r : results) {
@@ -255,10 +328,17 @@ void usage() {
       "                  [--segment-mb N] [--probe-clients] [--seed N] [--csv]\n"
       "                  [--metrics-dir DIR]  (also writes events.jsonl —\n"
       "                  the recovery span tree; analyze with rcdiag)\n"
-      "  rcperf selfperf [--quick] [--repeat N] [--json FILE]\n"
+      "  rcperf top      [ycsb flags] [--tenant NAME]\n"
+      "                  [--read-p99-us N] [--read-p999-us N]\n"
+      "                  [--update-p99-us N] [--update-p999-us N] [--heat N]\n"
+      "                  (live mode: 1 Hz per-class tail quantiles + burn\n"
+      "                  rate and hottest tablets while the run progresses;\n"
+      "                  docs/SLO.md)\n"
+      "  rcperf selfperf [--quick] [--repeat N] [--slo] [--json FILE]\n"
       "                  (host events/sec of the simulator itself on the\n"
       "                  canonical scenarios; writes BENCH_selfperf.json —\n"
-      "                  see docs/PERF.md; also: rcperf --selfperf)\n");
+      "                  see docs/PERF.md; also: rcperf --selfperf;\n"
+      "                  --slo runs ycsb_b with the SLO tracker live)\n");
 }
 
 }  // namespace
@@ -273,6 +353,7 @@ int main(int argc, char** argv) {
     return cmdSelfperf(Args::parse(argc, argv, 2));
   }
   if (cmd == "ycsb") return cmdYcsb(Args::parse(argc, argv, 2));
+  if (cmd == "top") return cmdTop(Args::parse(argc, argv, 2));
   if (cmd == "recovery") return cmdRecovery(Args::parse(argc, argv, 2));
   if (cmd == "sweep" && argc >= 3) {
     return cmdSweep(Args::parse(argc, argv, 3), argv[2]);
