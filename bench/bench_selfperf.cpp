@@ -8,6 +8,7 @@
 //   bench_selfperf [--quick] [--repeat N] [--json FILE]
 //                  [--check BASELINE] [--tolerance FRAC]
 //                  [--slo-overhead [--slo-tolerance FRAC]]
+//                  [--energy-overhead [--energy-tolerance FRAC]]
 //
 // --check gates the process exit code: any scenario whose events/sec drops
 // more than --tolerance (default 0.25) below the recorded baseline fails.
@@ -17,6 +18,10 @@
 // kept) — and fails if the on-variant's events/sec drops more than
 // --slo-tolerance (default 0.05) below the off-variant's. Same-machine
 // A/B, so the gate is immune to host speed differences.
+//
+// --energy-overhead is the same A/B for the per-resource energy ledger
+// (docs/ENERGY.md): ycsb_b with metering off vs on (the default wiring),
+// gated at --energy-tolerance (default 0.05).
 
 #include <algorithm>
 #include <cstdio>
@@ -27,6 +32,45 @@
 
 #include "fault/selfperf.hpp"
 
+namespace {
+
+// Same-host off/on A/B of a hot-path feature's cost on ycsb_b. Wall-clock
+// A/B on a shared host is noisy (~+-5% run to run), so: one discarded
+// warmup, then N reps per side with the off/on order alternating each rep
+// (cancels cache/allocator warmup bias), and the per-side *best* run as
+// the estimate — the minimum-interference execution is the stablest proxy
+// for true cost. Returns 0 when the on-variant's events/sec stays within
+// `tolerance` of the off-variant's.
+int overheadGate(const char* what, const rc::fault::selfperf::Options& off,
+                 const rc::fault::selfperf::Options& on, double tolerance) {
+  const int reps = off.repeat < 5 ? 5 : off.repeat;
+  (void)rc::fault::selfperf::runYcsbB(off);  // warmup, discarded
+  std::vector<double> offs, ons;
+  for (int r = 0; r < reps; ++r) {
+    if (r % 2 == 0) {
+      offs.push_back(rc::fault::selfperf::runYcsbB(off).eventsPerSec());
+      ons.push_back(rc::fault::selfperf::runYcsbB(on).eventsPerSec());
+    } else {
+      ons.push_back(rc::fault::selfperf::runYcsbB(on).eventsPerSec());
+      offs.push_back(rc::fault::selfperf::runYcsbB(off).eventsPerSec());
+    }
+  }
+  const double evOff = *std::max_element(offs.begin(), offs.end());
+  const double evOn = *std::max_element(ons.begin(), ons.end());
+  const double drop = evOff > 0 ? 1.0 - evOn / evOff : 0.0;
+  std::printf("%s-overhead: ycsb_b off %.0f ev/s, on %.0f ev/s, "
+              "drop %.2f%% (tolerance %.2f%%)\n",
+              what, evOff, evOn, drop * 100.0, tolerance * 100.0);
+  if (drop > tolerance) {
+    std::fprintf(stderr, "selfperf: %s overhead %.2f%% exceeds %.2f%%\n",
+                 what, drop * 100.0, tolerance * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   rc::fault::selfperf::Options opt;
   std::string jsonPath = "BENCH_selfperf.json";
@@ -34,6 +78,8 @@ int main(int argc, char** argv) {
   double tolerance = 0.25;
   bool sloOverhead = false;
   double sloTolerance = 0.05;
+  bool energyOverhead = false;
+  double energyTolerance = 0.05;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
     if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
@@ -52,45 +98,30 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--slo-tolerance") == 0 && i + 1 < argc) {
       sloTolerance = std::strtod(argv[++i], nullptr);
     }
+    if (std::strcmp(argv[i], "--energy-overhead") == 0) energyOverhead = true;
+    if (std::strcmp(argv[i], "--energy-tolerance") == 0 && i + 1 < argc) {
+      energyTolerance = std::strtod(argv[++i], nullptr);
+    }
   }
   if (opt.repeat < 1) opt.repeat = 1;
 
   if (sloOverhead) {
     // A/B the SLO tracker's hot-path cost on ycsb_b (docs/SLO.md gate).
-    // Wall-clock A/B on a shared host is noisy (~+-5% run to run), so:
-    // one discarded warmup, then N reps per side with the off/on order
-    // alternating each rep (cancels cache/allocator warmup bias), and
-    // the per-side *best* run as the estimate — the minimum-interference
-    // execution is the stablest proxy for true cost.
-    const int reps = opt.repeat < 5 ? 5 : opt.repeat;
     auto off = opt;
     off.slo = false;
     auto on = opt;
     on.slo = true;
-    (void)rc::fault::selfperf::runYcsbB(off);  // warmup, discarded
-    std::vector<double> offs, ons;
-    for (int r = 0; r < reps; ++r) {
-      if (r % 2 == 0) {
-        offs.push_back(rc::fault::selfperf::runYcsbB(off).eventsPerSec());
-        ons.push_back(rc::fault::selfperf::runYcsbB(on).eventsPerSec());
-      } else {
-        ons.push_back(rc::fault::selfperf::runYcsbB(on).eventsPerSec());
-        offs.push_back(rc::fault::selfperf::runYcsbB(off).eventsPerSec());
-      }
-    }
-    const double evOff = *std::max_element(offs.begin(), offs.end());
-    const double evOn = *std::max_element(ons.begin(), ons.end());
-    const double drop = evOff > 0 ? 1.0 - evOn / evOff : 0.0;
-    std::printf("slo-overhead: ycsb_b off %.0f ev/s, on %.0f ev/s, "
-                "drop %.2f%% (tolerance %.2f%%)\n",
-                evOff, evOn, drop * 100.0, sloTolerance * 100.0);
-    if (drop > sloTolerance) {
-      std::fprintf(stderr,
-                   "selfperf: SLO tracker overhead %.2f%% exceeds %.2f%%\n",
-                   drop * 100.0, sloTolerance * 100.0);
-      return 1;
-    }
-    return 0;
+    return overheadGate("slo", off, on, sloTolerance);
+  }
+
+  if (energyOverhead) {
+    // A/B the energy ledger's charging cost on ycsb_b (docs/ENERGY.md
+    // gate): metering disabled vs the default fully-wired accounting.
+    auto off = opt;
+    off.energy = false;
+    auto on = opt;
+    on.energy = true;
+    return overheadGate("energy", off, on, energyTolerance);
   }
 
   std::printf("selfperf: simulator hot-path throughput (%s scale, "

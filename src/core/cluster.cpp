@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <fstream>
 
 namespace rc::core {
 
@@ -91,20 +93,44 @@ Cluster::Cluster(ClusterParams params)
     servers_.push_back(std::move(s));
   }
 
-  // Journal energy probe: cumulative model joules per node since t=0
-  // (coordinator + servers; client machines are unmetered -> 0).
+  // Journal energy probe: cumulative per-component model joules per node
+  // since t=0 (coordinator + servers; client machines are unmetered -> 0).
   energyBaselines_[0] = coordNode_->snapshotPower();
   for (int i = 0; i < serverCount(); ++i) {
     energyBaselines_[serverNodeId(i)] =
         servers_[static_cast<std::size_t>(i)].node->snapshotPower();
   }
-  journal_.setEnergyProbe([this](int nodeId) -> double {
-    auto it = energyBaselines_.find(nodeId);
-    if (it == energyBaselines_.end()) return 0;
-    const node::Node* n =
-        nodeId == 0 ? coordNode_.get()
-                    : servers_[static_cast<std::size_t>(nodeId - 1)].node.get();
-    return n->energyJoulesSince(it->second, sim_.now());
+  journal_.setEnergyProbe(
+      [this](int nodeId) -> obs::EventJournal::EnergyBreakdown {
+        obs::EventJournal::EnergyBreakdown out;
+        auto it = energyBaselines_.find(nodeId);
+        if (it == energyBaselines_.end()) return out;
+        const node::Node* n =
+            nodeId == 0
+                ? coordNode_.get()
+                : servers_[static_cast<std::size_t>(nodeId - 1)].node.get();
+        const auto by = n->componentEnergySince(it->second, sim_.now());
+        out.cpu = by[static_cast<std::size_t>(power::Component::kCpu)];
+        out.dram = by[static_cast<std::size_t>(power::Component::kDram)];
+        out.nic = by[static_cast<std::size_t>(power::Component::kNic)];
+        out.disk = by[static_cast<std::size_t>(power::Component::kDisk)];
+        out.platform =
+            by[static_cast<std::size_t>(power::Component::kPlatform)];
+        return out;
+      });
+
+  // NIC frames charge the server-side ledger; coordinator and client
+  // machines are unmetered so their frames only burn (uncounted) energy
+  // on their own nodes, matching the paper's server-only PDU scope.
+  installEnergyCharge();
+
+  // SLO window energy: joules charged to the class's tenant slot across
+  // all server ledgers (tenant slot = class id + 1; see docs/ENERGY.md).
+  slo_.setEnergyProbe([this](int classId) {
+    const std::uint16_t slot = static_cast<std::uint16_t>(classId + 1);
+    double j = 0;
+    for (const auto& s : servers_) j += s.node->energyMeter().tenantJoules(slot);
+    return j;
   });
 
   clients_.reserve(static_cast<std::size_t>(params_.clients));
@@ -144,6 +170,53 @@ void Cluster::registerClusterMetrics() {
   metrics_.probeGauge("cluster.alive_servers", "servers", [this] {
     return static_cast<double>(aliveServerCount());
   });
+  // Cluster energy rollups over the metered servers (model integrals from
+  // the construction-time origins, so the 1 Hz sampler's .rate series is a
+  // per-component cluster watts timeline — docs/ENERGY.md).
+  for (std::size_t ci = 0; ci < power::kComponentCount; ++ci) {
+    const auto comp = static_cast<power::Component>(ci);
+    metrics_.probeCounter(
+        std::string("cluster.energy.") + power::componentName(comp) +
+            ".joules",
+        "joules", [this, ci] {
+          double j = 0;
+          for (int i = 0; i < serverCount(); ++i) {
+            const auto& base = energyBaselines_.at(serverNodeId(i));
+            j += servers_[static_cast<std::size_t>(i)]
+                     .node->componentEnergySince(base, sim_.now())[ci];
+          }
+          return j;
+        });
+  }
+  metrics_.probeCounter("cluster.energy.total_joules", "joules", [this] {
+    double j = 0;
+    for (int i = 0; i < serverCount(); ++i) {
+      const auto& base = energyBaselines_.at(serverNodeId(i));
+      j += servers_[static_cast<std::size_t>(i)].node->energyJoulesSince(
+          base, sim_.now());
+    }
+    return j;
+  });
+  metrics_.probeGauge("cluster.power.watts", "watts", [this] {
+    double w = 0;
+    for (int i = 0; i < serverCount(); ++i) {
+      w += servers_[static_cast<std::size_t>(i)].node->currentWatts();
+    }
+    return w;
+  });
+  metrics_.probeGauge("cluster.energy.ops_per_joule", "ops_per_joule",
+                      [this] {
+                        double j = 0;
+                        for (int i = 0; i < serverCount(); ++i) {
+                          const auto& base =
+                              energyBaselines_.at(serverNodeId(i));
+                          j += servers_[static_cast<std::size_t>(i)]
+                                   .node->energyJoulesSince(base, sim_.now());
+                        }
+                        const double ops =
+                            static_cast<double>(totalOpsCompleted());
+                        return j > 0 ? ops / j : 0.0;
+                      });
   // Replica slots lost to backup deaths and not yet repaired, summed over
   // live masters; returns to 0 once background re-replication converges.
   metrics_.probeGauge("cluster.rf_deficit", "replicas", [this] {
@@ -253,8 +326,11 @@ void Cluster::startStatsSampling() {
 
 bool Cluster::exportMetrics(const std::string& dir) {
   // Close in-progress SLO windows first so the registry probes sampled by
-  // the exporter agree with slo.jsonl.
+  // the exporter agree with slo.jsonl, and stop the PDUs (final fractional
+  // sample) so the sampled traces cover exactly [start, now] — that is
+  // what makes the energy.jsonl reconciliation rows exact.
   if (slo_.enabled()) slo_.finish();
+  stopPduSampling();
   obs::MetricsExporter exporter(metrics_);
   exporter.attachTimeTrace(&trace_);
   if (sampler_) exporter.attachSampler(sampler_.get());
@@ -269,12 +345,119 @@ bool Cluster::exportMetrics(const std::string& dir) {
   if (!exporter.exportRunDir(dir)) return false;
   if (!journal_.writeJsonl(dir + "/events.jsonl")) return false;
   if (slo_.enabled() && !slo_.writeJsonl(dir + "/slo.jsonl")) return false;
+  if (!writeEnergyJsonl(dir + "/energy.jsonl")) return false;
   // flight.jsonl appears only when something armed the recorder: a clean
   // run's dir stays flight-free by design (acceptance criterion).
   if (flight_.triggered() && !flight_.writeJsonl(dir + "/flight.jsonl")) {
     return false;
   }
   return true;
+}
+
+bool Cluster::writeEnergyJsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  char line[512];
+  const sim::SimTime now = sim_.now();
+  double clusterJ = 0;
+  for (int i = 0; i < serverCount(); ++i) {
+    const node::Node& n = *servers_[static_cast<std::size_t>(i)].node;
+    const int nid = serverNodeId(i);
+    // Reconciliation origin: the snapshot taken when PDU sampling began (so
+    // total_j and pdu_j cover the same window and must agree within the
+    // 0.1 % gate), else the construction-time origin with pdu_j = 0.
+    const node::Node::PowerSnapshot* origin = n.pduBaseline();
+    if (origin == nullptr) origin = &energyBaselines_.at(nid);
+    const auto by = n.componentEnergySince(*origin, now);
+    double total = 0;
+    for (double c : by) total += c;
+    clusterJ += total;
+    const double seconds = sim::toSeconds(now - origin->cpu.time);
+    const double pduJ =
+        n.pdu() != nullptr ? n.pdu()->totalSampledJoules() : 0.0;
+    std::snprintf(
+        line, sizeof(line),
+        "{\"type\":\"energy_node\",\"node\":%d,\"seconds\":%.9f,"
+        "\"cpu_j\":%.6f,\"dram_j\":%.6f,\"nic_j\":%.6f,\"disk_j\":%.6f,"
+        "\"platform_j\":%.6f,\"total_j\":%.6f,\"pdu_j\":%.6f,"
+        "\"mean_w\":%.6f}\n",
+        nid, seconds, by[0], by[1], by[2], by[3], by[4], total, pduJ,
+        seconds > 0 ? total / seconds : 0.0);
+    os << line;
+    // Attribution cells: cumulative dynamic joules since node construction
+    // (the ledger's origin; a superset of the PDU window — docs/ENERGY.md).
+    n.energyMeter().forEachCell([&](power::Component c, power::OpClass o,
+                                    std::uint16_t slot, double j) {
+      std::snprintf(line, sizeof(line),
+                    "{\"type\":\"energy_cell\",\"node\":%d,"
+                    "\"component\":\"%s\",\"class\":\"%s\",\"tenant\":%u,"
+                    "\"joules\":%.9f}\n",
+                    nid, power::componentName(c), power::opClassName(o),
+                    static_cast<unsigned>(slot), j);
+      os << line;
+    });
+    // Dynamic energy no charge site claimed (worker spin-before-sleep,
+    // polling core, untagged IOs): continuous integral minus ledger sum,
+    // clamped against float rounding. NIC/DRAM dynamics exist only as
+    // ledger charges, so their remainder is identically zero.
+    const auto cpuSnap = n.snapshotCpu();
+    const double cpuDyn = n.params().energy.cpuActiveWattsPerCore *
+                          (cpuSnap.busyCoreSeconds +
+                           cpuSnap.auxBusyCoreSeconds);
+    const double diskDyn =
+        n.params().energy.diskActiveWatts * n.disk().busySeconds(now);
+    const double cpuRem = std::max(
+        0.0, cpuDyn - n.energyMeter().componentJoules(power::Component::kCpu));
+    const double diskRem =
+        std::max(0.0, diskDyn - n.energyMeter().componentJoules(
+                                    power::Component::kDisk));
+    std::snprintf(line, sizeof(line),
+                  "{\"type\":\"energy_remainder\",\"node\":%d,"
+                  "\"component\":\"cpu\",\"joules\":%.9f}\n",
+                  nid, cpuRem);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "{\"type\":\"energy_remainder\",\"node\":%d,"
+                  "\"component\":\"disk\",\"joules\":%.9f}\n",
+                  nid, diskRem);
+    os << line;
+  }
+  // Per-tenant rollup: one row per declared SLO class (tenant slot id+1),
+  // summed over the server ledgers — the joules/op table behind
+  // `rcdiag energy` and the paper's SS VII efficiency framing.
+  for (int id = 0; id < slo_.classCount(); ++id) {
+    const std::uint16_t slot = static_cast<std::uint16_t>(id + 1);
+    double j = 0;
+    for (int i = 0; i < serverCount(); ++i) {
+      j += servers_[static_cast<std::size_t>(i)]
+               .node->energyMeter()
+               .tenantJoules(slot);
+    }
+    const std::uint64_t ops = slo_.classRecorded(id);
+    std::snprintf(
+        line, sizeof(line),
+        "{\"type\":\"energy_tenant\",\"class\":\"%s\",\"tenant\":%u,"
+        "\"joules\":%.6f,\"ops\":%llu,\"j_per_op\":%.9f,"
+        "\"ops_per_j\":%.4f}\n",
+        slo_.className(id).c_str(), static_cast<unsigned>(slot), j,
+        static_cast<unsigned long long>(ops),
+        ops > 0 && j > 0 ? j / static_cast<double>(ops) : 0.0,
+        j > 0 ? static_cast<double>(ops) / j : 0.0);
+    os << line;
+  }
+  const std::uint64_t ops = totalOpsCompleted();
+  std::snprintf(line, sizeof(line),
+                "{\"type\":\"energy_cluster\",\"servers\":%d,"
+                "\"total_j\":%.6f,\"ops\":%llu,\"j_per_op\":%.9f,"
+                "\"ops_per_j\":%.4f}\n",
+                serverCount(), clusterJ,
+                static_cast<unsigned long long>(ops),
+                ops > 0 && clusterJ > 0
+                    ? clusterJ / static_cast<double>(ops)
+                    : 0.0,
+                clusterJ > 0 ? static_cast<double>(ops) / clusterJ : 0.0);
+  os << line;
+  return static_cast<bool>(os);
 }
 
 Cluster::~Cluster() = default;
@@ -309,6 +492,30 @@ void Cluster::bulkLoad(std::uint64_t tableId, std::uint64_t records,
 
 void Cluster::startPduSampling() {
   for (auto& s : servers_) s.node->startPduSampling();
+}
+
+void Cluster::stopPduSampling() {
+  for (auto& s : servers_) s.node->stopPduSampling();
+}
+
+void Cluster::installEnergyCharge() {
+  for (auto& s : servers_) {
+    net_.setNicEnergyNode(s.node->id(), s.node.get());
+  }
+}
+
+void Cluster::setEnergyMetering(bool on) {
+  energyMetering_ = on;
+  coordNode_->setEnergyMetering(on);
+  for (auto& s : servers_) s.node->setEnergyMetering(on);
+  for (auto& c : clients_) c.node->setEnergyMetering(on);
+  // Uninstall the network hook entirely when off so the A/B overhead gate
+  // measures the true per-frame cost, not a disabled-meter early return.
+  if (on) {
+    installEnergyCharge();
+  } else {
+    net_.clearNicEnergy();
+  }
 }
 
 void Cluster::configureYcsb(

@@ -138,6 +138,18 @@ class Cluster {
 
   void startPduSampling();
 
+  /// Stop every node's PDU sampler (final fractional window included), so
+  /// the sampled traces reconcile exactly with the component integrals.
+  /// exportMetrics calls this; explicit calls are idempotent.
+  void stopPduSampling();
+
+  /// Toggle the per-op energy ledger on every node (and the network's NIC
+  /// charge hook). Off removes the hooks entirely — the A/B pair behind
+  /// `bench_selfperf --energy-overhead`. Power, timing and results are
+  /// identical either way; only attribution detail is lost.
+  void setEnergyMetering(bool on);
+  bool energyMetering() const { return energyMetering_; }
+
   // ----- YCSB run phase
 
   /// `perClient` (optional) tweaks the i-th client's params after the
@@ -199,6 +211,8 @@ class Cluster {
 
  private:
   void registerClusterMetrics();
+  void installEnergyCharge();
+  bool writeEnergyJsonl(const std::string& path) const;
 
   ClusterParams params_;
   sim::Simulation sim_;
@@ -213,6 +227,7 @@ class Cluster {
   std::unique_ptr<obs::StatsSampler> sampler_;
   /// Fixed per-node energy origins for the journal's energy probe.
   std::unordered_map<int, node::Node::PowerSnapshot> energyBaselines_;
+  bool energyMetering_ = true;
 
   std::unique_ptr<node::Node> coordNode_;
   std::unique_ptr<coordinator::Coordinator> coord_;

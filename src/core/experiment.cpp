@@ -39,13 +39,13 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
 
   cluster.sim().runFor(warmup);
 
-  // Window-start snapshots.
+  // Window-start snapshots (CPU integrals + meter totals per server).
   const sim::SimTime t0 = cluster.sim().now();
   const std::uint64_t ops0 = cluster.totalOpsCompleted();
-  std::vector<node::CpuScheduler::Snapshot> snaps;
+  std::vector<node::Node::PowerSnapshot> snaps;
   snaps.reserve(static_cast<std::size_t>(cluster.serverCount()));
   for (int i = 0; i < cluster.serverCount(); ++i) {
-    snaps.push_back(cluster.server(i).node->snapshotCpu());
+    snaps.push_back(cluster.server(i).node->snapshotPower());
   }
 
   cluster.sim().runFor(measure);
@@ -57,28 +57,42 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
   YcsbExperimentResult r;
   r.measuredSeconds = sim::toSeconds(t1 - t0);
   r.opsMeasured = ops1 - ops0;
+  // Guard the degenerate zero-length window (timeScale ~ 0 in quick runs)
+  // instead of propagating inf/nan into every derived metric.
   r.throughputOpsPerSec =
-      static_cast<double>(r.opsMeasured) / r.measuredSeconds;
+      r.measuredSeconds > 0
+          ? static_cast<double>(r.opsMeasured) / r.measuredSeconds
+          : 0;
 
-  const power::PowerModel& pm = cp.serverNode.power;
+  // Window power from the per-resource model (statics + CPU slope + event
+  // dynamics), so NIC/DRAM/disk activity shows up in the watts — not just
+  // the utilisation-curve estimate the paper's PDUs would have folded in.
   double cpuSum = 0;
   double cpuMin = 1.0;
   double cpuMax = 0.0;
-  double powerSum = 0;
   for (int i = 0; i < cluster.serverCount(); ++i) {
-    const double u = cluster.server(i).node->meanUtilisationSince(
-        snaps[static_cast<std::size_t>(i)], t1);
+    const node::Node& node = *cluster.server(i).node;
+    const auto& snap = snaps[static_cast<std::size_t>(i)];
+    const double u = node.meanUtilisationSince(snap.cpu, t1);
     cpuSum += u;
     cpuMin = std::min(cpuMin, u);
     cpuMax = std::max(cpuMax, u);
-    powerSum += pm.watts(u);
+    const auto by = node.componentEnergySince(snap, t1);
+    for (std::size_t c = 0; c < power::kComponentCount; ++c) {
+      r.componentEnergyJ[c] += by[c];
+      r.clusterEnergyJ += by[c];
+    }
   }
   const double n = static_cast<double>(cluster.serverCount());
   r.meanCpuPct = 100.0 * cpuSum / n;
   r.minCpuPct = 100.0 * cpuMin;
   r.maxCpuPct = 100.0 * cpuMax;
-  r.clusterPowerW = powerSum;
-  r.meanPowerPerServerW = powerSum / n;
+  r.clusterPowerW =
+      r.measuredSeconds > 0 ? r.clusterEnergyJ / r.measuredSeconds : 0;
+  r.meanPowerPerServerW = r.clusterPowerW / n;
+  r.joulesPerOp = r.opsMeasured > 0
+                      ? r.clusterEnergyJ / static_cast<double>(r.opsMeasured)
+                      : 0;
   r.opsPerJoule =
       power::efficiency::opsPerJoule(r.throughputOpsPerSec, r.clusterPowerW);
   r.opsPerJoulePerNode = power::efficiency::opsPerJoulePerNode(

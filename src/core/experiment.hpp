@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -8,6 +9,7 @@
 
 #include "core/cluster.hpp"
 #include "obs/slo_tracker.hpp"
+#include "power/energy_model.hpp"
 #include "power/power_model.hpp"
 #include "ycsb/workload.hpp"
 
@@ -70,6 +72,13 @@ struct YcsbExperimentResult {
 
   double opsPerJoule = 0;         ///< throughput / cluster watts (Fig. 2)
   double opsPerJoulePerNode = 0;  ///< throughput / per-node watts (Fig. 8)
+
+  /// Joules the component model charged to the server fleet over the
+  /// measurement window, total and decomposed (cpu/dram/nic/disk/platform
+  /// in power::Component order). clusterPowerW == clusterEnergyJ / window.
+  double clusterEnergyJ = 0;
+  std::array<double, power::kComponentCount> componentEnergyJ{};
+  double joulesPerOp = 0;  ///< clusterEnergyJ / opsMeasured
 
   double readMeanLatencyUs = 0;
   double updateMeanLatencyUs = 0;

@@ -65,6 +65,7 @@ ScenarioResult runYcsbB(const Options& opt) {
           p.replicationFactor = 3;
           p.seed = 42;
           auto c = std::make_unique<core::Cluster>(p);
+          if (!opt.energy) c->setEnergyMetering(false);
           ycsb::YcsbClientParams ycp;
           if (opt.slo) {
             // SLO-on variant: declared targets + per-op recording, so the
@@ -191,6 +192,7 @@ bool writeJson(const std::vector<ScenarioResult>& results,
   os << "{\n  \"bench\": \"selfperf\",\n  \"schema\": 1,\n"
      << "  \"quick\": " << (opt.quick ? "true" : "false") << ",\n"
      << "  \"slo\": " << (opt.slo ? "true" : "false") << ",\n"
+     << "  \"energy\": " << (opt.energy ? "true" : "false") << ",\n"
      << "  \"repeat\": " << opt.repeat << ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];

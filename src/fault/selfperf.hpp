@@ -38,6 +38,11 @@ struct Options {
   /// op recorded). Used by the <5% overhead gate: compare events/sec of an
   /// off-vs-on pair on the same host (bench_selfperf --slo-overhead).
   bool slo = false;
+  /// Per-resource energy ledger charging (docs/ENERGY.md). On by default —
+  /// matching production cluster wiring — and switched off for the A/B
+  /// overhead gate (bench_selfperf --energy-overhead), which compares
+  /// events/sec of an off-vs-on pair on the same host.
+  bool energy = true;
 };
 
 ScenarioResult runYcsbB(const Options& opt);

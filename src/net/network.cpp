@@ -9,9 +9,11 @@ Network::Network(sim::Simulation& sim, TransportParams params)
     : sim_(sim), params_(params) {}
 
 sim::SimTime Network::send(node::NodeId from, node::NodeId to,
-                           std::uint64_t bytes, DeliverFn deliver) {
+                           std::uint64_t bytes, DeliverFn deliver,
+                           power::EnergyTag tag) {
   ++messagesSent_;
   bytesSent_ += bytes;
+  chargeNic(from, bytes, tag);
 
   const sim::Duration wire = sim::secondsF(
       static_cast<double>(bytes) / (params_.bandwidthMBps * 1e6));
@@ -33,6 +35,7 @@ sim::SimTime Network::send(node::NodeId from, node::NodeId to,
     }
     arrival += v.extraLatency;
   }
+  chargeNic(to, bytes, tag);
   sim_.scheduleAt(arrival, std::move(deliver));
   return arrival;
 }

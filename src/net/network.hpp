@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "node/node.hpp"
+#include "power/energy_model.hpp"
 #include "sim/inline_task.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
@@ -55,12 +57,29 @@ class Network {
   Network(sim::Simulation& sim, TransportParams params);
 
   /// Sends `bytes` from `from` to `to`; `deliver` runs at the receiver's
-  /// arrival time. Returns the scheduled arrival time.
+  /// arrival time. Returns the scheduled arrival time. `tag` labels the
+  /// frame for NIC energy attribution: the sender is always charged (the
+  /// bytes left the host even when a fault drops the frame), the receiver
+  /// only on delivery.
   sim::SimTime send(node::NodeId from, node::NodeId to, std::uint64_t bytes,
-                    DeliverFn deliver);
+                    DeliverFn deliver,
+                    power::EnergyTag tag = power::EnergyTag{});
 
   /// Consulted for every message; null disables injection.
   void setFaultFilter(FaultFilter f) { faultFilter_ = std::move(f); }
+
+  /// NIC energy attribution: register each metered node once; send() then
+  /// calls Node::chargeNic inline for both endpoints of every frame —
+  /// no function-object indirection on the per-frame hot path.
+  /// clearNicEnergy() removes every registration (the off side of the
+  /// `bench_selfperf --energy-overhead` A/B); unregistered node ids
+  /// (clients, the coordinator) are simply skipped.
+  void setNicEnergyNode(node::NodeId id, node::Node* n) {
+    const auto slot = static_cast<std::size_t>(id);
+    if (nicNodes_.size() <= slot) nicNodes_.resize(slot + 1, nullptr);
+    nicNodes_[slot] = n;
+  }
+  void clearNicEnergy() { nicNodes_.clear(); }
 
   const TransportParams& params() const { return params_; }
 
@@ -72,7 +91,15 @@ class Network {
   sim::Simulation& sim_;
   TransportParams params_;
   std::unordered_map<node::NodeId, sim::SimTime> txFree_;
+  void chargeNic(node::NodeId id, std::uint64_t bytes, power::EnergyTag tag) {
+    const auto slot = static_cast<std::size_t>(id);
+    if (slot < nicNodes_.size() && nicNodes_[slot] != nullptr) {
+      nicNodes_[slot]->chargeNic(bytes, tag);
+    }
+  }
+
   FaultFilter faultFilter_;
+  std::vector<node::Node*> nicNodes_;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t bytesSent_ = 0;
   std::uint64_t messagesDropped_ = 0;

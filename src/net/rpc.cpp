@@ -31,6 +31,39 @@ const char* opcodeName(Opcode op) {
   return "unknown";
 }
 
+power::OpClass opcodeClass(Opcode op) {
+  switch (op) {
+    case Opcode::kRead:
+    case Opcode::kScan:
+    case Opcode::kMultiRead:
+      return power::OpClass::kRead;
+    case Opcode::kWrite:
+    case Opcode::kRemove:
+    case Opcode::kMultiWrite:
+      return power::OpClass::kUpdate;
+    case Opcode::kBackupWrite:
+      return power::OpClass::kReplication;
+    case Opcode::kBackupFree:
+    case Opcode::kGetSegmentList:
+    case Opcode::kGetRecoveryData:
+    case Opcode::kStartRecovery:
+    case Opcode::kRecoveryDone:
+      return power::OpClass::kRecovery;
+    case Opcode::kMigrateTablet:
+    case Opcode::kMigrationData:
+    case Opcode::kMigrationDone:
+      return power::OpClass::kMigration;
+    case Opcode::kPing:
+    case Opcode::kGetTabletMap:
+    case Opcode::kEnlist:
+    case Opcode::kServerListUpdate:
+    case Opcode::kOpenLease:
+    case Opcode::kRenewLease:
+      return power::OpClass::kControl;
+  }
+  return power::OpClass::kUnattributed;
+}
+
 RpcSystem::RpcSystem(sim::Simulation& sim, Network& net)
     : sim_(sim), net_(net) {}
 
@@ -81,15 +114,16 @@ void RpcSystem::call(node::NodeId from, node::NodeId to, int port,
     cb(resp);
   });
   const std::uint64_t wireBytes = kRpcHeaderBytes + req.payloadBytes;
+  const power::EnergyTag tag{opcodeClass(req.op), req.tenant};
   outstanding_[rpcId] = Pending{std::move(cb), timeoutEvent, req.op};
 
   TxHandle tx(txArena_, txArena_->acquire(std::move(req)));
   net_.send(from, to, wireBytes,
-            [this, rpcId, from, to, port, tx = std::move(tx)] {
+            [this, rpcId, from, to, port, tag, tx = std::move(tx)] {
     auto it = services_.find(addrKey(to, port));
     if (it == services_.end()) return;  // dead service: caller times out
     RpcService* service = it->second;
-    auto respond = [this, rpcId, from, to](RpcResponse resp) {
+    auto respond = [this, rpcId, from, to, tag](RpcResponse resp) {
       net_.send(to, from, kRpcHeaderBytes + resp.payloadBytes,
                 [this, rpcId, resp] {
         auto p = outstanding_.find(rpcId);
@@ -98,10 +132,10 @@ void RpcSystem::call(node::NodeId from, node::NodeId to, int port,
         ResponseFn cb = std::move(p->second.cb);
         outstanding_.erase(p);
         cb(resp);
-      });
+      }, tag);
     };
     service->handleRpc(tx.req(), from, std::move(respond));
-  });
+  }, tag);
 }
 
 }  // namespace rc::net

@@ -9,6 +9,7 @@
 
 #include "net/network.hpp"
 #include "node/node.hpp"
+#include "power/energy_model.hpp"
 #include "sim/simulation.hpp"
 
 namespace rc::net {
@@ -43,6 +44,11 @@ constexpr std::size_t kOpcodeCount =
 
 /// Stable lower-case name for metric paths ("net.rpc.timeouts.<opcode>").
 const char* opcodeName(Opcode op);
+
+/// Energy-attribution class of an opcode (docs/ENERGY.md): data-path reads
+/// and updates, replication, recovery, migration, and control-plane chatter
+/// each land in their own ledger row.
+power::OpClass opcodeClass(Opcode op);
 
 enum class Status : std::uint8_t {
   kOk,

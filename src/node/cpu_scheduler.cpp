@@ -15,6 +15,8 @@ CpuScheduler::CpuScheduler(sim::Simulation& sim, CpuParams params)
                 WorkerState::Sleeping);
   spinEnd_.assign(state_.size(), sim::kInvalidEvent);
   pendingAssign_.resize(state_.size());
+  tags_.assign(state_.size(), power::EnergyTag{});
+  occupiedSince_.assign(state_.size(), 0);
   for (int w = params_.workerThreads - 1; w >= 0; --w) {
     sleepingStack_.push_back(w);
   }
@@ -40,6 +42,9 @@ void CpuScheduler::powerOff() {
   ++epoch_;
   queue_.clear();
   for (std::size_t w = 0; w < state_.size(); ++w) {
+    if (state_[w] == WorkerState::Busy) {
+      flushOccupancy(static_cast<WorkerId>(w));  // orphaned by the crash
+    }
     if (spinEnd_[w] != sim::kInvalidEvent) {
       sim_.cancel(spinEnd_[w]);
       spinEnd_[w] = sim::kInvalidEvent;
@@ -57,8 +62,21 @@ void CpuScheduler::powerOff() {
   setBusyCores();
 }
 
+void CpuScheduler::flushOccupancy(WorkerId w) {
+  if (chargeMeter_ == nullptr) return;
+  const double secs =
+      sim::toSeconds(sim_.now() - occupiedSince_[static_cast<std::size_t>(w)]);
+  if (secs > 0) {
+    chargeMeter_->charge(power::Component::kCpu,
+                         tags_[static_cast<std::size_t>(w)],
+                         secs * chargeWattsPerCore_);
+  }
+}
+
 void CpuScheduler::assign(WorkerId w, AcquireFn fn, bool fromSleep) {
   state_[static_cast<std::size_t>(w)] = WorkerState::Busy;
+  occupiedSince_[static_cast<std::size_t>(w)] = sim_.now();
+  tags_[static_cast<std::size_t>(w)] = power::EnergyTag{};
   ++busyCount_;
   ++tasksStarted_;
   setBusyCores();
@@ -103,11 +121,15 @@ void CpuScheduler::acquireWorker(AcquireFn fn) {
 void CpuScheduler::releaseWorker(WorkerId w) {
   if (!on_) return;  // release from an operation that straddled a crash
   assert(state_[static_cast<std::size_t>(w)] == WorkerState::Busy);
+  flushOccupancy(w);
   if (!queue_.empty()) {
     AcquireFn next = std::move(queue_.front());
     queue_.pop_front();
     ++tasksStarted_;
-    next(w);  // worker stays Busy; accounting unchanged
+    // Worker stays Busy; a fresh occupancy window opens for the next op.
+    occupiedSince_[static_cast<std::size_t>(w)] = sim_.now();
+    tags_[static_cast<std::size_t>(w)] = power::EnergyTag{};
+    next(w);
     return;
   }
   --busyCount_;
@@ -136,8 +158,15 @@ void CpuScheduler::startSpin(WorkerId w) {
 }
 
 void CpuScheduler::run(sim::Duration cpuTime, sim::InlineTask done) {
+  run(cpuTime, power::EnergyTag{}, std::move(done));
+}
+
+void CpuScheduler::run(sim::Duration cpuTime, power::EnergyTag tag,
+                       sim::InlineTask done) {
   const std::uint64_t epoch = epoch_;
-  acquireWorker([this, epoch, cpuTime, done = std::move(done)](WorkerId w) mutable {
+  acquireWorker([this, epoch, cpuTime, tag,
+                 done = std::move(done)](WorkerId w) mutable {
+    tagWorker(w, tag);
     sim_.schedule(cpuTime, [this, epoch, w, done = std::move(done)] {
       if (epoch_ != epoch) return;  // node crashed meanwhile
       releaseWorker(w);

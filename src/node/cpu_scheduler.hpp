@@ -2,8 +2,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
+#include "power/energy_ledger.hpp"
+#include "power/energy_model.hpp"
 #include "sim/inline_task.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
@@ -69,11 +72,30 @@ class CpuScheduler {
 
   /// Release a worker previously granted to this operation. If requests are
   /// queued the worker immediately starts the next one; otherwise it spins
-  /// for workerSpinBeforeSleep and then sleeps.
+  /// for workerSpinBeforeSleep and then sleeps. The worker's occupancy
+  /// (grant to release, wakeup latency included) is flushed to the charge
+  /// hook under the tag set via tagWorker (default: unattributed).
   void releaseWorker(WorkerId id);
+
+  /// Label the current occupancy of `id` for energy attribution; the
+  /// charge fires at release time with the full occupancy duration.
+  void tagWorker(WorkerId id, power::EnergyTag tag) {
+    tags_[static_cast<std::size_t>(id)] = tag;
+  }
+
+  /// Energy-attribution target: once per worker occupancy (at release /
+  /// crash) and per auxiliary charge, coreSeconds × wattsPerCore joules
+  /// land directly on the meter — inlined, since this is the
+  /// worker-release hot path. Null disables attribution entirely (the
+  /// busy-core integral — and so power — is unaffected either way).
+  void setChargeMeter(power::EnergyMeter* m, double wattsPerCore) {
+    chargeMeter_ = m;
+    chargeWattsPerCore_ = wattsPerCore;
+  }
 
   /// Convenience: occupy a worker for `cpuTime`, then call `done`.
   void run(sim::Duration cpuTime, sim::InlineTask done);
+  void run(sim::Duration cpuTime, power::EnergyTag tag, sim::InlineTask done);
 
   /// Epoch increments on every powerOff/powerOn; continuations captured
   /// before a crash must check it before touching the scheduler.
@@ -91,8 +113,14 @@ class CpuScheduler {
   /// requests serviced at dispatch priority, whose cycles would otherwise
   /// hide inside the already-pinned polling core. Accumulated into the
   /// utilisation (clamped at the core count), so it shows up in power.
-  void chargeAuxiliaryWork(sim::Duration d) {
-    if (on_) auxBusyCoreSeconds_ += sim::toSeconds(d);
+  void chargeAuxiliaryWork(sim::Duration d,
+                           power::EnergyTag tag = power::EnergyTag{}) {
+    if (!on_) return;
+    auxBusyCoreSeconds_ += sim::toSeconds(d);
+    if (chargeMeter_ != nullptr) {
+      chargeMeter_->charge(power::Component::kCpu, tag,
+                           sim::toSeconds(d) * chargeWattsPerCore_);
+    }
   }
 
   /// Mean utilisation in [0,1] between a snapshot and time `t`.
@@ -114,6 +142,7 @@ class CpuScheduler {
   void setBusyCores();
   void assign(WorkerId w, AcquireFn fn, bool fromSleep);
   void startSpin(WorkerId w);
+  void flushOccupancy(WorkerId w);
 
   sim::Simulation& sim_;
   CpuParams params_;
@@ -123,6 +152,10 @@ class CpuScheduler {
   std::vector<WorkerState> state_;
   std::vector<sim::EventId> spinEnd_;     // pending spin-end per worker
   std::vector<AcquireFn> pendingAssign_;  // parked across wakeupLatency
+  std::vector<power::EnergyTag> tags_;    // attribution of current occupancy
+  std::vector<sim::SimTime> occupiedSince_;
+  power::EnergyMeter* chargeMeter_ = nullptr;
+  double chargeWattsPerCore_ = 0;
   std::vector<WorkerId> spinningStack_;   // LIFO: hottest worker on top
   std::vector<WorkerId> sleepingStack_;
   std::deque<AcquireFn> queue_;

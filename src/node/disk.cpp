@@ -10,17 +10,17 @@ Disk::Disk(sim::Simulation& sim, DiskParams params)
   busy_.set(sim_.now(), 0);
 }
 
-void Disk::read(std::uint64_t bytes, Callback done) {
+void Disk::read(std::uint64_t bytes, Callback done, power::EnergyTag tag) {
   if (!on_) return;
   queue_.push_back(Op{nextOpId_++, false, std::max<std::uint64_t>(bytes, 1),
-                      std::move(done)});
+                      std::move(done), tag});
   if (!active_) serviceNext();
 }
 
-void Disk::write(std::uint64_t bytes, Callback done) {
+void Disk::write(std::uint64_t bytes, Callback done, power::EnergyTag tag) {
   if (!on_) return;
   queue_.push_back(Op{nextOpId_++, true, std::max<std::uint64_t>(bytes, 1),
-                      std::move(done)});
+                      std::move(done), tag});
   if (!active_) serviceNext();
 }
 
@@ -87,8 +87,14 @@ void Disk::serviceNext() {
   lastServedOp_ = op.id;
 
   const std::uint64_t epoch = epoch_;
-  sim_.schedule(t, [this, epoch, chunk, op = std::move(op)]() mutable {
+  const double serviceSeconds = sim::toSeconds(t);
+  sim_.schedule(t, [this, epoch, chunk, serviceSeconds,
+                    op = std::move(op)]() mutable {
     if (epoch_ != epoch) return;
+    if (chargeMeter_ != nullptr) {
+      chargeMeter_->charge(power::Component::kDisk, op.tag,
+                           serviceSeconds * chargeActiveWatts_);
+    }
     if (op.isWrite) {
       bytesWritten_ += chunk;
     } else {

@@ -2,7 +2,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 
+#include "power/energy_ledger.hpp"
+#include "power/energy_model.hpp"
 #include "sim/inline_task.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
@@ -40,8 +43,20 @@ class Disk {
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
 
-  void read(std::uint64_t bytes, Callback done);
-  void write(std::uint64_t bytes, Callback done);
+  /// `tag` labels the stream for energy attribution: every serviced chunk's
+  /// busy time (seek included) is flushed to the charge hook under it.
+  void read(std::uint64_t bytes, Callback done,
+            power::EnergyTag tag = power::EnergyTag{});
+  void write(std::uint64_t bytes, Callback done,
+             power::EnergyTag tag = power::EnergyTag{});
+
+  /// Energy-attribution target: per serviced chunk, busySeconds ×
+  /// activeWatts joules land directly on the meter (inlined — this is the
+  /// per-IO completion path). Null disables attribution.
+  void setChargeMeter(power::EnergyMeter* m, double activeWatts) {
+    chargeMeter_ = m;
+    chargeActiveWatts_ = activeWatts;
+  }
 
   /// Crash: drop queued operations (their callbacks never run).
   void powerOff();
@@ -75,6 +90,7 @@ class Disk {
     bool isWrite;
     std::uint64_t remaining;
     Callback done;
+    power::EnergyTag tag;
   };
 
   void serviceNext();
@@ -93,6 +109,8 @@ class Disk {
   std::uint64_t bytesRead_ = 0;
   std::uint64_t bytesWritten_ = 0;
   sim::TimeWeightedValue busy_;
+  power::EnergyMeter* chargeMeter_ = nullptr;
+  double chargeActiveWatts_ = 0;
 };
 
 }  // namespace rc::node

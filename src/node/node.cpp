@@ -11,6 +11,22 @@ Node::Node(sim::Simulation& sim, NodeId id, NodeParams params)
       cpu_(sim, params.cpu),
       disk_(sim, params.disk) {
   suspendedTime_.set(sim_.now(), 0);
+  installChargeHooks();
+}
+
+void Node::installChargeHooks() {
+  cpu_.setChargeMeter(&meter_, params_.energy.cpuActiveWattsPerCore);
+  disk_.setChargeMeter(&meter_, params_.energy.diskActiveWatts);
+}
+
+void Node::setEnergyMetering(bool on) {
+  meter_.setEnabled(on);
+  if (on) {
+    installChargeHooks();
+  } else {
+    cpu_.setChargeMeter(nullptr, 0);
+    disk_.setChargeMeter(nullptr, 0);
+  }
 }
 
 void Node::startProcess() {
@@ -38,23 +54,51 @@ void Node::resumeMachine() {
 }
 
 Node::PowerSnapshot Node::snapshotPower() const {
-  return PowerSnapshot{cpu_.snapshot(),
-                       suspendedTime_.integralTo(sim_.now())};
+  PowerSnapshot s;
+  s.cpu = cpu_.snapshot();
+  s.suspendedSeconds = suspendedTime_.integralTo(sim_.now());
+  s.diskBusySeconds = disk_.busySeconds(sim_.now());
+  s.meterJoules = meter_.componentTotals();
+  return s;
 }
 
-double Node::energyJoulesSince(const PowerSnapshot& s, sim::SimTime t) const {
-  if (t <= s.cpu.time) return 0;
+std::array<double, power::kComponentCount> Node::componentEnergySince(
+    const PowerSnapshot& s, sim::SimTime t) const {
+  std::array<double, power::kComponentCount> out{};
+  if (t <= s.cpu.time) return out;
+  const power::NodePowerModel& m = params_.energy;
   const double wall = sim::toSeconds(t - s.cpu.time);
   const double susp = suspendedTime_.integralTo(t) - s.suspendedSeconds;
   const double active = wall - susp;
-  const double u = cpu_.utilisationSince(s.cpu, t);  // busy / active window
-  // While suspended the CPU integrator is flat, so u underestimates the
-  // active-period utilisation by active/wall; energy uses core-seconds
-  // directly to stay exact.
+  // While suspended the CPU integrator is flat, so utilisation underestimates
+  // the active-period value by active/wall; energy uses core-seconds directly
+  // to stay exact (the suspended machine draws suspendedWatts, all platform).
+  const double u = cpu_.utilisationSince(s.cpu, t);
   const double coreSeconds = u * wall * params_.cpu.cores;
-  return params_.power.idleWatts * active +
-         params_.power.dynamicWatts * coreSeconds / params_.cpu.cores +
-         params_.suspendedWatts * susp;
+  const double diskBusy = disk_.busySeconds(t) - s.diskBusySeconds;
+  const auto meterNow = meter_.componentTotals();
+  const auto dynSince = [&](power::Component c) {
+    return meterNow[static_cast<std::size_t>(c)] -
+           s.meterJoules[static_cast<std::size_t>(c)];
+  };
+  out[static_cast<std::size_t>(power::Component::kCpu)] =
+      m.cpuIdleWatts * active + m.cpuActiveWattsPerCore * coreSeconds;
+  out[static_cast<std::size_t>(power::Component::kDram)] =
+      m.dramStaticWatts * active + dynSince(power::Component::kDram);
+  out[static_cast<std::size_t>(power::Component::kNic)] =
+      m.nicIdleWatts * active + dynSince(power::Component::kNic);
+  out[static_cast<std::size_t>(power::Component::kDisk)] =
+      m.diskSpindleWatts * active + m.diskActiveWatts * diskBusy;
+  out[static_cast<std::size_t>(power::Component::kPlatform)] =
+      m.platformWatts * active + params_.suspendedWatts * susp;
+  return out;
+}
+
+double Node::energyJoulesSince(const PowerSnapshot& s, sim::SimTime t) const {
+  const auto by = componentEnergySince(s, t);
+  double j = 0;
+  for (double c : by) j += c;
+  return j;
 }
 
 double Node::meanWattsSince(const PowerSnapshot& s, sim::SimTime t) const {
@@ -64,15 +108,16 @@ double Node::meanWattsSince(const PowerSnapshot& s, sim::SimTime t) const {
 
 void Node::startPduSampling() {
   if (!params_.metered || pdu_) return;
-  // The sampler reads mean utilisation over each elapsed interval; the
-  // lambda keeps its own rolling snapshot, advanced once per sample.
-  auto snap = std::make_shared<CpuScheduler::Snapshot>(cpu_.snapshot());
+  // The sampler pulls the energy delta over each elapsed interval; the
+  // lambda keeps its own rolling snapshot, advanced once per sample, so the
+  // sum of samples is the continuous integral from the baseline.
+  pduBaseline_ = std::make_unique<PowerSnapshot>(snapshotPower());
+  auto snap = std::make_shared<PowerSnapshot>(*pduBaseline_);
   pdu_ = std::make_unique<power::PduSampler>(
-      sim_, params_.power,
-      [this, snap](sim::SimTime /*from*/, sim::SimTime to) {
-        const double u = cpu_.utilisationSince(*snap, to);
-        *snap = cpu_.snapshot();
-        return u;
+      sim_, [this, snap](sim::SimTime /*from*/, sim::SimTime to) {
+        const double j = energyJoulesSince(*snap, to);
+        *snap = snapshotPower();
+        return j;
       });
 }
 
@@ -104,6 +149,18 @@ void Node::registerMetrics(obs::MetricRegistry& reg,
     *pwrSnap = snapshotPower();
     return w;
   });
+  // Cumulative per-component joules from a fixed origin: monotone counters
+  // whose sampler .rate series are the per-component watts timelines that
+  // `rcdiag energy` stacks (docs/ENERGY.md).
+  auto energyBase = std::make_shared<PowerSnapshot>(snapshotPower());
+  for (std::size_t c = 0; c < power::kComponentCount; ++c) {
+    const auto comp = static_cast<power::Component>(c);
+    reg.probeCounter(
+        prefix + ".energy." + power::componentName(comp) + ".joules",
+        "joules", [this, energyBase, c] {
+          return componentEnergySince(*energyBase, sim_.now())[c];
+        });
+  }
   reg.probeGauge(prefix + ".cpu.busy_workers", "items", [this] {
     return static_cast<double>(cpu_.busyWorkers());
   });
@@ -124,12 +181,11 @@ void Node::registerMetrics(obs::MetricRegistry& reg,
 }
 
 double Node::currentWatts() const {
+  if (suspended_) return params_.suspendedWatts;
   if (pdu_ && !pdu_->trace().empty()) {
     return pdu_->trace().points().back().value;
   }
-  auto s = cpu_.snapshot();
-  (void)s;
-  return params_.power.watts(0);
+  return params_.energy.staticWatts();
 }
 
 }  // namespace rc::node

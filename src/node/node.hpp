@@ -1,11 +1,14 @@
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 
 #include "node/cpu_scheduler.hpp"
 #include "node/disk.hpp"
 #include "obs/metric_registry.hpp"
+#include "power/energy_ledger.hpp"
+#include "power/energy_model.hpp"
 #include "power/pdu.hpp"
 #include "power/power_model.hpp"
 #include "sim/simulation.hpp"
@@ -20,7 +23,12 @@ constexpr NodeId kInvalidNode = -1;
 struct NodeParams {
   CpuParams cpu;
   DiskParams disk;
+  /// Whole-node linear fit P(u) = 60.5 + 63.4u — kept as the calibration
+  /// reference curve; accounting runs on the component model below.
   power::PowerModel power;
+  /// Per-resource decomposition whose sum reproduces `power` within the
+  /// 2 % calibration gate (docs/ENERGY.md).
+  power::NodePowerModel energy;
   /// Wall power of a machine put in standby (suspend-to-RAM) by the
   /// autoscaler — the knob behind Sierra/Rabbit-style power
   /// proportionality the paper's SS IX points to.
@@ -69,8 +77,17 @@ class Node {
   struct PowerSnapshot {
     CpuScheduler::Snapshot cpu;
     double suspendedSeconds = 0;
+    double diskBusySeconds = 0;
+    /// Meter dynamic totals at snapshot time (nic/dram event charges).
+    std::array<double, power::kComponentCount> meterJoules{};
   };
   PowerSnapshot snapshotPower() const;
+
+  /// Per-component joules consumed between a snapshot and `t` (statics
+  /// prorated over the active window, dynamics from the integrals/meter);
+  /// the array sums to energyJoulesSince.
+  std::array<double, power::kComponentCount> componentEnergySince(
+      const PowerSnapshot& s, sim::SimTime t) const;
   double energyJoulesSince(const PowerSnapshot& s, sim::SimTime t) const;
   double meanWattsSince(const PowerSnapshot& s, sim::SimTime t) const;
 
@@ -78,6 +95,29 @@ class Node {
   void startPduSampling();
   void stopPduSampling();
   const power::PduSampler* pdu() const { return pdu_.get(); }
+  /// Energy accounting origin taken when PDU sampling began (null before);
+  /// componentEnergySince from it reconciles exactly with the PDU trace.
+  const PowerSnapshot* pduBaseline() const { return pduBaseline_.get(); }
+
+  // ----- energy attribution (docs/ENERGY.md)
+
+  power::EnergyMeter& energyMeter() { return meter_; }
+  const power::EnergyMeter& energyMeter() const { return meter_; }
+
+  /// Enable/disable the attribution ledger. Off uninstalls the CPU/disk
+  /// charge hooks entirely, so the A/B overhead gate measures the real
+  /// per-event cost. Power and behaviour are identical either way.
+  void setEnergyMetering(bool on);
+  bool energyMetering() const { return meter_.enabled(); }
+
+  /// Charge one NIC frame / one DRAM access burst to the ledger.
+  void chargeNic(std::uint64_t bytes, power::EnergyTag tag) {
+    meter_.charge(power::Component::kNic, tag, params_.energy.nicJoules(bytes));
+  }
+  void chargeDram(std::uint64_t bytes, power::EnergyTag tag) {
+    meter_.charge(power::Component::kDram, tag,
+                  params_.energy.dramJoules(bytes));
+  }
 
   /// CPU accounting for metrics windows.
   CpuScheduler::Snapshot snapshotCpu() const { return cpu_.snapshot(); }
@@ -86,7 +126,8 @@ class Node {
     return cpu_.utilisationSince(s, t);
   }
 
-  /// Exact energy (J) between a snapshot and `t`, via the linear model.
+  /// Exact energy (J) between a CPU snapshot and `t`, via the calibration
+  /// reference curve (legacy whole-node view; ignores event dynamics).
   double energyJoulesSince(const CpuScheduler::Snapshot& s,
                            sim::SimTime t) const;
 
@@ -100,14 +141,18 @@ class Node {
   void registerMetrics(obs::MetricRegistry& reg, const std::string& prefix);
 
  private:
+  void installChargeHooks();
+
   sim::Simulation& sim_;
   NodeId id_;
   NodeParams params_;
   CpuScheduler cpu_;
   Disk disk_;
+  power::EnergyMeter meter_;
   bool suspended_ = false;
   sim::TimeWeightedValue suspendedTime_;  ///< 1 while suspended
   std::unique_ptr<power::PduSampler> pdu_;
+  std::unique_ptr<PowerSnapshot> pduBaseline_;
 };
 
 }  // namespace rc::node

@@ -60,7 +60,7 @@ EventJournal::SpanId EventJournal::beginSpan(const std::string& name, int node,
   s.begin = sim_.now();
   index_[id] = spans_.size();
   spans_.push_back(std::move(s));
-  openEnergy0_[id] = energyProbe_ ? energyProbe_(node) : 0;
+  openEnergy0_[id] = energyProbe_ ? energyProbe_(node) : EnergyBreakdown{};
   ++started_;
   return id;
 }
@@ -97,7 +97,15 @@ void EventJournal::close(SpanId id, bool abandoned) {
   s.end = sim_.now();
   s.open = false;
   s.abandoned = abandoned;
-  if (energyProbe_) s.joules = energyProbe_(s.node) - e0->second;
+  if (energyProbe_) {
+    const EnergyBreakdown now = energyProbe_(s.node);
+    const EnergyBreakdown& then = e0->second;
+    s.cpuJ = now.cpu - then.cpu;
+    s.dramJ = now.dram - then.dram;
+    s.nicJ = now.nic - then.nic;
+    s.diskJ = now.disk - then.disk;
+    s.joules = now.total() - then.total();
+  }
   openEnergy0_.erase(e0);
   if (abandoned) {
     ++abandoned_;
@@ -170,17 +178,24 @@ bool EventJournal::writeJsonl(const std::string& path) const {
   char t0[32];
   char t1[32];
   char joules[32];
+  char comp[4][32];
   for (const Span& s : spans_) {
     // Nanosecond-resolution seconds keep interval queries exact on re-read.
     std::snprintf(t0, sizeof t0, "%.9f", sim::toSeconds(s.begin));
     std::snprintf(t1, sizeof t1, "%.9f",
                   sim::toSeconds(s.open ? s.begin : s.end));
     std::snprintf(joules, sizeof joules, "%.6f", s.joules);
+    std::snprintf(comp[0], sizeof comp[0], "%.6f", s.cpuJ);
+    std::snprintf(comp[1], sizeof comp[1], "%.6f", s.dramJ);
+    std::snprintf(comp[2], sizeof comp[2], "%.6f", s.nicJ);
+    std::snprintf(comp[3], sizeof comp[3], "%.6f", s.diskJ);
     os << "{\"type\":\"span\",\"id\":" << s.id << ",\"parent\":" << s.parent
        << ",\"name\":\"" << escape(s.name) << "\",\"node\":" << s.node
        << ",\"ctx\":" << s.ctx << ",\"t0\":" << t0 << ",\"t1\":" << t1
        << ",\"open\":" << (s.open ? 1 : 0)
        << ",\"abandoned\":" << (s.abandoned ? 1 : 0) << ",\"joules\":" << joules
+       << ",\"cpu_j\":" << comp[0] << ",\"dram_j\":" << comp[1]
+       << ",\"nic_j\":" << comp[2] << ",\"disk_j\":" << comp[3]
        << ",\"bytes\":" << s.bytes << ",\"count\":" << s.count << "}\n";
   }
   return static_cast<bool>(os);
@@ -206,6 +221,10 @@ std::vector<EventJournal::Span> EventJournal::readJsonl(
     if (findNumber(line, "open", &n)) s.open = n != 0;
     if (findNumber(line, "abandoned", &n)) s.abandoned = n != 0;
     findNumber(line, "joules", &s.joules);
+    findNumber(line, "cpu_j", &s.cpuJ);
+    findNumber(line, "dram_j", &s.dramJ);
+    findNumber(line, "nic_j", &s.nicJ);
+    findNumber(line, "disk_j", &s.diskJ);
     if (findNumber(line, "bytes", &n)) s.bytes = static_cast<std::uint64_t>(n);
     if (findNumber(line, "count", &n)) s.count = static_cast<std::uint64_t>(n);
     out.push_back(std::move(s));

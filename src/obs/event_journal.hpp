@@ -24,19 +24,33 @@ namespace rc::obs {
 /// bytes/count payload attributes.
 ///
 /// Energy attribution: when an energy probe is attached (the cluster wires
-/// it to Node::energyJoulesSince over the linear power model), every span
-/// records the *whole-node* joules spent on its actor node while it was
-/// open. Because concurrent spans on one node each see full node power,
-/// per-span joules answer "what did the node burn during this phase";
-/// the non-overlapping partition of node energy across phases (which must
-/// sum to the PDU-integrated total) is computed offline by rcdiag from the
-/// span intervals plus the 1 Hz PDU series — see docs/TRACING.md.
+/// it to Node::componentEnergySince over the per-resource model), every
+/// span records the joules spent on its actor node while it was open,
+/// decomposed by component (CPU/DRAM/NIC/disk + platform in the total).
+/// Because concurrent spans on one node each see full node power, per-span
+/// joules answer "what did the node burn during this phase"; the
+/// non-overlapping partition of node energy across phases (which must sum
+/// to the PDU-integrated total) is computed offline by rcdiag from the
+/// span intervals plus the 1 Hz PDU series — see docs/TRACING.md and
+/// docs/ENERGY.md.
 ///
 /// Spans left open when their node's process dies are closed deterministically
 /// via abandonNode() (flagged `abandoned`) instead of dangling forever.
 class EventJournal {
  public:
   using SpanId = std::uint64_t;
+
+  /// Per-component node energy at a probe instant (cumulative joules from
+  /// a fixed origin). Mirrors power::Component without an obs -> power
+  /// dependency; `total()` includes the platform share.
+  struct EnergyBreakdown {
+    double cpu = 0;
+    double dram = 0;
+    double nic = 0;
+    double disk = 0;
+    double platform = 0;
+    double total() const { return cpu + dram + nic + disk + platform; }
+  };
 
   struct Span {
     SpanId id = 0;
@@ -49,6 +63,10 @@ class EventJournal {
     bool open = true;
     bool abandoned = false;  ///< closed by node crash / phase failure
     double joules = 0;       ///< whole-node energy over [begin, end]
+    double cpuJ = 0;         ///< per-component decomposition of `joules`
+    double dramJ = 0;        ///< (platform share = joules - sum of these)
+    double nicJ = 0;
+    double diskJ = 0;
     std::uint64_t bytes = 0;
     std::uint64_t count = 0;
 
@@ -60,11 +78,11 @@ class EventJournal {
   EventJournal(const EventJournal&) = delete;
   EventJournal& operator=(const EventJournal&) = delete;
 
-  /// `probe(node)` returns cumulative joules consumed by `node` since some
-  /// fixed origin; span energy is the probe delta between begin and close.
-  void setEnergyProbe(std::function<double(int)> probe) {
-    energyProbe_ = std::move(probe);
-  }
+  /// `probe(node)` returns cumulative per-component joules consumed by
+  /// `node` since some fixed origin; span energy is the probe delta
+  /// between begin and close.
+  using EnergyProbe = std::function<EnergyBreakdown(int)>;
+  void setEnergyProbe(EnergyProbe probe) { energyProbe_ = std::move(probe); }
 
   /// Open a span at now(). Returns its id (never 0).
   SpanId beginSpan(const std::string& name, int node, SpanId parent = 0,
@@ -120,10 +138,11 @@ class EventJournal {
   void close(SpanId id, bool abandoned);
 
   sim::Simulation& sim_;
-  std::function<double(int)> energyProbe_;
-  std::vector<Span> spans_;                         ///< begin order
-  std::unordered_map<SpanId, std::size_t> index_;   ///< id -> spans_ idx
-  std::unordered_map<SpanId, double> openEnergy0_;  ///< id -> probe at begin
+  EnergyProbe energyProbe_;
+  std::vector<Span> spans_;                        ///< begin order
+  std::unordered_map<SpanId, std::size_t> index_;  ///< id -> spans_ idx
+  /// id -> per-component probe reading at begin.
+  std::unordered_map<SpanId, EnergyBreakdown> openEnergy0_;
   SpanId nextSpan_ = 1;
   std::uint64_t started_ = 0;
   std::uint64_t completed_ = 0;

@@ -45,6 +45,7 @@ void SloTracker::record(int classId, int node, std::uint64_t span,
   if (!w.open) {
     w.open = true;
     w.index = idx;
+    w.energyJ0 = energyProbe_ ? energyProbe_(classId) : 0;
   }
   w.digest.add(latency);
   const std::size_t slot = static_cast<std::size_t>(node < 0 ? 0 : node + 1);
@@ -103,6 +104,14 @@ void SloTracker::rotate(ClassState& cs) {
   }
   row.burnRate = std::max(row.burnRate99, row.burnRate999);
   row.breached = row.burnRate >= 1.0;
+  if (energyProbe_) {
+    const int id = static_cast<int>(&cs - classes_.data());
+    row.joules = energyProbe_(id) - w.energyJ0;
+    if (row.count > 0 && row.joules > 0) {
+      row.joulesPerOp = row.joules / static_cast<double>(row.count);
+      row.opsPerJoule = static_cast<double>(row.count) / row.joules;
+    }
+  }
   row.perNode.reserve(w.perNode.size());
   for (std::size_t slot = 0; slot < w.perNode.size(); ++slot) {
     const sim::LatencyDigest& d = w.perNode[slot];
@@ -191,7 +200,8 @@ std::string SloTracker::toJsonl() const {
         "\"t1_us\":%.3f,\"class\":\"%s\",\"count\":%llu,\"p50_us\":%.3f,"
         "\"p99_us\":%.3f,\"p999_us\":%.3f,\"target_p99_us\":%.3f,"
         "\"target_p999_us\":%.3f,\"over_p99\":%llu,\"over_p999\":%llu,"
-        "\"burn_rate\":%.4f,\"breached\":%d}\n",
+        "\"burn_rate\":%.4f,\"breached\":%d,\"joules\":%.6f,"
+        "\"j_per_op\":%.9f,\"ops_per_j\":%.4f}\n",
         static_cast<unsigned long long>(r->window),
         static_cast<double>(r->window) * wUs,
         static_cast<double>(r->window + 1) * wUs, r->cls.c_str(),
@@ -200,7 +210,7 @@ std::string SloTracker::toJsonl() const {
         sim::toMicros(r->target.p99), sim::toMicros(r->target.p999),
         static_cast<unsigned long long>(r->overP99),
         static_cast<unsigned long long>(r->overP999), r->burnRate,
-        r->breached ? 1 : 0);
+        r->breached ? 1 : 0, r->joules, r->joulesPerOp, r->opsPerJoule);
     os << line;
     for (const NodeQuantiles& nq : r->perNode) {
       std::snprintf(line, sizeof(line),

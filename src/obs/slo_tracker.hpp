@@ -71,6 +71,11 @@ class SloTracker {
     double burnRate999 = 0;
     double burnRate = 0;  ///< max of the applicable component rates
     bool breached = false;
+    /// Energy attributed to the class while the window was open (0 when no
+    /// energy probe is wired): joules, joules/op, ops/joule.
+    double joules = 0;
+    double joulesPerOp = 0;
+    double opsPerJoule = 0;
     std::vector<NodeQuantiles> perNode;
     std::vector<Exemplar> exemplars;  ///< slowest first
   };
@@ -91,6 +96,20 @@ class SloTracker {
   /// Dense id for a declared class, -1 if unknown. Clients resolve ids
   /// once at start so the per-op record path never hashes strings.
   int classId(const std::string& name) const;
+
+  int classCount() const { return static_cast<int>(classes_.size()); }
+  const std::string& className(int id) const {
+    return classes_[static_cast<std::size_t>(id)].name;
+  }
+  std::uint64_t classRecorded(int id) const {
+    return classes_[static_cast<std::size_t>(id)].recorded;
+  }
+
+  /// `probe(classId)` returns cumulative joules charged to the class's
+  /// tenant across the cluster; window energy is the probe delta between
+  /// window open and rotation. Null (default) leaves the energy columns 0.
+  using EnergyProbe = std::function<double(int)>;
+  void setEnergyProbe(EnergyProbe probe) { energyProbe_ = std::move(probe); }
 
   bool enabled() const { return !classes_.empty(); }
   sim::Duration windowLength() const { return window_; }
@@ -149,6 +168,7 @@ class SloTracker {
     std::vector<sim::LatencyDigest> perNode;
     std::uint64_t overP99 = 0;
     std::uint64_t overP999 = 0;
+    double energyJ0 = 0;  ///< energy probe reading when the window opened
     std::vector<Exemplar> exemplars;  ///< sorted slowest-first, size <= k
   };
 
@@ -167,6 +187,7 @@ class SloTracker {
   sim::Simulation& sim_;
   sim::Duration window_;
   int exemplarsPerWindow_;
+  EnergyProbe energyProbe_;
   std::vector<ClassState> classes_;
   std::map<std::string, int> byName_;
   std::vector<WindowRow> rows_;

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "power/power_model.hpp"
+
+namespace rc::power {
+
+/// Hardware resources a joule can be attributed to. kPlatform absorbs
+/// everything outside the modelled components (fans, VRM losses, chipset,
+/// and the suspended-machine draw).
+enum class Component : std::uint8_t {
+  kCpu,
+  kDram,
+  kNic,
+  kDisk,
+  kPlatform,
+};
+
+constexpr std::size_t kComponentCount = 5;
+
+inline const char* componentName(Component c) {
+  switch (c) {
+    case Component::kCpu: return "cpu";
+    case Component::kDram: return "dram";
+    case Component::kNic: return "nic";
+    case Component::kDisk: return "disk";
+    case Component::kPlatform: return "platform";
+  }
+  return "unknown";
+}
+
+/// Work classes a joule can be charged against. kStatic is reserved for
+/// always-on baseline draw; kUnattributed collects dynamic energy no charge
+/// site claimed (polling core, worker spin-before-sleep, wakeup latency).
+enum class OpClass : std::uint8_t {
+  kStatic,
+  kRead,
+  kUpdate,
+  kReplication,
+  kRecovery,
+  kMigration,
+  kCleaner,
+  kControl,
+  kUnattributed,
+};
+
+constexpr std::size_t kOpClassCount = 9;
+
+inline const char* opClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kStatic: return "static";
+    case OpClass::kRead: return "read";
+    case OpClass::kUpdate: return "update";
+    case OpClass::kReplication: return "replication";
+    case OpClass::kRecovery: return "recovery";
+    case OpClass::kMigration: return "migration";
+    case OpClass::kCleaner: return "cleaner";
+    case OpClass::kControl: return "control";
+    case OpClass::kUnattributed: return "unattributed";
+  }
+  return "unknown";
+}
+
+/// Attribution label carried by CPU slices, disk IOs and network frames.
+/// `tenant` is the SLO class id + 1 (0 = untenanted), so ledger tenant
+/// slots map 1:1 onto the classes declared on the SloTracker.
+struct EnergyTag {
+  OpClass cls = OpClass::kUnattributed;
+  std::uint16_t tenant = 0;
+};
+
+/// Composable per-resource power model for one server node.
+///
+/// Decomposes the whole-node linear fit P(u) = 60.5 + 63.4u (PowerModel)
+/// into per-component static floors plus per-event dynamic energies, in the
+/// spirit of Mikrou et al.'s per-resource KV-store power characterization:
+///
+///   static:  cpu 14.0 + dram 16.5 + nic 4.0 + disk(spindle) 8.0 +
+///            platform 18.0  =  60.5 W  (the fitted idle intercept)
+///   cpu:     15.85 W per busy core — 63.4 W / 4 cores, so the CPU term
+///            reproduces the fitted slope *exactly* at any utilisation
+///   nic:     0.8 nJ/byte + 60 nJ/packet serialisation energy
+///   dram:    0.06 nJ/byte activate/copy energy on log appends and reads
+///   disk:    +3.5 W while the spindle is seeking/transferring
+///
+/// The event energies are small against the CPU term at the paper's
+/// operating points (< 0.5 W at the 372 Kop/s single-server peak), which is
+/// what keeps the summed curve within the 2 % calibration gate of the
+/// fitted node curve (tests/power_test.cpp, docs/ENERGY.md).
+struct NodePowerModel {
+  double cpuIdleWatts = 14.0;
+  double cpuActiveWattsPerCore = 15.85;
+  /// Deep C-state / low-power floor for a consolidated (suspended-tier)
+  /// core — the knob behind Lang-style energy-proportional consolidation;
+  /// unused until the autoscaler powers cores down individually.
+  double cpuLowPowerWatts = 3.5;
+
+  double dramStaticWatts = 16.5;
+  double dramNanojoulesPerByte = 0.06;
+
+  double nicIdleWatts = 4.0;
+  double nicNanojoulesPerByte = 0.8;
+  double nicNanojoulesPerPacket = 60.0;
+
+  double diskSpindleWatts = 8.0;
+  double diskActiveWatts = 3.5;
+
+  double platformWatts = 18.0;
+
+  /// Always-on draw of a powered, idle machine (the fitted intercept).
+  double staticWatts() const {
+    return cpuIdleWatts + dramStaticWatts + nicIdleWatts + diskSpindleWatts +
+           platformWatts;
+  }
+
+  double staticComponentWatts(Component c) const {
+    switch (c) {
+      case Component::kCpu: return cpuIdleWatts;
+      case Component::kDram: return dramStaticWatts;
+      case Component::kNic: return nicIdleWatts;
+      case Component::kDisk: return diskSpindleWatts;
+      case Component::kPlatform: return platformWatts;
+    }
+    return 0;
+  }
+
+  /// Instantaneous whole-node watts at CPU utilisation u (the component
+  /// sum, excluding event-driven nic/dram/disk dynamics) — the calibration
+  /// surface checked against PowerModel::watts.
+  double watts(double utilisation, int cores = 4) const {
+    const double u = std::clamp(utilisation, 0.0, 1.0);
+    return staticWatts() + cpuActiveWattsPerCore * u * cores;
+  }
+
+  double nicJoules(std::uint64_t bytes) const {
+    return (nicNanojoulesPerByte * static_cast<double>(bytes) +
+            nicNanojoulesPerPacket) * 1e-9;
+  }
+
+  double dramJoules(std::uint64_t bytes) const {
+    return dramNanojoulesPerByte * static_cast<double>(bytes) * 1e-9;
+  }
+};
+
+}  // namespace rc::power

@@ -1,27 +1,33 @@
 #include "power/pdu.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace rc::power {
 
-PduSampler::PduSampler(sim::Simulation& sim, PowerModel model,
-                       UtilisationFn utilisation, sim::Duration interval)
+PduSampler::PduSampler(sim::Simulation& sim, EnergyFn energy,
+                       sim::Duration interval)
     : sim_(sim),
-      model_(model),
-      utilisation_(std::move(utilisation)),
+      energy_(std::move(energy)),
       interval_(interval),
+      start_(sim.now()),
       lastSample_(sim.now()) {
   task_ = std::make_unique<sim::PeriodicTask>(
       sim, interval, [this](sim::SimTime now) { takeSample(now); });
 }
 
 void PduSampler::stop() {
+  if (stopped_) return;
+  stopped_ = true;
   if (task_) task_->cancel();
+  takeSample(sim_.now());  // final (possibly fractional) window
 }
 
 void PduSampler::takeSample(sim::SimTime now) {
-  const double u = utilisation_(lastSample_, now);
-  trace_.add(now, model_.watts(u));
+  if (now <= lastSample_) return;
+  const double joules = energy_(lastSample_, now);
+  trace_.add(now, joules / sim::toSeconds(now - lastSample_));
+  totalJoules_ += joules;
   lastSample_ = now;
 }
 
@@ -29,12 +35,13 @@ double PduSampler::sampledEnergyJoules(sim::SimTime from,
                                        sim::SimTime to) const {
   if (to <= from) return 0;
   double joules = 0;
+  sim::SimTime prev = start_;
   for (const auto& p : trace_.points()) {
-    // A sample at time t covers [t - interval, t).
-    const sim::SimTime cover = p.time - interval_;
-    if (cover >= from && p.time <= to) {
-      joules += p.value * sim::toSeconds(interval_);
-    }
+    // The sample at time t covers (prev, t]; clip against [from, to).
+    const sim::SimTime lo = std::max(prev, from);
+    const sim::SimTime hi = std::min(p.time, to);
+    if (hi > lo) joules += p.value * sim::toSeconds(hi - lo);
+    prev = p.time;
   }
   return joules;
 }

@@ -109,7 +109,7 @@ void BackupService::onBackupWrite(const net::RpcRequest& req,
       params_.writeBaseServiceTime +
       sim::secondsF(static_cast<double>(bytes) /
                     (params_.bufferCopyGBps * 1e9));
-  node_.cpu().chargeAuxiliaryWork(svc);
+  node_.cpu().chargeAuxiliaryWork(svc, {power::OpClass::kReplication, 0});
   dispatch_.enqueue(std::move(apply), svc);
 }
 
@@ -125,21 +125,26 @@ void BackupService::maybeStartFlush(const FrameKey& key) {
     flushSpan = journal_->beginSpan("frame_flush", node_.id());
     journal_->addBytes(flushSpan, flushBytes);
   }
-  node_.disk().write(flushBytes, [this, key, flushBytes, flushSpan] {
-    if (journal_ != nullptr && flushSpan != 0) journal_->endSpan(flushSpan);
-    auto it2 = frames_.find(key);
-    if (it2 == frames_.end()) {
-      // Frame freed while flushing; the pool accounting was already fixed
-      // up by onBackupFree.
-      return;
-    }
-    Frame& f2 = it2->second;
-    f2.flushing = false;
-    f2.onDisk = true;
-    f2.inMemory = false;  // spilled: DRAM copy dropped (paper SS II-B)
-    unflushedBytes_ -= std::min(unflushedBytes_, flushBytes);
-    drainAckWaiters();
-  });
+  node_.disk().write(
+      flushBytes,
+      [this, key, flushBytes, flushSpan] {
+        if (journal_ != nullptr && flushSpan != 0) {
+          journal_->endSpan(flushSpan);
+        }
+        auto it2 = frames_.find(key);
+        if (it2 == frames_.end()) {
+          // Frame freed while flushing; the pool accounting was already
+          // fixed up by onBackupFree.
+          return;
+        }
+        Frame& f2 = it2->second;
+        f2.flushing = false;
+        f2.onDisk = true;
+        f2.inMemory = false;  // spilled: DRAM copy dropped (paper SS II-B)
+        unflushedBytes_ -= std::min(unflushedBytes_, flushBytes);
+        drainAckWaiters();
+      },
+      {power::OpClass::kReplication, 0});
 }
 
 void BackupService::drainAckWaiters() {
@@ -195,6 +200,7 @@ void BackupService::onGetRecoveryData(const net::RpcRequest& req,
       const std::uint64_t share = f2.ackedBytes / parts;
       node_.cpu().acquireWorker([this, count, share,
                                  respond = std::move(respond)](int w) mutable {
+        node_.cpu().tagWorker(w, {power::OpClass::kRecovery, 0});
         const std::uint64_t epoch = node_.cpu().epoch();
         const sim::Duration cpu =
             params_.filterPerEntry * static_cast<sim::Duration>(count);
@@ -221,19 +227,22 @@ void BackupService::onGetRecoveryData(const net::RpcRequest& req,
               plan != nullptr ? plan->recoveryId : 0);
           journal_->addBytes(readSpan, f.ackedBytes);
         }
-        node_.disk().read(f.ackedBytes, [this, key, readSpan] {
-          if (journal_ != nullptr && readSpan != 0) {
-            journal_->endSpan(readSpan);
-          }
-          auto it3 = frames_.find(key);
-          if (it3 == frames_.end()) return;
-          Frame& f3 = it3->second;
-          f3.loading = false;
-          f3.inMemory = true;  // cached: later partitions skip the disk
-          auto waiters = std::move(f3.loadWaiters);
-          f3.loadWaiters.clear();
-          for (auto& wfn : waiters) wfn();
-        });
+        node_.disk().read(
+            f.ackedBytes,
+            [this, key, readSpan] {
+              if (journal_ != nullptr && readSpan != 0) {
+                journal_->endSpan(readSpan);
+              }
+              auto it3 = frames_.find(key);
+              if (it3 == frames_.end()) return;
+              Frame& f3 = it3->second;
+              f3.loading = false;
+              f3.inMemory = true;  // cached: later partitions skip the disk
+              auto waiters = std::move(f3.loadWaiters);
+              f3.loadWaiters.clear();
+              for (auto& wfn : waiters) wfn();
+            },
+            {power::OpClass::kRecovery, 0});
       }
     } else {
       deliver();

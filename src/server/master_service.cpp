@@ -274,9 +274,10 @@ void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
   const std::uint64_t tableId = req.a;
   const std::uint64_t keyId = req.b;
   const std::uint64_t span = req.traceSpan;
+  const std::uint16_t tenant = req.tenant;
   const sim::SimTime arrival = node_.sim().now();
 
-  dispatch_.enqueue(guard([this, tableId, keyId, span, arrival,
+  dispatch_.enqueue(guard([this, tableId, keyId, span, arrival, tenant,
                            respond = std::move(respond)]() mutable {
     stampTrace(span, obs::TimeTrace::Stage::kDispatchWait);
     if (!ownsKey(tableId, keyId)) {
@@ -288,11 +289,13 @@ void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
     }
     noteTabletOp(tableId, keyId, /*isWrite=*/false);
     node_.cpu().acquireWorker(guard([this, tableId, keyId, span, arrival,
+                                     tenant,
                                      respond =
                                          std::move(respond)](int w) mutable {
+      node_.cpu().tagWorker(w, {power::OpClass::kRead, tenant});
       node_.sim().schedule(
           params_.readServiceTime,
-          guard([this, tableId, keyId, span, arrival, w,
+          guard([this, tableId, keyId, span, arrival, tenant, w,
                  respond = std::move(respond)]() mutable {
             node_.cpu().releaseWorker(w);
             const auto* loc = map_.get(hash::Key{tableId, keyId});
@@ -301,6 +304,8 @@ void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
               r.a = 1;
               r.b = loc->version;
               r.payloadBytes = loc->sizeBytes;
+              node_.chargeDram(loc->sizeBytes,
+                               {power::OpClass::kRead, tenant});
             } else {
               r.a = 0;
               ++stats_.missingKeys;
@@ -324,6 +329,7 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
     std::uint64_t rpcSeq = 0;
     std::uint64_t firstUnacked = 0;
     std::uint64_t span = 0;
+    std::uint16_t tenant = 0;
     sim::SimTime arrival = 0;
     Responder respond;
   };
@@ -336,6 +342,7 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
   cx->rpcSeq = req.rpcSeq;
   cx->firstUnacked = req.firstUnacked;
   cx->span = req.traceSpan;
+  cx->tenant = req.tenant;
   cx->arrival = node_.sim().now();
   cx->respond = std::move(respond);
 
@@ -401,6 +408,7 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
       }
     }
     node_.cpu().acquireWorker(guard([this, cx](int w) mutable {
+      node_.cpu().tagWorker(w, {power::OpClass::kUpdate, cx->tenant});
       logLock_.acquire(guard([this, cx, w]() mutable {
         // Thread-handling cost under concurrency (Finding 2's root cause):
         // the more distinct streams hammer this server, the more futile
@@ -421,7 +429,7 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
                 if (cur != cx->expected) {
                   onWriteVersionMismatch(cx->tableId, cx->keyId, cx->clientId,
                                          cx->rpcSeq, cur, cx->span,
-                                         cx->arrival, w,
+                                         cx->tenant, cx->arrival, w,
                                          std::move(cx->respond));
                   return;
                 }
@@ -442,6 +450,8 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
                                        net::Status::kOk, true);
                 entryBytes += params_.completionRecordBytes;
               }
+              node_.chargeDram(entryBytes,
+                               {power::OpClass::kUpdate, cx->tenant});
               // Hash/log work done; what follows is the log-sync /
               // replication fan-out the paper's Finding 3 is about.
               stampTrace(cx->span, obs::TimeTrace::Stage::kWorkerService);
@@ -512,7 +522,7 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
 void MasterService::onWriteVersionMismatch(
     std::uint64_t tableId, std::uint64_t keyId, std::uint64_t clientId,
     std::uint64_t seq, std::uint64_t currentVersion, std::uint64_t span,
-    sim::SimTime arrival, int w, Responder respond) {
+    std::uint16_t tenant, sim::SimTime arrival, int w, Responder respond) {
   const bool tracked = clientId != 0;
   log::LogRef rec;
   if (tracked) {
@@ -521,6 +531,8 @@ void MasterService::onWriteVersionMismatch(
     // against whatever version exists by then.
     rec = appendCompletion(tableId, keyId, clientId, seq, currentVersion,
                            net::Status::kVersionMismatch, true);
+    node_.chargeDram(params_.completionRecordBytes,
+                     {power::OpClass::kUpdate, tenant});
   }
   auto finish = guard([this, tableId, keyId, clientId, seq, currentVersion,
                        span, arrival, w, rec, tracked,
@@ -570,6 +582,7 @@ void MasterService::onRemove(const net::RpcRequest& req, Responder respond) {
     std::uint64_t clientId = 0;
     std::uint64_t rpcSeq = 0;
     std::uint64_t firstUnacked = 0;
+    std::uint16_t tenant = 0;
     Responder respond;
   };
   auto cx = std::make_shared<RemoveCtx>();
@@ -578,6 +591,7 @@ void MasterService::onRemove(const net::RpcRequest& req, Responder respond) {
   cx->clientId = req.clientId;
   cx->rpcSeq = req.rpcSeq;
   cx->firstUnacked = req.firstUnacked;
+  cx->tenant = req.tenant;
   cx->respond = std::move(respond);
 
   dispatch_.enqueue(guard([this, cx]() mutable {
@@ -633,6 +647,7 @@ void MasterService::onRemove(const net::RpcRequest& req, Responder respond) {
       }
     }
     node_.cpu().acquireWorker(guard([this, cx](int w) mutable {
+      node_.cpu().tagWorker(w, {power::OpClass::kUpdate, cx->tenant});
       logLock_.acquire(guard([this, cx, w]() mutable {
         node_.sim().schedule(
             params_.removeServiceTime, guard([this, cx, w]() mutable {
@@ -676,6 +691,8 @@ void MasterService::onRemove(const net::RpcRequest& req, Responder respond) {
                 entryBytes += params_.completionRecordBytes;
                 lastRef = rec;
               }
+              node_.chargeDram(entryBytes,
+                               {power::OpClass::kUpdate, cx->tenant});
               r.b = version;
               auto finish = guard([this, cx, w, r, rec, version, found,
                                    tracked](bool ok) mutable {
@@ -724,12 +741,15 @@ void MasterService::onScan(const net::RpcRequest& req, Responder respond) {
   const std::uint64_t tableId = req.a;
   const std::uint64_t startHash = req.b;
   const std::uint64_t endHash = req.c;
+  const std::uint16_t tenant = req.tenant;
 
-  dispatch_.enqueue(guard([this, tableId, startHash, endHash,
+  dispatch_.enqueue(guard([this, tableId, startHash, endHash, tenant,
                            respond = std::move(respond)]() mutable {
     node_.cpu().acquireWorker(guard([this, tableId, startHash, endHash,
+                                     tenant,
                                      respond =
                                          std::move(respond)](int w) mutable {
+      node_.cpu().tagWorker(w, {power::OpClass::kRead, tenant});
       // Walk the index; objects outside [startHash, endHash] or the table
       // are skipped (they still cost a probe, folded into perEntry).
       std::uint64_t count = 0;
@@ -745,9 +765,10 @@ void MasterService::onScan(const net::RpcRequest& req, Responder respond) {
           params_.scanSetupCpu +
           params_.scanPerEntryCpu *
               static_cast<sim::Duration>(map_.size());
-      node_.sim().schedule(cpu, guard([this, w, count, bytes,
+      node_.sim().schedule(cpu, guard([this, w, count, bytes, tenant,
                                        respond =
                                            std::move(respond)]() mutable {
+        node_.chargeDram(bytes, {power::OpClass::kRead, tenant});
         node_.cpu().releaseWorker(w);
         net::RpcResponse r;
         r.a = count;
@@ -810,9 +831,10 @@ void MasterService::onMultiOp(const net::RpcRequest& req,
   const std::uint64_t tableId = req.a;
   const auto valueBytes = static_cast<std::uint32_t>(req.b);
   const bool isWrite = req.op == net::Opcode::kMultiWrite;
+  const std::uint16_t tenant = req.tenant;
   auto keys = req.keys;
 
-  dispatch_.enqueue(guard([this, tableId, valueBytes, isWrite, keys,
+  dispatch_.enqueue(guard([this, tableId, valueBytes, isWrite, keys, tenant,
                            respond = std::move(respond)]() mutable {
     if (!keys || keys->empty()) {
       net::RpcResponse r;
@@ -821,9 +843,12 @@ void MasterService::onMultiOp(const net::RpcRequest& req,
       return;
     }
     node_.cpu().acquireWorker(guard([this, tableId, valueBytes, isWrite,
-                                     keys,
+                                     keys, tenant,
                                      respond =
                                          std::move(respond)](int w) mutable {
+      node_.cpu().tagWorker(
+          w, {isWrite ? power::OpClass::kUpdate : power::OpClass::kRead,
+              tenant});
       const auto n = static_cast<sim::Duration>(keys->size());
       const sim::Duration cpu =
           params_.multiOpBaseCpu +
@@ -832,7 +857,7 @@ void MasterService::onMultiOp(const net::RpcRequest& req,
               n;
       // Batched writes still serialise on the log head; model the batch
       // as one lock acquisition.
-      auto work = guard([this, tableId, valueBytes, isWrite, keys, w,
+      auto work = guard([this, tableId, valueBytes, isWrite, keys, w, tenant,
                          respond = std::move(respond)]() mutable {
         net::RpcResponse r;
         std::uint64_t found = 0;
@@ -857,6 +882,10 @@ void MasterService::onMultiOp(const net::RpcRequest& req,
           }
         }
         (void)wrongTablet;
+        node_.chargeDram(
+            bytes + (isWrite ? found * params_.objectOverheadBytes : 0),
+            {isWrite ? power::OpClass::kUpdate : power::OpClass::kRead,
+             tenant});
         r.a = found;
         r.b = static_cast<std::uint64_t>(keys->size()) - found;  // missing
         r.payloadBytes = isWrite ? 0 : bytes;
@@ -930,6 +959,7 @@ void MasterService::onMigrationData(const net::RpcRequest& req,
     node_.cpu().acquireWorker(guard([this, source, batchId, count,
                                      respond =
                                          std::move(respond)](int w) mutable {
+      node_.cpu().tagWorker(w, {power::OpClass::kMigration, 0});
       const sim::Duration cpu =
           params_.migration.destPerObjectCpu *
           static_cast<sim::Duration>(count);
@@ -972,6 +1002,7 @@ void MasterService::onMigrationData(const net::RpcRequest& req,
           map_.put(hash::Key{e.tableId, e.keyId},
                    hash::ObjectLocation{ref, e.version, e.sizeBytes});
         }
+        node_.chargeDram(bytes, {power::OpClass::kMigration, 0});
         r.a = batch.size();
         auto finish = guard([this, w, r,
                              respond = std::move(respond)](bool ok) mutable {
@@ -1194,7 +1225,8 @@ void MasterService::cleanerLoop() {
     passSpan = journal_->beginSpan("cleaner_pass", node_.id());
     journal_->addBytes(passSpan, liveBytes);
   }
-  node_.cpu().run(cost, guard([this, victim, passSpan] {
+  node_.cpu().run(cost, {power::OpClass::kCleaner, 0},
+                  guard([this, victim, liveBytes, passSpan] {
     if (log_.segment(victim) != nullptr) {
       // Relocations run under the same single-threaded event, so they
       // cannot interleave with a write's append (documented simplification
@@ -1202,6 +1234,7 @@ void MasterService::cleanerLoop() {
       cleaner_.cleanSegment(victim, node_.sim().now());
       replicaMgr_.freeSegment(victim);
       ++stats_.cleanerRuns;
+      node_.chargeDram(liveBytes, {power::OpClass::kCleaner, 0});
     }
     if (journal_ != nullptr && passSpan != 0) journal_->endSpan(passSpan);
     cleanerLoop();

@@ -296,8 +296,8 @@ class MasterService : public net::RpcService {
   void onWriteVersionMismatch(std::uint64_t tableId, std::uint64_t keyId,
                               std::uint64_t clientId, std::uint64_t seq,
                               std::uint64_t currentVersion,
-                              std::uint64_t span, sim::SimTime arrival, int w,
-                              Responder respond);
+                              std::uint64_t span, std::uint16_t tenant,
+                              sim::SimTime arrival, int w, Responder respond);
 
   /// Append a kCompletion record for a tracked RPC's outcome.
   log::LogRef appendCompletion(std::uint64_t tableId, std::uint64_t keyId,

@@ -104,8 +104,9 @@ void MigrationTask::sendNextBatch() {
   const sim::Duration cpu =
       source_.params().migration.sourcePerObjectCpu *
       static_cast<sim::Duration>(n);
-  source_.node().cpu().run(cpu, [this, w = std::weak_ptr<bool>(alive_),
-                                 batchId, bytes, n] {
+  source_.node().cpu().run(cpu, {power::OpClass::kMigration, 0},
+                           [this, w = std::weak_ptr<bool>(alive_),
+                            batchId, bytes, n] {
     auto p = w.lock();
     if (p == nullptr || !*p) return;
     net::RpcRequest req;

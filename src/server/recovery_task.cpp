@@ -70,6 +70,7 @@ void RecoveryTask::pinWorkers() {
     cpu->acquireWorker([this, cpu, w, slot](int wk) {
       auto p = w.lock();
       if (p != nullptr && *p) {
+        cpu->tagWorker(wk, {power::OpClass::kRecovery, 0});
         *slot = wk;
       } else {
         cpu->releaseWorker(wk);
@@ -302,6 +303,7 @@ void RecoveryTask::applyEntry(const log::LogEntry& e) {
     copy.live = true;
     const log::LogRef ref =
         sideLog_->append(copy, master_.node().sim().now());
+    master_.node().chargeDram(e.sizeBytes, {power::OpClass::kRecovery, 0});
     recoveredCompletions_.emplace_back(copy, ref);
     return;
   }
@@ -313,6 +315,7 @@ void RecoveryTask::applyEntry(const log::LogEntry& e) {
   log::LogEntry copy = e;
   copy.live = true;
   const log::LogRef ref = sideLog_->append(copy, master_.node().sim().now());
+  master_.node().chargeDram(e.sizeBytes, {power::OpClass::kRecovery, 0});
   st.version = e.version;
   st.sizeBytes = e.sizeBytes;
   st.tombstone = e.type == log::EntryType::kTombstone;

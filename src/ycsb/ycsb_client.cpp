@@ -81,6 +81,13 @@ void YcsbClient::issueNext() {
     if (generation_ != gen || !running_) return;
     const OpKind op = pickOp();
     const bool isRead = op == OpKind::kRead;
+    // Per-op tenant tag: reads and updates land in their own SLO class, so
+    // server-side energy charges split by op class too (docs/ENERGY.md).
+    // Safe to flip per op — the closed loop has one op in flight.
+    if (slo_ != nullptr) {
+      const int cls = isRead ? readClass_ : updateClass_;
+      if (cls >= 0) client_.setTenant(static_cast<std::uint16_t>(cls + 1));
+    }
     std::uint64_t key;
     if (op == OpKind::kInsert) {
       key = params_.insertKeyBase + inserted_;

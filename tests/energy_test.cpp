@@ -1,0 +1,173 @@
+// End-to-end tests for per-resource energy attribution (docs/ENERGY.md):
+// ledger cells populated across components/classes/tenants, export-time
+// reconciliation against the sampled PDU total, and byte-identical
+// energy.jsonl across repeated seeded runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "power/energy_ledger.hpp"
+#include "ycsb/workload.hpp"
+#include "ycsb/ycsb_client.hpp"
+
+namespace rc {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// First numeric value following `"key": ` in a JSONL line; NaN-free
+/// because every writer emits plain %f/%d fields.
+double field(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return -1;
+  return std::strtod(line.c_str() + at + pat.size(), nullptr);
+}
+
+double classJoules(const power::EnergyMeter& m, power::OpClass cls,
+                   bool tenantedOnly = false) {
+  double j = 0;
+  m.forEachCell([&](power::Component, power::OpClass o, std::uint16_t slot,
+                    double v) {
+    if (o == cls && (!tenantedOnly || slot > 0)) j += v;
+  });
+  return j;
+}
+
+/// Canonical small run: 4 servers rf=2, tenant-tagged YCSB-A (so reads,
+/// updates and replication all charge), PDUs live, full export.
+std::unique_ptr<core::Cluster> runWorkload(std::uint64_t seed,
+                                           bool metering = true) {
+  core::ClusterParams p;
+  p.servers = 4;
+  p.clients = 2;
+  p.replicationFactor = 2;
+  p.seed = seed;
+  auto c = std::make_unique<core::Cluster>(p);
+  if (!metering) c->setEnergyMetering(false);
+  c->sloTracker().declareClass("acme/read", obs::SloTarget{sim::msec(5), 0});
+  c->sloTracker().declareClass("acme/update", obs::SloTarget{sim::msec(5), 0});
+  const auto table = c->createTable("usertable");
+  c->bulkLoad(table, 5'000, 128);
+  c->startPduSampling();
+  ycsb::YcsbClientParams ycp;
+  ycp.tenant = "acme";
+  c->configureYcsb(table, ycsb::WorkloadSpec::A(5'000), ycp);
+  c->startYcsb();
+  c->sim().runFor(sim::seconds(2));
+  c->stopYcsb();
+  return c;
+}
+
+TEST(EnergyE2E, LedgerAttributesAcrossComponentsClassesAndTenants) {
+  auto c = runWorkload(42);
+  // Every server's dynamic meters must have accrued CPU, NIC and DRAM
+  // charges (each serves reads, replicas, or both).
+  for (int i = 0; i < c->serverCount(); ++i) {
+    const auto& m = c->server(i).node->energyMeter();
+    EXPECT_GT(m.componentJoules(power::Component::kCpu), 0) << "server " << i;
+    EXPECT_GT(m.componentJoules(power::Component::kNic), 0) << "server " << i;
+    EXPECT_GT(m.componentJoules(power::Component::kDram), 0) << "server " << i;
+  }
+  // Op-class attribution: reads, updates and their replication fan-out are
+  // all present, and the YCSB ops carry their tenant slot (slot 0 is the
+  // untenanted remainder; slots 1+ map to SLO classes).
+  double read = 0, update = 0, repl = 0, tenanted = 0, disk = 0;
+  for (int i = 0; i < c->serverCount(); ++i) {
+    const auto& m = c->server(i).node->energyMeter();
+    read += classJoules(m, power::OpClass::kRead);
+    update += classJoules(m, power::OpClass::kUpdate);
+    repl += classJoules(m, power::OpClass::kReplication);
+    tenanted += classJoules(m, power::OpClass::kRead, /*tenantedOnly=*/true);
+    disk += m.componentJoules(power::Component::kDisk);
+  }
+  EXPECT_GT(read, 0);
+  EXPECT_GT(update, 0);
+  EXPECT_GT(repl, 0);
+  EXPECT_GT(tenanted, 0);
+  EXPECT_GE(disk, 0);  // backups may batch past the measured window
+}
+
+TEST(EnergyE2E, MeteringOffLeavesCellsEmptyAndTimingUnchanged) {
+  auto on = runWorkload(7, /*metering=*/true);
+  auto off = runWorkload(7, /*metering=*/false);
+  int cells = 0;
+  for (int i = 0; i < off->serverCount(); ++i) {
+    off->server(i).node->energyMeter().forEachCell(
+        [&cells](power::Component, power::OpClass, std::uint16_t, double) {
+          ++cells;
+        });
+  }
+  EXPECT_EQ(cells, 0);
+  // Charging is pure accounting: the simulation's trajectory must be
+  // bit-identical with the meter on or off.
+  EXPECT_EQ(on->sim().now(), off->sim().now());
+  EXPECT_EQ(on->totalOpsCompleted(), off->totalOpsCompleted());
+}
+
+TEST(EnergyE2E, ExportedNodeRowsReconcileWithPduWithinTenthOfPercent) {
+  const std::string dir = ::testing::TempDir() + "energy_reconcile";
+  std::filesystem::remove_all(dir);
+  auto c = runWorkload(42);
+  ASSERT_TRUE(c->exportMetrics(dir));
+  std::ifstream is(dir + "/energy.jsonl");
+  ASSERT_TRUE(is);
+  std::string line;
+  int nodeRows = 0;
+  bool sawCluster = false;
+  while (std::getline(is, line)) {
+    if (line.find("\"energy_node\"") != std::string::npos) {
+      ++nodeRows;
+      const double total = field(line, "total_j");
+      const double pdu = field(line, "pdu_j");
+      ASSERT_GT(pdu, 0) << line;
+      EXPECT_LE(std::abs(total - pdu) / pdu, 0.001) << line;
+    }
+    if (line.find("\"energy_remainder\"") != std::string::npos) {
+      EXPECT_GE(field(line, "joules"), 0) << line;
+    }
+    if (line.find("\"energy_cluster\"") != std::string::npos) {
+      sawCluster = true;
+      EXPECT_GT(field(line, "total_j"), 0);
+      EXPECT_GT(field(line, "ops"), 0);
+      EXPECT_GT(field(line, "ops_per_j"), 0);
+    }
+  }
+  EXPECT_EQ(nodeRows, c->serverCount());
+  EXPECT_TRUE(sawCluster);
+}
+
+TEST(EnergyE2E, EnergyJsonlIsByteIdenticalAcrossRepeatedRuns) {
+  for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    std::string first;
+    for (int rep = 0; rep < 2; ++rep) {
+      const std::string dir = ::testing::TempDir() + "energy_det_" +
+                              std::to_string(seed) + "_" +
+                              std::to_string(rep);
+      std::filesystem::remove_all(dir);
+      auto c = runWorkload(seed);
+      ASSERT_TRUE(c->exportMetrics(dir));
+      const std::string bytes = slurp(dir + "/energy.jsonl");
+      ASSERT_FALSE(bytes.empty());
+      if (rep == 0) {
+        first = bytes;
+      } else {
+        EXPECT_EQ(first, bytes) << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rc

@@ -368,9 +368,14 @@ TEST(EventJournal, AbandonNodeClosesOnlyThatNodesOpenSpans) {
 TEST(EventJournal, EnergyProbeAttributesJoulesToClosedSpans) {
   sim::Simulation sim;
   EventJournal j(sim);
-  // Linear fake meter: node n has burned 10*n*seconds J at time t.
+  // Linear fake meter: node n has burned 10*n*seconds J at time t, split
+  // 60/40 between CPU and DRAM.
   j.setEnergyProbe([&sim](int n) {
-    return 10.0 * n * sim::toSeconds(sim.now());
+    EventJournal::EnergyBreakdown b;
+    const double total = 10.0 * n * sim::toSeconds(sim.now());
+    b.cpu = 0.6 * total;
+    b.dram = 0.4 * total;
+    return b;
   });
   EventJournal::SpanId s1 = 0;
   EventJournal::SpanId s2 = 0;
@@ -385,6 +390,9 @@ TEST(EventJournal, EnergyProbeAttributesJoulesToClosedSpans) {
   sim.run();
   EXPECT_NEAR(j.span(s1)->joules, 20.0, 1e-9);
   EXPECT_NEAR(j.span(s2)->joules, 40.0, 1e-9);
+  EXPECT_NEAR(j.span(s1)->cpuJ, 12.0, 1e-9);
+  EXPECT_NEAR(j.span(s1)->dramJ, 8.0, 1e-9);
+  EXPECT_NEAR(j.span(s2)->nicJ, 0.0, 1e-9);
   EXPECT_NEAR(j.joulesForPhase("replay"), 60.0, 1e-9);
   EXPECT_NEAR(j.joulesForPhase(""), 60.0, 1e-9);
   EXPECT_DOUBLE_EQ(j.joulesForPhase("no_such_phase"), 0.0);

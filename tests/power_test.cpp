@@ -26,29 +26,104 @@ TEST(Efficiency, PaperFig8Definition) {
 TEST(PduSampler, CoversWindowsBackToBack) {
   sim::Simulation sim;
   PowerModel model;
-  // Utilisation callback: 0.5 in even seconds, 0 in odd ones.
+  // Energy callback: 0.5 utilisation in even windows, idle in odd ones.
   int call = 0;
-  PduSampler pdu(sim, model, [&call](sim::SimTime, sim::SimTime) {
-    return (call++ % 2 == 0) ? 0.5 : 0.0;
+  PduSampler pdu(sim, [&call, &model](sim::SimTime from, sim::SimTime to) {
+    const double u = (call++ % 2 == 0) ? 0.5 : 0.0;
+    return model.joules(u, sim::toSeconds(to - from));
   });
   sim.runUntil(seconds(4) + msec(1));
   ASSERT_EQ(pdu.trace().size(), 4u);
   EXPECT_NEAR(pdu.trace().points()[0].value, model.watts(0.5), 1e-9);
   EXPECT_NEAR(pdu.trace().points()[1].value, model.watts(0.0), 1e-9);
-  // Sampled energy = sum of sample * interval.
-  EXPECT_NEAR(pdu.sampledEnergyJoules(0, seconds(4)),
-              2 * model.watts(0.5) + 2 * model.watts(0.0), 1e-6);
+  // Sampled energy = sum of sample * covered window = continuous integral.
+  const double expect = 2 * model.watts(0.5) + 2 * model.watts(0.0);
+  EXPECT_NEAR(pdu.sampledEnergyJoules(0, seconds(4)), expect, 1e-6);
+  EXPECT_NEAR(pdu.totalSampledJoules(), expect, 1e-9);
 }
 
-TEST(PduSampler, StopFreezesTrace) {
+TEST(PduSampler, StopTakesFinalFractionalSample) {
   sim::Simulation sim;
-  PduSampler pdu(sim, PowerModel{}, [](sim::SimTime, sim::SimTime) {
-    return 0.3;
+  // Constant 100 W node.
+  PduSampler pdu(sim, [](sim::SimTime from, sim::SimTime to) {
+    return 100.0 * sim::toSeconds(to - from);
   });
-  sim.runUntil(seconds(2) + msec(1));
+  sim.runUntil(seconds(2) + msec(500));
   pdu.stop();
+  EXPECT_TRUE(pdu.stopped());
   sim.runUntil(seconds(10));
-  EXPECT_EQ(pdu.trace().size(), 2u);
+  // Samples at 1 s, 2 s, plus the fractional 0.5 s window stop() took;
+  // nothing accrues after stop.
+  ASSERT_EQ(pdu.trace().size(), 3u);
+  EXPECT_NEAR(pdu.trace().points()[2].value, 100.0, 1e-9);
+  EXPECT_NEAR(pdu.totalSampledJoules(), 100.0 * 2.5, 1e-6);
+  // Full-trace window query reproduces the integral despite the short
+  // final window (the 0.1 % reconciliation gate relies on this).
+  EXPECT_NEAR(pdu.sampledEnergyJoules(0, seconds(10)), 250.0, 1e-6);
+}
+
+TEST(PduSampler, StopIsIdempotent) {
+  sim::Simulation sim;
+  PduSampler pdu(sim, [](sim::SimTime from, sim::SimTime to) {
+    return 50.0 * sim::toSeconds(to - from);
+  });
+  sim.runUntil(seconds(1) + msec(250));
+  pdu.stop();
+  const double j = pdu.totalSampledJoules();
+  const std::size_t points = pdu.trace().size();
+  pdu.stop();
+  pdu.stop();
+  EXPECT_DOUBLE_EQ(pdu.totalSampledJoules(), j);
+  EXPECT_EQ(pdu.trace().size(), points);
+  EXPECT_NEAR(j, 50.0 * 1.25, 1e-6);
+}
+
+TEST(PduSampler, MidWindowStopReconcilesWithContinuousIntegral) {
+  sim::Simulation sim;
+  node::NodeParams p;
+  node::Node n(sim, 1, p);
+  n.startProcess();
+  n.startPduSampling();
+  ASSERT_NE(n.pduBaseline(), nullptr);
+  // Stop mid-window: the final sample covers the 0.7 s fraction.
+  sim.runUntil(seconds(3) + msec(700));
+  n.stopPduSampling();
+  const double continuous =
+      n.energyJoulesSince(*n.pduBaseline(), sim.now());
+  EXPECT_NEAR(n.pdu()->totalSampledJoules(), continuous, 1e-6);
+  EXPECT_NEAR(n.pdu()->sampledEnergyJoules(0, sim.now()), continuous, 1e-6);
+}
+
+TEST(NodePowerModel, StaticsSumToFittedIntercept) {
+  NodePowerModel m;
+  EXPECT_DOUBLE_EQ(m.staticWatts(), 60.5);
+  double sum = 0;
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    sum += m.staticComponentWatts(static_cast<Component>(c));
+  }
+  EXPECT_DOUBLE_EQ(sum, 60.5);
+}
+
+TEST(NodePowerModel, ComponentSumWithinCalibrationGate) {
+  // The per-resource decomposition must stay within 2 % of the fitted
+  // whole-node curve P(u) = 60.5 + 63.4u across the utilisation range.
+  NodePowerModel m;
+  PowerModel fitted;
+  for (double u = 0; u <= 1.0; u += 0.05) {
+    const double component = m.watts(u);
+    const double reference = fitted.watts(u);
+    EXPECT_NEAR(component, reference, 0.02 * reference) << "u=" << u;
+  }
+}
+
+TEST(NodePowerModel, EventEnergiesAreSmallAgainstCpuTerm) {
+  // Per-event dynamics at the paper's single-server peak (372 Kop/s of
+  // ~130 B RPCs) must stay under ~1 W so calibration holds.
+  NodePowerModel m;
+  const double nicW = 372'000 * m.nicJoules(130);
+  const double dramW = 372'000 * m.dramJoules(130);
+  EXPECT_LT(nicW, 1.0);
+  EXPECT_LT(dramW, 0.1);
 }
 
 TEST(NodePower, SuspensionWindowMixesCorrectly) {

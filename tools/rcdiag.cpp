@@ -16,6 +16,7 @@
 // docs/TRACING.md.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -204,12 +205,17 @@ void attributeNode(const RunData& run, int node, double winA, double winB,
     if (s.node == node && !s.open && t1s(s) > t0s(s)) nodeSpans.push_back(&s);
   }
 
+  double prev = pit->second.empty()
+                    ? 0.0
+                    : pit->second.front().first - run.pduIntervalS;
   for (const auto& [t, watts] : pit->second) {
-    // Sample at t covers [t - interval, t); clip the coverage to the
-    // window (the window totals use the same clipping, so the per-phase
-    // attribution sums to the window total exactly).
-    const double a = std::max(t - run.pduIntervalS, winA);
+    // Sample at t covers (prev, t] — the *actual* inter-sample gap, not
+    // the nominal interval: the final stop() sample may cover a fraction
+    // of a second. Clip the coverage to the window (the window totals use
+    // the same gaps, so per-phase attribution sums to the window total).
+    const double a = std::max(prev, winA);
     const double b = std::min(t, winB);
+    prev = t;
     if (b <= a) continue;
 
     // Split the interval at span boundaries.
@@ -264,9 +270,11 @@ void printPhases(const RunData& run) {
     }
     double pduTotal = 0;
     for (const auto& [node, samples] : run.pdu) {
+      double prev =
+          samples.empty() ? 0.0 : samples.front().first - run.pduIntervalS;
       for (const auto& [t, watts] : samples) {
-        const double overlap =
-            std::min(t, w1) - std::max(t - run.pduIntervalS, w0);
+        const double overlap = std::min(t, w1) - std::max(prev, w0);
+        prev = t;
         if (overlap > 0) pduTotal += watts * overlap;
       }
       attributeNode(run, node, w0, w1, &rows);
@@ -492,6 +500,344 @@ int sloCmd(const std::string& dir) {
   return 0;
 }
 
+// ------------------------------------------------------------------ energy
+
+constexpr const char* kComponents[] = {"cpu", "dram", "nic", "disk",
+                                       "platform"};
+constexpr std::size_t kNumComponents = 5;
+
+struct EnergyNode {
+  int node = -1;
+  double seconds = 0;
+  double comp[kNumComponents] = {};
+  double totalJ = 0;
+  double pduJ = 0;
+  double meanW = 0;
+};
+
+struct EnergyCell {
+  int node = -1;
+  std::string component;
+  std::string cls;
+  int tenant = 0;
+  double joules = 0;
+};
+
+struct EnergyTenant {
+  std::string cls;
+  double joules = 0;
+  std::uint64_t ops = 0;
+  double jPerOp = 0;
+  double opsPerJ = 0;
+};
+
+struct EnergyData {
+  std::vector<EnergyNode> nodes;
+  std::vector<EnergyCell> cells;  ///< includes remainders as class
+                                  ///< "unattributed" rows from the ledger
+  std::map<std::pair<int, std::string>, double> remainders;
+  std::vector<EnergyTenant> tenants;
+  double clusterJ = 0;
+  std::uint64_t clusterOps = 0;
+  double clusterOpsPerJ = 0;
+  /// component -> per-tick (t, cluster watts) from the sampler's
+  /// node<N>.energy.<comp>.joules.rate series.
+  std::map<std::string, std::map<double, double>> wattsTimeline;
+  /// per-tick cluster ops/s (cluster.client.ops.rate).
+  std::map<double, double> opsTimeline;
+};
+
+bool loadEnergy(const std::string& dir, EnergyData* out) {
+  std::ifstream is(dir + "/energy.jsonl");
+  if (!is) {
+    std::fprintf(stderr, "rcdiag: no energy.jsonl in %s\n", dir.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(is, line)) {
+    std::string type;
+    if (!jsonStr(line, "type", &type)) continue;
+    double v = 0;
+    if (type == "energy_node") {
+      EnergyNode n;
+      if (jsonNum(line, "node", &v)) n.node = static_cast<int>(v);
+      jsonNum(line, "seconds", &n.seconds);
+      for (std::size_t c = 0; c < kNumComponents; ++c) {
+        jsonNum(line, std::string(kComponents[c]) + "_j", &n.comp[c]);
+      }
+      jsonNum(line, "total_j", &n.totalJ);
+      jsonNum(line, "pdu_j", &n.pduJ);
+      jsonNum(line, "mean_w", &n.meanW);
+      out->nodes.push_back(n);
+    } else if (type == "energy_cell") {
+      EnergyCell c;
+      if (jsonNum(line, "node", &v)) c.node = static_cast<int>(v);
+      jsonStr(line, "component", &c.component);
+      jsonStr(line, "class", &c.cls);
+      if (jsonNum(line, "tenant", &v)) c.tenant = static_cast<int>(v);
+      jsonNum(line, "joules", &c.joules);
+      out->cells.push_back(std::move(c));
+    } else if (type == "energy_remainder") {
+      int node = -1;
+      std::string comp;
+      double j = 0;
+      if (jsonNum(line, "node", &v)) node = static_cast<int>(v);
+      jsonStr(line, "component", &comp);
+      jsonNum(line, "joules", &j);
+      out->remainders[{node, comp}] = j;
+    } else if (type == "energy_tenant") {
+      EnergyTenant t;
+      jsonStr(line, "class", &t.cls);
+      jsonNum(line, "joules", &t.joules);
+      if (jsonNum(line, "ops", &v)) t.ops = static_cast<std::uint64_t>(v);
+      jsonNum(line, "j_per_op", &t.jPerOp);
+      jsonNum(line, "ops_per_j", &t.opsPerJ);
+      out->tenants.push_back(std::move(t));
+    } else if (type == "energy_cluster") {
+      jsonNum(line, "total_j", &out->clusterJ);
+      if (jsonNum(line, "ops", &v)) {
+        out->clusterOps = static_cast<std::uint64_t>(v);
+      }
+      jsonNum(line, "ops_per_j", &out->clusterOpsPerJ);
+    }
+  }
+  if (out->nodes.empty()) {
+    std::fprintf(stderr, "rcdiag: energy.jsonl has no energy_node lines\n");
+    return false;
+  }
+
+  // Optional timelines from the 1 Hz sampler (metrics.jsonl points): the
+  // cumulative joules counters become watt series via their .rate form.
+  for (const auto& rec : MetricsExporter::readJsonl(dir + "/metrics.jsonl")) {
+    if (rec.type != "point") continue;
+    if (rec.name == "cluster.client.ops.rate") {
+      out->opsTimeline[rec.t] += rec.value;
+      continue;
+    }
+    if (rec.name.rfind("node", 0) != 0) continue;
+    for (std::size_t c = 0; c < kNumComponents; ++c) {
+      const std::string suffix =
+          std::string(".energy.") + kComponents[c] + ".joules.rate";
+      if (rec.name.size() > suffix.size() &&
+          rec.name.compare(rec.name.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+        out->wattsTimeline[kComponents[c]][rec.t] += rec.value;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+/// Reconciliation gate: every PDU-sampled node's attributed component sum
+/// must match the sampled total within 0.1 % (docs/ENERGY.md). Returns the
+/// number of violations.
+int checkEnergy(const EnergyData& e, bool verbose) {
+  int violations = 0;
+  for (const EnergyNode& n : e.nodes) {
+    if (n.pduJ <= 0) continue;  // PDU never sampled this node
+    const double delta = std::abs(n.totalJ - n.pduJ) / n.pduJ;
+    if (delta > 0.001) {
+      std::fprintf(stderr,
+                   "energy check: node %d component sum %.3f J vs PDU "
+                   "%.3f J (%.4f%% > 0.1%%)\n",
+                   n.node, n.totalJ, n.pduJ, 100.0 * delta);
+      ++violations;
+    }
+    double sum = 0;
+    for (std::size_t c = 0; c < kNumComponents; ++c) sum += n.comp[c];
+    if (std::abs(sum - n.totalJ) > 1e-3 * std::max(1.0, n.totalJ)) {
+      std::fprintf(stderr,
+                   "energy check: node %d components sum %.3f J != "
+                   "total_j %.3f J\n",
+                   n.node, sum, n.totalJ);
+      ++violations;
+    }
+  }
+  // Ledger cells must not exceed their node's dynamic component energy
+  // (cells are cumulative from t=0, a superset of the PDU window, so only
+  // sanity-check non-negativity here).
+  for (const EnergyCell& c : e.cells) {
+    if (c.joules < 0) {
+      std::fprintf(stderr, "energy check: negative cell (node %d %s/%s)\n",
+                   c.node, c.component.c_str(), c.cls.c_str());
+      ++violations;
+    }
+  }
+  if (violations == 0 && verbose) {
+    std::printf("energy check: OK (%zu nodes, %zu cells reconcile)\n",
+                e.nodes.size(), e.cells.size());
+  }
+  return violations;
+}
+
+void printEnergy(const EnergyData& e) {
+  // ---- per-node component table with the reconciliation column
+  std::printf("per-node energy (J) over the PDU window\n");
+  std::printf("  %-5s %9s %9s %9s %9s %9s %10s %10s %8s %7s\n", "node", "cpu",
+              "dram", "nic", "disk", "platform", "total", "pdu", "delta%",
+              "watts");
+  for (const EnergyNode& n : e.nodes) {
+    const double delta =
+        n.pduJ > 0 ? 100.0 * (n.totalJ - n.pduJ) / n.pduJ : 0.0;
+    std::printf(
+        "  %-5d %9.1f %9.1f %9.1f %9.1f %9.1f %10.1f %10.1f %8.4f %7.1f\n",
+        n.node, n.comp[0], n.comp[1], n.comp[2], n.comp[3], n.comp[4],
+        n.totalJ, n.pduJ, delta, n.meanW);
+  }
+
+  // ---- per-op-class attribution (dynamic joules from the ledger cells,
+  // aggregated across nodes/components/tenants; remainder rows appended)
+  std::map<std::string, double> byClass;
+  for (const EnergyCell& c : e.cells) byClass[c.cls] += c.joules;
+  double remJ = 0;
+  for (const auto& [key, j] : e.remainders) remJ += j;
+  if (remJ > 0) byClass["unattributed"] += remJ;
+  double dynTotal = 0;
+  for (const auto& [cls, j] : byClass) dynTotal += j;
+  if (!byClass.empty()) {
+    std::printf("\ndynamic energy by op class (ledger, whole run)\n");
+    std::printf("  %-14s %12s %7s\n", "class", "joules", "share");
+    for (const auto& [cls, j] : byClass) {
+      std::printf("  %-14s %12.2f %6.1f%%\n", cls.c_str(), j,
+                  dynTotal > 0 ? 100.0 * j / dynTotal : 0.0);
+    }
+  }
+
+  // ---- per-tenant joules/op
+  if (!e.tenants.empty()) {
+    std::printf("\nper-tenant efficiency\n");
+    std::printf("  %-24s %12s %10s %12s %10s\n", "class", "joules", "ops",
+                "j/op", "ops/J");
+    for (const EnergyTenant& t : e.tenants) {
+      std::printf("  %-24s %12.2f %10llu %12.6f %10.1f\n", t.cls.c_str(),
+                  t.joules, static_cast<unsigned long long>(t.ops), t.jPerOp,
+                  t.opsPerJ);
+    }
+  }
+
+  // ---- stacked per-component cluster watts timeline
+  if (!e.wattsTimeline.empty()) {
+    // Merge ticks; components stack in fixed order. Subsample to <= 40 rows.
+    std::set<double> ticks;
+    for (const auto& [comp, pts] : e.wattsTimeline) {
+      for (const auto& [t, w] : pts) ticks.insert(t);
+    }
+    std::vector<double> ts(ticks.begin(), ticks.end());
+    const std::size_t step = std::max<std::size_t>(1, ts.size() / 40);
+    double maxW = 0;
+    for (double t : ts) {
+      double sum = 0;
+      for (const auto& [comp, pts] : e.wattsTimeline) {
+        auto it = pts.find(t);
+        if (it != pts.end()) sum += it->second;
+      }
+      maxW = std::max(maxW, sum);
+    }
+    constexpr int kCols = 60;
+    const char* kGlyphs = "cdnkp";  // cpu dram nic disk platform
+    std::printf(
+        "\ncluster watts timeline (stacked: c=cpu d=dram n=nic k=disk "
+        "p=platform; full scale %.0f W)\n",
+        maxW);
+    for (std::size_t i = 0; i < ts.size(); i += step) {
+      const double t = ts[i];
+      std::string bar;
+      double total = 0;
+      for (std::size_t c = 0; c < kNumComponents; ++c) {
+        auto cit = e.wattsTimeline.find(kComponents[c]);
+        if (cit == e.wattsTimeline.end()) continue;
+        auto it = cit->second.find(t);
+        if (it == cit->second.end()) continue;
+        total += it->second;
+        const int width =
+            maxW > 0
+                ? static_cast<int>(kCols * it->second / maxW + 0.5)
+                : 0;
+        bar.append(static_cast<std::size_t>(width), kGlyphs[c]);
+      }
+      if (bar.size() > static_cast<std::size_t>(kCols)) {
+        bar.resize(static_cast<std::size_t>(kCols));
+      }
+      std::printf("  %7.1fs |%-*s| %7.1f W\n", t, kCols, bar.c_str(), total);
+    }
+  }
+
+  // ---- energy proportionality: mean cluster watts per load decile vs the
+  // ideal proportional line anchored at peak load (paper Fig. 2's framing:
+  // idle floor dominates at low load).
+  if (!e.opsTimeline.empty() && !e.wattsTimeline.empty()) {
+    std::map<double, double> wattsAt;
+    for (const auto& [comp, pts] : e.wattsTimeline) {
+      for (const auto& [t, w] : pts) wattsAt[t] += w;
+    }
+    double maxOps = 0;
+    for (const auto& [t, ops] : e.opsTimeline) maxOps = std::max(maxOps, ops);
+    if (maxOps > 0) {
+      struct Bucket {
+        double watts = 0;
+        int n = 0;
+      };
+      Bucket buckets[10];
+      double peakW = 0;
+      for (const auto& [t, ops] : e.opsTimeline) {
+        auto it = wattsAt.find(t);
+        if (it == wattsAt.end()) continue;
+        const int b = std::min(9, static_cast<int>(10.0 * ops / maxOps));
+        buckets[b].watts += it->second;
+        ++buckets[b].n;
+        peakW = std::max(peakW, it->second);
+      }
+      std::printf(
+          "\nenergy proportionality (mean cluster W per load decile; "
+          "* actual, . ideal-proportional)\n");
+      for (int b = 0; b < 10; ++b) {
+        if (buckets[b].n == 0) continue;
+        const double w = buckets[b].watts / buckets[b].n;
+        const double ideal = peakW * (b + 0.5) / 10.0;
+        const int wc = peakW > 0 ? static_cast<int>(40.0 * w / peakW) : 0;
+        const int ic = peakW > 0 ? static_cast<int>(40.0 * ideal / peakW) : 0;
+        std::string bar(41, ' ');
+        bar[static_cast<std::size_t>(std::min(40, ic))] = '.';
+        bar[static_cast<std::size_t>(std::min(40, wc))] = '*';
+        std::printf("  %3d-%3d%% |%s| %7.1f W (ideal %7.1f)\n", b * 10,
+                    (b + 1) * 10, bar.c_str(), w, ideal);
+      }
+    }
+  }
+
+  // ---- cluster rollup
+  std::printf("\ncluster: %.1f J total", e.clusterJ);
+  if (e.clusterOps > 0) {
+    std::printf(", %llu ops, %.1f ops/J",
+                static_cast<unsigned long long>(e.clusterOps),
+                e.clusterOpsPerJ);
+  }
+  std::puts("");
+}
+
+int energyCmd(const std::string& dir, bool checkOnly) {
+  EnergyData e;
+  if (!loadEnergy(dir, &e)) return 1;
+  if (checkOnly) {
+    const int violations = checkEnergy(e, /*verbose=*/true);
+    if (violations > 0) {
+      std::fprintf(stderr, "energy check: %d violation(s)\n", violations);
+      return 1;
+    }
+    return 0;
+  }
+  printEnergy(e);
+  const int violations = checkEnergy(e, /*verbose=*/false);
+  if (violations > 0) {
+    std::fprintf(stderr, "\nenergy: %d reconciliation violation(s)\n",
+                 violations);
+    return 1;
+  }
+  std::puts("\nreconciliation: component sums match the PDU totals (<=0.1%)");
+  return 0;
+}
+
 // ------------------------------------------------------------------- check
 
 int checkRun(const std::string& dir) {
@@ -563,10 +909,15 @@ void usage() {
   std::puts(
       "rcdiag — recovery/migration journal analyzer\n"
       "\n"
-      "  rcdiag [timeline|critical|phases|check|slo|report] DIR\n"
+      "  rcdiag [timeline|critical|phases|check|slo|energy|report] DIR\n"
+      "  rcdiag energy check DIR\n"
       "\n"
       "DIR is a --metrics-dir run directory (events.jsonl [+ metrics.jsonl]).\n"
       "slo reads DIR/slo.jsonl (runs with declared SLO classes).\n"
+      "energy reads DIR/energy.jsonl: per-node component decomposition,\n"
+      "per-op-class and per-tenant attribution, stacked watts timelines and\n"
+      "the proportionality curve; `energy check` only gates the 0.1%\n"
+      "component-sum vs PDU-total reconciliation (CI smoke).\n"
       "Default command is report (timeline + critical + phases).\n");
 }
 
@@ -580,12 +931,16 @@ int main(int argc, char** argv) {
   } else if (argc == 3) {
     cmd = argv[1];
     dir = argv[2];
+  } else if (argc == 4 && std::strcmp(argv[1], "energy") == 0 &&
+             std::strcmp(argv[2], "check") == 0) {
+    return energyCmd(argv[3], /*checkOnly=*/true);
   } else {
     usage();
     return 2;
   }
   if (cmd == "check") return checkRun(dir);
   if (cmd == "slo") return sloCmd(dir);
+  if (cmd == "energy") return energyCmd(dir, /*checkOnly=*/false);
 
   RunData run;
   if (!loadRun(dir, &run)) return 1;

@@ -276,6 +276,21 @@ int cmdTop(const Args& a) {
             std::printf("  heat %-52s %9.0f op/s\n", hot[i].second.c_str(),
                         hot[i].first);
           }
+          // Live power: trailing-window watts per node (the latest PDU
+          // sample; side-effect-free reads) plus the run's cumulative
+          // cluster efficiency.
+          double clusterW = 0;
+          std::printf("  watts:");
+          for (int i = 0; i < c.serverCount(); ++i) {
+            const double w = c.server(i).node->currentWatts();
+            clusterW += w;
+            if (i < 8) {
+              std::printf(" n%d=%.0f", c.serverNodeId(i), w);
+            }
+          }
+          if (c.serverCount() > 8) std::printf(" ...");
+          std::printf("  cluster=%.0fW  %.1f op/J\n", clusterW,
+                      c.metrics().value("cluster.energy.ops_per_joule"));
         });
   };
 
@@ -294,6 +309,7 @@ int cmdSelfperf(const Args& a) {
   fault::selfperf::Options opt;
   opt.quick = a.has("quick");
   opt.slo = a.has("slo");
+  if (a.has("no-energy")) opt.energy = false;
   opt.repeat = std::max(1, static_cast<int>(a.num("repeat", 1)));
   const auto results = fault::selfperf::runAll(opt);
   for (const auto& r : results) {
@@ -332,13 +348,16 @@ void usage() {
       "                  [--read-p99-us N] [--read-p999-us N]\n"
       "                  [--update-p99-us N] [--update-p999-us N] [--heat N]\n"
       "                  (live mode: 1 Hz per-class tail quantiles + burn\n"
-      "                  rate and hottest tablets while the run progresses;\n"
-      "                  docs/SLO.md)\n"
-      "  rcperf selfperf [--quick] [--repeat N] [--slo] [--json FILE]\n"
+      "                  rate, hottest tablets, per-node watts and cluster\n"
+      "                  ops/joule while the run progresses; docs/SLO.md,\n"
+      "                  docs/ENERGY.md)\n"
+      "  rcperf selfperf [--quick] [--repeat N] [--slo] [--no-energy]\n"
+      "                  [--json FILE]\n"
       "                  (host events/sec of the simulator itself on the\n"
       "                  canonical scenarios; writes BENCH_selfperf.json —\n"
       "                  see docs/PERF.md; also: rcperf --selfperf;\n"
-      "                  --slo runs ycsb_b with the SLO tracker live)\n");
+      "                  --slo runs ycsb_b with the SLO tracker live,\n"
+      "                  --no-energy disables the energy ledger)\n");
 }
 
 }  // namespace
