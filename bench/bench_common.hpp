@@ -22,6 +22,7 @@
 
 #include "core/table_format.hpp"
 #include "obs/event_journal.hpp"
+#include "sim/time.hpp"
 
 namespace rc::bench {
 
@@ -64,6 +65,13 @@ struct Options {
         return 0.4;
     }
     return 0.4;
+  }
+
+  /// Timeline bucket for the crash-recovery experiments. Quick runs
+  /// recover in well under a second, so 1 s buckets would average the
+  /// replay burst into the surrounding idle time.
+  sim::Duration recoverySampleEvery() const {
+    return scale == Scale::kQuick ? sim::msec(100) : sim::seconds(1);
   }
 
   /// Records for the big crash-recovery experiments (paper: 10 M).

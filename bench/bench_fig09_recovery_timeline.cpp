@@ -6,6 +6,7 @@
 // the remaining nodes jump to ~92 % / ~119 W while replaying, then return
 // to idle.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   cfg.killAt = opt.scale == bench::Options::Scale::kFull ? sim::seconds(60)
                                                          : sim::seconds(10);
   cfg.seed = opt.seed;
+  cfg.sampleEvery = opt.recoverySampleEvery();
   const auto r = core::runRecoveryExperiment(cfg);
 
   std::printf("\ndata on crashed server: %.2f GB   detection: %.2f s   "
@@ -36,8 +38,11 @@ int main(int argc, char** argv) {
                           "avg power (W)"});
   const auto& cpu = r.cpuMeanPct.points();
   const auto& pw = r.powerMeanW.points();
-  for (std::size_t i = 0; i < cpu.size() && i < pw.size(); ++i) {
-    t.addRow({core::TableFormatter::num(sim::toSeconds(cpu[i].time), 0),
+  // Fine-grained (quick-scale) timelines get decimated to ~40 rows; the
+  // shape checks below still see every bucket.
+  const std::size_t stride = std::max<std::size_t>(1, cpu.size() / 40);
+  for (std::size_t i = 0; i < cpu.size() && i < pw.size(); i += stride) {
+    t.addRow({core::TableFormatter::num(sim::toSeconds(cpu[i].time), 1),
               core::TableFormatter::num(cpu[i].value, 1),
               core::TableFormatter::num(pw[i].value, 1)});
   }

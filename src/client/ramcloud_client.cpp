@@ -58,6 +58,178 @@ void RamCloudClient::writeV(std::uint64_t tableId, std::uint64_t keyId,
   issue(std::move(st));
 }
 
+std::uint64_t RamCloudClient::txBegin() {
+  // (node << 40) | counter: globally unique without coordination, and the
+  // node id is recoverable from the txId for diagnostics.
+  const std::uint64_t txId =
+      (static_cast<std::uint64_t>(self_) << 40) | nextTxLocal_++;
+  activeTxs_[txId];
+  return txId;
+}
+
+void RamCloudClient::txRead(std::uint64_t txId, std::uint64_t tableId,
+                            std::uint64_t keyId, VersionCallback cb) {
+  readV(tableId, keyId,
+        [this, txId, tableId, keyId, cb = std::move(cb)](
+            net::Status s, std::uint64_t version, sim::Duration lat) {
+          auto it = activeTxs_.find(txId);
+          if (it != activeTxs_.end() && s == net::Status::kOk) {
+            TxItem& item = it->second.items[{tableId, keyId}];
+            item.read = true;
+            item.readVersion = version;  // 0 = key absent
+          }
+          cb(s, version, lat);
+        });
+}
+
+void RamCloudClient::txWrite(std::uint64_t txId, std::uint64_t tableId,
+                             std::uint64_t keyId, std::uint32_t valueBytes) {
+  auto it = activeTxs_.find(txId);
+  if (it == activeTxs_.end()) return;
+  TxItem& item = it->second.items[{tableId, keyId}];
+  item.written = true;
+  // A zero-byte write would be indistinguishable on the wire from a
+  // validation-only item; clamp so it still takes a lock.
+  item.valueBytes = valueBytes > 0 ? valueBytes : 1;
+}
+
+void RamCloudClient::txCommit(std::uint64_t txId, OpCallback cb) {
+  auto it = activeTxs_.find(txId);
+  if (it == activeTxs_.end()) {
+    cb(net::Status::kError, 0);
+    return;
+  }
+  TxState tx = std::move(it->second);
+  activeTxs_.erase(it);
+  ++stats_.txStarted;
+  if (tx.items.empty()) {
+    ++stats_.txCommitted;
+    cb(net::Status::kOk, 0);
+    return;
+  }
+
+  struct CommitCtx {
+    std::uint64_t txId = 0;
+    sim::SimTime startedAt = 0;
+    OpCallback cb;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> writeKeys;
+    std::shared_ptr<const std::vector<std::uint64_t>> participants;
+    int pendingVotes = 0;
+    bool anyNo = false;       ///< explicit, durable vote-no
+    bool anyUnknown = false;  ///< vote never arrived (timeout / dead server)
+    std::vector<std::uint64_t> prepareSeqs;
+    int pendingDecisions = 0;
+    int decisionsAcked = 0;
+    int decisionsApplied = 0;  ///< acks that actually released a lock
+    bool commit = false;
+  };
+  auto cx = std::make_shared<CommitCtx>();
+  cx->txId = txId;
+  cx->startedAt = sim_.now();
+  cx->cb = std::move(cb);
+  {
+    auto packed = std::make_shared<std::vector<std::uint64_t>>();
+    for (const auto& [key, item] : tx.items) {
+      if (!item.written) continue;
+      cx->writeKeys.push_back(key);
+      packed->push_back(key.first);
+      packed->push_back(key.second);
+    }
+    cx->participants = std::move(packed);
+  }
+
+  auto finalize = [this, cx]() {
+    for (const std::uint64_t seq : cx->prepareSeqs) {
+      outstandingSeqs_.erase(seq);
+    }
+    net::Status result;
+    if (cx->commit) {
+      // All participants hold a durable yes: even if a decision delivery
+      // failed, cooperative termination can only conclude commit.
+      result = cx->pendingDecisions == 0 &&
+                       cx->decisionsAcked ==
+                           static_cast<int>(cx->writeKeys.size())
+                   ? net::Status::kOk
+                   : net::Status::kTimeout;
+    } else if (cx->anyNo || cx->decisionsApplied > 0) {
+      // A durable vote-no (or an abort decision that released a lock) pins
+      // the outcome: any later vote query answers "aborted". A mere no-op
+      // ack (no lock found) pins nothing — resolution may have decided.
+      result = net::Status::kTxConflict;
+    } else {
+      // Abort chosen on an unknown vote, and no abort landed on a lock: if
+      // every prepare actually succeeded, resolution commits it instead.
+      result = net::Status::kTimeout;
+    }
+    if (result == net::Status::kOk) {
+      ++stats_.txCommitted;
+    } else if (result == net::Status::kTxConflict) {
+      ++stats_.txAborted;
+    } else {
+      ++stats_.txUnknown;
+    }
+    cx->cb(result, sim_.now() - cx->startedAt);
+  };
+
+  auto decisionRound = [this, cx, finalize]() {
+    cx->commit = !cx->anyNo && !cx->anyUnknown;
+    if (cx->writeKeys.empty()) {
+      // Read-only transaction: the validation round IS the commit — if
+      // every version check passed, the read set was consistent (OCC).
+      finalize();
+      return;
+    }
+    cx->pendingDecisions = static_cast<int>(cx->writeKeys.size());
+    for (const auto& [tableId, keyId] : cx->writeKeys) {
+      OpState st{net::Opcode::kTxDecision, tableId, keyId, 0, sim_.now(),
+                 params_.maxRetries, nullptr};
+      st.txId = cx->txId;
+      st.txCommitDecision = cx->commit;
+      st.vcb = [cx, finalize](net::Status s, std::uint64_t applied,
+                              sim::Duration) {
+        if (s == net::Status::kOk) {
+          ++cx->decisionsAcked;
+          if (applied != 0) ++cx->decisionsApplied;
+        }
+        if (--cx->pendingDecisions == 0) finalize();
+      };
+      ++stats_.opsIssued;
+      issue(std::move(st));
+    }
+  };
+
+  cx->pendingVotes = static_cast<int>(tx.items.size());
+  for (const auto& [key, item] : tx.items) {
+    OpState st{net::Opcode::kTxPrepare, key.first, key.second,
+               item.written ? item.valueBytes : 0, sim_.now(),
+               params_.maxRetries, nullptr};
+    st.txId = txId;
+    st.expectedVersion = item.read ? item.readVersion : 0;
+    st.txKeys = cx->participants;
+    if (item.written) {
+      // Tracked: pre-assign the seq so it can be held past the vote (the
+      // firstUnacked watermark must not release the prepare record before
+      // its decision lands).
+      st.seq = nextSeq_++;
+      st.holdSeq = true;
+      outstandingSeqs_.insert(st.seq);
+      cx->prepareSeqs.push_back(st.seq);
+    }
+    st.vcb = [cx, decisionRound](net::Status s, std::uint64_t,
+                                 sim::Duration) {
+      if (s == net::Status::kVersionMismatch ||
+          s == net::Status::kTxConflict) {
+        cx->anyNo = true;
+      } else if (s != net::Status::kOk) {
+        cx->anyUnknown = true;
+      }
+      if (--cx->pendingVotes == 0) decisionRound();
+    };
+    ++stats_.opsIssued;
+    issue(std::move(st));
+  }
+}
+
 void RamCloudClient::stallFor(sim::Duration d) {
   const sim::SimTime until = sim_.now() + d;
   if (until > stalledUntil_) stalledUntil_ = until;
@@ -214,8 +386,9 @@ void RamCloudClient::finish(OpState& st, net::Status status,
     ++stats_.opsFailed;
   }
   // Terminal completion acknowledges the seq: firstUnacked advances past it
-  // and the masters may garbage-collect its completion record.
-  if (st.seq != 0) outstandingSeqs_.erase(st.seq);
+  // and the masters may garbage-collect its completion record. Prepare ops
+  // hold theirs until txCommit's decision round finishes (holdSeq).
+  if (st.seq != 0 && !st.holdSeq) outstandingSeqs_.erase(st.seq);
   if (st.vcb) {
     st.vcb(status, version, sim_.now() - st.startedAt);
   } else {
@@ -361,6 +534,15 @@ void RamCloudClient::issue(OpState st) {
   if (st.op == net::Opcode::kWrite) {
     req.payloadBytes = st.valueBytes;
     req.c = st.expectedVersion;
+  } else if (st.op == net::Opcode::kTxPrepare) {
+    // payloadBytes == 0 marks a validation-only item (no lock, no record).
+    req.payloadBytes = st.valueBytes;
+    req.c = st.expectedVersion;
+    req.d = st.txId;
+    req.keys = st.txKeys;
+  } else if (st.op == net::Opcode::kTxDecision) {
+    req.c = st.txCommitDecision ? 1 : 0;
+    req.d = st.txId;
   }
   if (tracked(st)) {
     if (st.seq == 0) {
@@ -398,7 +580,10 @@ void RamCloudClient::issue(OpState st) {
     }
     switch (resp.status) {
       case net::Status::kOk:
-        finish(st, net::Status::kOk, resp.b);
+        // Decision acks report "applied to a held lock" in a, not a
+        // version — txCommit needs it to classify the outcome.
+        finish(st, net::Status::kOk,
+               st.op == net::Opcode::kTxDecision ? resp.a : resp.b);
         return;
       case net::Status::kVersionMismatch:
         // Conditional write lost the race; the reply carries the current

@@ -3,8 +3,11 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "coordinator/tablet_map.hpp"
 #include "net/rpc.hpp"
@@ -48,6 +51,10 @@ struct ClientStats {
   std::uint64_t leasesOpened = 0;
   std::uint64_t leaseRenewals = 0;
   std::uint64_t leaseExpiries = 0;  ///< kExpiredLease responses observed
+  std::uint64_t txStarted = 0;      ///< txCommit calls
+  std::uint64_t txCommitted = 0;    ///< definite commit reported (kOk)
+  std::uint64_t txAborted = 0;      ///< definite abort reported (kTxConflict)
+  std::uint64_t txUnknown = 0;      ///< outcome left to orphan resolution
 };
 
 /// RAMCloud client library: tablet-map caching, request routing, retry and
@@ -100,6 +107,30 @@ class RamCloudClient {
                  MultiOpCallback cb);
   void multiWrite(std::uint64_t tableId, std::vector<std::uint64_t> keys,
                   std::uint32_t valueBytes, MultiOpCallback cb);
+
+  // ----- minitransactions (docs/TRANSACTIONS.md)
+  //
+  // Sinfonia-style client-driven two-phase commit over RIFL. Reads join an
+  // optimistic read set; writes are buffered locally; txCommit runs the
+  // prepare round (per-object version locks + durable kTxPrepare records on
+  // the participants) and, if every vote is yes, the decision round. Any
+  // vote-no or unknown vote aborts. Requires exactlyOnce (the locks are
+  // reclaimed through the owning lease when this client dies).
+
+  /// Open a transaction context; returns its globally-unique txId.
+  std::uint64_t txBegin();
+  /// Transactional read: a plain read whose observed version joins the
+  /// read set; the prepare round re-validates it on the owning master.
+  void txRead(std::uint64_t txId, std::uint64_t tableId, std::uint64_t keyId,
+              VersionCallback cb);
+  /// Buffer a write locally; nothing reaches a master until txCommit.
+  void txWrite(std::uint64_t txId, std::uint64_t tableId, std::uint64_t keyId,
+               std::uint32_t valueBytes);
+  /// Run two-phase commit. cb status: kOk = definitely committed,
+  /// kTxConflict = definitely aborted (version/lock conflict), anything
+  /// else = outcome unknown to this client — crash recovery plus the
+  /// orphan-resolution sweep drive it to one atomic outcome.
+  void txCommit(std::uint64_t txId, OpCallback cb);
 
   const ClientStats& stats() const { return stats_; }
   node::NodeId nodeId() const { return self_; }
@@ -163,11 +194,22 @@ class RamCloudClient {
     /// RIFL sequence number, assigned once at the first issue of a tracked
     /// op and reused verbatim by every retry — the master's duplicate key.
     std::uint64_t seq = 0;
+    // Minitransaction fields (kTxPrepare / kTxDecision ops only).
+    std::uint64_t txId = 0;
+    bool txCommitDecision = false;  ///< kTxDecision: commit vs. abort
+    std::shared_ptr<const std::vector<std::uint64_t>> txKeys;  ///< packed
+    /// Prepare ops keep their seq in outstandingSeqs_ past completion: the
+    /// firstUnacked watermark must not pass a prepare whose decision is
+    /// still pending, or the master GCs the prepare record while the lock
+    /// still needs it. txCommit erases them after the decision round.
+    bool holdSeq = false;
   };
 
   bool tracked(const OpState& st) const {
-    return params_.exactlyOnce && (st.op == net::Opcode::kWrite ||
-                                   st.op == net::Opcode::kRemove);
+    return params_.exactlyOnce &&
+           (st.op == net::Opcode::kWrite || st.op == net::Opcode::kRemove ||
+            st.op == net::Opcode::kTxDecision ||
+            (st.op == net::Opcode::kTxPrepare && st.valueBytes > 0));
   }
 
   void issue(OpState st);
@@ -212,6 +254,19 @@ class RamCloudClient {
   std::set<std::uint64_t> outstandingSeqs_;
   std::unique_ptr<sim::PeriodicTask> renewTask_;
   sim::SimTime stalledUntil_ = 0;
+
+  // ----- minitransaction state (docs/TRANSACTIONS.md)
+  struct TxItem {
+    bool written = false;
+    std::uint32_t valueBytes = 0;
+    bool read = false;
+    std::uint64_t readVersion = 0;
+  };
+  struct TxState {
+    std::map<std::pair<std::uint64_t, std::uint64_t>, TxItem> items;
+  };
+  std::map<std::uint64_t, TxState> activeTxs_;
+  std::uint64_t nextTxLocal_ = 1;
   std::array<std::uint64_t, net::kOpcodeCount> opRetries_{};
 
   ClientStats stats_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "hash/object_map.hpp"
 #include "server/backup_service.hpp"
 #include "server/master_service.hpp"
 
@@ -67,6 +68,22 @@ void Coordinator::handleRpc(const net::RpcRequest& req, node::NodeId /*from*/,
       r.a = cid;
       r.b = static_cast<std::uint64_t>(params_.leaseTerm);
       respond(std::move(r));
+      break;
+    }
+    case net::Opcode::kTxResolve: {
+      // A master's reclamation sweep found version locks whose transaction
+      // client's lease is gone: run cooperative termination for them.
+      const std::uint64_t txId = req.a;
+      const std::uint64_t txClient = req.b;
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> participants;
+      if (req.keys != nullptr) {
+        const auto& keys = *req.keys;
+        for (std::size_t i = 0; i + 1 < keys.size(); i += 2) {
+          participants.emplace_back(keys[i], keys[i + 1]);
+        }
+      }
+      respond(net::RpcResponse{});
+      startTxResolution(txId, txClient, std::move(participants));
       break;
     }
     case net::Opcode::kRenewLease: {
@@ -224,6 +241,124 @@ void Coordinator::sweepLeases() {
       const auto ev = journal_->event("lease_expire", node_.id());
       journal_->addCount(ev, cid);
     }
+  }
+}
+
+void Coordinator::startTxResolution(
+    std::uint64_t txId, std::uint64_t txClient,
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> participants) {
+  if (participants.empty()) return;
+  if (activeTxResolutions_.count(txId) != 0) return;  // already resolving
+  // The transaction client is still alive: it drives its own commit point,
+  // and resolving under it would race the decision it is about to make.
+  // The participant's sweep re-requests once the lease actually lapses.
+  if (leaseValid(txClient)) return;
+  activeTxResolutions_.insert(txId);
+  ++txResolutionsStarted_;
+
+  struct ResolveCtx {
+    std::uint64_t txId = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> participants;
+    std::vector<std::uint64_t> votes;  // 1 prepared, 2 committed, 3 no-vote
+    int pendingVotes = 0;
+    int pendingDecisions = 0;
+    bool abandoned = false;
+    obs::EventJournal::SpanId span = 0;
+  };
+  auto cx = std::make_shared<ResolveCtx>();
+  cx->txId = txId;
+  cx->participants = std::move(participants);
+  cx->pendingVotes = static_cast<int>(cx->participants.size());
+  if (journal_ != nullptr) {
+    cx->span = journal_->beginSpan("tx_resolution", node_.id(), 0, txId);
+  }
+
+  // Any participant unreachable (owner recovering, vote timed out) aborts
+  // this attempt without deciding anything; the surviving locks re-request
+  // resolution on the next reclamation sweep.
+  auto abandon = [this, cx] {
+    if (cx->abandoned) return;
+    cx->abandoned = true;
+    activeTxResolutions_.erase(cx->txId);
+    ++txResolutionsAbandoned_;
+    if (cx->span != 0) journal_->abandonSpan(cx->span);
+  };
+
+  auto decide = [this, cx, abandon] {
+    // Sinfonia cooperative termination: a participant that already applied
+    // a decision pins the outcome; otherwise the transaction commits iff
+    // *every* participant is still prepared (the client reached its commit
+    // point exactly when all prepares voted yes). Any no-vote — the
+    // participant also fences the tx so a straggling prepare cannot
+    // resurrect it — forces abort.
+    bool anyCommitted = false;
+    bool anyNo = false;
+    for (const std::uint64_t v : cx->votes) {
+      if (v == 2) anyCommitted = true;
+      if (v == 3) anyNo = true;
+    }
+    const bool commit = anyCommitted || !anyNo;
+    cx->pendingDecisions = static_cast<int>(cx->participants.size());
+    for (const auto& [tableId, keyId] : cx->participants) {
+      const auto finishOne = [this, cx, commit] {
+        if (--cx->pendingDecisions > 0) return;
+        activeTxResolutions_.erase(cx->txId);
+        if (commit) {
+          ++txResolutionsCommitted_;
+        } else {
+          ++txResolutionsAborted_;
+        }
+        if (cx->span != 0) {
+          journal_->addCount(cx->span, commit ? 1 : 0);
+          journal_->endSpan(cx->span);
+        }
+      };
+      const auto* entry =
+          map_.lookup(tableId, hash::keyHash(hash::Key{tableId, keyId}));
+      if (entry == nullptr ||
+          entry->state == TabletMap::TabletState::kRecovering) {
+        // Undeliverable now: the recovered lock re-requests resolution and
+        // the (deterministic) decision is re-derived then.
+        finishOne();
+        continue;
+      }
+      net::RpcRequest dec;
+      dec.op = net::Opcode::kTxDecision;
+      dec.a = tableId;
+      dec.b = keyId;
+      dec.c = (commit ? 1ULL : 0ULL) | 2ULL;  // bit1: from resolution
+      dec.d = cx->txId;
+      rpc_.call(node_.id(), entry->tablet.owner, net::kMasterPort, dec,
+                server::timeouts::kControl,
+                [finishOne](const net::RpcResponse&) { finishOne(); });
+    }
+  };
+
+  for (std::size_t i = 0; i < cx->participants.size(); ++i) {
+    const auto [tableId, keyId] = cx->participants[i];
+    const auto* entry =
+        map_.lookup(tableId, hash::keyHash(hash::Key{tableId, keyId}));
+    if (entry == nullptr ||
+        entry->state == TabletMap::TabletState::kRecovering) {
+      abandon();
+      return;
+    }
+    net::RpcRequest vote;
+    vote.op = net::Opcode::kTxVote;
+    vote.a = tableId;
+    vote.b = keyId;
+    vote.d = txId;
+    rpc_.call(node_.id(), entry->tablet.owner, net::kMasterPort, vote,
+              server::timeouts::kControl,
+              [cx, abandon, decide](const net::RpcResponse& resp) {
+                if (cx->abandoned) return;
+                if (resp.status != net::Status::kOk) {
+                  abandon();
+                  return;
+                }
+                cx->votes.push_back(resp.a);
+                if (--cx->pendingVotes == 0) decide();
+              });
   }
 }
 

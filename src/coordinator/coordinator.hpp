@@ -4,8 +4,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "coordinator/tablet_map.hpp"
@@ -110,6 +112,18 @@ class Coordinator : public net::RpcService {
     return recoveryLog_;
   }
 
+  // ----- minitransaction orphan resolution (docs/TRANSACTIONS.md)
+
+  std::uint64_t txResolutionsStarted() const { return txResolutionsStarted_; }
+  std::uint64_t txResolutionsCommitted() const {
+    return txResolutionsCommitted_;
+  }
+  std::uint64_t txResolutionsAborted() const { return txResolutionsAborted_; }
+  std::uint64_t txResolutionsAbandoned() const {
+    return txResolutionsAbandoned_;
+  }
+  bool txResolutionInProgress() const { return !activeTxResolutions_.empty(); }
+
   /// Harness hooks.
   std::function<void(server::ServerId)> onCrashDetected;
   std::function<void(const RecoveryRecord&)> onRecoveryFinished;
@@ -152,6 +166,15 @@ class Coordinator : public net::RpcService {
   void onMigrationDone(const net::RpcRequest& req);
 
   void sweepLeases();
+
+  /// Cooperative termination for an orphaned minitransaction: query every
+  /// participant's vote, derive the Sinfonia decision (any committed →
+  /// commit; all prepared → commit; any no-vote/aborted → abort), fan the
+  /// decision out. Abandons (and lets the participant sweep re-request) on
+  /// any unreachable participant.
+  void startTxResolution(
+      std::uint64_t txId, std::uint64_t txClient,
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> participants);
 
   void pingAll();
   void onPingMiss(server::ServerId id);
@@ -201,6 +224,14 @@ class Coordinator : public net::RpcService {
   std::uint64_t leaseRenewals_ = 0;
   std::uint64_t leasesExpired_ = 0;
   std::unique_ptr<sim::PeriodicTask> leaseSweep_;
+
+  /// txIds currently being resolved — dedups the participant sweeps' many
+  /// concurrent kTxResolve requests for the same transaction.
+  std::set<std::uint64_t> activeTxResolutions_;
+  std::uint64_t txResolutionsStarted_ = 0;
+  std::uint64_t txResolutionsCommitted_ = 0;
+  std::uint64_t txResolutionsAborted_ = 0;
+  std::uint64_t txResolutionsAbandoned_ = 0;
 };
 
 }  // namespace rc::coordinator

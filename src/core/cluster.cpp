@@ -302,6 +302,62 @@ void Cluster::registerClusterMetrics() {
     }
     return static_cast<double>(n);
   });
+  // Minitransaction layer, summed over live masters (docs/TRANSACTIONS.md).
+  const auto sumTx =
+      [this](std::uint64_t (server::TxLockTable::*probe)() const) {
+        std::uint64_t n = 0;
+        for (int i = 0; i < serverCount(); ++i) {
+          if (!serverAlive(i)) continue;
+          const auto& t =
+              servers_[static_cast<std::size_t>(i)].master->txLockTable();
+          n += (t.*probe)();
+        }
+        return static_cast<double>(n);
+      };
+  metrics_.probeCounter("cluster.tx.prepares", "ops", [sumTx] {
+    return sumTx(&server::TxLockTable::prepares);
+  });
+  metrics_.probeCounter("cluster.tx.commits", "ops", [sumTx] {
+    return sumTx(&server::TxLockTable::commits);
+  });
+  metrics_.probeCounter("cluster.tx.aborts", "ops", [sumTx] {
+    return sumTx(&server::TxLockTable::aborts);
+  });
+  metrics_.probeCounter("cluster.tx.conflicts", "ops", [sumTx] {
+    return sumTx(&server::TxLockTable::conflicts);
+  });
+  metrics_.probeCounter("cluster.tx.orphans_resolved", "ops", [sumTx] {
+    return sumTx(&server::TxLockTable::orphansResolved);
+  });
+  metrics_.probeCounter("cluster.tx.locks_recovered", "ops", [sumTx] {
+    return sumTx(&server::TxLockTable::locksRecovered);
+  });
+  metrics_.probeGauge("cluster.tx.locks_held", "items", [this] {
+    std::uint64_t n = 0;
+    for (int i = 0; i < serverCount(); ++i) {
+      if (!serverAlive(i)) continue;
+      n += servers_[static_cast<std::size_t>(i)]
+               .master->txLockTable()
+               .locksHeld();
+    }
+    return static_cast<double>(n);
+  });
+  metrics_.probeCounter("coordinator.tx.resolutions_started", "ops", [this] {
+    return static_cast<double>(coord_->txResolutionsStarted());
+  });
+  metrics_.probeCounter("coordinator.tx.resolutions_committed", "ops",
+                        [this] {
+                          return static_cast<double>(
+                              coord_->txResolutionsCommitted());
+                        });
+  metrics_.probeCounter("coordinator.tx.resolutions_aborted", "ops", [this] {
+    return static_cast<double>(coord_->txResolutionsAborted());
+  });
+  metrics_.probeCounter("coordinator.tx.resolutions_abandoned", "ops",
+                        [this] {
+                          return static_cast<double>(
+                              coord_->txResolutionsAbandoned());
+                        });
   metrics_.probeCounter("coordinator.linearize.leases_issued", "ops", [this] {
     return static_cast<double>(coord_->leasesIssued());
   });

@@ -28,6 +28,13 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
   ycp.clientOverheadPerOp = cfg.clientOverheadPerOp;
   ycp.throttleOpsPerSec = cfg.throttleOpsPerSec;
   ycp.tenant = cfg.tenant;
+  if (cfg.transactional) {
+    ycp.transactionalRmw = true;
+    ycp.transferProportion = cfg.transferProportion;
+    ycp.transferAccounts = cfg.transferAccounts;
+    // Account pool above the zipfian/insert-probe range.
+    ycp.transferKeyBase = cfg.workload.recordCount * 4;
+  }
   cluster.configureYcsb(table, cfg.workload, ycp, cfg.perClientParams);
   cluster.startYcsb();
 
@@ -106,6 +113,9 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
     if (y == nullptr) continue;
     reads.merge(y->stats().readLatency);
     updates.merge(y->stats().updateLatency);
+    r.txTransfers += y->stats().transfers;
+    r.txClientAborted += y->stats().txAborted;
+    r.txClientUnknown += y->stats().txUnknown;
   }
   r.readMeanLatencyUs = reads.mean() / 1e3;
   r.updateMeanLatencyUs = updates.mean() / 1e3;
@@ -128,6 +138,15 @@ YcsbExperimentResult runYcsbExperiment(const YcsbExperimentConfig& cfg) {
   r.rpcTimeouts = cluster.totalRpcTimeouts();
   r.rpcRetries = cluster.totalRpcRetries();
   r.crashed = r.opFailures > 0;
+
+  const auto txCount = [&cluster](const char* name) {
+    return static_cast<std::uint64_t>(cluster.metrics().value(name));
+  };
+  r.txPrepares = txCount("cluster.tx.prepares");
+  r.txCommits = txCount("cluster.tx.commits");
+  r.txAborts = txCount("cluster.tx.aborts");
+  r.txConflicts = txCount("cluster.tx.conflicts");
+  r.txOrphansResolved = txCount("cluster.tx.orphans_resolved");
 
   if (cluster.sloTracker().enabled()) {
     cluster.sloTracker().finish();

@@ -39,6 +39,14 @@ struct YcsbExperimentConfig {
   /// Shrink the measurement window (tests / --quick benches).
   double timeScale = 1.0;
 
+  /// Transactional YCSB variant (docs/TRANSACTIONS.md): updates become
+  /// minitransaction read-modify-writes and `transferProportion` of ops
+  /// are two-key transfers over a small account pool placed above the
+  /// record range (so plain YCSB writes never tear a transfer pair).
+  bool transactional = false;
+  double transferProportion = 0.05;
+  std::uint64_t transferAccounts = 12;
+
   /// When non-empty, start the 1 Hz stats sampler alongside the PDUs and
   /// dump metrics.jsonl + series.csv into this directory after the run.
   std::string metricsDir;
@@ -107,6 +115,18 @@ struct YcsbExperimentResult {
   /// The run "crashed" in the paper's sense: clients saw failed operations
   /// / excessive timeouts (Fig. 6a's missing 10-server points).
   bool crashed = false;
+
+  /// Minitransaction outcome breakdown over the whole run (cluster.tx.*
+  /// counters, summed across masters; zero unless cfg.transactional or a
+  /// clusterHook issued transactions).
+  std::uint64_t txPrepares = 0;
+  std::uint64_t txCommits = 0;
+  std::uint64_t txAborts = 0;
+  std::uint64_t txConflicts = 0;
+  std::uint64_t txOrphansResolved = 0;
+  std::uint64_t txTransfers = 0;      ///< committed two-key transfers
+  std::uint64_t txClientAborted = 0;  ///< tx ops clients saw abort cleanly
+  std::uint64_t txClientUnknown = 0;  ///< outcomes left to orphan resolution
 
   /// SLO attribution results (populated when cfg declared any class):
   /// every closed window row, plus the breach count across classes.

@@ -8,11 +8,12 @@ namespace rc::core {
 
 namespace {
 
-/// Per-second aggregate sampler over the cluster's server nodes.
+/// Per-bucket aggregate sampler over the cluster's server nodes.
 class ClusterSampler {
  public:
-  ClusterSampler(Cluster& cluster, RecoveryExperimentResult& out)
-      : cluster_(cluster), out_(out) {
+  ClusterSampler(Cluster& cluster, RecoveryExperimentResult& out,
+                 sim::Duration interval)
+      : cluster_(cluster), out_(out), intervalS_(sim::toSeconds(interval)) {
     const int n = cluster_.serverCount();
     snaps_.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -21,7 +22,7 @@ class ClusterSampler {
       diskWrite_.push_back(cluster_.server(i).node->disk().bytesWritten());
     }
     task_ = std::make_unique<sim::PeriodicTask>(
-        cluster_.sim(), sim::seconds(1),
+        cluster_.sim(), interval,
         [this](sim::SimTime now) { sample(now); });
   }
 
@@ -56,20 +57,23 @@ class ClusterSampler {
       out_.cpuMeanPct.add(now, 100.0 * cpuSum / alive);
       out_.powerMeanW.add(now, wattSum / alive);
     }
-    out_.diskReadMBps.add(now, static_cast<double>(dr) / 1e6);
-    out_.diskWriteMBps.add(now, static_cast<double>(dw) / 1e6);
+    // Rate-normalize so the series stays MB/s at any bucket width.
+    out_.diskReadMBps.add(now, static_cast<double>(dr) / 1e6 / intervalS_);
+    out_.diskWriteMBps.add(now, static_cast<double>(dw) / 1e6 / intervalS_);
   }
 
   Cluster& cluster_;
   RecoveryExperimentResult& out_;
+  double intervalS_;
   std::vector<node::CpuScheduler::Snapshot> snaps_;
   std::vector<std::uint64_t> diskRead_;
   std::vector<std::uint64_t> diskWrite_;
   std::unique_ptr<sim::PeriodicTask> task_;
 };
 
-/// Accumulates per-second mean latency for one probe client.
+/// Accumulates per-bucket mean latency for one probe client.
 struct LatencyTimeline {
+  sim::Duration bucket = sim::seconds(1);
   sim::TimeSeries series;
   sim::SimTime bucketStart = 0;
   double sumUs = 0;
@@ -77,9 +81,9 @@ struct LatencyTimeline {
   std::uint64_t n = 0;
 
   void record(sim::SimTime now, sim::Duration latency) {
-    while (now >= bucketStart + sim::seconds(1)) {
+    while (now >= bucketStart + bucket) {
       flush();
-      bucketStart += sim::seconds(1);
+      bucketStart += bucket;
     }
     sumUs += sim::toMicros(latency);
     worstUs = std::max(worstUs, sim::toMicros(latency));
@@ -87,7 +91,7 @@ struct LatencyTimeline {
   }
   void flush() {
     if (n > 0) {
-      series.add(bucketStart + sim::seconds(1), sumUs / static_cast<double>(n));
+      series.add(bucketStart + bucket, sumUs / static_cast<double>(n));
     }
     sumUs = 0;
     n = 0;
@@ -122,6 +126,8 @@ RecoveryExperimentResult runRecoveryExperiment(
   // Fig. 10 probe clients.
   LatencyTimeline lat1;
   LatencyTimeline lat2;
+  lat1.bucket = cfg.sampleEvery;
+  lat2.bucket = cfg.sampleEvery;
   if (cfg.probeClients) {
     ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::C(cfg.records);
     ycsb::YcsbClientParams ycp;
@@ -161,7 +167,7 @@ RecoveryExperimentResult runRecoveryExperiment(
     cluster.startYcsb();
   }
 
-  ClusterSampler sampler(cluster, r);
+  ClusterSampler sampler(cluster, r, cfg.sampleEvery);
 
   // Victim's data volume (for the result record).
   r.dataRecoveredGB =
@@ -169,27 +175,50 @@ RecoveryExperimentResult runRecoveryExperiment(
           cluster.server(victim).master->log().liveBytes()) /
       (1024.0 * 1024.0 * 1024.0);
 
-  // Hooks: coordinator tells us when detection and recovery happen.
+  // Hooks: coordinator tells us when detection and recovery happen. The
+  // recovery-energy window is snapshotted at both edges inside the sim
+  // (detection -> finish), so it covers exactly the replay burst — no
+  // detection-idle prefix, no polling-loop overshoot.
   sim::SimTime detectedAt = 0;
   bool finished = false;
   coordinator::RecoveryRecord record;
-  cluster.coord().onCrashDetected = [&detectedAt, &cluster](server::ServerId) {
+  std::vector<node::CpuScheduler::Snapshot> detectSnaps;
+  cluster.coord().onCrashDetected = [&detectedAt, &detectSnaps,
+                                     &cluster](server::ServerId) {
     detectedAt = cluster.sim().now();
+    detectSnaps.clear();
+    for (int i = 0; i < cluster.serverCount(); ++i) {
+      detectSnaps.push_back(cluster.server(i).node->snapshotCpu());
+    }
   };
   cluster.coord().onRecoveryFinished =
-      [&finished, &record](const coordinator::RecoveryRecord& rec) {
+      [&finished, &record, &detectSnaps, &cluster,
+       &r](const coordinator::RecoveryRecord& rec) {
         finished = true;
         record = rec;
+        if (detectSnaps.empty()) return;
+        const sim::SimTime now = cluster.sim().now();
+        double joules = 0;
+        double watts = 0;
+        int alive = 0;
+        for (int i = 0; i < cluster.serverCount(); ++i) {
+          if (!cluster.serverAlive(i)) continue;
+          auto& nd = *cluster.server(i).node;
+          const auto& snap = detectSnaps[static_cast<std::size_t>(i)];
+          if (now <= snap.time) continue;
+          const double j = nd.energyJoulesSince(snap, now);
+          joules += j;
+          watts += j / sim::toSeconds(now - snap.time);
+          ++alive;
+        }
+        if (alive > 0) {
+          r.energyPerNodeDuringRecoveryJ = joules / alive;
+          r.meanPowerDuringRecoveryW = watts / alive;
+        }
       };
 
   cluster.sim().runFor(cfg.killAt);
   r.killTime = cluster.sim().now();
-
-  // Snapshot CPU at kill time for the per-node recovery energy metric.
-  std::vector<node::CpuScheduler::Snapshot> killSnaps;
-  for (int i = 0; i < cluster.serverCount(); ++i) {
-    killSnaps.push_back(cluster.server(i).node->snapshotCpu());
-  }
 
   cluster.crashServer(victim);
 
@@ -204,26 +233,6 @@ RecoveryExperimentResult runRecoveryExperiment(
     r.recoveryDuration = record.duration();
   }
   const sim::SimTime recoveryEnd = cluster.sim().now();
-
-  // Energy per alive node across the recovery window [detection, end].
-  if (finished) {
-    double joules = 0;
-    double watts = 0;
-    int alive = 0;
-    for (int i = 0; i < cluster.serverCount(); ++i) {
-      if (!cluster.serverAlive(i)) continue;
-      auto& nd = *cluster.server(i).node;
-      const auto& snap = killSnaps[static_cast<std::size_t>(i)];
-      const double j = nd.energyJoulesSince(snap, recoveryEnd);
-      joules += j;
-      watts += j / sim::toSeconds(recoveryEnd - snap.time);
-      ++alive;
-    }
-    if (alive > 0) {
-      r.energyPerNodeDuringRecoveryJ = joules / alive;
-      r.meanPowerDuringRecoveryW = watts / alive;
-    }
-  }
 
   // Post-recovery tail so the timelines show the return to idle.
   cluster.sim().runFor(cfg.settleAfter);

@@ -35,6 +35,11 @@ struct RecoveryExperimentConfig {
   /// Non-empty: export metrics.jsonl / series.csv / events.jsonl into this
   /// directory at the end of the run (1 Hz sampling runs from t=0).
   std::string metricsDir;
+
+  /// Bucket width of the CPU/power/disk/latency timelines. Down-scaled
+  /// runs (bench --quick) recover in well under a second; 1 s buckets
+  /// average the replay burst away, so those runs sample finer.
+  sim::Duration sampleEvery = sim::seconds(1);
 };
 
 struct RecoveryExperimentResult {
@@ -43,19 +48,22 @@ struct RecoveryExperimentResult {
   sim::Duration recoveryDuration = 0;  ///< declare-dead -> all partitions up
   double dataRecoveredGB = 0;
 
-  double meanPowerDuringRecoveryW = 0;  ///< per alive node
+  /// Per alive node over [crash detected, recovery finished] — the replay
+  /// window itself, excluding the detection-idle prefix.
+  double meanPowerDuringRecoveryW = 0;
   double peakCpuPct = 0;
   double energyPerNodeDuringRecoveryJ = 0;
 
   bool allKeysRecovered = false;
 
-  // 1 Hz timelines across the whole run (aggregate over alive servers).
+  // Timelines across the whole run, one point per cfg.sampleEvery bucket
+  // (aggregate over alive servers; disk series are rate-normalized).
   sim::TimeSeries cpuMeanPct;     ///< mean CPU % of alive servers
   sim::TimeSeries powerMeanW;     ///< mean watts of alive servers
   sim::TimeSeries diskReadMBps;   ///< aggregated
   sim::TimeSeries diskWriteMBps;  ///< aggregated
 
-  // Fig. 10 probe-client latency timelines (per-second mean, us).
+  // Fig. 10 probe-client latency timelines (per-bucket mean, us).
   sim::TimeSeries client1LatencyUs;
   sim::TimeSeries client2LatencyUs;
   /// Worst single operation per probe client (client 1's is the

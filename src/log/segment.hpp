@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -15,7 +17,17 @@ enum class EntryType : std::uint8_t {
   kTombstone,   ///< records a deletion so replay does not resurrect the key
   kCompletion,  ///< durable record of a tracked RPC's outcome (RIFL); lets a
                 ///< recovery master suppress retries of already-applied ops
+  kTxPrepare,   ///< minitransaction vote: the object is locked for txId and
+                ///< the pending write is durable (docs/TRANSACTIONS.md)
+  kTxDecision,  ///< minitransaction outcome (commit/abort) for one object;
+                ///< fences late prepares and suppresses decision retries
 };
+
+/// Key list of every object a minitransaction touches, carried inside each
+/// kTxPrepare record so *any* surviving participant can drive cooperative
+/// termination after the transaction client dies (docs/TRANSACTIONS.md).
+using TxParticipants =
+    std::shared_ptr<const std::vector<std::pair<std::uint64_t, std::uint64_t>>>;
 
 /// One record in the log. Object *contents* are not materialised — the
 /// simulator tracks sizes, versions and liveness, which is everything the
@@ -37,6 +49,12 @@ struct LogEntry {
   std::uint64_t rpcSeq = 0;
   std::uint8_t opStatus = 0;  ///< net::Status of the recorded outcome
   bool found = true;          ///< kRemove result: object existed
+  /// Minitransaction fields (kTxPrepare / kTxDecision only).
+  std::uint64_t txId = 0;          ///< globally unique transaction id
+  std::uint32_t txPendingBytes = 0;  ///< prepare: buffered write's value size
+  std::uint64_t txExpectedVersion = 0;  ///< prepare: version the vote checked
+  bool txCommit = false;           ///< decision: true = commit, false = abort
+  TxParticipants txParticipants;   ///< prepare: full participant key list
 };
 
 /// Reference to an entry in a specific segment.

@@ -27,6 +27,10 @@ const char* opcodeName(Opcode op) {
     case Opcode::kServerListUpdate: return "server_list_update";
     case Opcode::kOpenLease: return "open_lease";
     case Opcode::kRenewLease: return "renew_lease";
+    case Opcode::kTxPrepare: return "tx_prepare";
+    case Opcode::kTxDecision: return "tx_decision";
+    case Opcode::kTxResolve: return "tx_resolve";
+    case Opcode::kTxVote: return "tx_vote";
   }
   return "unknown";
 }
@@ -40,6 +44,8 @@ power::OpClass opcodeClass(Opcode op) {
     case Opcode::kWrite:
     case Opcode::kRemove:
     case Opcode::kMultiWrite:
+    case Opcode::kTxPrepare:
+    case Opcode::kTxDecision:
       return power::OpClass::kUpdate;
     case Opcode::kBackupWrite:
       return power::OpClass::kReplication;
@@ -59,6 +65,8 @@ power::OpClass opcodeClass(Opcode op) {
     case Opcode::kServerListUpdate:
     case Opcode::kOpenLease:
     case Opcode::kRenewLease:
+    case Opcode::kTxResolve:
+    case Opcode::kTxVote:
       return power::OpClass::kControl;
   }
   return power::OpClass::kUnattributed;

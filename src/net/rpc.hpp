@@ -37,10 +37,14 @@ enum class Opcode : std::uint8_t {
   kServerListUpdate,   ///< coordinator -> masters: a server was declared dead
   kOpenLease,          ///< client -> coordinator: obtain a client id + lease
   kRenewLease,         ///< client -> coordinator: extend an existing lease
+  kTxPrepare,          ///< tx client -> participant master: lock + vote
+  kTxDecision,         ///< tx client/coordinator -> participant: commit/abort
+  kTxResolve,          ///< participant master -> coordinator: orphan tx found
+  kTxVote,             ///< coordinator -> participant: query vote status
 };
 
 constexpr std::size_t kOpcodeCount =
-    static_cast<std::size_t>(Opcode::kRenewLease) + 1;
+    static_cast<std::size_t>(Opcode::kTxVote) + 1;
 
 /// Stable lower-case name for metric paths ("net.rpc.timeouts.<opcode>").
 const char* opcodeName(Opcode op);
@@ -61,6 +65,8 @@ enum class Status : std::uint8_t {
                      ///< version in `b`
   kExpiredLease,     ///< master no longer tracks this client: reopen lease
   kStaleRpc,         ///< rpcSeq below the client's own firstUnacked watermark
+  kTxConflict,       ///< tx prepare vote-no: object locked by another tx, or
+                     ///< the transaction was already fenced aborted
 };
 
 /// Compact wire format: an opcode plus a few op-specific integer fields and

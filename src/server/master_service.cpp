@@ -34,6 +34,22 @@ MasterService::MasterService(
               unacked_.updateRecordRef(e.clientId, e.rpcSeq, newRef);
               return;
             }
+            if (e.type == log::EntryType::kTxPrepare) {
+              // Both the suppression table and the lock table may point at
+              // a prepare record; refresh whichever still references it.
+              if (e.clientId != 0) {
+                unacked_.updateRecordRef(e.clientId, e.rpcSeq, newRef);
+              }
+              txLocks_.updatePrepareRef(e.txId, e.tableId, e.keyId, newRef);
+              return;
+            }
+            if (e.type == log::EntryType::kTxDecision) {
+              if (e.clientId != 0) {
+                unacked_.updateRecordRef(e.clientId, e.rpcSeq, newRef);
+              }
+              txLocks_.updateDecisionRef(e.txId, e.tableId, e.keyId, newRef);
+              return;
+            }
             if (e.type != log::EntryType::kObject) return;
             const hash::Key k{e.tableId, e.keyId};
             if (auto* loc = map_.getMutable(k);
@@ -91,7 +107,8 @@ void MasterService::noteStream(node::NodeId from) {
 void MasterService::handleRpc(const net::RpcRequest& req, node::NodeId from,
                               Responder respond) {
   if (req.op == net::Opcode::kRead || req.op == net::Opcode::kWrite ||
-      req.op == net::Opcode::kRemove) {
+      req.op == net::Opcode::kRemove || req.op == net::Opcode::kTxPrepare ||
+      req.op == net::Opcode::kTxDecision) {
     noteStream(from);
     // Span opened at client issue time: the elapsed stage is the
     // client->server network + transport leg.
@@ -110,6 +127,15 @@ void MasterService::handleRpc(const net::RpcRequest& req, node::NodeId from,
       break;
     case net::Opcode::kWrite:
       onWrite(req, std::move(respond));
+      break;
+    case net::Opcode::kTxPrepare:
+      onTxPrepare(req, std::move(respond));
+      break;
+    case net::Opcode::kTxDecision:
+      onTxDecision(req, std::move(respond));
+      break;
+    case net::Opcode::kTxVote:
+      onTxVote(req, std::move(respond));
       break;
     case net::Opcode::kRemove:
       onRemove(req, std::move(respond));
@@ -149,8 +175,10 @@ void MasterService::crash() {
   logLock_.reset();
   cleanerActive_ = false;
   // DRAM state dies with the node; suppression state is rebuilt from the
-  // replicated kCompletion records by whichever master recovers the tablets.
+  // replicated kCompletion records by whichever master recovers the tablets,
+  // and the tx lock table from the replicated kTxPrepare/kTxDecision records.
   unacked_.clear();
+  txLocks_.clear();
   crashBeforeReplyHook_ = nullptr;
   leaseReclaim_.reset();
 }
@@ -253,9 +281,14 @@ void MasterService::ensureHeadRoom(std::uint32_t bytes) {
 void MasterService::releaseCompletionRecords(
     const std::vector<log::LogRef>& freed) {
   for (const log::LogRef& ref : freed) {
-    if (ref.valid() && log_.segment(ref.segment) != nullptr) {
-      log_.markDead(ref);
-    }
+    if (!ref.valid() || log_.segment(ref.segment) == nullptr) continue;
+    // A freed prepare record may still back a held tx lock (the client acks
+    // the prepare seq as soon as the vote reply lands, long before the
+    // decision). The lock adopts the record; it is marked dead when the
+    // decision releases the lock, keeping it replayable by crash recovery
+    // until the transaction is actually resolved.
+    if (txLocks_.adoptRecord(ref)) continue;
+    log_.markDead(ref);
   }
 }
 
@@ -267,6 +300,15 @@ void MasterService::startLeaseReclaim() {
         std::vector<log::LogRef> freed;
         unacked_.reclaimExpired(directory_.leaseValid, &freed);
         releaseCompletionRecords(freed);
+        sweepOrphanedTx();
+        std::vector<log::LogRef> txFreed;
+        txLocks_.gcResolved(directory_.leaseValid, node_.sim().now(),
+                            2 * params_.leaseReclaimInterval, &txFreed);
+        for (const log::LogRef& ref : txFreed) {
+          if (ref.valid() && log_.segment(ref.segment) != nullptr) {
+            log_.markDead(ref);
+          }
+        }
       });
 }
 
@@ -420,6 +462,26 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
         node_.sim().schedule(
             params_.writeAppendCpu + penalty, guard([this, cx, w]() mutable {
               const bool tracked = cx->clientId != 0;
+              if (const TxLockTable::Lock* held =
+                      txLocks_.get(cx->tableId, cx->keyId);
+                  held != nullptr) {
+                // A prepared minitransaction holds this object's version
+                // lock: a plain write slipping underneath would invalidate
+                // the vote that participant already cast. Reject; the
+                // writer retries after the decision releases the lock.
+                // Nothing mutated, so the RIFL entry rolls back (a retry
+                // re-runs the check) instead of recording a durable verdict.
+                txLocks_.countConflict();
+                if (tracked) unacked_.abortInProgress(cx->clientId, cx->rpcSeq);
+                net::RpcResponse r;
+                r.status = net::Status::kTxConflict;
+                r.b = held->expectedVersion;
+                stampTrace(cx->span, obs::TimeTrace::Stage::kWorkerService);
+                logLock_.release();
+                cx->respond(std::move(r));
+                node_.cpu().releaseWorker(w);
+                return;
+              }
               if (cx->expected != 0) {
                 // Conditional check under the append lock: an interleaved
                 // writer cannot slip between check and apply.
@@ -575,6 +637,647 @@ void MasterService::onWriteVersionMismatch(
   }
 }
 
+void MasterService::onTxPrepare(const net::RpcRequest& req,
+                                Responder respond) {
+  struct PrepCtx {
+    std::uint64_t tableId = 0;
+    std::uint64_t keyId = 0;
+    std::uint32_t valueBytes = 0;  ///< 0 = validation-only (read-only tx)
+    std::uint64_t expected = 0;
+    std::uint64_t txId = 0;
+    std::uint64_t clientId = 0;
+    std::uint64_t rpcSeq = 0;
+    std::uint64_t firstUnacked = 0;
+    std::uint64_t span = 0;
+    std::uint16_t tenant = 0;
+    sim::SimTime arrival = 0;
+    log::TxParticipants participants;
+    Responder respond;
+  };
+  auto cx = std::make_shared<PrepCtx>();
+  cx->tableId = req.a;
+  cx->keyId = req.b;
+  cx->valueBytes = static_cast<std::uint32_t>(req.payloadBytes);
+  cx->expected = req.c;
+  cx->txId = req.d;
+  cx->clientId = req.clientId;
+  cx->rpcSeq = req.rpcSeq;
+  cx->firstUnacked = req.firstUnacked;
+  cx->span = req.traceSpan;
+  cx->tenant = req.tenant;
+  cx->arrival = node_.sim().now();
+  cx->respond = std::move(respond);
+  if (req.keys && !req.keys->empty()) {
+    // Participant key list packed as alternating (tableId, keyId) pairs.
+    auto parts = std::make_shared<
+        std::vector<std::pair<std::uint64_t, std::uint64_t>>>();
+    parts->reserve(req.keys->size() / 2);
+    for (std::size_t i = 0; i + 1 < req.keys->size(); i += 2) {
+      parts->emplace_back((*req.keys)[i], (*req.keys)[i + 1]);
+    }
+    cx->participants = std::move(parts);
+  }
+
+  dispatch_.enqueue(guard([this, cx]() mutable {
+    stampTrace(cx->span, obs::TimeTrace::Stage::kDispatchWait);
+    if (!ownsKey(cx->tableId, cx->keyId)) {
+      ++stats_.unknownTablet;
+      net::RpcResponse r;
+      r.status = net::Status::kUnknownTablet;
+      cx->respond(std::move(r));
+      return;
+    }
+    if (isMigratingRange(cx->tableId,
+                         hash::keyHash(hash::Key{cx->tableId, cx->keyId}))) {
+      net::RpcResponse r;
+      r.status = net::Status::kRecovering;
+      cx->respond(std::move(r));
+      return;
+    }
+    noteTabletOp(cx->tableId, cx->keyId, /*isWrite=*/cx->valueBytes != 0);
+    if (cx->valueBytes == 0) {
+      // Validation-only item (read-only transaction, docs/TRANSACTIONS.md):
+      // check the read version is still current and the object unlocked.
+      // No lock, no log record — the client decides locally from the votes.
+      node_.cpu().acquireWorker(guard([this, cx](int w) mutable {
+        node_.cpu().tagWorker(w, {power::OpClass::kRead, cx->tenant});
+        node_.sim().schedule(
+            params_.readServiceTime, guard([this, cx, w]() mutable {
+              node_.cpu().releaseWorker(w);
+              const auto* loc = map_.get(hash::Key{cx->tableId, cx->keyId});
+              const std::uint64_t cur = loc != nullptr ? loc->version : 0;
+              const TxLockTable::Lock* lock =
+                  txLocks_.get(cx->tableId, cx->keyId);
+              net::RpcResponse r;
+              r.b = cur;
+              if (lock != nullptr && lock->txId != cx->txId) {
+                r.status = net::Status::kTxConflict;
+                txLocks_.countConflict();
+              } else if (cur != cx->expected) {
+                r.status = net::Status::kVersionMismatch;
+              }
+              stampTrace(cx->span, obs::TimeTrace::Stage::kWorkerService);
+              cx->respond(std::move(r));
+            }));
+      }));
+      return;
+    }
+    if (cx->clientId == 0) {
+      // A locking prepare must be RIFL-tracked: without a lease there is no
+      // owner to reclaim the lock from when the client dies.
+      net::RpcResponse r;
+      r.status = net::Status::kError;
+      cx->respond(std::move(r));
+      return;
+    }
+    if (directory_.leaseValid && !directory_.leaseValid(cx->clientId)) {
+      net::RpcResponse r;
+      r.status = net::Status::kExpiredLease;
+      cx->respond(std::move(r));
+      return;
+    }
+    startLeaseReclaim();
+    std::vector<log::LogRef> freed;
+    const auto adm =
+        unacked_.begin(cx->clientId, cx->rpcSeq, cx->firstUnacked, &freed);
+    releaseCompletionRecords(freed);
+    switch (adm.check) {
+      case UnackedRpcResults::Check::kCompleted: {
+        net::RpcResponse r;
+        r.status = static_cast<net::Status>(adm.result.status);
+        r.b = adm.result.version;
+        cx->respond(std::move(r));
+        return;
+      }
+      case UnackedRpcResults::Check::kInProgress: {
+        net::RpcResponse r;
+        r.status = net::Status::kRecovering;
+        cx->respond(std::move(r));
+        return;
+      }
+      case UnackedRpcResults::Check::kStale: {
+        net::RpcResponse r;
+        r.status = net::Status::kStaleRpc;
+        cx->respond(std::move(r));
+        return;
+      }
+      case UnackedRpcResults::Check::kNew:
+        break;
+    }
+    node_.cpu().acquireWorker(guard([this, cx](int w) mutable {
+      node_.cpu().tagWorker(w, {power::OpClass::kUpdate, cx->tenant});
+      logLock_.acquire(guard([this, cx, w]() mutable {
+        const int streams = concurrentStreams();
+        const sim::Duration penalty = sim::usecF(
+            params_.convoyPenaltyUs * std::sqrt(static_cast<double>(streams)));
+        node_.sim().schedule(
+            params_.writeAppendCpu + penalty, guard([this, cx, w]() mutable {
+              // Vote checks under the append lock: fence, lock, version.
+              if (txLocks_.isFencedAborted(cx->txId)) {
+                onTxPrepareReject(cx->tableId, cx->keyId, cx->clientId,
+                                  cx->rpcSeq, net::Status::kTxConflict, 0,
+                                  cx->span, cx->tenant, w,
+                                  std::move(cx->respond));
+                return;
+              }
+              if (txLocks_.voteStatus(cx->txId) == 2) {
+                // The tx already committed here (orphan resolution beat a
+                // stale prepare retry). Answer yes durably, without a lock:
+                // a version-mismatch reject would make the client report
+                // abort for data that committed.
+                const auto* cl = map_.get(hash::Key{cx->tableId, cx->keyId});
+                onTxPrepareReject(cx->tableId, cx->keyId, cx->clientId,
+                                  cx->rpcSeq, net::Status::kOk,
+                                  cl != nullptr ? cl->version : 0, cx->span,
+                                  cx->tenant, w, std::move(cx->respond));
+                return;
+              }
+              const TxLockTable::Lock* held =
+                  txLocks_.get(cx->tableId, cx->keyId);
+              if (held != nullptr && held->txId != cx->txId) {
+                txLocks_.countConflict();
+                onTxPrepareReject(cx->tableId, cx->keyId, cx->clientId,
+                                  cx->rpcSeq, net::Status::kTxConflict,
+                                  held->expectedVersion, cx->span, cx->tenant,
+                                  w, std::move(cx->respond));
+                return;
+              }
+              const auto* loc = map_.get(hash::Key{cx->tableId, cx->keyId});
+              const std::uint64_t cur = loc != nullptr ? loc->version : 0;
+              // expected == 0 means blind write (same convention as
+              // onWrite's conditional check).
+              if (held == nullptr && cx->expected != 0 &&
+                  cur != cx->expected) {
+                onTxPrepareReject(cx->tableId, cx->keyId, cx->clientId,
+                                  cx->rpcSeq, net::Status::kVersionMismatch,
+                                  cur, cx->span, cx->tenant, w,
+                                  std::move(cx->respond));
+                return;
+              }
+              // Vote yes: durable prepare record, then the lock.
+              ensureHeadRoom(params_.txPrepareRecordBytes);
+              log::LogEntry p;
+              p.tableId = cx->tableId;
+              p.keyId = cx->keyId;
+              p.sizeBytes = params_.txPrepareRecordBytes;
+              p.version = cur;
+              p.type = log::EntryType::kTxPrepare;
+              p.clientId = cx->clientId;
+              p.rpcSeq = cx->rpcSeq;
+              p.opStatus = static_cast<std::uint8_t>(net::Status::kOk);
+              p.txId = cx->txId;
+              p.txPendingBytes = cx->valueBytes;
+              p.txExpectedVersion = cx->expected;
+              p.txParticipants = cx->participants;
+              const log::LogRef rec = log_.append(p, node_.sim().now());
+              node_.chargeDram(p.sizeBytes,
+                               {power::OpClass::kUpdate, cx->tenant});
+              stampTrace(cx->span, obs::TimeTrace::Stage::kWorkerService);
+              std::uint64_t prepSpan = 0;
+              if (journal_ != nullptr) {
+                prepSpan = journal_->beginSpan(
+                    "tx_prepare", static_cast<int>(node_.id()), 0, cx->txId);
+              }
+              auto finish = guard([this, cx, w, rec, cur,
+                                   prepSpan](bool ok) mutable {
+                logLock_.release();
+                net::RpcResponse r;
+                if (!ok) {
+                  r.status = net::Status::kError;
+                  ++stats_.replicationFailures;
+                  unacked_.abortInProgress(cx->clientId, cx->rpcSeq);
+                  log_.markDead(rec);
+                } else {
+                  // Re-prepare by the same tx (lease-expiry retry under a
+                  // new clientId): drop the superseded record so it does
+                  // not pin live bytes forever.
+                  const TxLockTable::Lock* prev =
+                      txLocks_.get(cx->tableId, cx->keyId);
+                  if (prev != nullptr && prev->prepareRecord.valid() &&
+                      !(prev->prepareRecord == rec) &&
+                      log_.segment(prev->prepareRecord.segment) != nullptr) {
+                    log_.markDead(prev->prepareRecord);
+                  }
+                  TxLockTable::Lock lock;
+                  lock.txId = cx->txId;
+                  lock.clientId = cx->clientId;
+                  lock.rpcSeq = cx->rpcSeq;
+                  lock.tableId = cx->tableId;
+                  lock.keyId = cx->keyId;
+                  lock.pendingValueBytes = cx->valueBytes;
+                  lock.expectedVersion = cx->expected;
+                  lock.prepareRecord = rec;
+                  lock.participants = cx->participants;
+                  lock.preparedAt = node_.sim().now();
+                  lock.recordOwnedByUnacked = true;
+                  txLocks_.acquire(std::move(lock));
+                  txLocks_.countPrepare();
+                  UnackedRpcResults::Result rr;
+                  rr.status = static_cast<std::uint8_t>(net::Status::kOk);
+                  rr.version = cur;
+                  rr.found = true;
+                  rr.tableId = cx->tableId;
+                  rr.keyId = cx->keyId;
+                  rr.record = rec;
+                  unacked_.recordCompletion(cx->clientId, cx->rpcSeq, rr);
+                  r.b = cur;
+                }
+                ++stats_.writes;
+                stats_.writeServiceLatency.add(node_.sim().now() -
+                                               cx->arrival);
+                stampTrace(cx->span, obs::TimeTrace::Stage::kReplicationWait);
+                if (journal_ != nullptr && prepSpan != 0) {
+                  journal_->endSpan(prepSpan);
+                }
+                cx->respond(std::move(r));
+                node_.cpu().releaseWorker(w);
+                maybeStartCleaner();
+              });
+              if (params_.replication.factor <= 0) {
+                node_.sim().schedule(
+                    params_.unreplicatedSyncTime,
+                    guard([finish = std::move(finish)]() mutable {
+                      finish(true);
+                    }));
+              } else {
+                replicaMgr_.replicateAppend(rec.segment, p.sizeBytes,
+                                            std::move(finish));
+              }
+            }));
+      }));
+    }));
+  }));
+}
+
+void MasterService::onTxPrepareReject(std::uint64_t tableId,
+                                      std::uint64_t keyId,
+                                      std::uint64_t clientId, std::uint64_t seq,
+                                      net::Status verdict,
+                                      std::uint64_t currentVersion,
+                                      std::uint64_t span, std::uint16_t tenant,
+                                      int w, Responder respond) {
+  // A vote-no is an outcome: record it durably so a duplicate prepare retry
+  // replays the same no (a vote must never flip once given).
+  const log::LogRef rec = appendCompletion(tableId, keyId, clientId, seq,
+                                           currentVersion, verdict, true);
+  node_.chargeDram(params_.completionRecordBytes,
+                   {power::OpClass::kUpdate, tenant});
+  auto finish = guard([this, clientId, seq, verdict, currentVersion, tableId,
+                       keyId, span, w, rec,
+                       respond = std::move(respond)](bool ok) mutable {
+    logLock_.release();
+    net::RpcResponse r;
+    if (!ok) {
+      r.status = net::Status::kError;
+      ++stats_.replicationFailures;
+      unacked_.abortInProgress(clientId, seq);
+      log_.markDead(rec);
+    } else {
+      r.status = verdict;
+      r.b = currentVersion;
+      UnackedRpcResults::Result rr;
+      rr.status = static_cast<std::uint8_t>(verdict);
+      rr.version = currentVersion;
+      rr.found = true;
+      rr.tableId = tableId;
+      rr.keyId = keyId;
+      rr.record = rec;
+      unacked_.recordCompletion(clientId, seq, rr);
+    }
+    stampTrace(span, obs::TimeTrace::Stage::kReplicationWait);
+    respond(std::move(r));
+    node_.cpu().releaseWorker(w);
+    maybeStartCleaner();
+  });
+  if (params_.replication.factor <= 0) {
+    finish(true);
+  } else {
+    replicaMgr_.replicateAppend(rec.segment, params_.completionRecordBytes,
+                                std::move(finish));
+  }
+}
+
+void MasterService::onTxDecision(const net::RpcRequest& req,
+                                 Responder respond) {
+  struct DecCtx {
+    std::uint64_t tableId = 0;
+    std::uint64_t keyId = 0;
+    bool commit = false;
+    bool fromResolution = false;
+    std::uint64_t txId = 0;
+    std::uint64_t clientId = 0;
+    std::uint64_t rpcSeq = 0;
+    std::uint64_t firstUnacked = 0;
+    std::uint64_t span = 0;
+    std::uint16_t tenant = 0;
+    sim::SimTime arrival = 0;
+    Responder respond;
+  };
+  auto cx = std::make_shared<DecCtx>();
+  cx->tableId = req.a;
+  cx->keyId = req.b;
+  cx->commit = (req.c & 1) != 0;
+  cx->fromResolution = (req.c & 2) != 0;
+  cx->txId = req.d;
+  cx->clientId = req.clientId;
+  cx->rpcSeq = req.rpcSeq;
+  cx->firstUnacked = req.firstUnacked;
+  cx->span = req.traceSpan;
+  cx->tenant = req.tenant;
+  cx->arrival = node_.sim().now();
+  cx->respond = std::move(respond);
+
+  dispatch_.enqueue(guard([this, cx]() mutable {
+    stampTrace(cx->span, obs::TimeTrace::Stage::kDispatchWait);
+    if (!ownsKey(cx->tableId, cx->keyId)) {
+      ++stats_.unknownTablet;
+      net::RpcResponse r;
+      r.status = net::Status::kUnknownTablet;
+      cx->respond(std::move(r));
+      return;
+    }
+    if (isMigratingRange(cx->tableId,
+                         hash::keyHash(hash::Key{cx->tableId, cx->keyId}))) {
+      net::RpcResponse r;
+      r.status = net::Status::kRecovering;
+      cx->respond(std::move(r));
+      return;
+    }
+    noteTabletOp(cx->tableId, cx->keyId, /*isWrite=*/true);
+    const bool tracked = cx->clientId != 0;
+    if (tracked) {
+      if (directory_.leaseValid && !directory_.leaseValid(cx->clientId)) {
+        net::RpcResponse r;
+        r.status = net::Status::kExpiredLease;
+        cx->respond(std::move(r));
+        return;
+      }
+      startLeaseReclaim();
+      std::vector<log::LogRef> freed;
+      const auto adm =
+          unacked_.begin(cx->clientId, cx->rpcSeq, cx->firstUnacked, &freed);
+      releaseCompletionRecords(freed);
+      switch (adm.check) {
+        case UnackedRpcResults::Check::kCompleted: {
+          // Duplicate kTxCommit retry after a dropped reply: replay the
+          // recorded outcome, never re-apply the decision.
+          net::RpcResponse r;
+          r.status = static_cast<net::Status>(adm.result.status);
+          r.a = adm.result.found ? 1 : 0;
+          r.b = adm.result.version;
+          cx->respond(std::move(r));
+          return;
+        }
+        case UnackedRpcResults::Check::kInProgress: {
+          net::RpcResponse r;
+          r.status = net::Status::kRecovering;
+          cx->respond(std::move(r));
+          return;
+        }
+        case UnackedRpcResults::Check::kStale: {
+          net::RpcResponse r;
+          r.status = net::Status::kStaleRpc;
+          cx->respond(std::move(r));
+          return;
+        }
+        case UnackedRpcResults::Check::kNew:
+          break;
+      }
+    }
+    node_.cpu().acquireWorker(guard([this, cx, tracked](int w) mutable {
+      node_.cpu().tagWorker(w, {power::OpClass::kUpdate, cx->tenant});
+      logLock_.acquire(guard([this, cx, tracked, w]() mutable {
+        node_.sim().schedule(
+            params_.writeAppendCpu, guard([this, cx, tracked, w]() mutable {
+              const TxLockTable::Lock* lock =
+                  txLocks_.get(cx->tableId, cx->keyId);
+              const bool haveLock =
+                  lock != nullptr && lock->txId == cx->txId;
+              std::uint64_t newVersion = 0;
+              std::uint32_t entryBytes = 0;
+              log::LogRef decRec;
+              log::LogRef lastRef;
+              if (haveLock) {
+                // Apply: object write (commit only) + decision record land
+                // in one segment so they recover atomically.
+                const std::uint32_t objBytes =
+                    cx->commit ? lock->pendingValueBytes +
+                                     params_.objectOverheadBytes
+                               : 0;
+                ensureHeadRoom(objBytes + params_.completionRecordBytes);
+                if (cx->commit) {
+                  const ApplyResult res = applyWrite(
+                      cx->tableId, cx->keyId, lock->pendingValueBytes);
+                  newVersion = res.version;
+                  entryBytes += res.entryBytes;
+                }
+                log::LogEntry d;
+                d.tableId = cx->tableId;
+                d.keyId = cx->keyId;
+                d.sizeBytes = params_.completionRecordBytes;
+                d.version = newVersion;
+                d.type = log::EntryType::kTxDecision;
+                d.clientId = tracked ? cx->clientId : lock->clientId;
+                d.rpcSeq = tracked ? cx->rpcSeq : 0;
+                d.opStatus = static_cast<std::uint8_t>(net::Status::kOk);
+                d.txId = cx->txId;
+                d.txCommit = cx->commit;
+                decRec = log_.append(d, node_.sim().now());
+                entryBytes += d.sizeBytes;
+                lastRef = decRec;
+                node_.chargeDram(entryBytes,
+                                 {power::OpClass::kUpdate, cx->tenant});
+              } else if (tracked) {
+                // No lock for this tx here (already resolved, or never
+                // prepared): the answer must still be durable so a retry
+                // replays it instead of racing whatever happens later.
+                const auto* loc = map_.get(hash::Key{cx->tableId, cx->keyId});
+                newVersion = loc != nullptr ? loc->version : 0;
+                ensureHeadRoom(params_.completionRecordBytes);
+                decRec = appendCompletion(cx->tableId, cx->keyId,
+                                          cx->clientId, cx->rpcSeq,
+                                          newVersion, net::Status::kOk,
+                                          false);
+                entryBytes = params_.completionRecordBytes;
+                lastRef = decRec;
+                node_.chargeDram(entryBytes,
+                                 {power::OpClass::kUpdate, cx->tenant});
+              }
+              stampTrace(cx->span, obs::TimeTrace::Stage::kWorkerService);
+              std::uint64_t decSpan = 0;
+              if (journal_ != nullptr && haveLock) {
+                decSpan = journal_->beginSpan(
+                    cx->commit ? "tx_commit" : "tx_abort",
+                    static_cast<int>(node_.id()), 0, cx->txId);
+              }
+              auto finish = guard([this, cx, tracked, w, haveLock, decRec,
+                                   newVersion, decSpan](bool ok) mutable {
+                logLock_.release();
+                net::RpcResponse r;
+                if (!ok) {
+                  r.status = net::Status::kError;
+                  ++stats_.replicationFailures;
+                  if (tracked) {
+                    unacked_.abortInProgress(cx->clientId, cx->rpcSeq);
+                  }
+                  if (decRec.valid()) log_.markDead(decRec);
+                  // The lock stays held; the retry (or the resolution
+                  // sweep) re-applies the decision.
+                } else {
+                  if (haveLock) {
+                    TxLockTable::Lock released;
+                    if (txLocks_.release(cx->tableId, cx->keyId, cx->txId,
+                                         &released)) {
+                      // The prepare record has served its purpose: without
+                      // it, crash replay cannot resurrect the lock (the
+                      // decision record fences retries). markDead is
+                      // idempotent wrt the suppression table's later GC.
+                      if (released.prepareRecord.valid() &&
+                          log_.segment(released.prepareRecord.segment) !=
+                              nullptr) {
+                        log_.markDead(released.prepareRecord);
+                      }
+                      txLocks_.countDecision(cx->commit, cx->fromResolution);
+                      txLocks_.noteResolved(cx->txId, cx->commit,
+                                            released.clientId, cx->tableId,
+                                            cx->keyId, decRec, tracked,
+                                            node_.sim().now());
+                    }
+                  }
+                  if (tracked) {
+                    UnackedRpcResults::Result rr;
+                    rr.status = static_cast<std::uint8_t>(net::Status::kOk);
+                    rr.version = newVersion;
+                    rr.found = haveLock;
+                    rr.tableId = cx->tableId;
+                    rr.keyId = cx->keyId;
+                    rr.record = decRec;
+                    unacked_.recordCompletion(cx->clientId, cx->rpcSeq, rr);
+                  }
+                  r.a = haveLock ? 1 : 0;
+                  r.b = newVersion;
+                }
+                ++stats_.writes;
+                stats_.writeServiceLatency.add(node_.sim().now() -
+                                               cx->arrival);
+                stampTrace(cx->span, obs::TimeTrace::Stage::kReplicationWait);
+                if (journal_ != nullptr && decSpan != 0) {
+                  journal_->endSpan(decSpan);
+                }
+                if (ok && haveLock && crashBeforeReplyHook_) {
+                  // Fault point "crash a participant mid-commit": decision
+                  // durable and applied, reply never leaves this node.
+                  auto hook = std::move(crashBeforeReplyHook_);
+                  crashBeforeReplyHook_ = nullptr;
+                  node_.cpu().releaseWorker(w);
+                  hook();
+                  return;
+                }
+                cx->respond(std::move(r));
+                node_.cpu().releaseWorker(w);
+                maybeStartCleaner();
+              });
+              if (entryBytes == 0) {
+                finish(true);
+              } else if (params_.replication.factor <= 0) {
+                node_.sim().schedule(
+                    params_.unreplicatedSyncTime,
+                    guard([finish = std::move(finish)]() mutable {
+                      finish(true);
+                    }));
+              } else {
+                replicaMgr_.replicateAppend(lastRef.segment, entryBytes,
+                                            std::move(finish));
+              }
+            }));
+      }));
+    }));
+  }));
+}
+
+void MasterService::onTxVote(const net::RpcRequest& req, Responder respond) {
+  const std::uint64_t tableId = req.a;
+  const std::uint64_t keyId = req.b;
+  const std::uint64_t txId = req.d;
+  dispatch_.enqueue(guard([this, tableId, keyId, txId,
+                           respond = std::move(respond)]() mutable {
+    net::RpcResponse r;
+    if (!ownsKey(tableId, keyId)) {
+      r.status = net::Status::kUnknownTablet;
+      respond(std::move(r));
+      return;
+    }
+    const TxLockTable::Lock* lock = txLocks_.get(tableId, keyId);
+    if (lock != nullptr && lock->txId == txId) {
+      r.a = 1;  // prepared here: vote yes
+    } else {
+      const int st = txLocks_.voteStatus(txId);
+      if (st == 2) {
+        r.a = 2;  // decision commit already applied
+      } else {
+        // No vote (or already aborted). Fence the tx so a late prepare
+        // cannot acquire the lock after we told the coordinator "no".
+        r.a = 3;
+        txLocks_.fenceAbort(txId, node_.sim().now());
+      }
+    }
+    respond(std::move(r));
+  }));
+}
+
+void MasterService::sweepOrphanedTx() {
+  if (!directory_.leaseValid) return;
+  const auto orphans = txLocks_.orphanedLocks(directory_.leaseValid);
+  for (const TxLockTable::Lock& lock : orphans) {
+    // Cooperative termination (docs/TRANSACTIONS.md): ship the tx's full
+    // participant list to the coordinator, which collects votes from the
+    // current owners and fans out the decision. Fire-and-forget: the sweep
+    // re-requests on the next tick while the lock survives.
+    net::RpcRequest req;
+    req.op = net::Opcode::kTxResolve;
+    req.a = lock.txId;
+    req.b = lock.clientId;
+    if (lock.participants && !lock.participants->empty()) {
+      auto keys = std::make_shared<std::vector<std::uint64_t>>();
+      keys->reserve(lock.participants->size() * 2);
+      for (const auto& [t, k] : *lock.participants) {
+        keys->push_back(t);
+        keys->push_back(k);
+      }
+      req.keys = std::move(keys);
+    } else {
+      // Degenerate single-object tx: the lock itself is the only vote.
+      auto keys = std::make_shared<std::vector<std::uint64_t>>();
+      keys->push_back(lock.tableId);
+      keys->push_back(lock.keyId);
+      req.keys = std::move(keys);
+    }
+    ++txResolveRequests_;
+    rpc_.call(node_.id(), coordinator_, net::kCoordinatorPort, std::move(req),
+              timeouts::kControl, [](const net::RpcResponse&) {});
+  }
+}
+
+bool MasterService::installRecoveredTxLock(const log::LogEntry& prepare,
+                                           const log::LogRef& ref,
+                                           bool ownedByUnacked) {
+  TxLockTable::Lock lock;
+  lock.txId = prepare.txId;
+  lock.clientId = prepare.clientId;
+  lock.rpcSeq = prepare.rpcSeq;
+  lock.tableId = prepare.tableId;
+  lock.keyId = prepare.keyId;
+  lock.pendingValueBytes = prepare.txPendingBytes;
+  lock.expectedVersion = prepare.txExpectedVersion;
+  lock.prepareRecord = ref;
+  lock.participants = prepare.txParticipants;
+  lock.preparedAt = node_.sim().now();
+  lock.recordOwnedByUnacked = ownedByUnacked;
+  if (!txLocks_.acquire(std::move(lock))) return false;
+  startLeaseReclaim();  // the sweep is what resolves orphans
+  return true;
+}
+
 void MasterService::onRemove(const net::RpcRequest& req, Responder respond) {
   struct RemoveCtx {
     std::uint64_t tableId = 0;
@@ -652,6 +1355,23 @@ void MasterService::onRemove(const net::RpcRequest& req, Responder respond) {
         node_.sim().schedule(
             params_.removeServiceTime, guard([this, cx, w]() mutable {
               const bool tracked = cx->clientId != 0;
+              if (const TxLockTable::Lock* held =
+                      txLocks_.get(cx->tableId, cx->keyId);
+                  held != nullptr) {
+                // Same rule as onWrite: a prepared transaction's version
+                // lock blocks the remove until its decision lands.
+                txLocks_.countConflict();
+                if (tracked) {
+                  unacked_.abortInProgress(cx->clientId, cx->rpcSeq);
+                }
+                net::RpcResponse r;
+                r.status = net::Status::kTxConflict;
+                r.b = held->expectedVersion;
+                logLock_.release();
+                cx->respond(std::move(r));
+                node_.cpu().releaseWorker(w);
+                return;
+              }
               const hash::Key k{cx->tableId, cx->keyId};
               const auto* loc = map_.get(k);
               net::RpcResponse r;
@@ -999,6 +1719,26 @@ void MasterService::onMigrationData(const net::RpcRequest& req,
             }
             continue;
           }
+          if (e.type == log::EntryType::kTxPrepare) {
+            // A version lock moves with its tablet: re-install it and its
+            // suppression entry so the new owner votes consistently and the
+            // orphan sweep here can finish the tx (docs/TRANSACTIONS.md).
+            UnackedRpcResults::Result rr;
+            rr.status = e.opStatus;
+            rr.version = e.version;
+            rr.found = true;
+            rr.tableId = e.tableId;
+            rr.keyId = e.keyId;
+            rr.record = ref;
+            const bool owned =
+                e.clientId != 0 && unacked_.recover(e.clientId, e.rpcSeq, rr);
+            if (installRecoveredTxLock(e, ref, owned)) {
+              txLocks_.countMigrated();
+            } else if (!owned) {
+              log_.markDead(ref);
+            }
+            continue;
+          }
           map_.put(hash::Key{e.tableId, e.keyId},
                    hash::ObjectLocation{ref, e.version, e.sizeBytes});
         }
@@ -1186,6 +1926,33 @@ void MasterService::registerMetrics(obs::MetricRegistry& reg,
   });
   reg.probeGauge(prefix + ".linearize.tracked_clients", "items", [this] {
     return static_cast<double>(unacked_.trackedClients());
+  });
+  reg.probeCounter(prefix + ".tx.prepares", "ops", [this] {
+    return static_cast<double>(txLocks_.prepares());
+  });
+  reg.probeCounter(prefix + ".tx.commits", "ops", [this] {
+    return static_cast<double>(txLocks_.commits());
+  });
+  reg.probeCounter(prefix + ".tx.aborts", "ops", [this] {
+    return static_cast<double>(txLocks_.aborts());
+  });
+  reg.probeCounter(prefix + ".tx.conflicts", "ops", [this] {
+    return static_cast<double>(txLocks_.conflicts());
+  });
+  reg.probeCounter(prefix + ".tx.orphans_resolved", "ops", [this] {
+    return static_cast<double>(txLocks_.orphansResolved());
+  });
+  reg.probeCounter(prefix + ".tx.locks_recovered", "ops", [this] {
+    return static_cast<double>(txLocks_.locksRecovered());
+  });
+  reg.probeCounter(prefix + ".tx.locks_migrated", "ops", [this] {
+    return static_cast<double>(txLocks_.locksMigrated());
+  });
+  reg.probeCounter(prefix + ".tx.resolve_requests", "ops", [this] {
+    return static_cast<double>(txResolveRequests_);
+  });
+  reg.probeGauge(prefix + ".tx.locks_held", "items", [this] {
+    return static_cast<double>(txLocks_.locksHeld());
   });
   // Tablet heat: probes for tablets owned now, plus dynamic registration
   // for tablets gained later (recovery, migration) via addTablet.

@@ -21,6 +21,7 @@
 #include "server/migration.hpp"
 #include "server/recovery_plan.hpp"
 #include "server/replica_manager.hpp"
+#include "server/tx_lock_table.hpp"
 #include "server/unacked_rpc_results.hpp"
 #include "sim/fifo_lock.hpp"
 #include "sim/stats.hpp"
@@ -93,6 +94,10 @@ struct MasterParams {
   /// In-log footprint of a RIFL completion record (compact: clientId, seq,
   /// status, version — docs/LINEARIZABILITY.md).
   std::uint32_t completionRecordBytes = 32;
+  /// In-log footprint of a minitransaction kTxPrepare record: completion
+  /// header plus txId, pending-value size, expected version and the
+  /// participant key list (docs/TRANSACTIONS.md).
+  std::uint32_t txPrepareRecordBytes = 64;
   /// Cadence of the sweep that drops duplicate-suppression state for
   /// clients whose coordinator lease expired.
   sim::Duration leaseReclaimInterval = sim::seconds(1);
@@ -193,6 +198,19 @@ class MasterService : public net::RpcService {
   UnackedRpcResults& unackedRpcResults() { return unacked_; }
   const UnackedRpcResults& unackedRpcResults() const { return unacked_; }
 
+  // ----- minitransactions (docs/TRANSACTIONS.md)
+
+  TxLockTable& txLockTable() { return txLocks_; }
+  const TxLockTable& txLockTable() const { return txLocks_; }
+
+  /// Recovery replay / migration install: a kTxPrepare record without a
+  /// matching kTxDecision resurfaced — re-install the version lock so the
+  /// orphan-resolution sweep (or the still-live client) can finish the tx.
+  /// Returns false when the object is already locked by a different tx
+  /// (the caller decides what to do with the spare record).
+  bool installRecoveredTxLock(const log::LogEntry& prepare,
+                              const log::LogRef& ref, bool ownedByUnacked);
+
   /// Mark dead the kCompletion log entries freed by watermark advance,
   /// lease reclamation or migration handoff, so the cleaner reclaims them.
   void releaseCompletionRecords(const std::vector<log::LogRef>& freed);
@@ -279,6 +297,9 @@ class MasterService : public net::RpcService {
 
   void onRead(const net::RpcRequest& req, Responder respond);
   void onWrite(const net::RpcRequest& req, Responder respond);
+  void onTxPrepare(const net::RpcRequest& req, Responder respond);
+  void onTxDecision(const net::RpcRequest& req, Responder respond);
+  void onTxVote(const net::RpcRequest& req, Responder respond);
   void onRemove(const net::RpcRequest& req, Responder respond);
   void onScan(const net::RpcRequest& req, Responder respond);
   void onMultiOp(const net::RpcRequest& req, Responder respond);
@@ -310,6 +331,17 @@ class MasterService : public net::RpcService {
   /// Lazily start the periodic lease-expiry reclamation sweep.
   void startLeaseReclaim();
 
+  /// Tx prepare vote-no: record the rejection durably (like a conditional
+  /// write's mismatch) so retries replay it. Runs under logLock_.
+  void onTxPrepareReject(std::uint64_t tableId, std::uint64_t keyId,
+                         std::uint64_t clientId, std::uint64_t seq,
+                         net::Status verdict, std::uint64_t currentVersion,
+                         std::uint64_t span, std::uint16_t tenant, int w,
+                         Responder respond);
+  /// Lease sweep extension: every lock whose owning client's lease expired
+  /// asks the coordinator to run cooperative termination for that tx.
+  void sweepOrphanedTx();
+
   void maybeStartCleaner();
   void cleanerLoop();
   void onRecoveryTaskFinished(RecoveryTask* task);
@@ -337,6 +369,8 @@ class MasterService : public net::RpcService {
   std::vector<std::unique_ptr<RecoveryTask>> recoveries_;
   std::vector<std::unique_ptr<MigrationTask>> migrations_;
   UnackedRpcResults unacked_;
+  TxLockTable txLocks_;
+  std::uint64_t txResolveRequests_ = 0;
   std::function<void()> crashBeforeReplyHook_;
   std::unique_ptr<sim::PeriodicTask> leaseReclaim_;
   mutable std::unordered_map<node::NodeId, sim::SimTime> recentStreams_;

@@ -44,6 +44,31 @@ void MigrationTask::collectKeys() {
     e.type = log::EntryType::kObject;
     pending_.push_back(e);
   });
+  // Minitransaction version locks move with the tablet: rebuild each
+  // in-range kTxPrepare record so the destination re-installs the lock
+  // before it answers for the range (docs/TRANSACTIONS.md). Shipped ahead
+  // of the completion records so the lock adopts the prepare's suppression
+  // entry on install and the later plain copy dedups against it.
+  const auto locks = source_.txLockTable().collectForRange(
+      [this](std::uint64_t tableId, std::uint64_t keyId) {
+        return keyInRange(tableId, keyId);
+      });
+  for (const auto& lock : locks) {
+    log::LogEntry e;
+    e.tableId = lock.tableId;
+    e.keyId = lock.keyId;
+    e.sizeBytes = source_.params().txPrepareRecordBytes;
+    e.version = lock.expectedVersion;
+    e.type = log::EntryType::kTxPrepare;
+    e.clientId = lock.clientId;
+    e.rpcSeq = lock.rpcSeq;
+    e.opStatus = static_cast<std::uint8_t>(net::Status::kOk);
+    e.txId = lock.txId;
+    e.txPendingBytes = lock.pendingValueBytes;
+    e.txExpectedVersion = lock.expectedVersion;
+    e.txParticipants = lock.participants;
+    pending_.push_back(e);
+  }
   // Duplicate-suppression state travels with the tablet: ship the retained
   // completion records too, so a retry that lands on the new owner after
   // the map flips is still suppressed (docs/LINEARIZABILITY.md).
@@ -148,6 +173,20 @@ void MigrationTask::finish(bool ok) {
       if (const auto* loc = source_.objectMap().get(k);
           loc != nullptr && loc->version == e.version) {
         source_.dropObjectForMigration(k);
+      }
+    }
+    // The new owner holds the handed-off version locks now: drop ours
+    // first (so releaseCompletionRecords below cannot re-adopt a record
+    // for a lock that just left) and mark their solely-owned records dead.
+    std::vector<log::LogRef> lockFreed;
+    source_.txLockTable().eraseForRange(
+        [this](std::uint64_t tableId, std::uint64_t keyId) {
+          return keyInRange(tableId, keyId);
+        },
+        &lockFreed);
+    for (const log::LogRef& ref : lockFreed) {
+      if (ref.valid() && source_.log().segment(ref.segment) != nullptr) {
+        source_.log().markDead(ref);
       }
     }
     // The new owner answers retries now; drop the handed-off suppression

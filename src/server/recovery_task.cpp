@@ -293,6 +293,25 @@ void RecoveryTask::replayChunk(std::vector<log::LogEntry> entries,
 }
 
 void RecoveryTask::applyEntry(const log::LogEntry& e) {
+  if (e.type == log::EntryType::kTxPrepare ||
+      e.type == log::EntryType::kTxDecision) {
+    const bool isPrepare = e.type == log::EntryType::kTxPrepare;
+    // A dead prepare was decided on the crashed master before it died (the
+    // decision path marks it dead in place, which the backup's shared
+    // segment sees): replaying it must NOT resurrect the lock. Decisions
+    // are replayed even when dead — they only fence, never lock.
+    if (isPrepare && !e.live) return;
+    auto& seen = isPrepare ? seenTxPrepares_ : seenTxDecisions_;
+    if (!seen.insert({e.txId, e.tableId, e.keyId}).second) return;
+    log::LogEntry copy = e;
+    copy.live = true;
+    const log::LogRef ref =
+        sideLog_->append(copy, master_.node().sim().now());
+    master_.node().chargeDram(e.sizeBytes, {power::OpClass::kRecovery, 0});
+    (isPrepare ? recoveredTxPrepares_ : recoveredTxDecisions_)
+        .emplace_back(copy, ref);
+    return;
+  }
   if (e.type == log::EntryType::kCompletion) {
     // Completion records bypass the object staging table: they share the
     // object's (tableId, keyId) but are keyed by (clientId, seq), and the
@@ -403,6 +422,51 @@ void RecoveryTask::commit() {
     if (!master_.unackedRpcResults().recover(e.clientId, e.rpcSeq, rr)) {
       // Already known (an earlier partition of the same crash carried it,
       // or the client's watermark has passed): drop the duplicate copy.
+      master_.log().markDead(ref);
+    }
+  }
+
+  // Minitransaction state, decisions first: the resolved-tx table must be
+  // fenced before prepares are classified, and a prepare whose (txId,
+  // object) decision survived must not become a lock again.
+  std::set<TxRecordKey> decided;
+  for (const auto& [e, ref] : recoveredTxDecisions_) {
+    decided.insert({e.txId, e.tableId, e.keyId});
+    bool owned = false;
+    if (e.clientId != 0 && e.rpcSeq != 0) {
+      UnackedRpcResults::Result rr;
+      rr.status = e.opStatus;
+      rr.version = e.version;
+      rr.found = true;
+      rr.tableId = e.tableId;
+      rr.keyId = e.keyId;
+      rr.record = ref;
+      owned = master_.unackedRpcResults().recover(e.clientId, e.rpcSeq, rr);
+    }
+    master_.txLockTable().noteResolved(e.txId, e.txCommit, e.clientId,
+                                       e.tableId, e.keyId, ref, owned,
+                                       master_.node().sim().now());
+  }
+  for (const auto& [e, ref] : recoveredTxPrepares_) {
+    if (decided.contains({e.txId, e.tableId, e.keyId})) {
+      // The outcome landed durably; the prepare record is spent.
+      master_.log().markDead(ref);
+      continue;
+    }
+    bool owned = false;
+    if (e.clientId != 0) {
+      UnackedRpcResults::Result rr;
+      rr.status = e.opStatus;
+      rr.version = e.version;
+      rr.found = true;
+      rr.tableId = e.tableId;
+      rr.keyId = e.keyId;
+      rr.record = ref;
+      owned = master_.unackedRpcResults().recover(e.clientId, e.rpcSeq, rr);
+    }
+    if (master_.installRecoveredTxLock(e, ref, owned)) {
+      master_.txLockTable().countRecovered();
+    } else if (!owned) {
       master_.log().markDead(ref);
     }
   }

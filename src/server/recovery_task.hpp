@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -101,6 +102,16 @@ class RecoveryTask {
   /// of already-applied ops are suppressed, not re-executed.
   std::set<std::pair<std::uint64_t, std::uint64_t>> seenCompletions_;
   std::vector<std::pair<log::LogEntry, log::LogRef>> recoveredCompletions_;
+
+  /// Minitransaction records seen during replay, deduped per (txId, object).
+  /// At commit, kTxDecision records rebuild the resolved-tx fence table and
+  /// kTxPrepare records *without* a matching decision re-install the
+  /// version lock (docs/TRANSACTIONS.md: crash-safe orphan resolution).
+  using TxRecordKey = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+  std::set<TxRecordKey> seenTxPrepares_;
+  std::set<TxRecordKey> seenTxDecisions_;
+  std::vector<std::pair<log::LogEntry, log::LogRef>> recoveredTxPrepares_;
+  std::vector<std::pair<log::LogEntry, log::LogRef>> recoveredTxDecisions_;
 
   /// Worker slots pinned for the task's lifetime: RAMCloud recovery
   /// masters dedicate a replay thread and a replication/sync thread that

@@ -41,6 +41,12 @@ void YcsbClient::stop() {
 }
 
 YcsbClient::OpKind YcsbClient::pickOp() {
+  // Transfers are drawn independently of the workload mix so enabling them
+  // does not change the relative read/update/insert proportions.
+  if (params_.transferProportion > 0 &&
+      rng_.uniformDouble() < params_.transferProportion) {
+    return OpKind::kTransfer;
+  }
   double r = rng_.uniformDouble();
   if (r < spec_.readProportion) return OpKind::kRead;
   r -= spec_.readProportion;
@@ -91,12 +97,17 @@ void YcsbClient::issueNext() {
     std::uint64_t key;
     if (op == OpKind::kInsert) {
       key = params_.insertKeyBase + inserted_;
+    } else if (op == OpKind::kTransfer) {
+      key = 0;  // transfers pick their own account pair below
     } else {
       key = pickKey();
     }
 
-    auto complete = [this, gen, op, isRead, intent](net::Status status,
-                                                    sim::Duration latency) {
+    const bool isTx =
+        op == OpKind::kTransfer ||
+        (op == OpKind::kReadModifyWrite && params_.transactionalRmw);
+    auto complete = [this, gen, op, isRead, isTx, intent](
+                        net::Status status, sim::Duration latency) {
       if (generation_ != gen) return;
       if (status == net::Status::kOk) {
         if (slo_ != nullptr) {
@@ -129,7 +140,19 @@ void YcsbClient::issueNext() {
             ++stats_.readModifyWrites;
             stats_.updateLatency.add(latency);
             break;
+          case OpKind::kTransfer:
+            ++stats_.transfers;
+            stats_.updateLatency.add(latency);
+            break;
         }
+      } else if (isTx && status == net::Status::kTxConflict) {
+        // A definite abort is a clean concurrency outcome, not a failure;
+        // the op simply doesn't count toward the target (retry in spirit).
+        ++stats_.txAborted;
+      } else if (isTx) {
+        // Commit outcome unknown to this client (e.g. a participant crashed
+        // mid-commit); orphan resolution settles it server-side.
+        ++stats_.txUnknown;
       } else {
         ++stats_.failures;
       }
@@ -160,6 +183,26 @@ void YcsbClient::issueNext() {
         client_.write(tableId_, key, spec_.valueBytes, std::move(complete));
         break;
       case OpKind::kReadModifyWrite: {
+        if (params_.transactionalRmw) {
+          // Conditioned RMW as a single-key minitransaction: the prepare
+          // round re-validates the read version, so a concurrent writer
+          // aborts us instead of being silently overwritten.
+          const sim::SimTime started = sim_.now();
+          const std::uint64_t txId = client_.txBegin();
+          client_.txRead(
+              txId, tableId_, key,
+              [this, gen, txId, key, started, complete = std::move(complete)](
+                  net::Status, std::uint64_t, sim::Duration) mutable {
+                if (generation_ != gen) return;
+                client_.txWrite(txId, tableId_, key, spec_.valueBytes);
+                client_.txCommit(
+                    txId, [this, started, complete = std::move(complete)](
+                              net::Status s, sim::Duration) mutable {
+                      complete(s, sim_.now() - started);
+                    });
+              });
+          break;
+        }
         // Read then write the same key; one logical op, combined latency.
         const sim::SimTime started = sim_.now();
         client_.read(tableId_, key,
@@ -177,6 +220,45 @@ void YcsbClient::issueNext() {
                                        complete(s2, sim_.now() - started);
                                      });
                      });
+        break;
+      }
+      case OpKind::kTransfer: {
+        // Atomic two-key transfer between distinct accounts: read both
+        // (joining the optimistic read set), rewrite both, commit. Either
+        // both keys advance together or neither does — the chaos harness's
+        // atomicity checker verifies exactly that via onTransferComplete.
+        const sim::SimTime started = sim_.now();
+        const std::uint64_t n = std::max<std::uint64_t>(
+            2, params_.transferAccounts);
+        const std::uint64_t a = params_.transferKeyBase + rng_.uniformInt(n);
+        std::uint64_t b = params_.transferKeyBase + rng_.uniformInt(n - 1);
+        if (b >= a) ++b;
+        const std::uint64_t txId = client_.txBegin();
+        auto pendingReads = std::make_shared<int>(2);
+        auto readDone = [this, gen, txId, a, b, started,
+                         complete = std::move(complete), pendingReads](
+                            net::Status, std::uint64_t,
+                            sim::Duration) mutable {
+          // A failed read just leaves that side unconditioned (blind
+          // write); atomicity still holds, only conflict detection
+          // weakens for this attempt.
+          if (--*pendingReads > 0) return;
+          if (generation_ != gen) return;
+          client_.txWrite(txId, tableId_, a, spec_.valueBytes);
+          client_.txWrite(txId, tableId_, b, spec_.valueBytes);
+          client_.txCommit(
+              txId, [this, gen, a, b, started,
+                     complete = std::move(complete)](net::Status s,
+                                                     sim::Duration) mutable {
+                // The checker must see every outcome, even if this client
+                // was stopped while the commit was in flight.
+                if (onTransferComplete) onTransferComplete(a, b, s);
+                if (generation_ != gen) return;
+                complete(s, sim_.now() - started);
+              });
+        };
+        client_.txRead(txId, tableId_, a, readDone);
+        client_.txRead(txId, tableId_, b, std::move(readDone));
         break;
       }
     }

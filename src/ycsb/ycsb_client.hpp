@@ -43,6 +43,24 @@ struct YcsbClientParams {
   /// tracker's "<tenant>/read" and "<tenant>/update" classes; the client
   /// also tags its RPCs with the tenant's dense id + 1 (docs/SLO.md).
   std::string tenant;
+
+  // ----- transactional variant (docs/TRANSACTIONS.md)
+
+  /// Run read-modify-write ops as single-key minitransactions (txRead +
+  /// txWrite + txCommit) instead of an unconditioned read-then-write.
+  bool transactionalRmw = false;
+
+  /// Proportion of ops (drawn independently of the workload mix) issued as
+  /// two-key transactional transfers between distinct "account" keys.
+  /// <= 0 disables.
+  double transferProportion = 0;
+
+  /// Account keyspace for transfers: keys [transferKeyBase,
+  /// transferKeyBase + transferAccounts). Place it outside the workload's
+  /// key range when an external checker models the account state (regular
+  /// YCSB writes to account keys would look like torn transfers).
+  std::uint64_t transferKeyBase = 0;
+  std::uint64_t transferAccounts = 16;
 };
 
 struct YcsbStats {
@@ -51,6 +69,9 @@ struct YcsbStats {
   std::uint64_t updates = 0;
   std::uint64_t inserts = 0;
   std::uint64_t readModifyWrites = 0;
+  std::uint64_t transfers = 0;      ///< committed two-key transfers
+  std::uint64_t txAborted = 0;      ///< definite aborts (clean outcome)
+  std::uint64_t txUnknown = 0;      ///< outcomes left to orphan resolution
   std::uint64_t failures = 0;
   sim::Histogram readLatency;
   sim::Histogram updateLatency;  ///< updates, inserts and RMWs
@@ -86,11 +107,17 @@ class YcsbClient {
   /// Called on every completed op (for latency timelines): (now, latency).
   std::function<void(sim::SimTime, sim::Duration, bool isRead)> onOpComplete;
 
+  /// Called after every transfer attempt with both account keys and the
+  /// commit outcome (kOk = committed, kTxConflict = aborted, other =
+  /// unknown). The chaos harness's atomicity checker hangs off this.
+  std::function<void(std::uint64_t keyA, std::uint64_t keyB, net::Status)>
+      onTransferComplete;
+
   /// Called once when opsTarget is reached.
   std::function<void()> onDone;
 
  private:
-  enum class OpKind { kRead, kUpdate, kInsert, kReadModifyWrite };
+  enum class OpKind { kRead, kUpdate, kInsert, kReadModifyWrite, kTransfer };
 
   void issueNext();
   OpKind pickOp();

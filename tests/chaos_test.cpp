@@ -15,6 +15,7 @@
 #include <array>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -36,6 +37,13 @@ constexpr int kRf = 3;
 constexpr int kTableSpan = 6;  // servers 6 and 7 stay tablet-less (pure
                                // backups), so crashing them mid-recovery
                                // attacks durability, not availability
+
+// Transactional-YCSB account pool, outside every other key range (YCSB
+// zipfian keys < kRecords, probe keys scan up from kRecords + 1, inserts
+// start at kRecords + 2^32). Only transfers ever write these keys, so each
+// key's version is an exact count of the transfers applied to it.
+constexpr std::uint64_t kTxPoolBase = kRecords * 4;
+constexpr std::uint64_t kTxPoolAccounts = 12;
 
 // The standing fault matrix. Two crashes total (== rf - 1): the tablet
 // owner at t=2s — timed so it lands *between* a write's durable apply and
@@ -88,6 +96,23 @@ struct ChaosResult {
   // Client 0's write-only probe on the reply-drop server.
   std::uint64_t probeRounds = 0;
   std::uint64_t probeMismatches = 0;
+  // Transactional atomicity (docs/TRANSACTIONS.md): account-pool transfer
+  // outcomes, the cross-server pair checker, the deliberately orphaned
+  // commit, and the end-of-run lock census.
+  std::uint64_t txTransfersCommitted = 0;
+  std::uint64_t txTransfersAborted = 0;
+  std::uint64_t txTransfersUnknown = 0;
+  bool txPoolSnapshotOk = false;
+  std::uint64_t txPairCommitted = 0;
+  std::uint64_t txPairSnapshots = 0;
+  std::uint64_t txPairCuts = 0;
+  bool txTornRead = false;
+  bool txPairPresent = false;
+  bool txStragglerSettled = false;
+  bool txStragglerCommitted = false;
+  std::uint64_t txLocksAtQuiesce = ~0ull;
+  double txOrphansResolved = -1;
+  double txResolutionsStarted = -1;
 };
 
 /// Per-client exactly-once probe on a private key nobody else writes: a
@@ -166,6 +191,154 @@ struct RywChecker {
   }
 };
 
+/// Atomicity checker on one fixed cross-server key pair. A serial writer
+/// runs conditioned two-key transfers (txRead both, txWrite both, commit)
+/// while a snapshot reader on the *other* client runs read-only
+/// transactions over the same pair. Versions are per-master monotonic (not
+/// per-object counters), so the oracle is the *pairing*, not arithmetic:
+/// the writer is the only mutator and every committed transfer rewrites
+/// both keys in one transaction, so a given version of keyA coexists with
+/// exactly one version of keyB. Every validated transaction — a committed
+/// transfer validates its read-set, a read-only snapshot validates both
+/// reads — certifies one such consistent cut; two cuts that disagree on
+/// the mapping prove a torn (non-atomic) state was observable. Commit
+/// outcomes keep tallying after stop() so the end-of-run accounting is
+/// complete.
+struct TxPairChecker {
+  struct State {
+    std::uint64_t committed = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t unknown = 0;
+    std::uint64_t snapshots = 0;
+    std::uint64_t cuts = 0;
+    bool tornRead = false;
+    bool writerInFlight = false;
+    bool stop = false;
+    std::map<std::uint64_t, std::uint64_t> aToB;
+    std::map<std::uint64_t, std::uint64_t> bToA;
+
+    /// Record a validated consistent cut (vA, vB); flag a torn read if it
+    /// contradicts a previously certified cut in either direction.
+    void certify(std::uint64_t vA, std::uint64_t vB) {
+      ++cuts;
+      const auto a = aToB.emplace(vA, vB);
+      if (!a.second && a.first->second != vB) tornRead = true;
+      const auto b = bToA.emplace(vB, vA);
+      if (!b.second && b.first->second != vA) tornRead = true;
+    }
+  };
+
+  static std::shared_ptr<State> start(core::Cluster& c, std::uint64_t table,
+                                      int writerClient, int readerClient,
+                                      std::uint64_t keyA, std::uint64_t keyB) {
+    auto st = std::make_shared<State>();
+    startWriter(c, *c.clientHost(writerClient).rc, table, keyA, keyB, st);
+    startReader(c, *c.clientHost(readerClient).rc, table, keyA, keyB, st);
+    return st;
+  }
+
+ private:
+  static void startWriter(core::Cluster& c, client::RamCloudClient& rc,
+                          std::uint64_t table, std::uint64_t keyA,
+                          std::uint64_t keyB, std::shared_ptr<State> st) {
+    auto step = std::make_shared<std::function<void()>>();
+    auto again = [&c, step](sim::Duration d) {
+      c.sim().schedule(d, [step] { (*step)(); });
+    };
+    *step = [&rc, table, keyA, keyB, st, again] {
+      if (st->stop) return;
+      st->writerInFlight = true;
+      const std::uint64_t tx = rc.txBegin();
+      using Obs = std::pair<net::Status, std::uint64_t>;
+      auto vA = std::make_shared<Obs>(net::Status::kTimeout, 0);
+      auto vB = std::make_shared<Obs>(net::Status::kTimeout, 0);
+      auto pending = std::make_shared<int>(2);
+      auto readDone = [&rc, table, tx, keyA, keyB, st, again, vA, vB,
+                       pending] {
+        // A failed read leaves that side unconditioned; still proceed —
+        // atomicity holds regardless, only conflict detection weakens.
+        if (--*pending > 0) return;
+        rc.txWrite(tx, table, keyA, 64);
+        rc.txWrite(tx, table, keyB, 64);
+        rc.txCommit(tx, [st, again, vA, vB](net::Status s, sim::Duration) {
+          // Outcomes count even after stop: end-of-run accounting needs
+          // them.
+          if (s == net::Status::kOk) {
+            ++st->committed;
+            // The prepare round re-validated both read versions, so the
+            // pre-state this transfer read was a consistent cut.
+            if (vA->first == net::Status::kOk &&
+                vB->first == net::Status::kOk) {
+              st->certify(vA->second, vB->second);
+            }
+          } else if (s == net::Status::kTxConflict) {
+            ++st->aborted;
+          } else {
+            ++st->unknown;
+          }
+          st->writerInFlight = false;
+          if (!st->stop) again(msec(25));
+        });
+      };
+      rc.txRead(tx, table, keyA,
+                [vA, readDone](net::Status s, std::uint64_t v,
+                               sim::Duration) mutable {
+                  *vA = {s, v};
+                  readDone();
+                });
+      rc.txRead(tx, table, keyB,
+                [vB, readDone](net::Status s, std::uint64_t v,
+                               sim::Duration) mutable {
+                  *vB = {s, v};
+                  readDone();
+                });
+    };
+    (*step)();
+  }
+
+  static void startReader(core::Cluster& c, client::RamCloudClient& rc,
+                          std::uint64_t table, std::uint64_t keyA,
+                          std::uint64_t keyB, std::shared_ptr<State> st) {
+    auto step = std::make_shared<std::function<void()>>();
+    auto again = [&c, step](sim::Duration d) {
+      c.sim().schedule(d, [step] { (*step)(); });
+    };
+    *step = [&rc, table, keyA, keyB, st, again] {
+      if (st->stop) return;
+      const std::uint64_t tx = rc.txBegin();
+      using Obs = std::pair<net::Status, std::uint64_t>;
+      auto vA = std::make_shared<Obs>(net::Status::kTimeout, 0);
+      auto vB = std::make_shared<Obs>(net::Status::kTimeout, 0);
+      auto pending = std::make_shared<int>(2);
+      auto maybeCommit = [&rc, tx, st, again, vA, vB, pending] {
+        if (--*pending > 0) return;
+        rc.txCommit(tx, [st, again, vA, vB](net::Status s, sim::Duration) {
+          if (st->stop) return;
+          if (s == net::Status::kOk && vA->first == net::Status::kOk &&
+              vB->first == net::Status::kOk) {
+            ++st->snapshots;
+            st->certify(vA->second, vB->second);
+          }
+          again(msec(40));
+        });
+      };
+      rc.txRead(tx, table, keyA,
+                [vA, maybeCommit](net::Status s, std::uint64_t v,
+                                  sim::Duration) mutable {
+                  *vA = {s, v};
+                  maybeCommit();
+                });
+      rc.txRead(tx, table, keyB,
+                [vB, maybeCommit](net::Status s, std::uint64_t v,
+                                  sim::Duration) mutable {
+                  *vB = {s, v};
+                  maybeCommit();
+                });
+    };
+    (*step)();
+  }
+};
+
 ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
   core::ClusterParams p;
   p.servers = kServers;
@@ -180,10 +353,38 @@ ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
   const auto table = c.createTable("chaos", kTableSpan);
   c.bulkLoad(table, kRecords, 256);
 
-  // Write-heavy closed-loop load for the whole fault window.
+  // Write-heavy closed-loop load for the whole fault window, with the
+  // transactional variant on: RMWs run as single-key minitransactions and
+  // ~5% of ops are two-key transfers inside a private account pool.
   ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::A(kRecords);
   spec.valueBytes = 256;
-  c.configureYcsb(table, spec, ycsb::YcsbClientParams{});
+  ycsb::YcsbClientParams ycsbParams;
+  ycsbParams.transactionalRmw = true;
+  ycsbParams.transferProportion = 0.05;
+  ycsbParams.transferKeyBase = kTxPoolBase;
+  ycsbParams.transferAccounts = kTxPoolAccounts;
+  c.configureYcsb(table, spec, ycsbParams);
+
+  // Account-pool transfer ledger: definite commits, definite aborts, and
+  // outcomes the client couldn't learn (settled by orphan resolution).
+  struct TxPoolLedger {
+    std::uint64_t committed = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t unknown = 0;
+  };
+  auto pool = std::make_shared<TxPoolLedger>();
+  for (int i = 0; i < c.clientCount(); ++i) {
+    c.clientHost(i).ycsb->onTransferComplete =
+        [pool](std::uint64_t, std::uint64_t, net::Status s) {
+          if (s == net::Status::kOk) {
+            ++pool->committed;
+          } else if (s == net::Status::kTxConflict) {
+            ++pool->aborted;
+          } else {
+            ++pool->unknown;
+          }
+        };
+  }
   c.startYcsb();
 
   // Exactly-once probes on keys outside the YCSB range. The write-only
@@ -205,6 +406,24 @@ ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
       RywChecker::start(c, table, 0, key0),
       RywChecker::start(c, table, 1, key1),
   };
+
+  // Transactional pair checker: keyA on server 0 (the crash-before-reply
+  // target, so commits straddle its recovery) and keyB on server 5 (the
+  // CPU-throttled one). Pre-seeded so both keys exist before the first
+  // snapshot (absence would validate as version 0).
+  const std::uint64_t pairA = keyOwnedBy(0, key1 + 1);
+  const std::uint64_t pairB = keyOwnedBy(5, pairA + 1);
+  {
+    int seeded = 0;
+    auto& rc0 = *c.clientHost(0).rc;
+    rc0.write(table, pairA, 64,
+              [&seeded](net::Status, sim::Duration) { ++seeded; });
+    rc0.write(table, pairB, 64,
+              [&seeded](net::Status, sim::Duration) { ++seeded; });
+    while (seeded < 2) c.sim().runFor(msec(10));
+  }
+  auto pair = TxPairChecker::start(c, table, /*writerClient=*/0,
+                                   /*readerClient=*/1, pairA, pairB);
 
   fault::FaultInjector injector(c, chaosPlan(),
                                 c.sim().rng().fork(0xFA171));
@@ -248,7 +467,114 @@ ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
   }
   probe->stop = true;
   for (auto& st : ryw) st->stop = true;
+  pair->stop = true;
   c.sim().runFor(seconds(2));  // let trailing RPCs and spans settle
+
+  // Drain the pair writer's in-flight commit (if any) so the straggler
+  // below cannot lose its votes to a leftover lock.
+  const sim::SimTime drainDeadline = c.sim().now() + seconds(30);
+  while (c.sim().now() < drainDeadline && pair->writerInFlight) {
+    c.sim().runFor(msec(50));
+  }
+
+  // Deterministic orphan: commit a transfer on the pair, then stall the
+  // client past its lease before the decision round can leave the client.
+  // The prepares hold locks on two masters, the lease runs out, the sweep
+  // hands the orphan to the coordinator, and recovery-driven resolution
+  // must commit it (both participants voted yes). The client's own
+  // decisions go out when the stall lifts, find the locks already
+  // resolved, and get durable acks — it must still report commit.
+  auto stragglerStatus = std::make_shared<net::Status>(net::Status::kTimeout);
+  auto stragglerDone = std::make_shared<bool>(false);
+  {
+    auto& rc0 = *c.clientHost(0).rc;
+    const std::uint64_t tx = rc0.txBegin();
+    rc0.txWrite(tx, table, pairA, 64);
+    rc0.txWrite(tx, table, pairB, 64);
+    rc0.txCommit(tx, [stragglerStatus, stragglerDone](net::Status s,
+                                                      sim::Duration) {
+      *stragglerStatus = s;
+      *stragglerDone = true;
+    });
+  }
+  for (int i = 0; i < c.clientCount(); ++i) {
+    c.clientHost(i).rc->stallFor(seconds(6));
+  }
+
+  // Quiesce: every lock drained, no resolution active, every commit
+  // outcome reported. A lock still held past the deadline would be a
+  // prepared-but-undecided transaction that survived recovery plus lease
+  // expiry — exactly the state the transaction layer forbids.
+  auto locksHeld = [&c] {
+    std::uint64_t n = 0;
+    for (int i = 0; i < c.serverCount(); ++i) {
+      if (c.serverAlive(i)) {
+        n += c.server(i).master->txLockTable().locksHeld();
+      }
+    }
+    return n;
+  };
+  const sim::SimTime txDeadline = c.sim().now() + seconds(60);
+  while (c.sim().now() < txDeadline &&
+         (locksHeld() != 0 || c.coord().txResolutionInProgress() ||
+          !*stragglerDone || pair->writerInFlight)) {
+    c.sim().runFor(msec(100));
+  }
+  c.sim().runFor(seconds(3));  // stall lifted; retried decisions drain
+
+  // Final pair state over plain reads (all transactions are settled). The
+  // readback is certified against the cut history: if the straggler's
+  // resolved commit had applied to only one key, the final state would
+  // contradict a previously certified mapping.
+  std::map<std::uint64_t, std::uint64_t> finalVersions;
+  {
+    auto& rc0 = *c.clientHost(0).rc;
+    int pendingReads = 0;
+    auto readKey = [&rc0, table, &finalVersions,
+                    &pendingReads](std::uint64_t k) {
+      ++pendingReads;
+      rc0.readV(table, k,
+                [&finalVersions, &pendingReads, k](
+                    net::Status s, std::uint64_t v, sim::Duration) {
+                  if (s == net::Status::kOk) finalVersions[k] = v;
+                  --pendingReads;
+                });
+    };
+    readKey(pairA);
+    readKey(pairB);
+    const sim::SimTime readDeadline = c.sim().now() + seconds(30);
+    while (c.sim().now() < readDeadline && pendingReads > 0) {
+      c.sim().runFor(msec(20));
+    }
+  }
+
+  // At quiesce a read-only transaction across the whole account pool must
+  // validate: nothing is concurrent anymore, so the only way it can abort
+  // is a lock that never drained or phantom version churn.
+  bool poolSnapshotOk = false;
+  {
+    auto& rc0 = *c.clientHost(0).rc;
+    const std::uint64_t tx = rc0.txBegin();
+    auto pendingReads =
+        std::make_shared<int>(static_cast<int>(kTxPoolAccounts));
+    bool snapDone = false;
+    for (std::uint64_t i = 0; i < kTxPoolAccounts; ++i) {
+      rc0.txRead(tx, table, kTxPoolBase + i,
+                 [&rc0, tx, pendingReads, &poolSnapshotOk, &snapDone](
+                     net::Status, std::uint64_t, sim::Duration) {
+                   if (--*pendingReads > 0) return;
+                   rc0.txCommit(tx, [&poolSnapshotOk, &snapDone](
+                                        net::Status s, sim::Duration) {
+                     poolSnapshotOk = s == net::Status::kOk;
+                     snapDone = true;
+                   });
+                 });
+    }
+    const sim::SimTime snapDeadline = c.sim().now() + seconds(20);
+    while (c.sim().now() < snapDeadline && !snapDone) {
+      c.sim().runFor(msec(20));
+    }
+  }
 
   ChaosResult r;
   r.converged = !c.coord().recoveryInProgress() &&
@@ -288,6 +614,24 @@ ChaosResult runChaos(std::uint64_t seed, const std::string& exportDir = "") {
   }
   r.probeRounds = probe->rounds;
   r.probeMismatches = probe->mismatches;
+  r.txTransfersCommitted = pool->committed;
+  r.txTransfersAborted = pool->aborted;
+  r.txTransfersUnknown = pool->unknown;
+  r.txPoolSnapshotOk = poolSnapshotOk;
+  r.txPairCommitted = pair->committed;
+  r.txPairSnapshots = pair->snapshots;
+  r.txStragglerSettled = *stragglerDone;
+  r.txStragglerCommitted = *stragglerStatus == net::Status::kOk;
+  const auto itA = finalVersions.find(pairA);
+  const auto itB = finalVersions.find(pairB);
+  r.txPairPresent = itA != finalVersions.end() && itB != finalVersions.end();
+  if (r.txPairPresent) pair->certify(itA->second, itB->second);
+  r.txPairCuts = pair->cuts;
+  r.txTornRead = pair->tornRead;
+  r.txLocksAtQuiesce = locksHeld();
+  r.txOrphansResolved = c.metrics().value("cluster.tx.orphans_resolved");
+  r.txResolutionsStarted =
+      c.metrics().value("coordinator.tx.resolutions_started");
   // The conditional crash must actually land inside the first recovery's
   // window — otherwise the mid-recovery failover paths went unexercised.
   for (const auto& inj : injector.injections()) {
@@ -374,6 +718,28 @@ void expectInvariants(const ChaosResult& r) {
   // there would mean a retried write applied twice.
   EXPECT_EQ(r.probeMismatches, 0u);
   EXPECT_GT(r.probeRounds, 0u);
+  // Transactions under the same fault matrix (docs/TRANSACTIONS.md): the
+  // account pool saw real transfer traffic and validated as a consistent
+  // whole once quiesced...
+  EXPECT_GT(r.txTransfersCommitted, 0u);
+  EXPECT_TRUE(r.txPoolSnapshotOk);
+  // ...every consistent cut certified on the cross-server pair — committed
+  // transfers' validated read-sets, validated read-only snapshots, and the
+  // final readback — agrees on the version pairing (no torn state was
+  // ever observable)...
+  EXPECT_GT(r.txPairCommitted, 0u);
+  EXPECT_GT(r.txPairSnapshots, 0u);
+  EXPECT_GT(r.txPairCuts, 0u);
+  EXPECT_FALSE(r.txTornRead);
+  EXPECT_TRUE(r.txPairPresent);
+  // ...the deliberately orphaned commit was resolved server-side (and the
+  // stalled client, once resumed, agreed it committed)...
+  EXPECT_TRUE(r.txStragglerSettled);
+  EXPECT_TRUE(r.txStragglerCommitted);
+  EXPECT_GE(r.txOrphansResolved, 1.0);
+  EXPECT_GE(r.txResolutionsStarted, 1.0);
+  // ...and no lock survived recovery + lease expiry + quiesce.
+  EXPECT_EQ(r.txLocksAtQuiesce, 0u);
 }
 
 class ChaosSeed : public ::testing::TestWithParam<std::uint64_t> {};
@@ -390,6 +756,125 @@ std::string slurp(const std::string& path) {
   std::stringstream ss;
   ss << f.rdbuf();
   return ss.str();
+}
+
+// A participant crashes mid-commit *during orphan resolution*: the client
+// fires txCommit and immediately stalls past its lease, so the prepares
+// hold locks on two masters but the decision round never leaves the
+// client. The lease sweep hands the orphan to the coordinator; the
+// resolution's commit decision lands on server 0, applies durably, and the
+// armed hook kills the server before the reply. Recovery must replay the
+// decision (not resurrect the lock), the surviving participant's counter
+// must show the resolution, and both keys must advance together.
+TEST(ChaosTx, ParticipantCrashMidCommitResolvesOrphan) {
+  core::ClusterParams p;
+  p.servers = 6;
+  p.clients = 1;
+  p.seed = 7;
+  p.replicationFactor = kRf;
+  p.coordinator.leaseTerm = seconds(2);
+  core::Cluster c(p);
+  const auto table = c.createTable("txchaos", 4);
+  c.bulkLoad(table, 1'000, 128);
+
+  auto keyOwnedBy = [&c, table](int serverIdx, std::uint64_t from) {
+    std::uint64_t k = from;
+    while (c.ownerOfKey(table, k) != c.serverNodeId(serverIdx)) ++k;
+    return k;
+  };
+  const std::uint64_t keyA = keyOwnedBy(0, 2'000);
+  const std::uint64_t keyB = keyOwnedBy(1, keyA + 1);
+
+  // Seed both accounts, capturing the versions the masters assigned
+  // (versions are per-master monotonic, not per-object counters).
+  auto& rc = *c.clientHost(0).rc;
+  int seeded = 0;
+  std::uint64_t seedA = 0;
+  std::uint64_t seedB = 0;
+  rc.writeV(table, keyA, 64, 0,
+            [&seeded, &seedA](net::Status, std::uint64_t v, sim::Duration) {
+              seedA = v;
+              ++seeded;
+            });
+  rc.writeV(table, keyB, 64, 0,
+            [&seeded, &seedB](net::Status, std::uint64_t v, sim::Duration) {
+              seedB = v;
+              ++seeded;
+            });
+  while (seeded < 2) c.sim().runFor(msec(10));
+
+  // No other traffic targets server 0, so the next hooked apply there is
+  // the resolution's commit decision.
+  c.server(0).master->armCrashBeforeReply([&c] { c.crashServer(0); });
+
+  auto status = std::make_shared<net::Status>(net::Status::kTimeout);
+  auto done = std::make_shared<bool>(false);
+  const std::uint64_t tx = rc.txBegin();
+  rc.txWrite(tx, table, keyA, 64);
+  rc.txWrite(tx, table, keyB, 64);
+  rc.txCommit(tx, [status, done](net::Status s, sim::Duration) {
+    *status = s;
+    *done = true;
+  });
+  rc.stallFor(seconds(8));  // prepares are already out; decisions are not
+
+  auto locksHeld = [&c] {
+    std::uint64_t n = 0;
+    for (int i = 0; i < c.serverCount(); ++i) {
+      if (c.serverAlive(i)) {
+        n += c.server(i).master->txLockTable().locksHeld();
+      }
+    }
+    return n;
+  };
+  const sim::SimTime deadline = c.sim().now() + seconds(120);
+  while (c.sim().now() < deadline &&
+         (!*done || c.coord().recoveryInProgress() ||
+          c.coord().recoveryLog().empty() ||
+          c.coord().txResolutionInProgress() || locksHeld() != 0)) {
+    c.sim().runFor(msec(100));
+  }
+  c.sim().runFor(seconds(2));
+
+  EXPECT_TRUE(*done);
+  EXPECT_EQ(*status, net::Status::kOk);
+  EXPECT_FALSE(c.coord().txResolutionInProgress());
+  EXPECT_GE(c.coord().txResolutionsStarted(), 1u);
+  EXPECT_GE(c.coord().txResolutionsCommitted(), 1u);
+  EXPECT_EQ(locksHeld(), 0u);
+  EXPECT_GE(c.metrics().value("cluster.tx.orphans_resolved"), 1.0);
+  ASSERT_GE(c.coord().recoveryLog().size(), 1u);
+  for (const auto& rec : c.coord().recoveryLog()) {
+    EXPECT_TRUE(rec.succeeded);
+  }
+
+  // All-or-nothing: the pair's only transaction was resolved to commit, so
+  // *both* accounts must have advanced past their seeded versions. (A
+  // participant losing the decision would leave its key at the seed —
+  // a partial commit.)
+  std::uint64_t vA = 0;
+  std::uint64_t vB = 0;
+  int got = 0;
+  rc.readV(table, keyA,
+           [&vA, &got](net::Status s, std::uint64_t v, sim::Duration) {
+             if (s == net::Status::kOk) vA = v;
+             ++got;
+           });
+  rc.readV(table, keyB,
+           [&vB, &got](net::Status s, std::uint64_t v, sim::Duration) {
+             if (s == net::Status::kOk) vB = v;
+             ++got;
+           });
+  const sim::SimTime readDeadline = c.sim().now() + seconds(10);
+  while (c.sim().now() < readDeadline && got < 2) c.sim().runFor(msec(10));
+  EXPECT_EQ(got, 2);
+  EXPECT_GT(seedA, 0u);
+  EXPECT_GT(seedB, 0u);
+  EXPECT_GT(vA, seedA);
+  EXPECT_GT(vB, seedB);
+
+  // Exported for CI's orphan-resolution grep gate.
+  EXPECT_TRUE(c.exportMetrics(::testing::TempDir() + "chaos_tx"));
 }
 
 TEST(Chaos, SameSeedSamePlanIsBitIdentical) {

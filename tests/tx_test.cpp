@@ -1,0 +1,431 @@
+// Minitransaction edge cases (docs/TRANSACTIONS.md): unit tests for the
+// TxLockTable — lock lifecycle, orphan dedup, vote fencing, and the shared
+// ownership of prepare/decision records between the lock table and the
+// RIFL watermark GC — plus cluster-level tests for the three hard
+// interleavings: a lease expiring while a transaction holds locks, a
+// duplicated decision retry after a reply drop, and the ack watermark
+// advancing over a prepare record that a still-undecided lock needs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "fault/fault_injector.hpp"
+#include "server/master_service.hpp"
+#include "server/tx_lock_table.hpp"
+
+namespace rc {
+namespace {
+
+using server::TxLockTable;
+using sim::msec;
+using sim::seconds;
+
+TxLockTable::Lock lock(std::uint64_t txId, std::uint64_t clientId,
+                       std::uint64_t tableId, std::uint64_t keyId,
+                       log::SegmentId segment = 1,
+                       bool ownedByUnacked = false) {
+  TxLockTable::Lock l;
+  l.txId = txId;
+  l.clientId = clientId;
+  l.tableId = tableId;
+  l.keyId = keyId;
+  l.pendingValueBytes = 64;
+  l.expectedVersion = 1;
+  l.prepareRecord = log::LogRef{segment, 0};
+  l.recordOwnedByUnacked = ownedByUnacked;
+  return l;
+}
+
+// ----- TxLockTable unit tests
+
+TEST(TxLockTable, AcquireConflictAndRelease) {
+  TxLockTable t;
+  ASSERT_TRUE(t.acquire(lock(10, 1, 1, 5)));
+  EXPECT_NE(t.get(1, 5), nullptr);
+  EXPECT_TRUE(t.holdsTx(10));
+
+  // A different transaction cannot steal the lock; the same transaction
+  // may refresh it (a retried prepare re-installing its own lock).
+  EXPECT_FALSE(t.acquire(lock(11, 2, 1, 5)));
+  EXPECT_TRUE(t.acquire(lock(10, 1, 1, 5, /*segment=*/2)));
+  EXPECT_EQ(t.get(1, 5)->prepareRecord.segment, 2u);
+
+  // Release hands the lock back so the caller can kill the prepare record;
+  // a wrong-tx release must not drop someone else's lock.
+  TxLockTable::Lock out;
+  EXPECT_FALSE(t.release(1, 5, 11, &out));
+  ASSERT_TRUE(t.release(1, 5, 10, &out));
+  EXPECT_EQ(out.prepareRecord.segment, 2u);
+  EXPECT_EQ(t.get(1, 5), nullptr);
+  EXPECT_EQ(t.locksHeld(), 0u);
+}
+
+TEST(TxLockTable, OrphanedLocksDedupeByTxAndSkipValidLeases) {
+  TxLockTable t;
+  // tx 10 (client 1) holds two locks; tx 20 (client 2) holds one.
+  ASSERT_TRUE(t.acquire(lock(10, 1, 1, 5)));
+  ASSERT_TRUE(t.acquire(lock(10, 1, 1, 6)));
+  ASSERT_TRUE(t.acquire(lock(20, 2, 1, 7)));
+
+  // Both leases valid: nothing is orphaned.
+  EXPECT_TRUE(t.orphanedLocks([](std::uint64_t) { return true; }).empty());
+
+  // Client 1 expired: exactly one representative for tx 10, none for the
+  // still-leased tx 20.
+  const auto orphans =
+      t.orphanedLocks([](std::uint64_t cid) { return cid == 2; });
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0].txId, 10u);
+  EXPECT_EQ(orphans[0].clientId, 1u);
+}
+
+TEST(TxLockTable, VoteStatusLifecycleAndAbortFence) {
+  TxLockTable t;
+  EXPECT_EQ(t.voteStatus(10), 0);  // never seen
+
+  ASSERT_TRUE(t.acquire(lock(10, 1, 1, 5)));
+  EXPECT_EQ(t.voteStatus(10), 1);  // prepared here
+
+  TxLockTable::Lock out;
+  ASSERT_TRUE(t.release(1, 5, 10, &out));
+  t.noteResolved(10, /*commit=*/true, 1, 1, 5, log::LogRef{3, 0},
+                 /*recordOwnedByUnacked=*/false, /*now=*/100);
+  EXPECT_EQ(t.voteStatus(10), 2);  // committed
+  EXPECT_FALSE(t.isFencedAborted(10));
+
+  // A later no-vote fence must NOT overwrite the recorded commit — a
+  // kTxVote racing a slow resolution would otherwise flip the outcome.
+  t.fenceAbort(10, /*now=*/200);
+  EXPECT_EQ(t.voteStatus(10), 2);
+
+  // A fresh unknown tx fences to aborted, and stays fenced.
+  t.fenceAbort(30, /*now=*/200);
+  EXPECT_EQ(t.voteStatus(30), 3);
+  EXPECT_TRUE(t.isFencedAborted(30));
+}
+
+TEST(TxLockTable, AdoptRecordTransfersOwnershipFromWatermarkGc) {
+  TxLockTable t;
+  // The prepare record doubles as the prepare RPC's completion record, so
+  // UnackedRpcResults owns it first.
+  ASSERT_TRUE(t.acquire(lock(10, 1, 1, 5, /*segment=*/4,
+                             /*ownedByUnacked=*/true)));
+
+  // Ack watermark advanced past the prepare's seq while the decision is
+  // still pending: the lock must take over the record instead of letting
+  // the watermark GC kill it under a held lock.
+  EXPECT_TRUE(t.adoptRecord(log::LogRef{4, 0}));
+  EXPECT_FALSE(t.get(1, 5)->recordOwnedByUnacked);
+
+  // Unknown refs (or records nobody holds a lock on) are not adopted —
+  // the caller frees those normally.
+  EXPECT_FALSE(t.adoptRecord(log::LogRef{9, 0}));
+  // Re-adopting the same ref is a no-op: ownership already transferred.
+  EXPECT_FALSE(t.adoptRecord(log::LogRef{4, 0}));
+}
+
+TEST(TxLockTable, GcResolvedHonorsLeaseAgeAndRecordOwnership) {
+  TxLockTable t;
+  // Two resolved transactions: tx 10's decision record is owned by the
+  // lock table (resolution-driven decision, untracked), tx 20's by
+  // UnackedRpcResults (client-driven decision with a completion record).
+  t.noteResolved(10, true, 1, 1, 5, log::LogRef{6, 0},
+                 /*recordOwnedByUnacked=*/false, /*now=*/100);
+  t.noteResolved(20, true, 2, 1, 7, log::LogRef{7, 0},
+                 /*recordOwnedByUnacked=*/true, /*now=*/100);
+
+  std::vector<log::LogRef> freed;
+  // Leases still valid: nothing is reclaimed.
+  t.gcResolved([](std::uint64_t) { return true; }, /*now=*/10'000,
+               /*minAge=*/100, &freed);
+  EXPECT_TRUE(freed.empty());
+  EXPECT_EQ(t.voteStatus(10), 2);
+
+  // Lease gone but the entry is too young: still fencing late prepares.
+  t.gcResolved([](std::uint64_t) { return false; }, /*now=*/150,
+               /*minAge=*/100, &freed);
+  EXPECT_TRUE(freed.empty());
+  EXPECT_EQ(t.voteStatus(10), 2);
+
+  // Lease gone and aged out: both entries drop, but only the record the
+  // lock table owns is handed back to be marked dead — the watermark GC
+  // owns (and already freed or will free) the other.
+  t.gcResolved([](std::uint64_t) { return false; }, /*now=*/10'000,
+               /*minAge=*/100, &freed);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0].segment, 6u);
+  EXPECT_EQ(t.voteStatus(10), 0);
+  EXPECT_EQ(t.voteStatus(20), 0);
+}
+
+TEST(TxLockTable, GcResolvedKeepsEntriesWhileLocksRemain) {
+  TxLockTable t;
+  // Partially decided: one lock of tx 10 released and recorded, another
+  // still held (its decision hasn't arrived yet).
+  ASSERT_TRUE(t.acquire(lock(10, 1, 1, 6)));
+  t.noteResolved(10, true, 1, 1, 5, log::LogRef{6, 0}, false, /*now=*/100);
+
+  std::vector<log::LogRef> freed;
+  t.gcResolved([](std::uint64_t) { return false; }, /*now=*/10'000,
+               /*minAge=*/100, &freed);
+  // The resolved entry must survive: dropping it would un-fence the tx
+  // while an object is still locked by it.
+  EXPECT_TRUE(freed.empty());
+  EXPECT_EQ(t.voteStatus(10), 1);
+}
+
+// ----- cluster-level interleavings
+
+core::ClusterParams params(int servers, int clients, int rf) {
+  core::ClusterParams p;
+  p.servers = servers;
+  p.clients = clients;
+  p.replicationFactor = rf;
+  p.coordinator.leaseTerm = seconds(2);
+  return p;
+}
+
+int ownerIndexOf(core::Cluster& c, std::uint64_t table,
+                 std::uint64_t keyId) {
+  return static_cast<int>(c.ownerOfKey(table, keyId)) - 1;
+}
+
+/// Seed a key with a tracked write and return the assigned version.
+std::uint64_t seedKey(core::Cluster& c, std::uint64_t table,
+                      std::uint64_t key) {
+  std::uint64_t version = 0;
+  bool done = false;
+  c.clientHost(0).rc->writeV(
+      table, key, 64, 0,
+      [&](net::Status s, std::uint64_t v, sim::Duration) {
+        ASSERT_EQ(s, net::Status::kOk);
+        version = v;
+        done = true;
+      });
+  while (!done) c.sim().runFor(msec(10));
+  return version;
+}
+
+std::uint64_t sumLocksHeld(core::Cluster& c) {
+  std::uint64_t n = 0;
+  for (int i = 0; i < c.serverCount(); ++i) {
+    if (c.serverAlive(i)) {
+      n += c.server(i).master->txLockTable().locksHeld();
+    }
+  }
+  return n;
+}
+
+// The client's lease runs out while its transaction holds locks on two
+// masters (the decision round is trapped behind a stall). The lease sweep
+// must hand the orphan to the coordinator, resolution must commit it
+// (both participants voted yes), and the resumed client must agree.
+TEST(TxCluster, LeaseExpiryWhileHoldingLocksResolvesOrphan) {
+  core::Cluster c(params(2, 1, 0));
+  const auto table = c.createTable("t", 2);
+  auto& rc = *c.clientHost(0).rc;
+
+  // Two keys on different masters, both seeded.
+  const std::uint64_t keyA = 1;
+  std::uint64_t keyB = 2;
+  while (ownerIndexOf(c, table, keyB) == ownerIndexOf(c, table, keyA)) {
+    ++keyB;
+  }
+  const std::uint64_t seedA = seedKey(c, table, keyA);
+  const std::uint64_t seedB = seedKey(c, table, keyB);
+
+  net::Status status = net::Status::kError;
+  bool done = false;
+  const std::uint64_t tx = rc.txBegin();
+  rc.txWrite(tx, table, keyA, 64);
+  rc.txWrite(tx, table, keyB, 64);
+  rc.txCommit(tx, [&](net::Status s, sim::Duration) {
+    status = s;
+    done = true;
+  });
+  rc.stallFor(seconds(6));  // prepares are out; decisions are not
+
+  c.sim().runFor(seconds(1));
+  EXPECT_EQ(sumLocksHeld(c), 2u);  // both locks parked behind the stall
+
+  const sim::SimTime deadline = c.sim().now() + seconds(30);
+  while (c.sim().now() < deadline &&
+         (!done || c.coord().txResolutionInProgress() ||
+          sumLocksHeld(c) != 0)) {
+    c.sim().runFor(msec(100));
+  }
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(status, net::Status::kOk);  // resolution committed; client agrees
+  EXPECT_EQ(sumLocksHeld(c), 0u);
+  EXPECT_GE(c.coord().leasesExpired(), 1u);
+  EXPECT_GE(c.coord().txResolutionsStarted(), 1u);
+  EXPECT_GE(c.coord().txResolutionsCommitted(), 1u);
+  std::uint64_t orphans = 0;
+  for (int i = 0; i < c.serverCount(); ++i) {
+    orphans += c.server(i).master->txLockTable().orphansResolved();
+  }
+  EXPECT_EQ(orphans, 2u);  // one resolution-applied decision per lock
+
+  // The resolved commit applied on both sides: versions advanced.
+  std::uint64_t vA = 0;
+  std::uint64_t vB = 0;
+  int got = 0;
+  rc.readV(table, keyA, [&](net::Status s, std::uint64_t v, sim::Duration) {
+    if (s == net::Status::kOk) vA = v;
+    ++got;
+  });
+  rc.readV(table, keyB, [&](net::Status s, std::uint64_t v, sim::Duration) {
+    if (s == net::Status::kOk) vB = v;
+    ++got;
+  });
+  c.sim().runFor(seconds(2));
+  EXPECT_EQ(got, 2);
+  EXPECT_GT(vA, seedA);
+  EXPECT_GT(vB, seedB);
+}
+
+// Every reply from one participant vanishes for a window covering the
+// whole commit: the client must retry both the prepare and the decision,
+// and the master must answer the retries from RIFL completion state — one
+// vote, one decision applied, no double commit.
+TEST(TxCluster, DuplicateCommitRetriesAfterReplyDropApplyOnce) {
+  core::Cluster c(params(2, 1, 0));
+  const auto table = c.createTable("t", 2);
+  auto& rc = *c.clientHost(0).rc;
+
+  const std::uint64_t keyA = 1;
+  std::uint64_t keyB = 2;
+  while (ownerIndexOf(c, table, keyB) == ownerIndexOf(c, table, keyA)) {
+    ++keyB;
+  }
+  seedKey(c, table, keyA);
+  seedKey(c, table, keyB);
+  const int owner = ownerIndexOf(c, table, keyB);
+
+  fault::FaultPlan plan;
+  plan.replyDrop(msec(400), owner, /*probability=*/1.0, msec(1500));
+  fault::FaultInjector injector(c, plan, c.sim().rng().fork(0x7A7A));
+  injector.arm();
+  c.sim().runFor(msec(500));  // into the drop window
+
+  net::Status status = net::Status::kError;
+  bool done = false;
+  const std::uint64_t tx = rc.txBegin();
+  rc.txWrite(tx, table, keyA, 64);
+  rc.txWrite(tx, table, keyB, 64);
+  rc.txCommit(tx, [&](net::Status s, sim::Duration) {
+    status = s;
+    done = true;
+  });
+  const sim::SimTime deadline = c.sim().now() + seconds(30);
+  while (c.sim().now() < deadline && !done) c.sim().runFor(msec(100));
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status, net::Status::kOk);
+  EXPECT_GE(rc.retriesForOpcode(net::Opcode::kTxPrepare) +
+                rc.retriesForOpcode(net::Opcode::kTxDecision),
+            1u);
+
+  // Applied exactly once on the dropped-reply participant, despite the
+  // duplicate prepare/decision attempts.
+  const auto& locks = c.server(owner).master->txLockTable();
+  EXPECT_EQ(locks.prepares(), 1u);
+  EXPECT_EQ(locks.commits(), 1u);
+  EXPECT_EQ(locks.aborts(), 0u);
+  EXPECT_EQ(locks.locksHeld(), 0u);
+  EXPECT_GE(
+      c.server(owner).master->unackedRpcResults().duplicatesSuppressed(), 1u);
+}
+
+// The ack watermark races the decision: later tracked RPCs advance
+// firstUnacked past the prepare's seq, which GCs the prepare's completion
+// record while the lock still references it. The lock table must adopt
+// the record (keep it live) until the decision applies — committing more
+// transactions on the same keys afterwards must neither wedge nor lose
+// state, including across the resolved-entry GC after lease expiry.
+TEST(TxCluster, WatermarkAdvanceOverPrepareRecordKeepsLockUsable) {
+  core::Cluster c(params(2, 1, 0));
+  const auto table = c.createTable("t", 2);
+  auto& rc = *c.clientHost(0).rc;
+
+  const std::uint64_t keyA = 1;
+  std::uint64_t keyB = 2;
+  while (ownerIndexOf(c, table, keyB) == ownerIndexOf(c, table, keyA)) {
+    ++keyB;
+  }
+  seedKey(c, table, keyA);
+  seedKey(c, table, keyB);
+
+  // A chain of transactions over the same pair: each commit's decision RPC
+  // carries a firstUnacked past its own prepare's seq, and each subsequent
+  // transaction's prepares push the watermark over the previous
+  // transaction's decision seqs.
+  std::uint64_t lastVersionB = 0;
+  for (int i = 0; i < 5; ++i) {
+    net::Status status = net::Status::kError;
+    bool done = false;
+    const std::uint64_t tx = rc.txBegin();
+    rc.txWrite(tx, table, keyA, 64);
+    rc.txWrite(tx, table, keyB, 64);
+    rc.txCommit(tx, [&](net::Status s, sim::Duration) {
+      status = s;
+      done = true;
+    });
+    const sim::SimTime deadline = c.sim().now() + seconds(10);
+    while (c.sim().now() < deadline && !done) c.sim().runFor(msec(50));
+    ASSERT_TRUE(done);
+    ASSERT_EQ(status, net::Status::kOk);
+    ASSERT_EQ(sumLocksHeld(c), 0u);
+
+    std::uint64_t vB = 0;
+    bool read = false;
+    rc.readV(table, keyB,
+             [&](net::Status s, std::uint64_t v, sim::Duration) {
+               ASSERT_EQ(s, net::Status::kOk);
+               vB = v;
+               read = true;
+             });
+    while (!read) c.sim().runFor(msec(10));
+    EXPECT_GT(vB, lastVersionB);  // exactly-once forward progress
+    lastVersionB = vB;
+  }
+
+  // Let the lease lapse so the resolved-entry GC sweep reclaims the
+  // decided-tx state, then commit one more transaction under a fresh
+  // lease: nothing may have been wedged or lost by the reclamation.
+  rc.stallFor(seconds(6));
+  c.sim().runFor(seconds(10));
+  EXPECT_GE(c.coord().leasesExpired(), 1u);
+
+  net::Status status = net::Status::kError;
+  bool done = false;
+  const std::uint64_t tx = rc.txBegin();
+  rc.txWrite(tx, table, keyA, 64);
+  rc.txWrite(tx, table, keyB, 64);
+  rc.txCommit(tx, [&](net::Status s, sim::Duration) {
+    status = s;
+    done = true;
+  });
+  const sim::SimTime deadline = c.sim().now() + seconds(10);
+  while (c.sim().now() < deadline && !done) c.sim().runFor(msec(50));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(status, net::Status::kOk);
+  EXPECT_EQ(sumLocksHeld(c), 0u);
+
+  std::uint64_t vB = 0;
+  bool read = false;
+  rc.readV(table, keyB, [&](net::Status s, std::uint64_t v, sim::Duration) {
+    ASSERT_EQ(s, net::Status::kOk);
+    vB = v;
+    read = true;
+  });
+  while (!read) c.sim().runFor(msec(10));
+  EXPECT_GT(vB, lastVersionB);
+}
+
+}  // namespace
+}  // namespace rc

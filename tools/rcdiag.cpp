@@ -9,8 +9,10 @@
 //             active span wins, remainder -> steady_state), so the phase
 //             energies sum to the PDU-integrated total by construction;
 //             the span-recorded whole-node model joules are shown alongside
+//   tx        minitransaction span summary (prepare/decision phases plus
+//             one line per orphan resolution and its outcome)
 //   check     schema validation; exits non-zero on any violation (CI smoke)
-//   report    timeline + critical + phases (default)
+//   report    timeline + critical + phases + tx (default)
 //
 // Span semantics and the energy-attribution method are documented in
 // docs/TRACING.md.
@@ -143,6 +145,62 @@ void printTimeline(const RunData& run) {
     }
     std::puts("");
   }
+}
+
+// ------------------------------------------------------------ tx spans
+
+/// Minitransaction spans (docs/TRANSACTIONS.md): tx_prepare / tx_commit /
+/// tx_abort on participant masters and tx_resolution on the coordinator,
+/// all carrying ctx = txId. Prints a per-phase summary plus one line per
+/// resolution (the interesting ones: orphaned transactions being driven
+/// to an outcome).
+void printTxSummary(const RunData& run) {
+  struct Agg {
+    std::uint64_t n = 0;
+    std::uint64_t abandoned = 0;
+    double sumS = 0;
+    double maxS = 0;
+  };
+  std::map<std::string, Agg> byName;
+  std::vector<const Span*> resolutions;
+  for (const Span& s : run.spans) {
+    if (s.name != "tx_prepare" && s.name != "tx_commit" &&
+        s.name != "tx_abort" && s.name != "tx_resolution") {
+      continue;
+    }
+    Agg& a = byName[s.name];
+    ++a.n;
+    if (s.abandoned) ++a.abandoned;
+    const double d = t1s(s) - t0s(s);
+    a.sumS += d;
+    a.maxS = std::max(a.maxS, d);
+    if (s.name == "tx_resolution") resolutions.push_back(&s);
+  }
+  if (byName.empty()) {
+    std::puts("tx: no transaction spans in journal");
+    return;
+  }
+  std::printf("tx spans:\n%-16s %8s %10s %10s %10s\n", "phase", "count",
+              "mean_ms", "max_ms", "abandoned");
+  for (const auto& [name, a] : byName) {
+    std::printf("%-16s %8llu %10.3f %10.3f %10llu\n", name.c_str(),
+                static_cast<unsigned long long>(a.n),
+                a.n > 0 ? 1e3 * a.sumS / static_cast<double>(a.n) : 0.0,
+                1e3 * a.maxS, static_cast<unsigned long long>(a.abandoned));
+  }
+  if (!resolutions.empty()) {
+    std::puts("orphan resolutions (count: 1 = committed, 0 = aborted):");
+    for (const Span* s : resolutions) {
+      std::printf("  tx %-12llu node %-3d [%.3fs .. %.3fs]  %s\n",
+                  static_cast<unsigned long long>(s->ctx), s->node, t0s(*s),
+                  t1s(*s),
+                  s->abandoned ? "abandoned"
+                  : s->open    ? "open"
+                  : s->count   ? "committed"
+                               : "aborted");
+    }
+  }
+  std::puts("");
 }
 
 // ------------------------------------------------------------ critical path
@@ -909,7 +967,7 @@ void usage() {
   std::puts(
       "rcdiag — recovery/migration journal analyzer\n"
       "\n"
-      "  rcdiag [timeline|critical|phases|check|slo|energy|report] DIR\n"
+      "  rcdiag [timeline|critical|phases|tx|check|slo|energy|report] DIR\n"
       "  rcdiag energy check DIR\n"
       "\n"
       "DIR is a --metrics-dir run directory (events.jsonl [+ metrics.jsonl]).\n"
@@ -918,7 +976,7 @@ void usage() {
       "per-op-class and per-tenant attribution, stacked watts timelines and\n"
       "the proportionality curve; `energy check` only gates the 0.1%\n"
       "component-sum vs PDU-total reconciliation (CI smoke).\n"
-      "Default command is report (timeline + critical + phases).\n");
+      "Default command is report (timeline + critical + phases + tx).\n");
 }
 
 }  // namespace
@@ -950,10 +1008,13 @@ int main(int argc, char** argv) {
     printCriticalPath(run);
   } else if (cmd == "phases") {
     printPhases(run);
+  } else if (cmd == "tx") {
+    printTxSummary(run);
   } else if (cmd == "report") {
     printTimeline(run);
     printCriticalPath(run);
     printPhases(run);
+    printTxSummary(run);
   } else {
     usage();
     return 2;

@@ -4,6 +4,7 @@
 //
 //   rcperf ycsb --servers 10 --clients 30 --workload A --rf 2
 //   rcperf ycsb --workload C --dist zipfian --measure 10
+//   rcperf ycsb --workload A --rf 3 --tx          # minitransaction variant
 //   rcperf recovery --servers 9 --rf 4 --records 2000000 --csv
 //   rcperf sweep rf --values 1,2,3,4 --servers 20 --clients 60 --workload A
 //
@@ -104,6 +105,12 @@ core::YcsbExperimentConfig ycsbConfig(const Args& a) {
   cfg.throttleOpsPerSec = a.num("throttle", 0);
   cfg.seed = static_cast<std::uint64_t>(a.num("seed", 42));
   cfg.metricsDir = a.str("metrics-dir", "");
+  cfg.transactional = a.has("tx");
+  if (cfg.transactional) {
+    cfg.transferProportion = a.num("tx-transfers", 0.05);
+    cfg.transferAccounts =
+        static_cast<std::uint64_t>(a.num("tx-accounts", 12));
+  }
   return cfg;
 }
 
@@ -153,6 +160,20 @@ int cmdYcsb(const Args& a) {
                 static_cast<unsigned long long>(r.rpcRetries));
     std::printf("  metrics: %s/metrics.jsonl, %s/series.csv\n",
                 cfg.metricsDir.c_str(), cfg.metricsDir.c_str());
+  }
+  if (r.txPrepares + r.txCommits + r.txAborts + r.txConflicts > 0) {
+    std::printf(
+        "  tx: commits %llu  aborts %llu  conflicts %llu  "
+        "orphans-resolved %llu  (prepares %llu, transfers %llu, "
+        "client aborted/unknown %llu/%llu)\n",
+        static_cast<unsigned long long>(r.txCommits),
+        static_cast<unsigned long long>(r.txAborts),
+        static_cast<unsigned long long>(r.txConflicts),
+        static_cast<unsigned long long>(r.txOrphansResolved),
+        static_cast<unsigned long long>(r.txPrepares),
+        static_cast<unsigned long long>(r.txTransfers),
+        static_cast<unsigned long long>(r.txClientAborted),
+        static_cast<unsigned long long>(r.txClientUnknown));
   }
   return r.crashed ? 1 : 0;
 }
