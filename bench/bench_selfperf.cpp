@@ -9,6 +9,7 @@
 //                  [--check BASELINE] [--tolerance FRAC]
 //                  [--slo-overhead [--slo-tolerance FRAC]]
 //                  [--energy-overhead [--energy-tolerance FRAC]]
+//                  [--overload-overhead [--overload-tolerance FRAC]]
 //
 // --check gates the process exit code: any scenario whose events/sec drops
 // more than --tolerance (default 0.25) below the recorded baseline fails.
@@ -22,6 +23,13 @@
 // --energy-overhead is the same A/B for the per-resource energy ledger
 // (docs/ENERGY.md): ycsb_b with metering off vs on (the default wiring),
 // gated at --energy-tolerance (default 0.05).
+//
+// --overload-overhead is the same A/B for the overload-control machinery
+// (docs/OVERLOAD.md): ycsb_b — which never sheds — with admission control
+// and client retry budgets off vs on (the default wiring), gated at
+// --overload-tolerance (default 0.05). The scenario stays below capacity,
+// so the pair isolates the pure bookkeeping cost of admission checks and
+// sojourn tracking on the request hot path.
 
 #include <algorithm>
 #include <cstdio>
@@ -80,6 +88,8 @@ int main(int argc, char** argv) {
   double sloTolerance = 0.05;
   bool energyOverhead = false;
   double energyTolerance = 0.05;
+  bool overloadOverhead = false;
+  double overloadTolerance = 0.05;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
     if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
@@ -102,6 +112,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--energy-tolerance") == 0 && i + 1 < argc) {
       energyTolerance = std::strtod(argv[++i], nullptr);
     }
+    if (std::strcmp(argv[i], "--overload-overhead") == 0) {
+      overloadOverhead = true;
+    }
+    if (std::strcmp(argv[i], "--overload-tolerance") == 0 && i + 1 < argc) {
+      overloadTolerance = std::strtod(argv[++i], nullptr);
+    }
   }
   if (opt.repeat < 1) opt.repeat = 1;
 
@@ -122,6 +138,16 @@ int main(int argc, char** argv) {
     auto on = opt;
     on.energy = true;
     return overheadGate("energy", off, on, energyTolerance);
+  }
+
+  if (overloadOverhead) {
+    // A/B the admission-control + retry-budget bookkeeping on a
+    // never-overloaded ycsb_b (docs/OVERLOAD.md gate).
+    auto off = opt;
+    off.overload = false;
+    auto on = opt;
+    on.overload = true;
+    return overheadGate("overload", off, on, overloadTolerance);
   }
 
   std::printf("selfperf: simulator hot-path throughput (%s scale, "

@@ -14,7 +14,8 @@ RamCloudClient::RamCloudClient(
       self_(self),
       coordinator_(coordinatorNode),
       mapAccess_(std::move(mapAccess)),
-      params_(params) {}
+      params_(params),
+      retryBudget_(params.retryBudgetPerSec, params.retryBudgetBurst) {}
 
 void RamCloudClient::read(std::uint64_t tableId, std::uint64_t keyId,
                           OpCallback cb) {
@@ -359,12 +360,18 @@ void RamCloudClient::issueMulti(net::Opcode op, std::uint64_t tableId,
           std::move(groupKeys));
       ++stats_.opsIssued;
       rpc_.call(self_, target, net::kMasterPort, req, params_.opTimeout,
-                [this, agg](const net::RpcResponse& resp) {
+                [this, agg, op](const net::RpcResponse& resp) {
                   if (resp.status == net::Status::kOk) {
                     ++stats_.opsSucceeded;
                     agg->served += resp.a;
                     agg->missing += resp.b;
                   } else {
+                    // Batches are not re-split on a shed group; the bounce
+                    // is still counted so overload shows up in the stats.
+                    if (resp.status == net::Status::kOverloaded) {
+                      ++stats_.overloadedBounces;
+                      ++opOverloaded_[static_cast<std::size_t>(op)];
+                    }
                     ++stats_.opsFailed;
                     agg->anyError = true;
                   }
@@ -602,6 +609,37 @@ void RamCloudClient::issue(OpState st) {
         ++stats_.leaseExpiries;
         clientId_ = 0;
         break;
+      case net::Status::kOverloaded: {
+        // Shed by the server's admission control. The server is alive —
+        // no failover, no map refresh — so just space the reissue: jittered
+        // exponential backoff floored at the server's retry-after hint
+        // (resp.a, ns), plus whatever the retry budget makes us wait. The
+        // budget is what stops a cluster-wide incident from turning bounces
+        // into an amplifying retry storm (docs/OVERLOAD.md).
+        ++stats_.overloadedBounces;
+        ++opOverloaded_[static_cast<std::size_t>(st.op)];
+        if (st.retriesLeft-- <= 0) {
+          ++stats_.overloadedGiveUps;
+          finish(st, net::Status::kOverloaded);
+          return;
+        }
+        noteRetry(st.op);
+        const int attempt = params_.maxRetries - st.retriesLeft - 1;
+        const std::uint64_t salt = (static_cast<std::uint64_t>(self_) << 48) ^
+                                   (st.tableId << 32) ^ (st.keyId << 8) ^
+                                   static_cast<std::uint64_t>(st.startedAt) ^
+                                   0x0ec1ULL;
+        sim::Duration wait =
+            std::max(params_.overloadBackoff.delay(attempt, salt),
+                     static_cast<sim::Duration>(resp.a));
+        const sim::Duration budgetWait = retryBudget_.reserve(sim_.now());
+        if (budgetWait > 0) ++stats_.retryBudgetWaits;
+        sim_.schedule(wait + budgetWait,
+                      [this, st = std::move(st)]() mutable {
+          issue(std::move(st));
+        });
+        return;
+      }
       case net::Status::kRecovering: {
         // Back off and re-route (no budget consumed: the data will come
         // back once recovery finishes).
@@ -628,12 +666,16 @@ void RamCloudClient::issue(OpState st) {
     }
     noteRetry(st.op);
     // Hard failure (timeout, stale routing or expired lease): back off with
-    // deterministic jitter before re-resolving the route.
+    // deterministic jitter before re-resolving the route. These retries
+    // draw on the same retry budget as overload bounces — a timeout storm
+    // against a struggling server is the classic metastability trigger.
     const int attempt = params_.maxRetries - st.retriesLeft - 1;
     const std::uint64_t salt = (static_cast<std::uint64_t>(self_) << 48) ^
                                (st.tableId << 32) ^ (st.keyId << 8) ^
                                static_cast<std::uint64_t>(st.startedAt);
-    sim_.schedule(params_.retryBackoff.delay(attempt, salt),
+    const sim::Duration budgetWait = retryBudget_.reserve(sim_.now());
+    if (budgetWait > 0) ++stats_.retryBudgetWaits;
+    sim_.schedule(params_.retryBackoff.delay(attempt, salt) + budgetWait,
                   [this, st = std::move(st)]() mutable {
       refreshMapThen(
           [this, st = std::move(st)]() mutable { issue(std::move(st)); });

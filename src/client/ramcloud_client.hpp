@@ -9,11 +9,13 @@
 #include <utility>
 #include <vector>
 
+#include "client/token_bucket.hpp"
 #include "coordinator/tablet_map.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
 #include "obs/time_trace.hpp"
 #include "server/common.hpp"
+#include "sim/backoff.hpp"
 #include "sim/simulation.hpp"
 
 namespace rc::client {
@@ -24,8 +26,20 @@ struct ClientParams {
   int maxRetries = 5;
   /// Capped exponential backoff between hard-failure retries, with
   /// deterministic jitter so a dead server isn't hammered by synchronized
-  /// client retries (see server::Backoff).
-  server::Backoff retryBackoff{sim::msec(1), sim::msec(100)};
+  /// client retries (shared policy, sim/backoff.hpp).
+  sim::Backoff retryBackoff{sim::msec(1), sim::msec(100)};
+  /// Backoff between kOverloaded bounces. Starts above retryBackoff and
+  /// caps higher: an overloaded server is alive, so the goal is spacing,
+  /// not failover. The server's retry-after hint acts as a floor.
+  sim::Backoff overloadBackoff{sim::msec(2), sim::msec(200)};
+  /// Retry budget (docs/OVERLOAD.md): every retry — hard failure or
+  /// overload bounce — reserves a token from this bucket; an empty bucket
+  /// delays the retry until a token accrues, so a cluster-wide incident
+  /// caps retry traffic at retryBudgetPerSec per client instead of
+  /// multiplying offered load. <= 0 disables (the anti-metastability
+  /// regression fixture runs that way).
+  double retryBudgetPerSec = 100.0;
+  double retryBudgetBurst = 20.0;
   /// Wait between retries while the target tablet is being recovered
   /// (these waits do not consume the retry budget: the op blocks until the
   /// data is available again — paper Fig. 10's "client 1").
@@ -55,6 +69,9 @@ struct ClientStats {
   std::uint64_t txCommitted = 0;    ///< definite commit reported (kOk)
   std::uint64_t txAborted = 0;      ///< definite abort reported (kTxConflict)
   std::uint64_t txUnknown = 0;      ///< outcome left to orphan resolution
+  std::uint64_t overloadedBounces = 0;  ///< kOverloaded responses observed
+  std::uint64_t overloadedGiveUps = 0;  ///< ops failed after bounce budget
+  std::uint64_t retryBudgetWaits = 0;   ///< retries delayed by empty bucket
 };
 
 /// RAMCloud client library: tablet-map caching, request routing, retry and
@@ -154,6 +171,12 @@ class RamCloudClient {
     std::uint64_t n = 0;
     for (const std::uint64_t v : opRetries_) n += v;
     return n;
+  }
+
+  /// kOverloaded bounces per opcode (mirrors retriesForOpcode; summed
+  /// cluster-wide into net.rpc.overloaded.*).
+  std::uint64_t overloadedForOpcode(net::Opcode op) const {
+    return opOverloaded_[static_cast<std::size_t>(op)];
   }
 
   /// Attach the cluster's per-RPC time trace: every read/write/remove RPC
@@ -268,6 +291,8 @@ class RamCloudClient {
   std::map<std::uint64_t, TxState> activeTxs_;
   std::uint64_t nextTxLocal_ = 1;
   std::array<std::uint64_t, net::kOpcodeCount> opRetries_{};
+  std::array<std::uint64_t, net::kOpcodeCount> opOverloaded_{};
+  TokenBucket retryBudget_;
 
   ClientStats stats_;
   obs::TimeTrace* trace_ = nullptr;

@@ -85,6 +85,19 @@ Cluster::Cluster(ClusterParams params)
     const std::string prefix = "node" + std::to_string(nid);
     s.node->registerMetrics(metrics_, prefix);
     s.dispatch->registerMetrics(metrics_, prefix + ".master.dispatch");
+    s.dispatch->registerOverloadMetrics(metrics_, prefix + ".dispatch");
+    // Degradation ladder: exemplar capture is browned out while *any*
+    // server sheds; overload_enter/exit journal events bracket the window.
+    s.dispatch->onOverloadState = [this, nid](bool on) {
+      if (on) {
+        ++sheddingServers_;
+        journal_.event("overload_enter", static_cast<int>(nid));
+      } else {
+        if (sheddingServers_ > 0) --sheddingServers_;
+        journal_.event("overload_exit", static_cast<int>(nid));
+      }
+      slo_.setExemplarBrownout(sheddingServers_ > 0);
+    };
     s.master->registerMetrics(metrics_, prefix + ".master");
     s.backup->registerMetrics(metrics_, prefix + ".backup");
     s.master->setTimeTrace(&trace_);
@@ -262,6 +275,33 @@ void Cluster::registerClusterMetrics() {
           return static_cast<double>(n);
         });
   }
+  // Overload control (docs/OVERLOAD.md): kOverloaded bounces observed by
+  // clients, total and per opcode, mirroring the retry counters above —
+  // plus cluster-wide shed totals and the exemplar-brownout state.
+  metrics_.probeCounter("net.rpc.overloaded.total", "ops", [this] {
+    return static_cast<double>(totalOverloadedBounces());
+  });
+  for (std::size_t op = 0; op < net::kOpcodeCount; ++op) {
+    const auto opcode = static_cast<net::Opcode>(op);
+    metrics_.probeCounter(
+        std::string("net.rpc.overloaded.") + net::opcodeName(opcode), "ops",
+        [this, opcode] {
+          std::uint64_t n = 0;
+          for (const auto& c : clients_) {
+            if (c.rc) n += c.rc->overloadedForOpcode(opcode);
+          }
+          return static_cast<double>(n);
+        });
+  }
+  metrics_.probeCounter("cluster.shed_requests", "ops", [this] {
+    return static_cast<double>(totalShedRequests());
+  });
+  metrics_.probeGauge("cluster.shedding_servers", "servers", [this] {
+    return static_cast<double>(sheddingServers_);
+  });
+  metrics_.probeCounter("slo.exemplar_brownouts", "count", [this] {
+    return static_cast<double>(slo_.brownoutEngagements());
+  });
   // Exactly-once layer, summed over live masters (docs/LINEARIZABILITY.md).
   const auto sumUnacked =
       [this](std::uint64_t (server::UnackedRpcResults::*probe)() const) {
@@ -639,6 +679,20 @@ std::uint64_t Cluster::totalRpcRetries() const {
   std::uint64_t n = 0;
   for (const auto& c : clients_) {
     if (c.rc) n += c.rc->totalRetries();
+  }
+  return n;
+}
+
+std::uint64_t Cluster::totalShedRequests() const {
+  std::uint64_t n = 0;
+  for (const auto& s : servers_) n += s.dispatch->shedTotal();
+  return n;
+}
+
+std::uint64_t Cluster::totalOverloadedBounces() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    if (c.rc) n += c.rc->stats().overloadedBounces;
   }
   return n;
 }

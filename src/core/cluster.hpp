@@ -169,6 +169,14 @@ class Cluster {
   std::uint64_t totalRpcTimeouts() const;
   /// Client-side RPC re-issues summed over all clients (net.rpc.retries.*).
   std::uint64_t totalRpcRetries() const;
+  /// Requests bounced with kOverloaded, summed over all dispatch stages
+  /// (docs/OVERLOAD.md).
+  std::uint64_t totalShedRequests() const;
+  /// kOverloaded bounces observed client-side (net.rpc.overloaded.total).
+  std::uint64_t totalOverloadedBounces() const;
+  /// Servers currently in shedding state (exemplar brownout is engaged
+  /// whenever this is nonzero).
+  int sheddingServers() const { return sheddingServers_; }
 
   // ----- failure injection
 
@@ -228,6 +236,7 @@ class Cluster {
   /// Fixed per-node energy origins for the journal's energy probe.
   std::unordered_map<int, node::Node::PowerSnapshot> energyBaselines_;
   bool energyMetering_ = true;
+  int sheddingServers_ = 0;
 
   std::unique_ptr<node::Node> coordNode_;
   std::unique_ptr<coordinator::Coordinator> coord_;

@@ -40,6 +40,8 @@ const char* faultKindName(FaultKind k) {
       return "client_stall";
     case FaultKind::kCrashBeforeReply:
       return "crash_before_reply";
+    case FaultKind::kLoadSurge:
+      return "load_surge";
   }
   return "unknown";
 }
@@ -175,6 +177,9 @@ void FaultInjector::fire(const FaultEvent& ev) {
     case FaultKind::kCpuThrottle:
     case FaultKind::kCpuRestore:
       fireCpu(ev);
+      return;
+    case FaultKind::kLoadSurge:
+      fireLoadSurge(ev);
       return;
   }
 }
@@ -347,6 +352,20 @@ void FaultInjector::fireClientStall(const FaultEvent& ev) {
   record(ev);
   cluster_.journal().event("fault_client_stall", cluster_.clientNodeId(idx));
   cluster_.clientHost(idx).rc->stallFor(ev.duration);
+}
+
+void FaultInjector::fireLoadSurge(const FaultEvent& ev) {
+  if (ev.magnitude <= 1.0) return;
+  record(ev);
+  // client == -1 surges every client: the flash-crowd scenario.
+  const int first = ev.client >= 0 ? ev.client : 0;
+  const int last = ev.client >= 0 ? ev.client : cluster_.clientCount() - 1;
+  for (int idx = first; idx <= last && idx < cluster_.clientCount(); ++idx) {
+    auto& ycsb = cluster_.clientHost(idx).ycsb;
+    if (!ycsb) continue;
+    cluster_.journal().event("fault_load_surge", cluster_.clientNodeId(idx));
+    ycsb->applyLoadSurge(ev.magnitude, ev.duration);
+  }
 }
 
 void FaultInjector::fireCrashBeforeReply(const FaultEvent& ev) {

@@ -86,6 +86,7 @@ class FaultInjector {
   void restoreCpu(int serverIdx);
   void fireClientStall(const FaultEvent& ev);
   void fireCrashBeforeReply(const FaultEvent& ev);
+  void fireLoadSurge(const FaultEvent& ev);
 
   /// Map the event's setA/setB (server indexes; empty A -> {ev.server},
   /// empty B -> wildcard) to node ids.

@@ -30,6 +30,8 @@ enum class FaultKind {
   kClientStall,     ///< freeze a client (no RPCs, no lease renewals)
   kCrashBeforeReply,  ///< arm a master to crash after its next write is
                       ///< durable but before the reply is sent
+  kLoadSurge,  ///< multiply a client's arrival rate by `magnitude` for
+               ///< `duration` (flash crowd / overload injection)
 };
 
 /// Stable lower-case name, used for journal events ("fault_<name>").
@@ -240,6 +242,22 @@ struct FaultPlan {
     e.kind = FaultKind::kCrashBeforeReply;
     e.trigger.at = at;
     e.server = serverIdx;
+    events.push_back(std::move(e));
+    return *this;
+  }
+
+  /// Flash crowd: multiply client `clientIdx`'s offered load by `factor`
+  /// for `duration` (the closed loop's per-op overhead is divided by the
+  /// factor). clientIdx == -1 surges every client — the whole-cluster
+  /// overload scenario (docs/OVERLOAD.md).
+  FaultPlan& loadSurge(sim::SimTime at, int clientIdx, double factor,
+                       sim::Duration duration) {
+    FaultEvent e;
+    e.kind = FaultKind::kLoadSurge;
+    e.trigger.at = at;
+    e.client = clientIdx;
+    e.magnitude = factor;
+    e.duration = duration;
     events.push_back(std::move(e));
     return *this;
   }

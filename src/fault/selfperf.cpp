@@ -64,6 +64,10 @@ ScenarioResult runYcsbB(const Options& opt) {
           p.clients = 10;
           p.replicationFactor = 3;
           p.seed = 42;
+          if (!opt.overload) {
+            p.dispatch.admission.enabled = false;
+            p.client.retryBudgetPerSec = 0;
+          }
           auto c = std::make_unique<core::Cluster>(p);
           if (!opt.energy) c->setEnergyMetering(false);
           ycsb::YcsbClientParams ycp;
@@ -193,6 +197,7 @@ bool writeJson(const std::vector<ScenarioResult>& results,
      << "  \"quick\": " << (opt.quick ? "true" : "false") << ",\n"
      << "  \"slo\": " << (opt.slo ? "true" : "false") << ",\n"
      << "  \"energy\": " << (opt.energy ? "true" : "false") << ",\n"
+     << "  \"overload\": " << (opt.overload ? "true" : "false") << ",\n"
      << "  \"repeat\": " << opt.repeat << ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];

@@ -43,6 +43,12 @@ struct Options {
   /// overhead gate (bench_selfperf --energy-overhead), which compares
   /// events/sec of an off-vs-on pair on the same host.
   bool energy = true;
+  /// Overload-control machinery (docs/OVERLOAD.md): dispatch admission
+  /// control + client retry budgets. On by default — the production
+  /// defaults — and switched off for the A/B overhead gate
+  /// (bench_selfperf --overload-overhead); the gate runs a *non-overloaded*
+  /// workload, so the pair isolates the admission bookkeeping cost.
+  bool overload = true;
 };
 
 ScenarioResult runYcsbB(const Options& opt);

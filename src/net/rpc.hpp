@@ -60,7 +60,9 @@ enum class Status : std::uint8_t {
   kUnknownTablet,  ///< wrong/stale routing: refresh the tablet map
   kRecovering,     ///< tablet currently being recovered: back off and retry
   kError,
-  kOverloaded,
+  kOverloaded,  ///< shed by dispatch admission control; reply carries a
+                ///< retry-after hint (ns) in `a` — back off, charge the
+                ///< retry budget, reissue (docs/OVERLOAD.md)
   kVersionMismatch,  ///< conditional write rejected: reply carries current
                      ///< version in `b`
   kExpiredLease,     ///< master no longer tracks this client: reopen lease

@@ -58,7 +58,9 @@ void SloTracker::record(int classId, int node, std::uint64_t span,
 
   // Exemplar candidacy: keep the k slowest, sorted slowest-first. Ties
   // break on span id (ascending) so the selection is deterministic.
-  if (exemplarsPerWindow_ > 0) {
+  // Browned out while any server sheds: SpanDetail copies are pure
+  // observability and the first cost cut under overload (docs/OVERLOAD.md).
+  if (exemplarsPerWindow_ > 0 && !exemplarBrownout_) {
     auto slower = [](const Exemplar& a, const Exemplar& b) {
       return a.latency != b.latency ? a.latency > b.latency : a.span < b.span;
     };

@@ -149,6 +149,17 @@ class SloTracker {
   /// flight recorder from here).
   std::function<void(const WindowRow&)> onBreach;
 
+  /// Exemplar brownout (docs/OVERLOAD.md degradation ladder): while set, no
+  /// new exemplars are retained — quantiles, over-target counts and window
+  /// rows are unaffected. The cluster engages it while any server is
+  /// shedding.
+  void setExemplarBrownout(bool on) {
+    if (on && !exemplarBrownout_) ++brownoutEngagements_;
+    exemplarBrownout_ = on;
+  }
+  bool exemplarBrownout() const { return exemplarBrownout_; }
+  std::uint64_t brownoutEngagements() const { return brownoutEngagements_; }
+
   /// slo.jsonl: slo_window / slo_node / exemplar / exemplar_stage lines,
   /// sorted by (window, class) so double runs are byte-identical.
   std::string toJsonl() const;
@@ -193,6 +204,8 @@ class SloTracker {
   std::vector<WindowRow> rows_;
   std::uint64_t breachedTotal_ = 0;
   std::uint64_t recorded_ = 0;
+  bool exemplarBrownout_ = false;
+  std::uint64_t brownoutEngagements_ = 0;
   MetricRegistry* reg_ = nullptr;
   std::string prefix_;
 };

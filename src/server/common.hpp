@@ -6,6 +6,7 @@
 
 #include "hash/object_map.hpp"
 #include "node/node.hpp"
+#include "sim/backoff.hpp"
 
 namespace rc::server {
 
@@ -52,34 +53,8 @@ constexpr sim::Duration kRecoveryData = sim::seconds(30);
 constexpr sim::Duration kControl = sim::seconds(5);
 }  // namespace timeouts
 
-/// Capped exponential backoff with deterministic jitter.
-///
-/// delay(attempt, salt) = target * j where target = min(cap, base << attempt)
-/// and j in [0.5, 1.0) is derived by hashing (salt, attempt) — no shared RNG
-/// stream, so concurrent retry loops (client ops, replica repair) stay
-/// independent and every run of the same schedule is bit-identical.
-struct Backoff {
-  sim::Duration base = sim::msec(1);
-  sim::Duration cap = sim::msec(200);
-
-  static std::uint64_t mix(std::uint64_t x) {
-    // splitmix64 finalizer: full-avalanche, cheap, stable across platforms.
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-  }
-
-  sim::Duration delay(int attempt, std::uint64_t salt) const {
-    const int shift = attempt < 0 ? 0 : (attempt > 30 ? 30 : attempt);
-    sim::Duration target = base << shift;
-    if (target > cap || target <= 0) target = cap;
-    const std::uint64_t h =
-        mix(salt * 0x100000001b3ULL + static_cast<std::uint64_t>(shift));
-    const double frac = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
-    return target / 2 +
-           static_cast<sim::Duration>(static_cast<double>(target / 2) * frac);
-  }
-};
+/// The shared jittered-backoff policy lives in sim/backoff.hpp; server and
+/// client retry paths use the same type so their schedules stay comparable.
+using Backoff = sim::Backoff;
 
 }  // namespace rc::server

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "obs/metric_registry.hpp"
 #include "sim/inline_task.hpp"
@@ -12,11 +15,41 @@
 
 namespace rc::server {
 
+/// Admission control at the dispatch queue (CoDel-style): requests are shed
+/// with kOverloaded — cheap to reject, one dispatch poll, no worker — when
+/// the load estimate has stayed above target for a sustained interval. The
+/// load estimate is max(dispatch backlog, peak-hold EWMA of recent request
+/// sojourn times), because worker-pool and log-lock queueing dominate
+/// dispatch backlog long before the dispatch thread itself saturates.
+///
+/// Writes shed before reads (writeTarget < readTarget): a shed write costs
+/// the client one bounce, while an admitted write holds the log lock and
+/// replication pipeline that every other request then queues behind.
+/// Priority tenants' targets are scaled up by priorityFactor, so best-effort
+/// tenants shed first.
+struct AdmissionParams {
+  bool enabled = true;
+  /// Sojourn target above which writes are shed (lowest rung).
+  sim::Duration writeTarget = sim::msec(2);
+  /// Sojourn target above which reads (and everything else) are shed.
+  sim::Duration readTarget = sim::msec(8);
+  /// Load must stay above target this long before shedding starts.
+  sim::Duration interval = sim::msec(10);
+  /// Priority tenants tolerate priorityFactor × the target before shedding.
+  double priorityFactor = 4.0;
+  /// Tenant ids treated as priority class (tiny list, linear scan).
+  std::vector<int> priorityTenants;
+  /// Bounds on the retry-after hint returned with kOverloaded.
+  sim::Duration minRetryAfter = sim::msec(1);
+  sim::Duration maxRetryAfter = sim::msec(50);
+};
+
 struct DispatchParams {
   /// Dispatch-thread cost to poll, classify and hand off one request or
   /// reply. The dispatch core is modelled as always-busy (it polls); this
   /// only bounds its throughput and adds queueing delay under load.
   sim::Duration perItem = sim::nsec(400);
+  AdmissionParams admission;
 };
 
 /// The RAMCloud dispatch thread of one server process: a serial hand-off
@@ -66,6 +99,7 @@ class Dispatch {
     ++epoch_;
     queued_ = 0;
     items_.clear();
+    resetAdmission();
   }
 
   void restart() {
@@ -74,7 +108,82 @@ class Dispatch {
     nextFree_ = sim_.now();
     queued_ = 0;
     items_.clear();
+    resetAdmission();
   }
+
+  // --- Admission control ---------------------------------------------------
+
+  struct AdmitResult {
+    bool admitted = true;
+    sim::Duration retryAfter = 0;  // hint for kOverloaded responses
+  };
+
+  /// Admission decision for one data-plane request. Call before enqueue();
+  /// control-plane, replication, ping and tx-decision traffic must bypass
+  /// this entirely (shedding a lock-release would wedge the lock table).
+  AdmitResult admit(bool isWrite, int tenant) {
+    if (!params_.admission.enabled || !alive_) return {};
+    const sim::SimTime now = sim_.now();
+    const sim::Duration est = loadEstimate(now);
+    const AdmissionParams& a = params_.admission;
+    // The sustained-above gate runs against the lowest rung (writeTarget):
+    // transient bursts shorter than `interval` are absorbed, CoDel-style.
+    if (est <= a.writeTarget) {
+      aboveSince_ = -1;
+      setOverloaded(false);
+      return {};
+    }
+    if (aboveSince_ < 0) aboveSince_ = now;
+    if (now - aboveSince_ < a.interval) return {};
+    sim::Duration target = isWrite ? a.writeTarget : a.readTarget;
+    if (isPriority(tenant)) {
+      target = static_cast<sim::Duration>(static_cast<double>(target) *
+                                          a.priorityFactor);
+    }
+    if (est <= target) return {};
+    setOverloaded(true);
+    ++shedTotal_;
+    if (isWrite) {
+      ++shedWrites_;
+    } else {
+      ++shedReads_;
+    }
+    noteShedTenant(tenant);
+    return {false, std::clamp(est, a.minRetryAfter, a.maxRetryAfter)};
+  }
+
+  /// Report the dispatch-to-completion sojourn of a finished request. This
+  /// is the admission signal: worker-pool and log-lock queueing show up
+  /// here, invisible to backlogDelay().
+  void noteSojourn(sim::Duration d) {
+    if (!params_.admission.enabled) return;
+    decayTo(sim_.now());
+    const double s = static_cast<double>(std::max<sim::Duration>(d, 0));
+    // Peak-hold blend: jump to spikes immediately, relax via EWMA + the
+    // idle half-life in decayTo(). Keeps the estimate honest when the
+    // worker pool is wedged and completions become rare.
+    sojournEwma_ = std::max(s, sojournEwma_ * (1.0 - kEwmaAlpha) +
+                                   s * kEwmaAlpha);
+  }
+
+  /// Current load estimate (ns): max of dispatch backlog and the decayed
+  /// sojourn EWMA.
+  sim::Duration loadEstimate(sim::SimTime now) {
+    decayTo(now);
+    return std::max(backlogDelay(), static_cast<sim::Duration>(sojournEwma_));
+  }
+
+  /// True while the node is actively shedding — degradation hooks (cleaner
+  /// deferral, repair-backoff stretch, exemplar brownout) key off this.
+  bool underPressure() const { return overloaded_; }
+
+  /// Fired on every shedding-state transition (enter=true / exit=false).
+  std::function<void(bool)> onOverloadState;
+
+  std::uint64_t shedTotal() const { return shedTotal_; }
+  std::uint64_t shedReads() const { return shedReads_; }
+  std::uint64_t shedWrites() const { return shedWrites_; }
+  std::uint64_t overloadEnters() const { return overloadEnters_; }
 
   bool alive() const { return alive_; }
   std::uint64_t itemsDispatched() const { return itemsDispatched_; }
@@ -103,7 +212,86 @@ class Dispatch {
                    [this] { return sim::toMicros(backlogDelay()); });
   }
 
+  /// Register admission/shed metrics under `prefix` (e.g. "node3.dispatch").
+  /// Per-tenant shed counters appear lazily under `prefix + ".shed.tenant<k>"`
+  /// the first time tenant k is shed.
+  void registerOverloadMetrics(obs::MetricRegistry& reg,
+                               const std::string& prefix) {
+    metricReg_ = &reg;
+    metricPrefix_ = prefix;
+    reg.probeCounter(prefix + ".shed.total", "ops", [this] {
+      return static_cast<double>(shedTotal_);
+    });
+    reg.probeCounter(prefix + ".shed.reads", "ops", [this] {
+      return static_cast<double>(shedReads_);
+    });
+    reg.probeCounter(prefix + ".shed.writes", "ops", [this] {
+      return static_cast<double>(shedWrites_);
+    });
+    reg.probeCounter(prefix + ".shed.overload_enters", "count", [this] {
+      return static_cast<double>(overloadEnters_);
+    });
+    reg.probeGauge(prefix + ".shed.overloaded", "bool",
+                   [this] { return overloaded_ ? 1.0 : 0.0; });
+    reg.probeGauge(prefix + ".load_estimate_us", "us", [this] {
+      return sim::toMicros(std::max(
+          backlogDelay(), static_cast<sim::Duration>(sojournEwma_)));
+    });
+  }
+
  private:
+  static constexpr double kEwmaAlpha = 0.2;
+
+  bool isPriority(int tenant) const {
+    for (int t : params_.admission.priorityTenants) {
+      if (t == tenant) return true;
+    }
+    return false;
+  }
+
+  /// Halve the sojourn EWMA once per admission interval of elapsed time, so
+  /// a quiet node forgets its last storm.
+  void decayTo(sim::SimTime now) {
+    const sim::Duration interval = params_.admission.interval;
+    if (interval <= 0 || now <= lastDecay_) {
+      if (lastDecay_ == 0) lastDecay_ = now;
+      return;
+    }
+    const auto halvings = (now - lastDecay_) / interval;
+    if (halvings <= 0) return;
+    lastDecay_ += halvings * interval;
+    if (halvings >= 60) {
+      sojournEwma_ = 0;
+    } else {
+      sojournEwma_ *= 1.0 / static_cast<double>(1ULL << halvings);
+    }
+  }
+
+  void setOverloaded(bool v) {
+    if (overloaded_ == v) return;
+    overloaded_ = v;
+    if (v) ++overloadEnters_;
+    if (onOverloadState) onOverloadState(v);
+  }
+
+  void noteShedTenant(int tenant) {
+    auto [it, inserted] = shedByTenant_.try_emplace(tenant, 0);
+    ++it->second;
+    if (inserted && metricReg_ != nullptr) {
+      const std::uint64_t* cell = &it->second;
+      metricReg_->probeCounter(
+          metricPrefix_ + ".shed.tenant" + std::to_string(tenant), "ops",
+          [cell] { return static_cast<double>(*cell); });
+    }
+  }
+
+  void resetAdmission() {
+    sojournEwma_ = 0;
+    aboveSince_ = -1;
+    lastDecay_ = sim_.now();
+    setOverloaded(false);
+  }
+
   sim::Simulation& sim_;
   DispatchParams params_;
   std::deque<sim::InlineTask> items_;
@@ -113,6 +301,20 @@ class Dispatch {
   std::uint64_t itemsDispatched_ = 0;
   std::uint64_t queued_ = 0;
   std::uint64_t maxQueueDepth_ = 0;
+
+  // Admission state. shedByTenant_ is a std::map so per-tenant counter cells
+  // are stable pointers and iteration order is deterministic.
+  double sojournEwma_ = 0;
+  sim::SimTime aboveSince_ = -1;
+  sim::SimTime lastDecay_ = 0;
+  bool overloaded_ = false;
+  std::uint64_t shedTotal_ = 0;
+  std::uint64_t shedReads_ = 0;
+  std::uint64_t shedWrites_ = 0;
+  std::uint64_t overloadEnters_ = 0;
+  std::map<int, std::uint64_t> shedByTenant_;
+  obs::MetricRegistry* metricReg_ = nullptr;
+  std::string metricPrefix_;
 };
 
 }  // namespace rc::server

@@ -67,6 +67,7 @@ MasterService::MasterService(
           },
           rng_.fork(0xbac)) {
   replicaMgr_.stillAlive = [this] { return node_.cpu().poweredOn(); };
+  replicaMgr_.underPressure = [this] { return dispatch_.underPressure(); };
   log_.onSegmentOpened = [this](log::Segment& seg) {
     replicaMgr_.onSegmentOpened(seg);
   };
@@ -113,6 +114,40 @@ void MasterService::handleRpc(const net::RpcRequest& req, node::NodeId from,
     // Span opened at client issue time: the elapsed stage is the
     // client->server network + transport leg.
     stampTrace(req.traceSpan, obs::TimeTrace::Stage::kNetworkRequest);
+  }
+  // Admission control: shed data-plane work before it costs a worker.
+  // Exempt: pings and control plane (cheap / load-shedding them hides
+  // failures), replication+recovery (rf safety), and kTxDecision — shedding
+  // a lock release would wedge the lock table (docs/OVERLOAD.md).
+  switch (req.op) {
+    case net::Opcode::kRead:
+    case net::Opcode::kWrite:
+    case net::Opcode::kRemove:
+    case net::Opcode::kTxPrepare:
+    case net::Opcode::kScan:
+    case net::Opcode::kMultiRead:
+    case net::Opcode::kMultiWrite: {
+      const bool isWrite = req.op != net::Opcode::kRead &&
+                           req.op != net::Opcode::kScan &&
+                           req.op != net::Opcode::kMultiRead;
+      const Dispatch::AdmitResult ar =
+          dispatch_.admit(isWrite, static_cast<int>(req.tenant));
+      if (!ar.admitted) {
+        ++stats_.shedRequests;
+        // One dispatch poll to emit the rejection: cheap, but not free.
+        dispatch_.enqueue([respond = std::move(respond),
+                           retryAfter = ar.retryAfter]() mutable {
+          net::RpcResponse r;
+          r.status = net::Status::kOverloaded;
+          r.a = static_cast<std::uint64_t>(retryAfter);
+          respond(std::move(r));
+        });
+        return;
+      }
+      break;
+    }
+    default:
+      break;
   }
   switch (req.op) {
     case net::Opcode::kPing: {
@@ -354,6 +389,7 @@ void MasterService::onRead(const net::RpcRequest& req, Responder respond) {
             }
             ++stats_.reads;
             stats_.readServiceLatency.add(node_.sim().now() - arrival);
+            dispatch_.noteSojourn(node_.sim().now() - arrival);
             stampTrace(span, obs::TimeTrace::Stage::kWorkerService);
             respond(std::move(r));
           }));
@@ -546,6 +582,7 @@ void MasterService::onWrite(const net::RpcRequest& req, Responder respond) {
                 ++stats_.writes;
                 stats_.writeServiceLatency.add(node_.sim().now() -
                                                cx->arrival);
+                dispatch_.noteSojourn(node_.sim().now() - cx->arrival);
                 stampTrace(cx->span, obs::TimeTrace::Stage::kReplicationWait);
                 if (ok && crashBeforeReplyHook_) {
                   // Fault point: the op is durable (and recorded) but the
@@ -624,6 +661,7 @@ void MasterService::onWriteVersionMismatch(
     }
     ++stats_.writes;
     stats_.writeServiceLatency.add(node_.sim().now() - arrival);
+    dispatch_.noteSojourn(node_.sim().now() - arrival);
     stampTrace(span, obs::TimeTrace::Stage::kReplicationWait);
     respond(std::move(r));
     node_.cpu().releaseWorker(w);
@@ -885,6 +923,7 @@ void MasterService::onTxPrepare(const net::RpcRequest& req,
                 ++stats_.writes;
                 stats_.writeServiceLatency.add(node_.sim().now() -
                                                cx->arrival);
+                dispatch_.noteSojourn(node_.sim().now() - cx->arrival);
                 stampTrace(cx->span, obs::TimeTrace::Stage::kReplicationWait);
                 if (journal_ != nullptr && prepSpan != 0) {
                   journal_->endSpan(prepSpan);
@@ -1160,6 +1199,7 @@ void MasterService::onTxDecision(const net::RpcRequest& req,
                 ++stats_.writes;
                 stats_.writeServiceLatency.add(node_.sim().now() -
                                                cx->arrival);
+                dispatch_.noteSojourn(node_.sim().now() - cx->arrival);
                 stampTrace(cx->span, obs::TimeTrace::Stage::kReplicationWait);
                 if (journal_ != nullptr && decSpan != 0) {
                   journal_->endSpan(decSpan);
@@ -1877,6 +1917,15 @@ void MasterService::registerMetrics(obs::MetricRegistry& reg,
   reg.probeCounter(prefix + ".replication_failures", "ops", [this] {
     return static_cast<double>(stats_.replicationFailures);
   });
+  reg.probeCounter(prefix + ".shed_requests", "ops", [this] {
+    return static_cast<double>(stats_.shedRequests);
+  });
+  reg.probeCounter(prefix + ".cleaner_deferrals", "ops", [this] {
+    return static_cast<double>(stats_.cleanerDeferrals);
+  });
+  reg.probeCounter(prefix + ".replication.repairs_deferred", "ops", [this] {
+    return static_cast<double>(replicaMgr_.repairsDeferred());
+  });
   reg.probeGauge(prefix + ".log_lock_waiters", "items", [this] {
     return static_cast<double>(logLock_.waiters());
   });
@@ -1965,6 +2014,17 @@ void MasterService::registerMetrics(obs::MetricRegistry& reg,
 
 void MasterService::maybeStartCleaner() {
   if (cleanerActive_ || !log_.needsCleaning()) return;
+  // Degradation ladder (docs/OVERLOAD.md): while the node is shedding, the
+  // cleaner's CPU and replication bandwidth go to foreground work. Deferred,
+  // not cancelled — every write completion re-checks — and the deferral
+  // stops at the hard memory ceiling, where cleaning beats admission.
+  if (dispatch_.underPressure() &&
+      static_cast<double>(log_.memoryInUse()) <
+          params_.cleanerDeferUtilization *
+              static_cast<double>(log_.params().capacityBytes)) {
+    ++stats_.cleanerDeferrals;
+    return;
+  }
   cleanerActive_ = true;
   cleanerLoop();
 }

@@ -102,6 +102,12 @@ struct MasterParams {
   /// clients whose coordinator lease expired.
   sim::Duration leaseReclaimInterval = sim::seconds(1);
 
+  /// Hard memory ceiling for the overload cleaner deferral: while the node
+  /// is shedding, cleaner passes are skipped *until* memoryInUse exceeds
+  /// this fraction of log capacity — past it, reclaiming segments beats
+  /// admission (docs/OVERLOAD.md degradation ladder).
+  double cleanerDeferUtilization = 0.9;
+
   log::LogParams log;
   ReplicationParams replication;
   MigrationParams migration;
@@ -115,6 +121,8 @@ struct MasterStats {
   std::uint64_t unknownTablet = 0;
   std::uint64_t cleanerRuns = 0;
   std::uint64_t replicationFailures = 0;
+  std::uint64_t shedRequests = 0;      ///< bounced with kOverloaded
+  std::uint64_t cleanerDeferrals = 0;  ///< cleaner passes skipped for load
   sim::Histogram readServiceLatency;   ///< dispatch-arrival to reply
   sim::Histogram writeServiceLatency;
 };

@@ -245,6 +245,22 @@ std::uint64_t ReplicaManager::rfDeficit() const {
   return deficit;
 }
 
+bool ReplicaManager::anySegmentFullyExposed() const {
+  for (const auto& [segId, st] : segments_) {
+    bool damaged = false;
+    std::size_t healthy = 0;
+    for (node::NodeId b : st.backups) {
+      if (b == node::kInvalidNode) {
+        damaged = true;
+      } else {
+        ++healthy;
+      }
+    }
+    if (damaged && healthy == 0) return true;
+  }
+  return false;
+}
+
 void ReplicaManager::scheduleRepair() {
   if (repairScheduled_) return;
   if (stillAlive && !stillAlive()) return;
@@ -253,8 +269,16 @@ void ReplicaManager::scheduleRepair() {
   if (repairAttempt_ < 30) ++repairAttempt_;
   const std::uint64_t salt =
       (static_cast<std::uint64_t>(self_) << 32) ^ 0x5eedULL;
-  repairEvent_ = sim_.schedule(params_.retryBackoff.delay(attempt, salt),
-                               [this] { repairTick(); });
+  sim::Duration d = params_.retryBackoff.delay(attempt, salt);
+  // Degradation ladder: cede replication bandwidth to foreground work while
+  // shedding — but never while any damaged segment is down to zero healthy
+  // replicas (rf-deficit safety, docs/OVERLOAD.md).
+  if (params_.pressureStretch > 1 && underPressure && underPressure() &&
+      !anySegmentFullyExposed()) {
+    d *= params_.pressureStretch;
+    ++repairsDeferred_;
+  }
+  repairEvent_ = sim_.schedule(d, [this] { repairTick(); });
 }
 
 void ReplicaManager::repairTick() {

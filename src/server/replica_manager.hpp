@@ -45,8 +45,14 @@ struct ReplicationParams {
   int maxRetries = 3;
 
   /// Wait before re-sending after a failed replica write, and between
-  /// background-repair rounds (deterministic jitter; see server::Backoff).
+  /// background-repair rounds (deterministic jitter; see sim::Backoff).
   Backoff retryBackoff{sim::msec(2), sim::msec(200)};
+
+  /// Overload degradation (docs/OVERLOAD.md): while the owning node is
+  /// shedding, background-repair rounds are stretched by this factor —
+  /// but only when every damaged segment still has >= 1 healthy replica,
+  /// so the deferral can never widen a full-exposure window.
+  int pressureStretch = 4;
 };
 
 /// Manages segment replica placement and replication traffic for one
@@ -118,6 +124,13 @@ class ReplicaManager {
   /// Aliveness guard supplied by the owning master (crash safety).
   std::function<bool()> stillAlive;
 
+  /// Overload probe supplied by the owning master (dispatch shedding state);
+  /// unset or false means repair runs at full cadence.
+  std::function<bool()> underPressure;
+
+  /// Repair rounds stretched because the node was shedding.
+  std::uint64_t repairsDeferred() const { return repairsDeferred_; }
+
   /// Attach the cluster's event journal; background repairs emit
   /// "rereplication" spans on this node. nullptr disables.
   void setJournal(obs::EventJournal* journal, std::uint64_t ctx = 0) {
@@ -139,6 +152,7 @@ class ReplicaManager {
   void scheduleRepair();
   void repairTick();
   void repairSlot(log::SegmentId segId, std::size_t slot);
+  bool anySegmentFullyExposed() const;
 
   sim::Simulation& sim_;
   net::RpcSystem& rpc_;
@@ -154,6 +168,7 @@ class ReplicaManager {
   std::uint64_t replacements_ = 0;
   std::uint64_t repairsCompleted_ = 0;
   std::uint64_t bytesReplicated_ = 0;
+  std::uint64_t repairsDeferred_ = 0;
   bool repairScheduled_ = false;
   sim::EventId repairEvent_ = sim::kInvalidEvent;
   int repairAttempt_ = 0;

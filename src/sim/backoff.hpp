@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace rc::sim {
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// delay(attempt, salt) = target * j where target = min(cap, base << attempt)
+/// and j in [0.5, 1.0) is derived by hashing (salt, attempt) — no shared RNG
+/// stream, so concurrent retry loops (client ops, replica repair, overload
+/// bounces) stay independent and every run of the same schedule is
+/// bit-identical.
+struct Backoff {
+  Duration base = msec(1);
+  Duration cap = msec(200);
+
+  static std::uint64_t mix(std::uint64_t x) {
+    // splitmix64 finalizer: full-avalanche, cheap, stable across platforms.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  Duration delay(int attempt, std::uint64_t salt) const {
+    const int shift = attempt < 0 ? 0 : (attempt > 30 ? 30 : attempt);
+    Duration target = base << shift;
+    if (target > cap || target <= 0) target = cap;
+    const std::uint64_t h =
+        mix(salt * 0x100000001b3ULL + static_cast<std::uint64_t>(shift));
+    const double frac = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    return target / 2 +
+           static_cast<Duration>(static_cast<double>(target / 2) * frac);
+  }
+};
+
+}  // namespace rc::sim

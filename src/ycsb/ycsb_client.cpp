@@ -163,10 +163,15 @@ void YcsbClient::issueNext() {
         if (onDone) onDone();
         return;
       }
-      // Client-side processing before the next op in the closed loop.
+      // Client-side processing before the next op in the closed loop. An
+      // active load surge (FaultPlan kLoadSurge) divides the overhead, so
+      // this client offers surgeFactor × its normal rate for the window.
       const double j = params_.clientOverheadJitter;
-      const double factor =
+      double factor =
           j > 0 ? 1.0 - j + 2.0 * j * rng_.uniformDouble() : 1.0;
+      if (surgeFactor_ > 1.0 && sim_.now() < surgeUntil_) {
+        factor /= surgeFactor_;
+      }
       const auto overhead = static_cast<sim::Duration>(
           static_cast<double>(params_.clientOverheadPerOp) * factor);
       sim_.schedule(overhead, [this, gen] {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -116,6 +117,18 @@ class YcsbClient {
   /// Called once when opsTarget is reached.
   std::function<void()> onDone;
 
+  /// Fault hook (FaultPlan kLoadSurge): multiply this client's arrival
+  /// rate by `factor` until `d` from now, by dividing the closed loop's
+  /// per-op client overhead. Overlapping surges keep the larger factor
+  /// and the later deadline.
+  void applyLoadSurge(double factor, sim::Duration d) {
+    surgeFactor_ = std::max(surgeFactor_, factor);
+    surgeUntil_ = std::max(surgeUntil_, sim_.now() + d);
+  }
+  bool surging() const {
+    return surgeFactor_ > 1.0 && sim_.now() < surgeUntil_;
+  }
+
  private:
   enum class OpKind { kRead, kUpdate, kInsert, kReadModifyWrite, kTransfer };
 
@@ -136,6 +149,8 @@ class YcsbClient {
   client::TokenBucket bucket_;
 
   bool running_ = false;
+  double surgeFactor_ = 1.0;      ///< kLoadSurge arrival-rate multiplier
+  sim::SimTime surgeUntil_ = 0;   ///< surge window end (absolute)
   std::uint64_t generation_ = 0;  ///< invalidates in-flight loops on stop()
   std::uint64_t inserted_ = 0;    ///< grows the keyspace (workload D)
   YcsbStats stats_;

@@ -11,8 +11,11 @@
 //             the span-recorded whole-node model joules are shown alongside
 //   tx        minitransaction span summary (prepare/decision phases plus
 //             one line per orphan resolution and its outcome)
+//   overload  admission-control summary: per-node overload episodes (from
+//             overload_enter/exit journal events) + shed/bounce/deferral
+//             counters from metrics.jsonl (docs/OVERLOAD.md)
 //   check     schema validation; exits non-zero on any violation (CI smoke)
-//   report    timeline + critical + phases + tx (default)
+//   report    timeline + critical + phases + tx + overload (default)
 //
 // Span semantics and the energy-attribution method are documented in
 // docs/TRACING.md.
@@ -199,6 +202,97 @@ void printTxSummary(const RunData& run) {
                   : s->count   ? "committed"
                                : "aborted");
     }
+  }
+  std::puts("");
+}
+
+// ------------------------------------------------------------- overload
+
+/// Admission-control summary (docs/OVERLOAD.md): per-node overload
+/// episodes reconstructed from the journal's overload_enter/overload_exit
+/// instant events, plus the final shed/bounce/deferral counters from
+/// metrics.jsonl. Quiet runs print a single all-clear line.
+void printOverload(const RunData& run, const std::string& dir) {
+  // Pair enter/exit events per node, in time order (spans_ is begin-ordered
+  // so a linear scan suffices).
+  struct NodeOverload {
+    int episodes = 0;
+    double overloadedS = 0;
+    double openSince = -1;  ///< -1 = not currently overloaded
+  };
+  std::map<int, NodeOverload> byNode;
+  double lastT = 0;
+  int surges = 0;
+  for (const Span& s : run.spans) {
+    lastT = std::max(lastT, t1s(s));
+    if (s.name == "fault_load_surge") ++surges;
+    if (s.name == "overload_enter") {
+      NodeOverload& n = byNode[s.node];
+      if (n.openSince < 0) {
+        ++n.episodes;
+        n.openSince = t0s(s);
+      }
+    } else if (s.name == "overload_exit") {
+      NodeOverload& n = byNode[s.node];
+      if (n.openSince >= 0) {
+        n.overloadedS += t0s(s) - n.openSince;
+        n.openSince = -1;
+      }
+    }
+  }
+  for (auto& [node, n] : byNode) {
+    if (n.openSince >= 0) {  // still overloaded at end of run
+      n.overloadedS += lastT - n.openSince;
+      n.openSince = -1;
+    }
+  }
+
+  // Final counter values (cumulative; the exporter writes them once).
+  std::map<std::string, double> counters;
+  for (const auto& rec : MetricsExporter::readJsonl(dir + "/metrics.jsonl")) {
+    if (rec.type == "counter" || rec.type == "gauge") {
+      counters[rec.name] = rec.value;
+    }
+  }
+  auto counter = [&counters](const std::string& name) {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0.0 : it->second;
+  };
+  const double shed = counter("cluster.shed_requests");
+  const double bounced = counter("net.rpc.overloaded.total");
+  const double brownouts = counter("slo.exemplar_brownouts");
+
+  if (byNode.empty() && shed == 0 && bounced == 0 && surges == 0) {
+    std::puts("overload: no shedding — no server entered overload\n");
+    return;
+  }
+
+  std::printf("overload summary (%d load-surge injections)\n", surges);
+  std::printf("  cluster: shed %.0f requests, %.0f client bounces, "
+              "%.0f exemplar brownouts\n", shed, bounced, brownouts);
+  std::printf("  %-5s %9s %12s %10s %10s %10s %10s %10s\n", "node",
+              "episodes", "overloaded_s", "shed", "reads", "writes",
+              "cln_defer", "rep_defer");
+  // Per-node rows: every node with an episode or a non-zero shed counter.
+  std::set<int> nodes;
+  for (const auto& [node, n] : byNode) nodes.insert(node);
+  for (const auto& [name, v] : counters) {
+    if (v > 0 && name.rfind("node", 0) == 0 &&
+        name.find(".dispatch.shed.total") != std::string::npos) {
+      nodes.insert(std::atoi(name.c_str() + 4));
+    }
+  }
+  for (int node : nodes) {
+    const std::string p = "node" + std::to_string(node);
+    const auto it = byNode.find(node);
+    std::printf("  %-5d %9d %12.3f %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+                node, it != byNode.end() ? it->second.episodes : 0,
+                it != byNode.end() ? it->second.overloadedS : 0.0,
+                counter(p + ".dispatch.shed.total"),
+                counter(p + ".dispatch.shed.reads"),
+                counter(p + ".dispatch.shed.writes"),
+                counter(p + ".master.cleaner_deferrals"),
+                counter(p + ".master.replication.repairs_deferred"));
   }
   std::puts("");
 }
@@ -967,7 +1061,8 @@ void usage() {
   std::puts(
       "rcdiag — recovery/migration journal analyzer\n"
       "\n"
-      "  rcdiag [timeline|critical|phases|tx|check|slo|energy|report] DIR\n"
+      "  rcdiag [timeline|critical|phases|tx|overload|check|slo|energy|"
+      "report] DIR\n"
       "  rcdiag energy check DIR\n"
       "\n"
       "DIR is a --metrics-dir run directory (events.jsonl [+ metrics.jsonl]).\n"
@@ -976,7 +1071,10 @@ void usage() {
       "per-op-class and per-tenant attribution, stacked watts timelines and\n"
       "the proportionality curve; `energy check` only gates the 0.1%\n"
       "component-sum vs PDU-total reconciliation (CI smoke).\n"
-      "Default command is report (timeline + critical + phases + tx).\n");
+      "overload summarizes admission-control activity: per-node overload\n"
+      "episodes plus shed/deferral counters (docs/OVERLOAD.md).\n"
+      "Default command is report (timeline + critical + phases + tx +\n"
+      "overload).\n");
 }
 
 }  // namespace
@@ -1010,11 +1108,14 @@ int main(int argc, char** argv) {
     printPhases(run);
   } else if (cmd == "tx") {
     printTxSummary(run);
+  } else if (cmd == "overload") {
+    printOverload(run, dir);
   } else if (cmd == "report") {
     printTimeline(run);
     printCriticalPath(run);
     printPhases(run);
     printTxSummary(run);
+    printOverload(run, dir);
   } else {
     usage();
     return 2;

@@ -260,9 +260,11 @@ int cmdTop(const Args& a) {
   // returns (the hook runs inside runYcsbExperiment, before load).
   auto ticker = std::make_shared<std::unique_ptr<sim::PeriodicTask>>();
   auto prevHeat = std::make_shared<obs::MetricRegistry::Snapshot>();
-  cfg.clusterHook = [ticker, prevHeat, heatTop](core::Cluster& c) {
+  auto prevShed = std::make_shared<std::pair<double, double>>(0.0, 0.0);
+  cfg.clusterHook = [ticker, prevHeat, prevShed, heatTop](core::Cluster& c) {
     *ticker = std::make_unique<sim::PeriodicTask>(
-        c.sim(), sim::seconds(1), [&c, prevHeat, heatTop](sim::SimTime now) {
+        c.sim(), sim::seconds(1),
+        [&c, prevHeat, prevShed, heatTop](sim::SimTime now) {
           std::printf("-- t=%.0fs --------------------------------------\n",
                       sim::toSeconds(now));
           std::printf("%-16s %10s %9s %9s %9s %7s\n", "class", "count",
@@ -312,6 +314,20 @@ int cmdTop(const Args& a) {
           if (c.serverCount() > 8) std::printf(" ...");
           std::printf("  cluster=%.0fW  %.1f op/J\n", clusterW,
                       c.metrics().value("cluster.energy.ops_per_joule"));
+          // Overload: windowed shed/bounce rates plus who is shedding
+          // right now (docs/OVERLOAD.md). Quiet runs print nothing.
+          const double shed = c.metrics().value("cluster.shed_requests");
+          const double bounced =
+              c.metrics().value("net.rpc.overloaded.total");
+          const double shedRate = shed - prevShed->first;
+          const double bounceRate = bounced - prevShed->second;
+          *prevShed = {shed, bounced};
+          if (shedRate > 0 || bounceRate > 0 || c.sheddingServers() > 0) {
+            std::printf("  shed: %7.0f req/s  bounced %7.0f rpc/s  "
+                        "overloaded-servers %d/%d  (total shed %.0f)\n",
+                        shedRate, bounceRate, c.sheddingServers(),
+                        c.serverCount(), shed);
+          }
         });
   };
 
@@ -369,9 +385,10 @@ void usage() {
       "                  [--read-p99-us N] [--read-p999-us N]\n"
       "                  [--update-p99-us N] [--update-p999-us N] [--heat N]\n"
       "                  (live mode: 1 Hz per-class tail quantiles + burn\n"
-      "                  rate, hottest tablets, per-node watts and cluster\n"
-      "                  ops/joule while the run progresses; docs/SLO.md,\n"
-      "                  docs/ENERGY.md)\n"
+      "                  rate, hottest tablets, per-node watts, cluster\n"
+      "                  ops/joule, and shed/overload rates while the run\n"
+      "                  progresses; docs/SLO.md, docs/ENERGY.md,\n"
+      "                  docs/OVERLOAD.md)\n"
       "  rcperf selfperf [--quick] [--repeat N] [--slo] [--no-energy]\n"
       "                  [--json FILE]\n"
       "                  (host events/sec of the simulator itself on the\n"
