@@ -4,10 +4,16 @@
 //
 // Run on the Table II configuration (10 servers) for comparability.
 
+// Part 2 (docs/WORKLOADS.md): the same B and D mixes driven open-loop by a
+// TrafficSource population — offered vs delivered rate instead of a closed
+// loop's equilibrium throughput — plus a diurnal rate-curve demonstration
+// (the peak:valley delivered ratio follows the curve).
+
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "core/openloop.hpp"
 
 using namespace rc;
 
@@ -86,5 +92,60 @@ int main(int argc, char** argv) {
           "zipfian skew costs update throughput (hot-spot contention)");
   v.check(spread[1] > spread[0] + 2.0,
           "zipfian widens the per-node CPU imbalance (hot tablet)");
+
+  // --- Part 2: the B and D mixes, open-loop ------------------------------
+  std::printf("\nopen-loop B/D: 100k-user population at 0.25 op/user/s "
+              "(docs/WORKLOADS.md)\n");
+  auto openRun = [&opt](ycsb::WorkloadSpec spec,
+                        load::DiurnalCurve diurnal) {
+    core::OpenLoopConfig cfg;
+    cfg.servers = 10;
+    cfg.workload = std::move(spec);
+    cfg.seed = opt.seed;
+    cfg.timeScale = opt.timeScale();
+    core::OpenLoopTenantConfig t;
+    t.name = "pop";
+    t.sources = 2;
+    t.shape.users = 50'000;
+    t.shape.opsPerUserPerSec = 0.25;  // 25 Kop/s offered in total
+    t.shape.diurnal = std::move(diurnal);
+    t.readSlo = {sim::msec(4), sim::msec(20)};
+    t.updateSlo = {sim::msec(8), sim::msec(40)};
+    cfg.tenants = {t};
+    return core::runOpenLoopExperiment(cfg);
+  };
+  core::TableFormatter ot({"workload", "offered (Kop/s)",
+                           "delivered (Kop/s)", "read p99 (us)",
+                           "failures"});
+  const auto ob = openRun(ycsb::WorkloadSpec::B(), {});
+  const auto od = openRun(ycsb::WorkloadSpec::D(), {});
+  for (const auto* r : {&ob, &od}) {
+    ot.addRow({r == &ob ? "B (open)" : "D (open)",
+               core::TableFormatter::kops(r->offeredRatePerSec),
+               core::TableFormatter::kops(r->deliveredOpsPerSec),
+               core::TableFormatter::num(r->tenants[0].readP99Us, 1),
+               std::to_string(r->opFailures)});
+  }
+  ot.print();
+  v.check(core::within(ob.deliveredOpsPerSec, 0.9 * ob.offeredRatePerSec,
+                       1.1 * ob.offeredRatePerSec),
+          "open-loop B delivers its offered rate");
+  v.check(core::within(od.deliveredOpsPerSec, 0.9 * od.offeredRatePerSec,
+                       1.1 * od.offeredRatePerSec),
+          "open-loop D (inserts, read-latest) delivers its offered rate");
+
+  // --- diurnal curve: delivered rate follows the valley ------------------
+  load::DiurnalCurve day;
+  // Period chosen so every measurement window covers whole periods at any
+  // --quick/--full timescale (windows are >= 500 ms).
+  day.period = sim::msec(250);
+  day.points = {{0.0, 0.4}, {0.5, 1.6}};  // valley 0.4x, peak 1.6x, mean 1.0
+  const auto odi = openRun(ycsb::WorkloadSpec::B(), day);
+  std::printf("\ndiurnal B: mean multiplier %.2f -> delivered %.1f Kop/s\n",
+              day.mean(), odi.deliveredOpsPerSec / 1e3);
+  v.check(core::within(odi.deliveredOpsPerSec,
+                       0.88 * odi.offeredRatePerSec,
+                       1.1 * odi.offeredRatePerSec),
+          "diurnal modulation preserves the curve's mean rate");
   return v.exitCode();
 }

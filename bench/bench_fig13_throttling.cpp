@@ -17,6 +17,7 @@
 
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "core/openloop.hpp"
 
 using namespace rc;
 
@@ -132,5 +133,56 @@ int main(int argc, char** argv) {
           "throttled tenant burns budget faster than open in every window");
   v.check(mr.sloBreachedWindows > 0,
           "over-admitted throttled tenant breaches its SLO");
+
+  // ----- Part 3: server-side per-tenant QoS, open-loop ---------------------
+  // The dual of the paper's client-side throttling: the *server's* dispatch
+  // polices each tenant with a weighted token bucket (docs/WORKLOADS.md).
+  // Tenant B's population surges 10x; its admitted volume is capped at the
+  // bucket while tenant A's intent-time tail holds.
+  std::printf("open-loop tenants: steady A vs surging B, dispatch QoS "
+              "buckets (docs/WORKLOADS.md)\n");
+  core::OpenLoopConfig ol;
+  ol.servers = 10;
+  ol.replicationFactor = 2;
+  ol.workload = ycsb::WorkloadSpec::A();
+  ol.seed = opt.seed;
+  ol.timeScale = opt.timeScale();
+  auto mkTenant = [](const char* name, double perNodeRate) {
+    core::OpenLoopTenantConfig t;
+    t.name = name;
+    t.sources = 1;
+    t.shape.users = 4'000;  // 4 Kop/s offered per tenant
+    t.readSlo = {sim::usec(250), sim::msec(1)};
+    t.updateSlo = {sim::usec(600), sim::usecF(2500)};
+    t.qosRatePerSec = perNodeRate;
+    return t;
+  };
+  core::OpenLoopTenantConfig olA = mkTenant("steady", 800);  // 8 Kop/s cap
+  olA.qosPriority = true;
+  core::OpenLoopTenantConfig olB = mkTenant("surging", 600);  // 6 Kop/s cap
+  const auto surgeStart = static_cast<sim::SimTime>(
+      static_cast<double>(sim::seconds(4)) * ol.timeScale);
+  olB.shape.flashCrowds = {
+      {surgeStart,
+       static_cast<sim::Duration>(static_cast<double>(sim::seconds(3)) *
+                                  ol.timeScale),
+       10.0}};
+  ol.tenants = {olA, olB};
+  const auto olr = core::runOpenLoopExperiment(ol);
+
+  core::TableFormatter qt({"tenant", "qos offered", "admitted", "throttled",
+                           "episodes", "read p999 (us)"});
+  for (const auto& row : olr.tenants) {
+    qt.addRow({row.name, std::to_string(row.qosOffered),
+               std::to_string(row.qosAdmitted),
+               std::to_string(row.qosThrottled),
+               std::to_string(row.qosEpisodes),
+               core::TableFormatter::num(row.readP999Us, 1)});
+  }
+  qt.print();
+  v.check(olr.tenants[0].qosThrottled == 0,
+          "steady tenant never hits its bucket");
+  v.check(olr.tenants[1].qosThrottled > olr.tenants[1].qosAdmitted / 2,
+          "surging tenant policed at the bucket, not admitted at 10x");
   return v.exitCode();
 }

@@ -155,10 +155,12 @@ int main(int argc, char** argv) {
   const auto results = rc::fault::selfperf::runAll(opt);
   for (const auto& r : results) {
     std::printf("  %-14s %12llu events  %6.2f sim-s  %7.3f wall-s  "
-                "%10.0f ev/s  %.4f wall-s/sim-s\n",
+                "%10.0f ev/s  %.4f wall-s/sim-s",
                 r.name.c_str(), static_cast<unsigned long long>(r.events),
                 r.simSeconds, r.wallSeconds, r.eventsPerSec(),
                 r.wallPerSimSecond());
+    if (r.ops > 0) std::printf("  %.2f ev/op", r.eventsPerOp());
+    std::printf("\n");
   }
 
   if (!rc::fault::selfperf::writeJson(results, opt, jsonPath)) {

@@ -9,7 +9,7 @@
 #include <utility>
 #include <vector>
 
-#include "client/token_bucket.hpp"
+#include "sim/token_bucket.hpp"
 #include "coordinator/tablet_map.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
@@ -292,7 +292,7 @@ class RamCloudClient {
   std::uint64_t nextTxLocal_ = 1;
   std::array<std::uint64_t, net::kOpcodeCount> opRetries_{};
   std::array<std::uint64_t, net::kOpcodeCount> opOverloaded_{};
-  TokenBucket retryBudget_;
+  sim::TokenBucket retryBudget_;
 
   ClientStats stats_;
   obs::TimeTrace* trace_ = nullptr;

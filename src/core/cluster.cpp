@@ -632,6 +632,121 @@ void Cluster::configureYcsb(
   }
 }
 
+void Cluster::configureOpenLoop(
+    std::uint64_t tableId, const ycsb::WorkloadSpec& spec,
+    const std::vector<load::TrafficSourceParams>& sources) {
+  for (int i = 0; i < clientCount(); ++i) {
+    if (static_cast<std::size_t>(i) >= sources.size()) break;
+    ClientHost& c = clients_[static_cast<std::size_t>(i)];
+    load::TrafficSourceParams p = sources[static_cast<std::size_t>(i)];
+    p.insertKeyBase =
+        spec.recordCount + static_cast<std::uint64_t>(i + 1) * (1ULL << 32);
+    // Splitmix-forked per-source RNG: seeded purely from (cluster seed,
+    // host index), independent of how much entropy the root stream already
+    // spent — so source streams replay bit-identically per seed.
+    const auto salt = static_cast<std::uint64_t>(i);
+    sim::Rng rng(sim::Backoff::mix(params_.seed ^ (salt * 0x9e3779b9ULL)),
+                 sim::Backoff::mix(~salt) | 1u);
+    c.traffic = std::make_unique<load::TrafficSource>(sim_, *c.rc, tableId,
+                                                      spec, p, rng);
+    c.traffic->setSloTracker(&slo_);
+  }
+}
+
+void Cluster::startTraffic() {
+  for (auto& c : clients_) {
+    if (c.traffic) c.traffic->start();
+  }
+}
+
+void Cluster::stopTraffic() {
+  for (auto& c : clients_) {
+    if (c.traffic) c.traffic->stop();
+  }
+}
+
+void Cluster::configureQos(const server::QosParams& qos) {
+  for (int i = 0; i < serverCount(); ++i) {
+    Server& s = servers_[static_cast<std::size_t>(i)];
+    const node::NodeId nid = serverNodeId(i);
+    s.dispatch->configureQos(qos);
+    s.dispatch->registerQosMetrics(
+        metrics_, "node" + std::to_string(nid) + ".dispatch");
+    s.dispatch->onQosEpisode = [this, nid](const std::string&) {
+      journal_.event("qos_throttle", nid);
+    };
+  }
+  // Cluster-level offered/admitted/throttled aggregates per policy, for
+  // rcperf top's offered-vs-admitted line.
+  for (std::size_t p = 0; p < qos.tenants.size(); ++p) {
+    const std::string base = "cluster.qos." + qos.tenants[p].name;
+    auto sum = [this, p](auto pick) {
+      double v = 0;
+      for (const auto& s : servers_) {
+        if (p < s.dispatch->qosSlotCount()) {
+          v += static_cast<double>(pick(s.dispatch->qosSlot(p)));
+        }
+      }
+      return v;
+    };
+    metrics_.probeCounter(base + ".offered", "ops", [sum] {
+      return sum([](const server::Dispatch::QosSlot& s) { return s.offered; });
+    });
+    metrics_.probeCounter(base + ".admitted", "ops", [sum] {
+      return sum(
+          [](const server::Dispatch::QosSlot& s) { return s.admitted; });
+    });
+    metrics_.probeCounter(base + ".throttled", "ops", [sum] {
+      return sum(
+          [](const server::Dispatch::QosSlot& s) { return s.throttled; });
+    });
+    metrics_.probeCounter(base + ".episodes", "count", [sum] {
+      return sum(
+          [](const server::Dispatch::QosSlot& s) { return s.episodes; });
+    });
+  }
+}
+
+std::uint64_t Cluster::totalArrivalsGenerated() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    if (c.traffic) n += c.traffic->arrivalsGenerated();
+  }
+  return n;
+}
+
+std::uint64_t Cluster::totalGeneratorWakeups() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    if (c.traffic) n += c.traffic->wakeups();
+  }
+  return n;
+}
+
+std::uint64_t Cluster::totalSourceDropped() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    if (c.traffic) n += c.traffic->sourceDropped();
+  }
+  return n;
+}
+
+std::uint64_t Cluster::qosCounter(const std::string& policy,
+                                  const std::string& which) const {
+  std::uint64_t n = 0;
+  for (const auto& s : servers_) {
+    for (std::size_t i = 0; i < s.dispatch->qosSlotCount(); ++i) {
+      const server::Dispatch::QosSlot& slot = s.dispatch->qosSlot(i);
+      if (slot.name != policy) continue;
+      if (which == "offered") n += slot.offered;
+      if (which == "admitted") n += slot.admitted;
+      if (which == "throttled") n += slot.throttled;
+      if (which == "episodes") n += slot.episodes;
+    }
+  }
+  return n;
+}
+
 void Cluster::startYcsb() {
   for (auto& c : clients_) {
     if (c.ycsb) c.ycsb->start();
@@ -655,6 +770,7 @@ std::uint64_t Cluster::totalOpsCompleted() const {
   std::uint64_t n = 0;
   for (const auto& c : clients_) {
     if (c.ycsb) n += c.ycsb->stats().opsCompleted;
+    if (c.traffic) n += c.traffic->stats().opsCompleted;
   }
   return n;
 }
@@ -663,6 +779,7 @@ std::uint64_t Cluster::totalOpFailures() const {
   std::uint64_t n = 0;
   for (const auto& c : clients_) {
     if (c.ycsb) n += c.ycsb->stats().failures;
+    if (c.traffic) n += c.traffic->stats().failures;
   }
   return n;
 }

@@ -8,6 +8,7 @@
 
 #include "client/ramcloud_client.hpp"
 #include "coordinator/coordinator.hpp"
+#include "load/traffic_source.hpp"
 #include "net/network.hpp"
 #include "net/rpc.hpp"
 #include "node/node.hpp"
@@ -64,6 +65,9 @@ class Cluster {
     std::unique_ptr<node::Node> node;
     std::unique_ptr<client::RamCloudClient> rc;
     std::unique_ptr<ycsb::YcsbClient> ycsb;
+    /// Open-loop population source (configureOpenLoop); a host runs either
+    /// the closed-loop YCSB process or a TrafficSource, not both.
+    std::unique_ptr<load::TrafficSource> traffic;
   };
 
   sim::Simulation& sim() { return sim_; }
@@ -163,6 +167,32 @@ class Cluster {
   void startYcsb();
   void stopYcsb();
   bool allYcsbDone() const;
+
+  // ----- open-loop run phase (docs/WORKLOADS.md)
+
+  /// Replace client host i's closed-loop process with an open-loop
+  /// TrafficSource per sources[i] (hosts beyond the list stay idle). Each
+  /// source gets a splitmix-forked RNG keyed on (cluster seed, host index)
+  /// and a disjoint insert key base; all are attached to the SLO tracker.
+  void configureOpenLoop(std::uint64_t tableId, const ycsb::WorkloadSpec& spec,
+                         const std::vector<load::TrafficSourceParams>& sources);
+  void startTraffic();
+  void stopTraffic();
+
+  /// Install the per-tenant dispatch QoS stage on every server: buckets +
+  /// per-node "node<N>.dispatch.qos.*" counters + cluster aggregates
+  /// "cluster.qos.<name>.*" + a journal event per throttle episode.
+  void configureQos(const server::QosParams& qos);
+
+  /// Generator accounting summed over traffic sources (o(1)-batching
+  /// evidence: wakeups should be far below arrivals at high rates).
+  std::uint64_t totalArrivalsGenerated() const;
+  std::uint64_t totalGeneratorWakeups() const;
+  std::uint64_t totalSourceDropped() const;
+  /// Sum of one named qos counter ("offered"/"admitted"/"throttled"/
+  /// "episodes") for a policy name, across servers.
+  std::uint64_t qosCounter(const std::string& policy,
+                           const std::string& which) const;
 
   std::uint64_t totalOpsCompleted() const;
   std::uint64_t totalOpFailures() const;

@@ -361,10 +361,13 @@ void FaultInjector::fireLoadSurge(const FaultEvent& ev) {
   const int first = ev.client >= 0 ? ev.client : 0;
   const int last = ev.client >= 0 ? ev.client : cluster_.clientCount() - 1;
   for (int idx = first; idx <= last && idx < cluster_.clientCount(); ++idx) {
-    auto& ycsb = cluster_.clientHost(idx).ycsb;
-    if (!ycsb) continue;
+    auto& host = cluster_.clientHost(idx);
+    if (!host.ycsb && !host.traffic) continue;
     cluster_.journal().event("fault_load_surge", cluster_.clientNodeId(idx));
-    ycsb->applyLoadSurge(ev.magnitude, ev.duration);
+    if (host.ycsb) host.ycsb->applyLoadSurge(ev.magnitude, ev.duration);
+    // Open-loop sources surge as a superposed flash crowd: the offered rate
+    // itself rises, not just the think-time of a closed population.
+    if (host.traffic) host.traffic->applyLoadSurge(ev.magnitude, ev.duration);
   }
 }
 

@@ -56,7 +56,9 @@ ScenarioResult runYcsbB(const Options& opt) {
   const sim::Duration warmup = sim::msec(500);
   const sim::Duration window = opt.quick ? sim::seconds(1) : sim::seconds(3);
   return bestOf(opt.repeat, [&] {
-    return measure(
+    std::uint64_t ops0 = 0;
+    std::uint64_t ops1 = 0;
+    ScenarioResult r = measure(
         "ycsb_b",
         [&] {
           core::ClusterParams p;
@@ -92,9 +94,13 @@ ScenarioResult runYcsbB(const Options& opt) {
           return c;
         },
         [&](core::Cluster& c) {
+          ops0 = c.totalOpsCompleted();
           c.sim().runFor(window);
+          ops1 = c.totalOpsCompleted();
           c.stopYcsb();
         });
+    r.ops = ops1 - ops0;
+    return r;
   });
 }
 
@@ -185,8 +191,59 @@ ScenarioResult runChaosSeed101(const Options& opt) {
   });
 }
 
+ScenarioResult runOpenLoop1M(const Options& opt) {
+  // 10^6 modeled users aggregated into 4 TrafficSources (250k users each)
+  // at 0.12 op/user/s — 120 Kop/s offered, comparable to ycsb_b's
+  // closed-loop delivered rate, so events/op is an apples-to-apples cost
+  // comparison between the two load engines (docs/WORKLOADS.md).
+  const std::uint64_t records = opt.quick ? 20'000 : 100'000;
+  const sim::Duration warmup = sim::msec(500);
+  const sim::Duration window = opt.quick ? sim::seconds(1) : sim::seconds(3);
+  return bestOf(opt.repeat, [&] {
+    std::uint64_t ops0 = 0;
+    std::uint64_t ops1 = 0;
+    ScenarioResult r = measure(
+        "openloop_1m",
+        [&] {
+          core::ClusterParams p;
+          p.servers = 10;
+          p.clients = 4;
+          p.replicationFactor = 3;
+          p.seed = 42;
+          if (!opt.overload) {
+            p.dispatch.admission.enabled = false;
+            p.client.retryBudgetPerSec = 0;
+          }
+          auto c = std::make_unique<core::Cluster>(p);
+          if (!opt.energy) c->setEnergyMetering(false);
+          const auto table = c->createTable("usertable");
+          c->bulkLoad(table, records, 1000);
+          c->startPduSampling();
+          const ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::B(records);
+          std::vector<load::TrafficSourceParams> sources(4);
+          for (auto& s : sources) {
+            s.shape.users = 250'000;
+            s.shape.opsPerUserPerSec = 0.12;
+          }
+          c->configureOpenLoop(table, spec, sources);
+          c->startTraffic();
+          c->sim().runFor(warmup);
+          return c;
+        },
+        [&](core::Cluster& c) {
+          ops0 = c.totalOpsCompleted();
+          c.sim().runFor(window);
+          ops1 = c.totalOpsCompleted();
+          c.stopTraffic();
+        });
+    r.ops = ops1 - ops0;
+    return r;
+  });
+}
+
 std::vector<ScenarioResult> runAll(const Options& opt) {
-  return {runYcsbB(opt), runRecoveryRf3(opt), runChaosSeed101(opt)};
+  return {runYcsbB(opt), runRecoveryRf3(opt), runChaosSeed101(opt),
+          runOpenLoop1M(opt)};
 }
 
 bool writeJson(const std::vector<ScenarioResult>& results,
@@ -205,10 +262,13 @@ bool writeJson(const std::vector<ScenarioResult>& results,
     std::snprintf(line, sizeof(line),
                   "    {\"name\": \"%s\", \"events\": %llu, "
                   "\"sim_s\": %.6f, \"wall_s\": %.6f, "
-                  "\"events_per_sec\": %.1f, \"wall_per_sim_s\": %.6f}%s\n",
+                  "\"events_per_sec\": %.1f, \"wall_per_sim_s\": %.6f, "
+                  "\"ops\": %llu, \"events_per_op\": %.2f}%s\n",
                   r.name.c_str(), static_cast<unsigned long long>(r.events),
                   r.simSeconds, r.wallSeconds, r.eventsPerSec(),
-                  r.wallPerSimSecond(), i + 1 < results.size() ? "," : "");
+                  r.wallPerSimSecond(),
+                  static_cast<unsigned long long>(r.ops), r.eventsPerOp(),
+                  i + 1 < results.size() ? "," : "");
     os << line;
   }
   os << "  ]\n}\n";

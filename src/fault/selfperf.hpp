@@ -12,22 +12,32 @@ namespace rc::fault::selfperf {
 ///   ycsb_b        closed-loop YCSB-B steady state, 10 servers, rf=3
 ///   recovery_rf3  crash recovery of a loaded master at rf=3
 ///   chaos_101     the chaos fault matrix (seed 101) under YCSB-A load
+///   openloop_1m   10^6 modeled users through 4 batched TrafficSources
+///                 (docs/WORKLOADS.md), 10 servers, rf=3
 ///
 /// The metric that matters is host events/sec: every figure, chaos seed and
 /// CI job is bounded by how many simulated events per second the host can
 /// turn over. wall_per_sim_s is the complementary "how long does one
-/// simulated second take me" view.
+/// simulated second take me" view. For the load-generation scenarios,
+/// events/op shows the heap cost per delivered request (the open-loop
+/// engine's batching keeps it o(1) even at 10^6 users).
 struct ScenarioResult {
   std::string name;
   std::uint64_t events = 0;  ///< sim events executed in the measured window
   double simSeconds = 0;     ///< simulated time covered by the window
   double wallSeconds = 0;    ///< host wall-clock spent on the window
+  std::uint64_t ops = 0;     ///< client ops completed in the window (0 when
+                             ///< the scenario doesn't track ops)
 
   double eventsPerSec() const {
     return wallSeconds > 0 ? static_cast<double>(events) / wallSeconds : 0;
   }
   double wallPerSimSecond() const {
     return simSeconds > 0 ? wallSeconds / simSeconds : 0;
+  }
+  double eventsPerOp() const {
+    return ops > 0 ? static_cast<double>(events) / static_cast<double>(ops)
+                   : 0;
   }
 };
 
@@ -54,8 +64,9 @@ struct Options {
 ScenarioResult runYcsbB(const Options& opt);
 ScenarioResult runRecoveryRf3(const Options& opt);
 ScenarioResult runChaosSeed101(const Options& opt);
+ScenarioResult runOpenLoop1M(const Options& opt);
 
-/// All three canonical scenarios, in the order above.
+/// All four canonical scenarios, in the order above.
 std::vector<ScenarioResult> runAll(const Options& opt);
 
 /// Write BENCH_selfperf.json (one JSON object; schema in docs/PERF.md).

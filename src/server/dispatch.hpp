@@ -5,6 +5,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "sim/inline_task.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
+#include "sim/token_bucket.hpp"
 
 namespace rc::server {
 
@@ -50,6 +52,37 @@ struct DispatchParams {
   /// only bounds its throughput and adds queueing delay under load.
   sim::Duration perItem = sim::nsec(400);
   AdmissionParams admission;
+};
+
+/// One tenant's contract at the per-tenant QoS stage (docs/WORKLOADS.md):
+/// a weighted token bucket policing the tenant's *admitted* rate on this
+/// node, checked before the CoDel gate so a surging tenant is bounced at
+/// its own rate instead of inflating everyone's sojourn first.
+struct QosTenantPolicy {
+  /// Name used in metric paths ("node<N>.dispatch.qos.<name>.*").
+  std::string name;
+  /// RPC tenant tags sharing this bucket. A tenant's read and update SLO
+  /// classes carry distinct tags (dense class id + 1, docs/SLO.md); list
+  /// both so the bucket covers the tenant, not one op class.
+  std::vector<int> tags;
+  /// Admitted requests/sec on this node. > 0: absolute cap. 0: derived as
+  /// weight/sum(weights) of QosParams::nodeRatePerSec.
+  double ratePerSec = 0;
+  double weight = 0;
+  double burst = 64;  ///< bucket depth (requests)
+  /// Also a CoDel priority tenant: when the aggregate gate does shed, this
+  /// tenant tolerates priorityFactor x the sojourn target (sheds last).
+  bool priority = false;
+};
+
+struct QosParams {
+  bool enabled = false;
+  /// Capacity split among weight-based policies (ratePerSec == 0).
+  double nodeRatePerSec = 0;
+  std::vector<QosTenantPolicy> tenants;
+  /// A throttle after this much clean time starts a new episode (the unit
+  /// rcdiag report aggregates).
+  sim::Duration episodeGap = sim::msec(100);
 };
 
 /// The RAMCloud dispatch thread of one server process: a serial hand-off
@@ -118,11 +151,92 @@ class Dispatch {
     sim::Duration retryAfter = 0;  // hint for kOverloaded responses
   };
 
+  /// Install (or replace) the per-tenant QoS stage. Callable after
+  /// construction, once tenant tags are known (SLO classes declared).
+  /// Policies with priority=true are also appended to the CoDel gate's
+  /// priorityTenants, so the two layers compose: the bucket polices each
+  /// tenant's rate, the sojourn gate protects the aggregate and sheds
+  /// best-effort tenants first.
+  void configureQos(const QosParams& qos) {
+    qos_ = qos;
+    slots_.clear();
+    tagToSlot_.clear();
+    double weightSum = 0;
+    for (const QosTenantPolicy& p : qos.tenants) {
+      if (p.ratePerSec <= 0) weightSum += p.weight;
+    }
+    for (const QosTenantPolicy& p : qos.tenants) {
+      double rate = p.ratePerSec;
+      if (rate <= 0 && p.weight > 0 && weightSum > 0) {
+        rate = qos.nodeRatePerSec * p.weight / weightSum;
+      }
+      slots_.push_back(std::make_unique<QosSlot>(p.name,
+                                                 sim::TokenBucket(rate, p.burst)));
+      for (int tag : p.tags) {
+        if (tag < 0) continue;
+        if (tagToSlot_.size() <= static_cast<std::size_t>(tag)) {
+          tagToSlot_.resize(static_cast<std::size_t>(tag) + 1, -1);
+        }
+        tagToSlot_[static_cast<std::size_t>(tag)] =
+            static_cast<int>(slots_.size()) - 1;
+      }
+      if (p.priority) {
+        for (int tag : p.tags) {
+          params_.admission.priorityTenants.push_back(tag);
+        }
+      }
+    }
+  }
+
+  /// Per-policy counters, indexed as in QosParams::tenants; the cluster's
+  /// aggregate probes and rcdiag's episode summary read these.
+  struct QosSlot {
+    QosSlot(std::string n, sim::TokenBucket b)
+        : name(std::move(n)), bucket(std::move(b)) {}
+    std::string name;
+    sim::TokenBucket bucket;
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t throttled = 0;
+    std::uint64_t episodes = 0;
+    sim::SimTime lastThrottleAt = -1;
+  };
+  std::size_t qosSlotCount() const { return slots_.size(); }
+  const QosSlot& qosSlot(std::size_t i) const { return *slots_[i]; }
+
+  /// Fired when a tenant's first throttle after a clean gap starts a new
+  /// throttle episode (the cluster journals it).
+  std::function<void(const std::string& tenantName)> onQosEpisode;
+
   /// Admission decision for one data-plane request. Call before enqueue();
   /// control-plane, replication, ping and tx-decision traffic must bypass
   /// this entirely (shedding a lock-release would wedge the lock table).
+  /// The per-tenant QoS bucket is checked first — policing one tenant must
+  /// not wait for the aggregate sojourn gate to notice pressure.
   AdmitResult admit(bool isWrite, int tenant) {
-    if (!params_.admission.enabled || !alive_) return {};
+    if (!alive_) return {};
+    if (qos_.enabled && tenant >= 0 &&
+        static_cast<std::size_t>(tenant) < tagToSlot_.size() &&
+        tagToSlot_[static_cast<std::size_t>(tenant)] >= 0) {
+      QosSlot& s =
+          *slots_[static_cast<std::size_t>(
+              tagToSlot_[static_cast<std::size_t>(tenant)])];
+      ++s.offered;
+      const sim::SimTime now = sim_.now();
+      if (!s.bucket.tryAcquire(now)) {
+        ++s.throttled;
+        if (s.lastThrottleAt < 0 || now - s.lastThrottleAt > qos_.episodeGap) {
+          ++s.episodes;
+          if (onQosEpisode) onQosEpisode(s.name);
+        }
+        s.lastThrottleAt = now;
+        const AdmissionParams& a = params_.admission;
+        return {false, std::clamp(s.bucket.timeToToken(now), a.minRetryAfter,
+                                  a.maxRetryAfter)};
+      }
+      ++s.admitted;
+    }
+    if (!params_.admission.enabled) return {};
     const sim::SimTime now = sim_.now();
     const sim::Duration est = loadEstimate(now);
     const AdmissionParams& a = params_.admission;
@@ -239,6 +353,26 @@ class Dispatch {
     });
   }
 
+  /// Register the per-tenant QoS counters under
+  /// `prefix + ".qos.<policy-name>.{offered,admitted,throttled,episodes}"`.
+  /// Call after configureQos; slots are heap-stable so the probe lambdas
+  /// may capture them directly.
+  void registerQosMetrics(obs::MetricRegistry& reg,
+                          const std::string& prefix) {
+    for (const auto& slot : slots_) {
+      const QosSlot* s = slot.get();
+      const std::string base = prefix + ".qos." + s->name;
+      reg.probeCounter(base + ".offered", "ops",
+                       [s] { return static_cast<double>(s->offered); });
+      reg.probeCounter(base + ".admitted", "ops",
+                       [s] { return static_cast<double>(s->admitted); });
+      reg.probeCounter(base + ".throttled", "ops",
+                       [s] { return static_cast<double>(s->throttled); });
+      reg.probeCounter(base + ".episodes", "count",
+                       [s] { return static_cast<double>(s->episodes); });
+    }
+  }
+
  private:
   static constexpr double kEwmaAlpha = 0.2;
 
@@ -315,6 +449,13 @@ class Dispatch {
   std::map<int, std::uint64_t> shedByTenant_;
   obs::MetricRegistry* metricReg_ = nullptr;
   std::string metricPrefix_;
+
+  // Per-tenant QoS stage (configureQos). tagToSlot_ is a dense tag->index
+  // table (tags are small SLO-class ids); slots are heap-allocated so the
+  // metric probes hold stable pointers.
+  QosParams qos_;
+  std::vector<std::unique_ptr<QosSlot>> slots_;
+  std::vector<int> tagToSlot_;
 };
 
 }  // namespace rc::server

@@ -4,10 +4,18 @@
 
 #include "sim/time.hpp"
 
-namespace rc::client {
+namespace rc::sim {
 
-/// Client-side request throttle (the paper's §IX "request throttling"
+/// Shared token-bucket rate limiter (the paper's §IX "request throttling"
 /// mitigation, Fig. 13 — e.g. Facebook's memcached back-off clients).
+///
+/// Two consumption styles, for the two sides of the wire:
+///  - reserve(): client-side pacing — the token is always committed (balance
+///    may go negative) and the caller sleeps out the returned debt. Used by
+///    YCSB client throttles and the client retry budget.
+///  - tryAcquire(): server-side policing — consume only if a whole token is
+///    available; on failure the caller bounces the request (dispatch tenant
+///    QoS, docs/WORKLOADS.md) instead of queueing it.
 class TokenBucket {
  public:
   /// ratePerSec <= 0 disables throttling. burst is the bucket depth.
@@ -30,6 +38,24 @@ class TokenBucket {
     return sim::secondsF(deficit / rate_);
   }
 
+  /// Consume one token only if available right now; never goes into debt.
+  bool tryAcquire(sim::SimTime now) {
+    if (!enabled()) return true;
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Time until a whole token accumulates (0 if one is already available).
+  /// Does not consume; the retry-after hint for a bounced request.
+  sim::Duration timeToToken(sim::SimTime now) {
+    if (!enabled()) return 0;
+    refill(now);
+    if (tokens_ >= 1.0) return 0;
+    return sim::secondsF((1.0 - tokens_) / rate_);
+  }
+
   double rate() const { return rate_; }
 
  private:
@@ -46,4 +72,4 @@ class TokenBucket {
   sim::SimTime last_ = 0;
 };
 
-}  // namespace rc::client
+}  // namespace rc::sim

@@ -8,7 +8,7 @@
 #include <string>
 
 #include "client/ramcloud_client.hpp"
-#include "client/token_bucket.hpp"
+#include "sim/token_bucket.hpp"
 #include "obs/slo_tracker.hpp"
 #include "sim/stats.hpp"
 #include "ycsb/workload.hpp"
@@ -146,7 +146,7 @@ class YcsbClient {
   YcsbClientParams params_;
   sim::Rng rng_;
   KeyChooser keys_;
-  client::TokenBucket bucket_;
+  sim::TokenBucket bucket_;
 
   bool running_ = false;
   double surgeFactor_ = 1.0;      ///< kLoadSurge arrival-rate multiplier

@@ -5,7 +5,7 @@
 
 #include <set>
 
-#include "client/token_bucket.hpp"
+#include "sim/token_bucket.hpp"
 #include "core/cluster.hpp"
 
 namespace rc::client {
@@ -25,13 +25,13 @@ core::ClusterParams clusterOf(int servers, int clients, int rf = 0) {
 }
 
 TEST(TokenBucket, DisabledNeverWaits) {
-  TokenBucket tb(0);
+  sim::TokenBucket tb(0);
   EXPECT_FALSE(tb.enabled());
   for (int i = 0; i < 100; ++i) EXPECT_EQ(tb.reserve(seconds(i)), 0);
 }
 
 TEST(TokenBucket, SustainedRateMatchesConfig) {
-  TokenBucket tb(100);  // 100 ops/s
+  sim::TokenBucket tb(100);  // 100 ops/s
   sim::SimTime now = 0;
   int issued = 0;
   while (now < seconds(10)) {
@@ -42,14 +42,14 @@ TEST(TokenBucket, SustainedRateMatchesConfig) {
 }
 
 TEST(TokenBucket, BurstAllowsInitialSpike) {
-  TokenBucket tb(10, 5);
+  sim::TokenBucket tb(10, 5);
   int immediate = 0;
   while (tb.reserve(0) == 0) ++immediate;
   EXPECT_EQ(immediate, 5);
 }
 
 TEST(TokenBucket, NegativeRateDisables) {
-  TokenBucket tb(-3.0);
+  sim::TokenBucket tb(-3.0);
   EXPECT_FALSE(tb.enabled());
   for (int i = 0; i < 100; ++i) EXPECT_EQ(tb.reserve(seconds(i)), 0);
 }
@@ -57,7 +57,7 @@ TEST(TokenBucket, NegativeRateDisables) {
 TEST(TokenBucket, BurstBelowOneClampsToOne) {
   // A depth under a single token would make even the first reserve wait;
   // the constructor clamps to 1 so an idle bucket always admits one op.
-  TokenBucket tb(10, 0.25);
+  sim::TokenBucket tb(10, 0.25);
   EXPECT_EQ(tb.reserve(0), 0);
   EXPECT_GT(tb.reserve(0), 0);
 }
@@ -65,11 +65,11 @@ TEST(TokenBucket, BurstBelowOneClampsToOne) {
 TEST(TokenBucket, RefillIsCappedAtBurst) {
   // A long idle gap must not bank more than `burst` tokens: after an hour
   // quiet, exactly `burst` ops go out immediately, the next one waits.
-  TokenBucket tb(100, 4);
+  sim::TokenBucket tb(100, 4);
   for (int i = 0; i < 4; ++i) EXPECT_EQ(tb.reserve(0), 0);
   EXPECT_GT(tb.reserve(0), 0);
   const sim::SimTime later = seconds(3600);
-  TokenBucket tb2(100, 4);
+  sim::TokenBucket tb2(100, 4);
   (void)tb2.reserve(0);  // start the clock with one token spent
   int immediate = 0;
   while (tb2.reserve(later) == 0) ++immediate;
@@ -80,10 +80,10 @@ TEST(TokenBucket, FractionalRefillAccumulates) {
   // 2 tokens/s, probed every 100 ms: each refill adds 0.2 of a token.
   // The fractions must accumulate (no integer truncation) so the long-run
   // admitted rate matches the configured rate.
-  TokenBucket tb(2.0, 1.0);
+  sim::TokenBucket tb(2.0, 1.0);
   int admitted = 0;
   for (int tick = 0; tick < 100; ++tick) {
-    TokenBucket probe = tb;  // peek without committing debt
+    sim::TokenBucket probe = tb;  // peek without committing debt
     if (probe.reserve(msec(100) * tick) == 0) {
       tb.reserve(msec(100) * tick);
       ++admitted;
@@ -99,7 +99,7 @@ TEST(TokenBucket, CommittedDebtDelaysNextReserve) {
   // reserve() always commits the token: a burst of B+2 calls at t=0 leaves
   // the balance at -2, and the waits it returned are monotone increasing —
   // each extra caller queues one token-time behind the previous.
-  TokenBucket tb(10, 2);
+  sim::TokenBucket tb(10, 2);
   EXPECT_EQ(tb.reserve(0), 0);
   EXPECT_EQ(tb.reserve(0), 0);
   const sim::Duration w1 = tb.reserve(0);

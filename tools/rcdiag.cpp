@@ -14,8 +14,11 @@
 //   overload  admission-control summary: per-node overload episodes (from
 //             overload_enter/exit journal events) + shed/bounce/deferral
 //             counters from metrics.jsonl (docs/OVERLOAD.md)
+//   qos       per-tenant dispatch token-bucket summary: offered/admitted/
+//             throttled/episodes per tenant and per throttling node
+//             (docs/WORKLOADS.md)
 //   check     schema validation; exits non-zero on any violation (CI smoke)
-//   report    timeline + critical + phases + tx + overload (default)
+//   report    timeline + critical + phases + tx + overload + qos (default)
 //
 // Span semantics and the energy-attribution method are documented in
 // docs/TRACING.md.
@@ -293,6 +296,71 @@ void printOverload(const RunData& run, const std::string& dir) {
                 counter(p + ".dispatch.shed.writes"),
                 counter(p + ".master.cleaner_deferrals"),
                 counter(p + ".master.replication.repairs_deferred"));
+  }
+  std::puts("");
+}
+
+// ------------------------------------------------------------------- qos
+
+/// Per-tenant QoS summary (docs/WORKLOADS.md): the dispatch token-bucket
+/// counters node<N>.dispatch.qos.<tenant>.{offered,admitted,throttled,
+/// episodes} from metrics.jsonl, rolled up per tenant and per node, plus
+/// the journal's qos_throttle episode markers. Runs without QoS policies
+/// print a single all-clear line.
+void printTenantQos(const RunData& run, const std::string& dir) {
+  struct QosAgg {
+    double offered = 0;
+    double admitted = 0;
+    double throttled = 0;
+    double episodes = 0;
+  };
+  // (tenant, node) -> counters; node -1 aggregates the tenant.
+  std::map<std::pair<std::string, int>, QosAgg> agg;
+  for (const auto& rec : MetricsExporter::readJsonl(dir + "/metrics.jsonl")) {
+    if (rec.type != "counter" && rec.type != "gauge") continue;
+    if (rec.name.rfind("node", 0) != 0) continue;
+    const auto qat = rec.name.find(".dispatch.qos.");
+    if (qat == std::string::npos) continue;
+    const int node = std::atoi(rec.name.c_str() + 4);
+    const auto from = qat + std::strlen(".dispatch.qos.");
+    const auto dot = rec.name.rfind('.');
+    if (dot == std::string::npos || dot <= from) continue;
+    const std::string tenant = rec.name.substr(from, dot - from);
+    const std::string which = rec.name.substr(dot + 1);
+    for (auto* a : {&agg[{tenant, node}], &agg[{tenant, -1}]}) {
+      if (which == "offered") a->offered += rec.value;
+      else if (which == "admitted") a->admitted += rec.value;
+      else if (which == "throttled") a->throttled += rec.value;
+      else if (which == "episodes") a->episodes += rec.value;
+    }
+  }
+  if (agg.empty()) {
+    std::puts("qos: no per-tenant dispatch policies in this run\n");
+    return;
+  }
+  int markers = 0;
+  for (const Span& s : run.spans) {
+    if (s.name == "qos_throttle") ++markers;
+  }
+  std::printf("per-tenant QoS (dispatch token buckets; %d throttle-episode "
+              "journal markers)\n", markers);
+  std::printf("  %-16s %-5s %10s %10s %10s %9s %8s\n", "tenant", "node",
+              "offered", "admitted", "throttled", "episodes", "thr%");
+  for (const auto& [key, a] : agg) {
+    const auto& [tenant, node] = key;
+    if (node != -1) continue;  // tenant rollups first
+    std::printf("  %-16s %-5s %10.0f %10.0f %10.0f %9.0f %7.1f%%\n",
+                tenant.c_str(), "all", a.offered, a.admitted, a.throttled,
+                a.episodes,
+                a.offered > 0 ? 100.0 * a.throttled / a.offered : 0.0);
+  }
+  for (const auto& [key, a] : agg) {
+    const auto& [tenant, node] = key;
+    if (node == -1 || a.throttled <= 0) continue;  // throttling nodes only
+    std::printf("  %-16s %-5d %10.0f %10.0f %10.0f %9.0f %7.1f%%\n",
+                tenant.c_str(), node, a.offered, a.admitted, a.throttled,
+                a.episodes,
+                a.offered > 0 ? 100.0 * a.throttled / a.offered : 0.0);
   }
   std::puts("");
 }
@@ -1061,7 +1129,7 @@ void usage() {
   std::puts(
       "rcdiag — recovery/migration journal analyzer\n"
       "\n"
-      "  rcdiag [timeline|critical|phases|tx|overload|check|slo|energy|"
+      "  rcdiag [timeline|critical|phases|tx|overload|qos|check|slo|energy|"
       "report] DIR\n"
       "  rcdiag energy check DIR\n"
       "\n"
@@ -1073,8 +1141,10 @@ void usage() {
       "component-sum vs PDU-total reconciliation (CI smoke).\n"
       "overload summarizes admission-control activity: per-node overload\n"
       "episodes plus shed/deferral counters (docs/OVERLOAD.md).\n"
+      "qos summarizes per-tenant dispatch token buckets: offered vs\n"
+      "admitted vs throttled plus throttle episodes (docs/WORKLOADS.md).\n"
       "Default command is report (timeline + critical + phases + tx +\n"
-      "overload).\n");
+      "overload + qos).\n");
 }
 
 }  // namespace
@@ -1110,12 +1180,15 @@ int main(int argc, char** argv) {
     printTxSummary(run);
   } else if (cmd == "overload") {
     printOverload(run, dir);
+  } else if (cmd == "qos") {
+    printTenantQos(run, dir);
   } else if (cmd == "report") {
     printTimeline(run);
     printCriticalPath(run);
     printPhases(run);
     printTxSummary(run);
     printOverload(run, dir);
+    printTenantQos(run, dir);
   } else {
     usage();
     return 2;

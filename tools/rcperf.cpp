@@ -12,6 +12,7 @@
 // CSV stream for plotting.
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -255,16 +256,32 @@ int cmdTop(const Args& a) {
   cfg.updateSlo = obs::SloTarget{sim::usecF(a.num("update-p99-us", 600)),
                                  sim::usecF(a.num("update-p999-us", 2500))};
   const int heatTop = static_cast<int>(a.num("heat", 5));
+  const double qosRate = a.num("qos-rate", 0);
 
   // The ticker lives in this holder so it survives until the experiment
   // returns (the hook runs inside runYcsbExperiment, before load).
   auto ticker = std::make_shared<std::unique_ptr<sim::PeriodicTask>>();
   auto prevHeat = std::make_shared<obs::MetricRegistry::Snapshot>();
   auto prevShed = std::make_shared<std::pair<double, double>>(0.0, 0.0);
-  cfg.clusterHook = [ticker, prevHeat, prevShed, heatTop](core::Cluster& c) {
+  auto prevQos = std::make_shared<obs::MetricRegistry::Snapshot>();
+  const std::string tenant = cfg.tenant;
+  cfg.clusterHook = [ticker, prevHeat, prevShed, prevQos, heatTop, qosRate,
+                     tenant](core::Cluster& c) {
+    if (qosRate > 0) {
+      // Police this tenant's admitted rate per node (docs/WORKLOADS.md).
+      server::QosParams qos;
+      qos.enabled = true;
+      server::QosTenantPolicy p;
+      p.name = tenant;
+      p.tags = {c.sloTracker().classId(tenant + "/read") + 1,
+                c.sloTracker().classId(tenant + "/update") + 1};
+      p.ratePerSec = qosRate;
+      qos.tenants.push_back(std::move(p));
+      c.configureQos(qos);
+    }
     *ticker = std::make_unique<sim::PeriodicTask>(
         c.sim(), sim::seconds(1),
-        [&c, prevHeat, prevShed, heatTop](sim::SimTime now) {
+        [&c, prevHeat, prevShed, prevQos, heatTop](sim::SimTime now) {
           std::printf("-- t=%.0fs --------------------------------------\n",
                       sim::toSeconds(now));
           std::printf("%-16s %10s %9s %9s %9s %7s\n", "class", "count",
@@ -328,6 +345,32 @@ int cmdTop(const Args& a) {
                         shedRate, bounceRate, c.sheddingServers(),
                         c.serverCount(), shed);
           }
+          // Per-tenant QoS: windowed offered-vs-admitted rate per policy
+          // from the cluster.qos.<tenant>.* aggregates (docs/WORKLOADS.md).
+          // Runs without configureQos have no such metrics and stay quiet.
+          std::map<std::string, std::array<double, 3>> qosRates;
+          c.metrics().forEach([&](const obs::MetricInfo& info) {
+            const auto pos = info.name.find("cluster.qos.");
+            if (pos != 0) return;
+            const auto dot = info.name.rfind('.');
+            const std::string which = info.name.substr(dot + 1);
+            int idx = which == "offered" ? 0
+                      : which == "admitted" ? 1
+                      : which == "throttled" ? 2 : -1;
+            if (idx < 0) return;
+            const std::string who =
+                info.name.substr(12, dot - 12);  // after "cluster.qos."
+            const double v = c.metrics().value(info.name);
+            const auto it = prevQos->find(info.name);
+            const double prev = it == prevQos->end() ? 0.0 : it->second;
+            (*prevQos)[info.name] = v;
+            qosRates[who][static_cast<std::size_t>(idx)] = v - prev;
+          });
+          for (const auto& [who, r] : qosRates) {
+            if (r[0] <= 0 && r[2] <= 0) continue;
+            std::printf("  qos %-12s offered %7.0f/s  admitted %7.0f/s  "
+                        "throttled %7.0f/s\n", who.c_str(), r[0], r[1], r[2]);
+          }
         });
   };
 
@@ -381,14 +424,17 @@ void usage() {
       "                  [--segment-mb N] [--probe-clients] [--seed N] [--csv]\n"
       "                  [--metrics-dir DIR]  (also writes events.jsonl —\n"
       "                  the recovery span tree; analyze with rcdiag)\n"
-      "  rcperf top      [ycsb flags] [--tenant NAME]\n"
+      "  rcperf top      [ycsb flags] [--tenant NAME] [--qos-rate OPS]\n"
       "                  [--read-p99-us N] [--read-p999-us N]\n"
       "                  [--update-p99-us N] [--update-p999-us N] [--heat N]\n"
       "                  (live mode: 1 Hz per-class tail quantiles + burn\n"
       "                  rate, hottest tablets, per-node watts, cluster\n"
-      "                  ops/joule, and shed/overload rates while the run\n"
-      "                  progresses; docs/SLO.md, docs/ENERGY.md,\n"
-      "                  docs/OVERLOAD.md)\n"
+      "                  ops/joule, shed/overload rates, and per-tenant QoS\n"
+      "                  offered-vs-admitted rates while the run progresses;\n"
+      "                  --qos-rate caps the tenant's admitted rate per node\n"
+      "                  with a dispatch token bucket; docs/SLO.md,\n"
+      "                  docs/ENERGY.md, docs/OVERLOAD.md,\n"
+      "                  docs/WORKLOADS.md)\n"
       "  rcperf selfperf [--quick] [--repeat N] [--slo] [--no-energy]\n"
       "                  [--json FILE]\n"
       "                  (host events/sec of the simulator itself on the\n"
